@@ -1,0 +1,28 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark asserts the *shape* claims of the paper (who wins, how
+counts grow) before timing anything, so a silent regression in an analyzer
+cannot hide behind a fast wrong answer.
+
+Budgets: the benchmark defaults keep the suite at a few minutes.  The
+full-scale Table 1 (paper sizes, larger budgets) is produced by
+``python -m repro table1``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-max-states",
+        type=int,
+        default=60_000,
+        help="state budget for explicit analyzers in benchmarks",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_max_states(request):
+    return request.config.getoption("--bench-max-states")

@@ -1,0 +1,42 @@
+"""Figure 1: n concurrently enabled independent transitions.
+
+The first source of state explosion (§2.2) and the classical cure (§2.3):
+
+* full reachability = the 2^n Boolean lattice of markings (all
+  interleavings of the n transitions — n! maximal paths);
+* partial-order reduction follows one interleaving: n + 1 states;
+* generalized analysis fires all n transitions simultaneously: 2 states.
+"""
+
+import pytest
+
+from repro.analysis import explore
+from repro.gpo import explore_gpo
+from repro.models import concurrent_net
+from repro.stubborn import explore_reduced
+
+SIZES = [2, 4, 6, 8, 10]
+
+
+class TestShape:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_counts(self, n):
+        assert explore(concurrent_net(n)).num_states == 2**n
+        assert explore_reduced(concurrent_net(n)).num_states == n + 1
+        assert explore_gpo(concurrent_net(n)).graph.num_states == 2
+
+
+@pytest.mark.parametrize("n", [4, 8, 10])
+def test_bench_full(benchmark, n):
+    benchmark(lambda: explore(concurrent_net(n)))
+
+
+@pytest.mark.parametrize("n", [4, 8, 10])
+def test_bench_reduced(benchmark, n):
+    benchmark(lambda: explore_reduced(concurrent_net(n)))
+
+
+@pytest.mark.parametrize("n", [4, 8, 10])
+def test_bench_gpo(benchmark, n):
+    result = benchmark(lambda: explore_gpo(concurrent_net(n)))
+    assert result.graph.num_states == 2

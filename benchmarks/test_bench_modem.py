@@ -1,0 +1,68 @@
+"""Case study bench: the QAM-modem embedded-system model.
+
+Beyond Table 1 — the paper's §5 reports applying the method to embedded
+designs such as a QAM modem.  Shapes asserted:
+
+* the interleaved state space grows ~two orders of magnitude per added
+  lane (53248 at 2 lanes; past 500k at 3);
+* GPO explores a constant 11 GPN states per variant, finding the retrain
+  wedge in the buggy revision in milliseconds;
+* stubborn sets also scale (the modem is concurrency-heavy), but grow
+  with the lane count where GPO does not.
+"""
+
+import pytest
+
+from repro.analysis import analyze as full_analyze
+from repro.gpo import analyze as gpo_analyze
+from repro.models import modem
+from repro.stubborn import analyze as stubborn_analyze
+
+
+class TestShape:
+    def test_full_explodes_per_lane(self, bench_max_states):
+        one = full_analyze(modem(1, bug=True), max_states=bench_max_states)
+        two = full_analyze(modem(2, bug=True), max_states=bench_max_states)
+        assert one.states == 448
+        assert not two.exhaustive or two.states == 53248
+
+    @pytest.mark.parametrize("lanes", [1, 2, 3])
+    def test_gpo_constant(self, lanes):
+        buggy = gpo_analyze(modem(lanes, bug=True))
+        fixed = gpo_analyze(modem(lanes, bug=False))
+        assert buggy.states == 11 and buggy.deadlock
+        assert fixed.states == 11 and not fixed.deadlock
+
+    def test_stubborn_grows_with_lanes(self, bench_max_states):
+        counts = [
+            stubborn_analyze(
+                modem(lanes, bug=True), max_states=bench_max_states
+            ).states
+            for lanes in (1, 2, 3)
+        ]
+        assert counts[0] < counts[1] < counts[2]
+
+
+@pytest.mark.parametrize("lanes", [1, 2])
+def test_bench_full(benchmark, lanes, bench_max_states):
+    benchmark(
+        lambda: full_analyze(
+            modem(lanes, bug=True), max_states=bench_max_states
+        )
+    )
+
+
+@pytest.mark.parametrize("lanes", [1, 2, 3])
+def test_bench_stubborn(benchmark, lanes, bench_max_states):
+    benchmark(
+        lambda: stubborn_analyze(
+            modem(lanes, bug=True), max_states=bench_max_states
+        )
+    )
+
+
+@pytest.mark.parametrize("lanes", [1, 2, 3])
+@pytest.mark.parametrize("bug", [True, False])
+def test_bench_gpo(benchmark, lanes, bug):
+    result = benchmark(lambda: gpo_analyze(modem(lanes, bug=bug)))
+    assert result.deadlock == bug

@@ -1,0 +1,64 @@
+"""Table 1, ASAT rows: the asynchronous arbiter tree.
+
+Paper shape: full states explode by ~2 orders of magnitude per doubling
+of users (88 → 7822 → 1.58e6); stubborn sets reduce dramatically (the
+tree is mostly concurrency, little conflict); GPO stays nearly flat
+(8 → 14 → 23; ours 10 → 14 → 18); the net is deadlock-free.
+"""
+
+import pytest
+
+from repro.analysis import analyze as full_analyze
+from repro.gpo import analyze as gpo_analyze
+from repro.models import asat
+from repro.stubborn import analyze as stubborn_analyze
+from repro.symbolic import analyze as symbolic_analyze
+
+
+class TestShape:
+    def test_full_explosion(self, bench_max_states):
+        small = full_analyze(asat(2), max_states=bench_max_states)
+        large = full_analyze(asat(4), max_states=bench_max_states)
+        assert small.states == 36
+        assert large.states == 768
+        assert large.states / small.states > 10
+
+    def test_stubborn_strong_reduction(self, bench_max_states):
+        # The regime where classical PO shines (paper: 7822 -> 192).
+        full = full_analyze(asat(4), max_states=bench_max_states).states
+        reduced = stubborn_analyze(asat(4), max_states=bench_max_states).states
+        assert reduced * 5 < full
+
+    @pytest.mark.parametrize(
+        "n,expected", [(2, 10), (4, 14), (8, 18)]
+    )
+    def test_gpo_nearly_flat(self, n, expected):
+        result = gpo_analyze(asat(n))
+        assert result.states == expected
+        assert not result.deadlock
+
+    def test_verdict_deadlock_free(self):
+        net = asat(2)
+        for analyze in (full_analyze, stubborn_analyze, symbolic_analyze, gpo_analyze):
+            assert not analyze(net).deadlock
+
+
+@pytest.mark.parametrize("n", [2, 4])
+def test_bench_full(benchmark, n, bench_max_states):
+    benchmark(lambda: full_analyze(asat(n), max_states=bench_max_states))
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_bench_stubborn(benchmark, n, bench_max_states):
+    benchmark(lambda: stubborn_analyze(asat(n), max_states=bench_max_states))
+
+
+@pytest.mark.parametrize("n", [2, 4])
+def test_bench_symbolic(benchmark, n):
+    benchmark(lambda: symbolic_analyze(asat(n)))
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_bench_gpo(benchmark, n):
+    result = benchmark(lambda: gpo_analyze(asat(n)))
+    assert not result.deadlock

@@ -1,0 +1,75 @@
+"""Table 1, NSDP rows: dining philosophers under all four analyzers.
+
+Paper shape being reproduced (sizes 2..10):
+
+* full states explode ≈ ×17.9 per philosopher pair (18 → 322 → 5778 ...);
+* stubborn-set reduction helps but stays exponential;
+* GPO explores a *constant* number of GPN states and detects the
+  deadlock, with runtime growing roughly linearly in n;
+* the symbolic engine completes (see the ablation bench for the
+  1998-style configuration that does not).
+"""
+
+import pytest
+
+from repro.analysis import analyze as full_analyze
+from repro.gpo import analyze as gpo_analyze
+from repro.models import nsdp
+from repro.stubborn import analyze as stubborn_analyze
+from repro.symbolic import analyze as symbolic_analyze
+
+GPO_SIZES = [2, 4, 6, 8, 10]
+
+
+class TestShape:
+    """Assertions protecting the claims the timings below illustrate."""
+
+    def test_full_explosion(self, bench_max_states):
+        counts = [
+            full_analyze(nsdp(n), max_states=bench_max_states).states
+            for n in (2, 3, 4)
+        ]
+        assert counts == [17, 78, 341]
+
+    def test_stubborn_reduces_but_stays_exponential(self, bench_max_states):
+        reduced = [
+            stubborn_analyze(nsdp(n), max_states=bench_max_states).states
+            for n in (2, 3, 4)
+        ]
+        full = [17, 78, 341]
+        assert all(r <= f for r, f in zip(reduced, full))
+        assert reduced[2] / reduced[1] > 3  # still exponential
+
+    @pytest.mark.parametrize("n", GPO_SIZES)
+    def test_gpo_constant_states_and_deadlock(self, n):
+        result = gpo_analyze(nsdp(n))
+        assert result.states == 2
+        assert result.deadlock
+
+    def test_all_analyzers_agree_on_verdict(self):
+        net = nsdp(3)
+        assert full_analyze(net).deadlock
+        assert stubborn_analyze(net).deadlock
+        assert symbolic_analyze(net).deadlock
+        assert gpo_analyze(net).deadlock
+
+
+@pytest.mark.parametrize("n", [2, 4])
+def test_bench_full(benchmark, n, bench_max_states):
+    benchmark(lambda: full_analyze(nsdp(n), max_states=bench_max_states))
+
+
+@pytest.mark.parametrize("n", [2, 4, 6])
+def test_bench_stubborn(benchmark, n, bench_max_states):
+    benchmark(lambda: stubborn_analyze(nsdp(n), max_states=bench_max_states))
+
+
+@pytest.mark.parametrize("n", [2, 4, 6])
+def test_bench_symbolic(benchmark, n):
+    benchmark(lambda: symbolic_analyze(nsdp(n)))
+
+
+@pytest.mark.parametrize("n", GPO_SIZES)
+def test_bench_gpo(benchmark, n):
+    result = benchmark(lambda: gpo_analyze(nsdp(n)))
+    assert result.states == 2

@@ -1,0 +1,70 @@
+"""Table 1, OVER rows: the overtake protocol.
+
+Paper shape: full states grow exponentially per car (65 → 519 → 4175 →
+33460, ×8/car; our reconstruction grows ×4/car); stubborn sets reduce by
+a widening factor; GPO stays constant (paper: 6..9; ours: 2, detecting
+the circular-wait deadlock at the first simultaneous firing).
+"""
+
+import pytest
+
+from repro.analysis import analyze as full_analyze
+from repro.gpo import analyze as gpo_analyze
+from repro.models import over
+from repro.stubborn import analyze as stubborn_analyze
+from repro.symbolic import analyze as symbolic_analyze
+
+SIZES = [2, 3, 4, 5]
+
+
+class TestShape:
+    def test_full_exponential(self, bench_max_states):
+        counts = [
+            full_analyze(over(n), max_states=bench_max_states).states
+            for n in (2, 3, 4)
+        ]
+        assert counts == [16, 62, 256]
+        assert counts[2] / counts[1] > 3.5
+
+    def test_stubborn_widening_reduction(self, bench_max_states):
+        fulls = [16, 62, 256]
+        reduced = [
+            stubborn_analyze(over(n), max_states=bench_max_states).states
+            for n in (2, 3, 4)
+        ]
+        ratios = [f / r for f, r in zip(fulls, reduced)]
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_gpo_constant_and_deadlock(self, n):
+        result = gpo_analyze(over(n))
+        assert result.states == 2
+        assert result.deadlock
+
+    def test_verdicts_agree(self):
+        net = over(2)
+        assert full_analyze(net).deadlock
+        assert stubborn_analyze(net).deadlock
+        assert symbolic_analyze(net).deadlock
+        assert gpo_analyze(net).deadlock
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_bench_full(benchmark, n, bench_max_states):
+    benchmark(lambda: full_analyze(over(n), max_states=bench_max_states))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_bench_stubborn(benchmark, n, bench_max_states):
+    benchmark(lambda: stubborn_analyze(over(n), max_states=bench_max_states))
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_bench_symbolic(benchmark, n):
+    benchmark(lambda: symbolic_analyze(over(n)))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_bench_gpo(benchmark, n):
+    result = benchmark(lambda: gpo_analyze(over(n)))
+    assert result.deadlock

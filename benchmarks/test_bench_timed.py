@@ -1,0 +1,73 @@
+"""Bench for the timed extension (the paper's §5 outlook).
+
+Shapes asserted:
+
+* with ``[0, ∞)`` intervals the state-class graph coincides with the
+  classical reachability graph (same counts — no timed overhead beyond
+  the DBM bookkeeping);
+* real intervals *prune* behaviour: the timed graph of the
+  deadline-guarded handshake is smaller than its untimed skeleton and
+  deadlock-free while the skeleton deadlocks.
+"""
+
+import pytest
+
+from repro.analysis import analyze as full_analyze
+from repro.models import nsdp, over
+from repro.timed import TimedNetBuilder, TimedPetriNet, analyze as timed_analyze
+
+
+def guarded_handshake(reply_deadline: int) -> TimedPetriNet:
+    """The timed_verification example's net (deadline-parameterized)."""
+    b = TimedNetBuilder(f"handshake_d{reply_deadline}")
+    b.place("client_idle", marked=True)
+    b.place("client_waiting")
+    b.place("request")
+    b.place("reply")
+    b.place("server_idle", marked=True)
+    b.place("server_busy")
+    b.place("server_flushing")
+    b.transition("send_request", interval=(0, 1),
+                 inputs=["client_idle"], outputs=["client_waiting", "request"])
+    b.transition("receive", interval=(0, 1),
+                 inputs=["request", "server_idle"], outputs=["server_busy"])
+    b.transition("reply_fast", interval=(0, reply_deadline),
+                 inputs=["server_busy"], outputs=["server_idle", "reply"])
+    b.transition("start_flush", interval=(10, 12),
+                 inputs=["server_busy"], outputs=["server_flushing"])
+    b.transition("finish_flush", interval=(0, 1),
+                 inputs=["server_flushing", "client_idle"],
+                 outputs=["server_idle", "reply", "client_idle"])
+    b.transition("get_reply", interval=(0, 2),
+                 inputs=["reply", "client_waiting"], outputs=["client_idle"])
+    return b.build()
+
+
+class TestShape:
+    @pytest.mark.parametrize("make", [lambda: nsdp(2), lambda: over(2)])
+    def test_untimed_wrapper_matches_classical(self, make):
+        net = make()
+        classical = full_analyze(net)
+        timed = timed_analyze(TimedPetriNet.untimed(net))
+        assert timed.extras["markings"] == classical.states
+        assert timed.deadlock == classical.deadlock
+
+    def test_deadline_prunes_the_false_alarm(self):
+        tight = timed_analyze(guarded_handshake(2))
+        loose = timed_analyze(guarded_handshake(20))
+        assert not tight.deadlock
+        assert loose.deadlock
+        assert tight.states < loose.states
+
+
+@pytest.mark.parametrize("n", [2, 3])
+def test_bench_untimed_wrapper_nsdp(benchmark, n):
+    tpn = TimedPetriNet.untimed(nsdp(n))
+    benchmark(lambda: timed_analyze(tpn))
+
+
+@pytest.mark.parametrize("deadline", [2, 20])
+def test_bench_guarded_handshake(benchmark, deadline):
+    tpn = guarded_handshake(deadline)
+    result = benchmark(lambda: timed_analyze(tpn))
+    assert result.deadlock == (deadline == 20)

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Safety verification of the asynchronous arbiter tree (ASAT).
+
+Checks the two properties an arbiter must provide —
+
+* **mutual exclusion**: no two users ever hold the resource together
+  (a safety property, checked as unreachability of bad markings);
+* **deadlock freedom**: the grant/release handshakes can never wedge —
+
+and contrasts how hard each analyzer works for the same verdict.  Also
+exports the net and its (small-instance) reachability graph as Graphviz
+DOT files for inspection.
+
+Run:  python examples/arbiter_mutex.py [n_users] [--dot]
+"""
+
+import sys
+
+from repro.analysis import analyze as full_analyze, explore, find_violation
+from repro.gpo import analyze as gpo_analyze
+from repro.models import asat
+from repro.net import net_to_dot, reachability_to_dot
+from repro.stubborn import analyze as stubborn_analyze
+from repro.symbolic import analyze as symbolic_analyze
+
+
+def main(n: int = 4, write_dot: bool = False):
+    net = asat(n)
+    print(f"{net.name}: |P|={net.num_places} |T|={net.num_transitions}\n")
+
+    # -- mutual exclusion --------------------------------------------------
+    critical = [f"use{i}" for i in range(n)]
+
+    def two_users_active(marking_names):
+        return sum(1 for p in critical if p in marking_names) >= 2
+
+    violation = find_violation(net, two_users_active, max_states=200_000)
+    print("mutual exclusion:", "VIOLATED" if violation else "holds")
+    assert violation is None
+
+    # -- deadlock freedom, all four ways ------------------------------------
+    for analyzer in (full_analyze, stubborn_analyze, symbolic_analyze, gpo_analyze):
+        result = analyzer(net)
+        print(result.describe())
+        assert not result.deadlock
+
+    print(
+        "\nNote the working-set sizes: the full graph explodes with the "
+        "number of users,\nstubborn sets tame most of it (arbiter trees are "
+        "concurrency-heavy), and GPO\nstays nearly flat by also merging the "
+        "grant choices."
+    )
+
+    if write_dot:
+        with open("asat_net.dot", "w") as handle:
+            handle.write(net_to_dot(net))
+        graph = explore(net, max_states=5_000)
+        with open("asat_rg.dot", "w") as handle:
+            handle.write(
+                reachability_to_dot(
+                    net,
+                    graph.states(),
+                    graph.edges(),
+                    initial=net.initial_marking,
+                    deadlocks=graph.deadlocks,
+                )
+            )
+        print("\nwrote asat_net.dot and asat_rg.dot (render with `dot -Tpdf`)")
+
+
+if __name__ == "__main__":
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    main(size, write_dot="--dot" in sys.argv)

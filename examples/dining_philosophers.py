@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""NSDP: the paper's headline benchmark, end to end.
+
+Shows the two sources of state explosion and how each analysis copes:
+
+* full reachability grows ≈ ×4.2 per philosopher;
+* stubborn-set reduction helps but stays exponential;
+* generalized partial-order analysis explores a constant number of GPN
+  states — each standing for exponentially many classical markings — and
+  still finds the circular-wait deadlock with a concrete trace.
+
+Run:  python examples/dining_philosophers.py [max_n]
+"""
+
+import sys
+
+from repro.analysis import analyze as full_analyze
+from repro.gpo import analyze as gpo_analyze
+from repro.harness import format_table
+from repro.models import nsdp
+from repro.stubborn import analyze as stubborn_analyze
+
+
+def main(max_n: int = 6):
+    rows = []
+    for n in range(2, max_n + 1):
+        net = nsdp(n)
+        full = full_analyze(net, max_states=100_000)
+        reduced = stubborn_analyze(net, max_states=100_000)
+        gpo = gpo_analyze(net)
+        rows.append(
+            [
+                n,
+                full.states if full.exhaustive else f">{full.states}",
+                reduced.states if reduced.exhaustive else f">{reduced.states}",
+                gpo.states,
+                f"{gpo.time_seconds:.3f}",
+                gpo.extras["scenarios"],
+            ]
+        )
+    print(
+        format_table(
+            ["n", "full", "stubborn", "GPO", "GPO t(s)", "scenarios/state"],
+            rows,
+            title="Dining philosophers: states explored per analysis",
+        )
+    )
+
+    # A concrete deadlock trace from the generalized analysis.
+    result = gpo_analyze(nsdp(4))
+    assert result.deadlock
+    print("deadlock witness (4 philosophers):")
+    print(" ", result.witness)
+    print(
+        "\nReading the trace: one simultaneous GPN firing covers every"
+        "\nfirst-fork choice at once; the witness scenario is the branch"
+        "\nwhere each philosopher grabbed one fork — the circular wait."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 6)

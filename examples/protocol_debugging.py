@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Debugging and fixing a protocol with generalized partial-order analysis.
+
+The overtake protocol (Table 1's OVER) deadlocks: when every car signals
+intent to overtake simultaneously, nobody is left cruising to yield.  This
+example
+
+1. finds the deadlock with GPO in 2 GPN states and replays its witness
+   trace on the classical semantics,
+2. applies the classic symmetry-breaking fix — one designated car never
+   initiates an overtake, so somebody always remains able to yield
+   (the "left-handed philosopher" trick), and
+3. re-verifies the fixed protocol with every analyzer.
+
+Step 3 also illustrates *when to use which analyzer*: the broken protocol
+is all symmetric conflict — GPO's home turf — while the fixed protocol has
+sparse, asymmetric conflicts where classical stubborn-set reduction is
+already cheap and GPO's scenario bookkeeping buys nothing (its state count
+may even exceed the classical one).  The paper positions the methods as
+complementary; this is what that looks like in practice.
+
+Run:  python examples/protocol_debugging.py [n_cars]
+"""
+
+import sys
+
+from repro.analysis import analyze as full_analyze
+from repro.gpo import analyze as gpo_analyze
+from repro.models import over
+from repro.net import NetBuilder, PetriNet
+from repro.stubborn import analyze as stubborn_analyze
+
+
+def over_asymmetric(n: int) -> PetriNet:
+    """The overtake protocol with car 0 demoted to a pure yielder.
+
+    Identical to :func:`repro.models.over` except car 0 has no ``ask``
+    pipeline: with one car always available to yield, the circular wait
+    cannot close.
+    """
+    b = NetBuilder(f"over_asym_{n}")
+    for i in range(n):
+        b.place(f"cruise{i}", marked=True)
+        for name in ("asking", "out", "passing", "waitfin", "yielding"):
+            b.place(f"{name}{i}")
+        for channel in ("req", "ack", "fin", "finack"):
+            b.place(f"{channel}{i}")
+    for i in range(n):
+        behind = (i - 1) % n
+        if i != 0:
+            b.transition(f"ask{i}", inputs=[f"cruise{i}"],
+                         outputs=[f"asking{i}", f"req{i}"])
+            b.transition(f"pullout{i}", inputs=[f"asking{i}", f"ack{i}"],
+                         outputs=[f"out{i}"])
+            b.transition(f"pass{i}", inputs=[f"out{i}"],
+                         outputs=[f"passing{i}"])
+            b.transition(f"done{i}", inputs=[f"passing{i}"],
+                         outputs=[f"waitfin{i}", f"fin{i}"])
+            b.transition(f"settle{i}", inputs=[f"waitfin{i}", f"finack{i}"],
+                         outputs=[f"cruise{i}"])
+        if behind != 0:  # nobody overtakes car behind=0's slot, no grant path
+            b.transition(f"grant{i}", inputs=[f"req{behind}", f"cruise{i}"],
+                         outputs=[f"yielding{i}", f"ack{behind}"])
+            b.transition(f"resume{i}", inputs=[f"yielding{i}", f"fin{behind}"],
+                         outputs=[f"cruise{i}", f"finack{behind}"])
+    return b.build()
+
+
+def main(n: int = 3):
+    # --- step 1: find the bug -------------------------------------------
+    broken = over(n)
+    result = gpo_analyze(broken)
+    assert result.deadlock
+    print(f"{broken.name}: GPO found a deadlock in {result.states} GPN states")
+    print("witness:", result.witness)
+
+    # Replay the witness scenario classically: fire each car's 'ask'.
+    marking = broken.initial_marking
+    for i in range(n):
+        marking = broken.fire_by_name(f"ask{i}", marking)
+    assert broken.is_deadlocked(marking)
+    print("replayed: all cars asking simultaneously is indeed dead\n")
+
+    # --- step 2 + 3: fix and re-verify ----------------------------------
+    fixed = over_asymmetric(n)
+    full = full_analyze(fixed, max_states=300_000)
+    reduced = stubborn_analyze(fixed, max_states=300_000)
+    print(f"{fixed.name}: full -> {full.describe()}")
+    print(f"{fixed.name}: stubborn -> {reduced.describe()}")
+    assert not full.deadlock and not reduced.deadlock
+
+    if n <= 3:
+        # Small instances: GPO agrees, though with no reduction to offer —
+        # sparse asymmetric conflicts are classical PO's territory.
+        gpo = gpo_analyze(fixed)
+        print(f"{fixed.name}: gpo -> {gpo.describe()}")
+        assert not gpo.deadlock
+    print("\nThe designated-yielder fix removes the circular wait: verified.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 3)

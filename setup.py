@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+All metadata lives in pyproject.toml; this file only enables legacy
+editable installs (`pip install -e .`) where PEP 660 builds are
+unavailable.
+"""
+
+from setuptools import setup
+
+setup()

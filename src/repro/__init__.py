@@ -1,0 +1,93 @@
+"""Generalized Partial Order Analysis for safe Petri nets.
+
+A complete reproduction of *"Efficient Verification using Generalized
+Partial Order Analysis"* (Vercauteren, Verkest, de Jong, Lin — DATE 1998):
+
+* :mod:`repro.net` — safe Petri-net kernel (structures, firing rules, I/O);
+* :mod:`repro.analysis` — conventional (full) reachability analysis;
+* :mod:`repro.stubborn` — partial-order (stubborn/persistent set) reduction,
+  the paper's "SPIN+PO" regime;
+* :mod:`repro.bdd` / :mod:`repro.symbolic` — from-scratch ROBDD engine and
+  symbolic reachability, the paper's "SMV" regime;
+* :mod:`repro.families` — compact set-of-transition-set representations;
+* :mod:`repro.gpo` — the paper's contribution: Generalized Petri Nets and
+  the generalized partial-order analysis procedure;
+* :mod:`repro.models` — the benchmark families of Table 1 (NSDP, ASAT,
+  OVER, RW) and the figure nets;
+* :mod:`repro.harness` — the experiment harness regenerating Table 1 and
+  the figure-level claims.
+
+Quickstart
+----------
+>>> from repro import NetBuilder, verify
+>>> b = NetBuilder("hello")
+>>> b.place("p", marked=True)
+'p'
+>>> b.place("q")
+'q'
+>>> b.transition("t", inputs=["p"], outputs=["q"])
+'t'
+>>> result = verify(b.build())
+>>> result.deadlock  # the token ends in q with nothing enabled
+True
+"""
+
+from repro.analysis import (
+    AnalysisResult,
+    DeadlockWitness,
+    ReachabilityGraph,
+    analyze,
+    explore,
+)
+from repro.net import Marking, NetBuilder, PetriNet, parse_net, to_text
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PetriNet",
+    "NetBuilder",
+    "Marking",
+    "parse_net",
+    "to_text",
+    "ReachabilityGraph",
+    "explore",
+    "analyze",
+    "AnalysisResult",
+    "DeadlockWitness",
+    "verify",
+    "__version__",
+]
+
+
+def verify(net: PetriNet, *, method: str = "gpo", **kwargs) -> AnalysisResult:
+    """One-call deadlock verification with a selectable analyzer.
+
+    ``method`` is one of ``"gpo"`` (generalized partial order, the paper's
+    contribution and the default), ``"full"`` (conventional exhaustive
+    reachability), ``"stubborn"`` (partial-order reduction), ``"symbolic"``
+    (BDD-based) or ``"unfolding"`` (McMillan complete-prefix).  Extra
+    keyword arguments are forwarded to the chosen analyzer's ``analyze``
+    function.
+    """
+    if method == "full":
+        return analyze(net, **kwargs)
+    if method == "stubborn":
+        from repro.stubborn import analyze as stubborn_analyze
+
+        return stubborn_analyze(net, **kwargs)
+    if method == "symbolic":
+        from repro.symbolic import analyze as symbolic_analyze
+
+        return symbolic_analyze(net, **kwargs)
+    if method == "gpo":
+        from repro.gpo import analyze as gpo_analyze
+
+        return gpo_analyze(net, **kwargs)
+    if method == "unfolding":
+        from repro.unfolding import analyze as unfolding_analyze
+
+        return unfolding_analyze(net, **kwargs)
+    raise ValueError(
+        f"unknown method {method!r}; expected one of "
+        "'gpo', 'full', 'stubborn', 'symbolic', 'unfolding'"
+    )

@@ -1,0 +1,53 @@
+"""Explicit-state analysis: full reachability, deadlock and property checks.
+
+This package is the paper's Section 2.2 substrate — conventional analysis —
+and the reference semantics every reduced analyzer is validated against.
+"""
+
+from repro.analysis.deadlock import (
+    all_deadlocks,
+    deadlock_witnesses,
+    find_deadlock,
+    has_deadlock,
+)
+from repro.analysis.graph import ReachabilityGraph
+from repro.analysis.properties import (
+    PropertyReport,
+    check_invariant,
+    check_safeness,
+    dead_transitions,
+    find_violation,
+    is_quasi_live,
+    mutual_exclusion_holds,
+)
+from repro.analysis.reachability import analyze, explore, reachable_markings
+from repro.analysis.stats import (
+    AnalysisResult,
+    DeadlockWitness,
+    ExplorationLimitReached,
+    TimeLimitReached,
+    stopwatch,
+)
+
+__all__ = [
+    "ReachabilityGraph",
+    "explore",
+    "analyze",
+    "reachable_markings",
+    "has_deadlock",
+    "find_deadlock",
+    "all_deadlocks",
+    "deadlock_witnesses",
+    "AnalysisResult",
+    "DeadlockWitness",
+    "ExplorationLimitReached",
+    "TimeLimitReached",
+    "stopwatch",
+    "PropertyReport",
+    "check_safeness",
+    "check_invariant",
+    "dead_transitions",
+    "is_quasi_live",
+    "find_violation",
+    "mutual_exclusion_holds",
+]

@@ -1,0 +1,84 @@
+"""Deadlock detection helpers over explored graphs.
+
+Thin, analyzer-agnostic layer: given any :class:`ReachabilityGraph` of
+classical markings, answer deadlock questions and extract traces.  The
+explorers record deadlocks while exploring; this module adds the query side
+plus an on-the-fly DFS detector that avoids materializing the graph when
+only the verdict is needed.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.graph import ReachabilityGraph
+from repro.analysis.stats import DeadlockWitness, ExplorationLimitReached
+from repro.net.petrinet import Marking, PetriNet
+
+__all__ = [
+    "has_deadlock",
+    "find_deadlock",
+    "all_deadlocks",
+    "deadlock_witnesses",
+]
+
+
+def has_deadlock(net: PetriNet, *, max_states: int | None = None) -> bool:
+    """Depth-first deadlock test without storing edges.
+
+    Explores markings until a deadlock is found or the space is exhausted.
+    Raises :class:`ExplorationLimitReached` past the state budget.
+    """
+    return find_deadlock(net, max_states=max_states) is not None
+
+
+def find_deadlock(
+    net: PetriNet, *, max_states: int | None = None
+) -> DeadlockWitness | None:
+    """DFS with trace recording; returns the first deadlock found.
+
+    The trace is the DFS path, not necessarily shortest — use
+    :func:`repro.analysis.reachability.analyze` for shortest traces.
+    """
+    seen: set[Marking] = {net.initial_marking}
+    # stack of (marking, fired-label or None for the root)
+    stack: list[tuple[Marking, list[str]]] = [(net.initial_marking, [])]
+    while stack:
+        marking, trace = stack.pop()
+        enabled = net.enabled_transitions(marking)
+        if not enabled:
+            return DeadlockWitness(
+                marking=net.marking_names(marking), trace=tuple(trace)
+            )
+        for t in enabled:
+            successor = net.fire(t, marking)
+            if successor in seen:
+                continue
+            seen.add(successor)
+            if max_states is not None and len(seen) > max_states:
+                raise ExplorationLimitReached(max_states)
+            stack.append((successor, trace + [net.transitions[t]]))
+    return None
+
+
+def all_deadlocks(graph: ReachabilityGraph[Marking]) -> list[Marking]:
+    """All deadlock states recorded in an explored graph, discovery order."""
+    return [state for state in graph.states() if state in graph.deadlocks]
+
+
+def deadlock_witnesses(
+    net: PetriNet, graph: ReachabilityGraph[Marking], *, limit: int | None = None
+) -> list[DeadlockWitness]:
+    """Traces to every recorded deadlock (up to ``limit``)."""
+    witnesses: list[DeadlockWitness] = []
+    for marking in all_deadlocks(graph):
+        path = graph.path_to(marking)
+        if path is None:
+            continue
+        witnesses.append(
+            DeadlockWitness(
+                marking=net.marking_names(marking),
+                trace=tuple(label for label, _ in path),
+            )
+        )
+        if limit is not None and len(witnesses) >= limit:
+            break
+    return witnesses

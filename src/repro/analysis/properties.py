@@ -1,0 +1,185 @@
+"""Behavioural property checks built on reachability.
+
+Implements the Petri-net properties the paper cares about (Section 2.1):
+
+* **safeness** — no reachable marking puts two tokens in a place.  Our
+  firing rule surfaces violations as :class:`UnsafeNetError`; the checker
+  converts that into a verdict with a trace;
+* **liveness** (L1, per-transition quasi-liveness) — every transition can
+  fire in at least one reachable marking;
+* **deadlock freedom** — no reachable marking disables every transition;
+* **safety properties** reduced to deadlock/reachability checks: the paper
+  notes "the verification of a safety property can always be reduced to a
+  check for deadlock" [Godefroid-Wolper]; we expose the direct form — a
+  marking predicate whose violation is searched for — plus place invariants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.analysis.graph import ReachabilityGraph
+from repro.analysis.reachability import explore
+from repro.analysis.stats import DeadlockWitness
+from repro.net.exceptions import UnsafeNetError
+from repro.net.petrinet import Marking, PetriNet
+
+__all__ = [
+    "PropertyReport",
+    "check_safeness",
+    "dead_transitions",
+    "is_quasi_live",
+    "check_invariant",
+    "find_violation",
+    "mutual_exclusion_holds",
+]
+
+
+@dataclass(frozen=True)
+class PropertyReport:
+    """Outcome of a property check with an optional counterexample."""
+
+    holds: bool
+    description: str
+    witness: DeadlockWitness | None = None
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def check_safeness(net: PetriNet, *, max_states: int | None = None) -> PropertyReport:
+    """Verify 1-safety by exhaustive exploration."""
+    seen: set[Marking] = {net.initial_marking}
+    stack: list[tuple[Marking, tuple[str, ...]]] = [(net.initial_marking, ())]
+    while stack:
+        marking, trace = stack.pop()
+        for t in net.enabled_transitions(marking):
+            try:
+                successor = net.fire(t, marking)
+            except UnsafeNetError as violation:
+                return PropertyReport(
+                    holds=False,
+                    description=(
+                        f"unsafe: firing {violation.transition!r} doubles "
+                        f"the token in {violation.place!r}"
+                    ),
+                    witness=DeadlockWitness(
+                        marking=net.marking_names(marking),
+                        trace=trace + (net.transitions[t],),
+                    ),
+                )
+            if successor not in seen:
+                seen.add(successor)
+                if max_states is not None and len(seen) > max_states:
+                    return PropertyReport(
+                        holds=True,
+                        description=(
+                            f"no violation within {max_states} states "
+                            "(bounded check)"
+                        ),
+                    )
+                stack.append((successor, trace + (net.transitions[t],)))
+    return PropertyReport(holds=True, description="net is 1-safe")
+
+
+def dead_transitions(
+    net: PetriNet,
+    graph: ReachabilityGraph[Marking] | None = None,
+    *,
+    max_states: int | None = None,
+) -> list[str]:
+    """Transitions that never fire in any reachable marking (not L1-live)."""
+    if graph is None:
+        graph = explore(net, max_states=max_states)
+    fired: set[str] = set()
+    for _, label, _ in graph.edges():
+        fired.add(label)
+    return [t for t in net.transitions if t not in fired]
+
+
+def is_quasi_live(net: PetriNet, *, max_states: int | None = None) -> PropertyReport:
+    """Every transition fires somewhere (L1-liveness of the whole net)."""
+    dead = dead_transitions(net, max_states=max_states)
+    if dead:
+        return PropertyReport(
+            holds=False,
+            description="dead transitions: " + ", ".join(sorted(dead)),
+        )
+    return PropertyReport(holds=True, description="all transitions quasi-live")
+
+
+def check_invariant(
+    net: PetriNet,
+    predicate: Callable[[frozenset[str]], bool],
+    *,
+    description: str = "invariant",
+    max_states: int | None = None,
+) -> PropertyReport:
+    """Check that ``predicate`` holds on every reachable marking.
+
+    The predicate receives the marking as a frozenset of *place names*.
+    A falsifying marking is returned with its shortest trace.
+    """
+    graph = explore(net, max_states=max_states)
+    for marking in graph.states():
+        if not predicate(net.marking_names(marking)):
+            path = graph.path_to(marking) or []
+            return PropertyReport(
+                holds=False,
+                description=f"{description} violated",
+                witness=DeadlockWitness(
+                    marking=net.marking_names(marking),
+                    trace=tuple(label for label, _ in path),
+                ),
+            )
+    return PropertyReport(holds=True, description=f"{description} holds")
+
+
+def find_violation(
+    net: PetriNet,
+    bad: Callable[[frozenset[str]], bool],
+    *,
+    max_states: int | None = None,
+) -> DeadlockWitness | None:
+    """Search for a reachable marking satisfying a *bad-state* predicate.
+
+    This is the reachability form of safety checking; returns a trace to the
+    first bad marking found (DFS order) or ``None``.
+    """
+    seen: set[Marking] = {net.initial_marking}
+    stack: list[tuple[Marking, tuple[str, ...]]] = [(net.initial_marking, ())]
+    while stack:
+        marking, trace = stack.pop()
+        if bad(net.marking_names(marking)):
+            return DeadlockWitness(
+                marking=net.marking_names(marking), trace=trace
+            )
+        for t in net.enabled_transitions(marking):
+            successor = net.fire(t, marking)
+            if successor not in seen:
+                seen.add(successor)
+                if max_states is not None and len(seen) > max_states:
+                    return None
+                stack.append((successor, trace + (net.transitions[t],)))
+    return None
+
+
+def mutual_exclusion_holds(
+    net: PetriNet,
+    critical_places: Iterable[str],
+    *,
+    max_states: int | None = None,
+) -> PropertyReport:
+    """No reachable marking marks two of the given places simultaneously."""
+    critical = frozenset(critical_places)
+
+    def ok(marking_names: frozenset[str]) -> bool:
+        return len(marking_names & critical) <= 1
+
+    return check_invariant(
+        net,
+        ok,
+        description=f"mutual exclusion over {sorted(critical)}",
+        max_states=max_states,
+    )

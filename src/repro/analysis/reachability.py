@@ -1,0 +1,145 @@
+"""Full (conventional) reachability analysis — paper Section 2.2.
+
+Explicit enumeration of every reachable marking under the interleaving
+semantics.  This is the "States" column of Table 1 and the baseline against
+which every reduction is validated: the property tests check that the
+stubborn-set explorer preserves deadlocks, that the symbolic engine computes
+exactly this state set, and that GPO's scenario mapping stays inside it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.analysis.graph import ReachabilityGraph
+from repro.analysis.stats import (
+    AnalysisResult,
+    DeadlockWitness,
+    ExplorationLimitReached,
+    stopwatch,
+)
+from repro.net.petrinet import Marking, PetriNet
+
+__all__ = ["explore", "analyze", "reachable_markings"]
+
+
+def explore(
+    net: PetriNet,
+    *,
+    max_states: int | None = None,
+    stop_at_first_deadlock: bool = False,
+) -> ReachabilityGraph[Marking]:
+    """Build the full reachability graph RG(N) by breadth-first search.
+
+    Raises :class:`ExplorationLimitReached` when ``max_states`` is exceeded;
+    with ``stop_at_first_deadlock`` the search returns as soon as one
+    deadlocked marking is recorded (useful for big deadlocking instances).
+    """
+    graph: ReachabilityGraph[Marking] = ReachabilityGraph(net.initial_marking)
+    queue: deque[Marking] = deque([net.initial_marking])
+    while queue:
+        marking = queue.popleft()
+        enabled = net.enabled_transitions(marking)
+        if not enabled:
+            graph.mark_deadlock(marking)
+            if stop_at_first_deadlock:
+                return graph
+            continue
+        for t in enabled:
+            successor = net.fire(t, marking)
+            is_new = successor not in graph
+            graph.add_edge(marking, net.transitions[t], successor)
+            if is_new:
+                if max_states is not None and graph.num_states > max_states:
+                    raise ExplorationLimitReached(max_states)
+                queue.append(successor)
+    return graph
+
+
+def reachable_markings(
+    net: PetriNet, *, max_states: int | None = None
+) -> set[Marking]:
+    """The set of reachable markings (no edges), cheaper than :func:`explore`."""
+    seen: set[Marking] = {net.initial_marking}
+    frontier: list[Marking] = [net.initial_marking]
+    while frontier:
+        marking = frontier.pop()
+        for t in net.enabled_transitions(marking):
+            successor = net.fire(t, marking)
+            if successor not in seen:
+                seen.add(successor)
+                if max_states is not None and len(seen) > max_states:
+                    raise ExplorationLimitReached(max_states)
+                frontier.append(successor)
+    return seen
+
+
+def analyze(
+    net: PetriNet,
+    *,
+    max_states: int | None = None,
+    want_witness: bool = True,
+) -> AnalysisResult:
+    """Run full reachability analysis and package an :class:`AnalysisResult`."""
+    with stopwatch() as elapsed:
+        exhaustive = True
+        try:
+            graph = explore(net, max_states=max_states)
+        except ExplorationLimitReached:
+            # Re-run bounded, keeping what we saw: report non-exhaustive.
+            graph = _bounded_graph(net, max_states)  # type: ignore[arg-type]
+            exhaustive = False
+    witness = None
+    if graph.deadlocks and want_witness:
+        witness = extract_witness(net, graph)
+    return AnalysisResult(
+        analyzer="full",
+        net_name=net.name,
+        states=graph.num_states,
+        edges=graph.num_edges,
+        deadlock=bool(graph.deadlocks),
+        time_seconds=elapsed[0],
+        witness=witness,
+        exhaustive=exhaustive,
+    )
+
+
+def _bounded_graph(net: PetriNet, max_states: int) -> ReachabilityGraph[Marking]:
+    """BFS that stops (instead of raising) at the state budget."""
+    graph: ReachabilityGraph[Marking] = ReachabilityGraph(net.initial_marking)
+    queue: deque[Marking] = deque([net.initial_marking])
+    while queue and graph.num_states < max_states:
+        marking = queue.popleft()
+        enabled = net.enabled_transitions(marking)
+        if not enabled:
+            graph.mark_deadlock(marking)
+            continue
+        for t in enabled:
+            successor = net.fire(t, marking)
+            is_new = successor not in graph
+            if is_new and graph.num_states >= max_states:
+                continue
+            graph.add_edge(marking, net.transitions[t], successor)
+            if is_new:
+                queue.append(successor)
+    return graph
+
+
+def extract_witness(
+    net: PetriNet, graph: ReachabilityGraph[Marking]
+) -> DeadlockWitness | None:
+    """Shortest trace to some deadlock state in an explored graph."""
+    best: tuple[int, Marking, list[tuple[str, Marking]]] | None = None
+    for marking in graph.deadlocks:
+        path = graph.path_to(marking)
+        if path is None:
+            continue
+        if best is None or len(path) < best[0]:
+            best = (len(path), marking, path)
+    if best is None:
+        return None
+    _, marking, path = best
+    return DeadlockWitness(
+        marking=net.marking_names(marking),
+        trace=tuple(label for label, _ in path),
+    )

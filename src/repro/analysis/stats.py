@@ -1,0 +1,112 @@
+"""Result records shared by all analyzers.
+
+Every explorer (full, stubborn, symbolic, GPO) returns an
+:class:`AnalysisResult` so the harness can tabulate them uniformly: the
+state/edge counts, deadlock verdict with an optional witness trace, wall
+time, and analyzer-specific extras (peak BDD nodes for the symbolic engine,
+scenario counts for GPO).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = [
+    "AnalysisResult",
+    "DeadlockWitness",
+    "ExplorationLimitReached",
+    "TimeLimitReached",
+    "stopwatch",
+]
+
+
+class ExplorationLimitReached(RuntimeError):
+    """Raised when an explorer exceeds its configured state budget."""
+
+    def __init__(self, limit: int) -> None:
+        super().__init__(f"state limit of {limit} states exceeded")
+        self.limit = limit
+
+
+class TimeLimitReached(RuntimeError):
+    """Raised when an analyzer exceeds its configured wall-time budget."""
+
+    def __init__(self, seconds: float) -> None:
+        super().__init__(f"time limit of {seconds:.1f}s exceeded")
+        self.seconds = seconds
+
+
+@dataclass(frozen=True)
+class DeadlockWitness:
+    """A concrete witness marking plus a firing trace reaching it.
+
+    ``marking`` holds place *names*; ``trace`` holds transition names from
+    the initial marking.  For GPN analysis the trace steps may be sets of
+    simultaneously fired transitions rendered as ``{a,b}``.  ``label``
+    names what the marking witnesses (a deadlock by default; the safety
+    checker reuses the type for bad-marking witnesses).
+    """
+
+    marking: frozenset[str]
+    trace: tuple[str, ...]
+    label: str = "deadlock"
+
+    def __str__(self) -> str:
+        marking = "{" + ", ".join(sorted(self.marking)) + "}"
+        if not self.trace:
+            return f"{self.label} at initial marking {marking}"
+        return f"{self.label} at {marking} via " + " ; ".join(self.trace)
+
+
+@dataclass
+class AnalysisResult:
+    """Uniform outcome of a verification run."""
+
+    analyzer: str
+    net_name: str
+    states: int
+    edges: int
+    deadlock: bool
+    time_seconds: float
+    witness: DeadlockWitness | None = None
+    exhaustive: bool = True
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def verdict(self) -> str:
+        """Short human-readable verdict string."""
+        if self.deadlock:
+            return "DEADLOCK"
+        return "deadlock-free" if self.exhaustive else "no deadlock found (bounded)"
+
+    def describe(self) -> str:
+        """One-line summary used by the CLI."""
+        parts = [
+            f"{self.analyzer}: {self.verdict}",
+            f"states={self.states}",
+            f"edges={self.edges}",
+            f"time={self.time_seconds:.3f}s",
+        ]
+        for key, value in sorted(self.extras.items()):
+            parts.append(f"{key}={value}")
+        return "  ".join(parts)
+
+
+@contextmanager
+def stopwatch() -> Iterator[list[float]]:
+    """Context manager measuring wall time into a single-element list.
+
+    >>> with stopwatch() as elapsed:
+    ...     pass
+    >>> elapsed[0] >= 0.0
+    True
+    """
+    box = [0.0]
+    start = time.perf_counter()
+    try:
+        yield box
+    finally:
+        box[0] = time.perf_counter() - start

@@ -1,0 +1,139 @@
+"""A tiny Boolean-expression front-end over the BDD engine.
+
+Used by tests (building reference functions readably) and by examples that
+want to write constraints like ``(a & ~b) | c`` without touching manager
+node ids.  Expressions are immutable trees compiled with
+:meth:`BoolExpr.to_bdd`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bdd.manager import ONE, ZERO, BddManager
+
+__all__ = ["BoolExpr", "Var", "Const", "TRUE", "FALSE"]
+
+
+@dataclass(frozen=True)
+class BoolExpr:
+    """Base class; use operators ``& | ^ ~`` and ``>>`` (implies)."""
+
+    def __and__(self, other: "BoolExpr") -> "BoolExpr":
+        return _Binary("and", self, other)
+
+    def __or__(self, other: "BoolExpr") -> "BoolExpr":
+        return _Binary("or", self, other)
+
+    def __xor__(self, other: "BoolExpr") -> "BoolExpr":
+        return _Binary("xor", self, other)
+
+    def __rshift__(self, other: "BoolExpr") -> "BoolExpr":
+        return _Binary("implies", self, other)
+
+    def __invert__(self) -> "BoolExpr":
+        return _Not(self)
+
+    def iff(self, other: "BoolExpr") -> "BoolExpr":
+        """Logical equivalence."""
+        return _Binary("iff", self, other)
+
+    # ------------------------------------------------------------------
+    def to_bdd(self, mgr: BddManager, levels: dict[str, int]) -> int:
+        """Compile to a BDD node; ``levels`` maps variable names to levels."""
+        raise NotImplementedError
+
+    def evaluate(self, assignment: dict[str, bool]) -> bool:
+        """Direct evaluation (the reference the BDD tests compare against)."""
+        raise NotImplementedError
+
+    def variables(self) -> frozenset[str]:
+        """All variable names in the expression."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Var(BoolExpr):
+    """A named Boolean variable."""
+
+    name: str
+
+    def to_bdd(self, mgr: BddManager, levels: dict[str, int]) -> int:
+        return mgr.var(levels[self.name])
+
+    def evaluate(self, assignment: dict[str, bool]) -> bool:
+        return assignment[self.name]
+
+    def variables(self) -> frozenset[str]:
+        return frozenset([self.name])
+
+
+@dataclass(frozen=True)
+class Const(BoolExpr):
+    """A Boolean constant."""
+
+    value: bool
+
+    def to_bdd(self, mgr: BddManager, levels: dict[str, int]) -> int:
+        return ONE if self.value else ZERO
+
+    def evaluate(self, assignment: dict[str, bool]) -> bool:
+        return self.value
+
+    def variables(self) -> frozenset[str]:
+        return frozenset()
+
+
+TRUE = Const(True)
+FALSE = Const(False)
+
+
+@dataclass(frozen=True)
+class _Not(BoolExpr):
+    operand: BoolExpr
+
+    def to_bdd(self, mgr: BddManager, levels: dict[str, int]) -> int:
+        return mgr.not_(self.operand.to_bdd(mgr, levels))
+
+    def evaluate(self, assignment: dict[str, bool]) -> bool:
+        return not self.operand.evaluate(assignment)
+
+    def variables(self) -> frozenset[str]:
+        return self.operand.variables()
+
+
+@dataclass(frozen=True)
+class _Binary(BoolExpr):
+    op: str
+    left: BoolExpr
+    right: BoolExpr
+
+    def to_bdd(self, mgr: BddManager, levels: dict[str, int]) -> int:
+        lhs = self.left.to_bdd(mgr, levels)
+        rhs = self.right.to_bdd(mgr, levels)
+        method = {
+            "and": mgr.and_,
+            "or": mgr.or_,
+            "xor": mgr.xor,
+            "implies": mgr.implies,
+            "iff": mgr.iff,
+        }[self.op]
+        return method(lhs, rhs)
+
+    def evaluate(self, assignment: dict[str, bool]) -> bool:
+        lhs = self.left.evaluate(assignment)
+        rhs = self.right.evaluate(assignment)
+        if self.op == "and":
+            return lhs and rhs
+        if self.op == "or":
+            return lhs or rhs
+        if self.op == "xor":
+            return lhs != rhs
+        if self.op == "implies":
+            return (not lhs) or rhs
+        if self.op == "iff":
+            return lhs == rhs
+        raise AssertionError(f"unknown operator {self.op}")
+
+    def variables(self) -> frozenset[str]:
+        return self.left.variables() | self.right.variables()

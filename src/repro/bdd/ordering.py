@@ -1,0 +1,92 @@
+"""Static variable-ordering heuristics.
+
+BDD sizes are notoriously order-sensitive (the paper's §2.4 points at
+exactly this weakness of symbolic methods).  We provide:
+
+* :func:`interleaved_order` — the standard current/next interleaving for
+  transition relations;
+* :func:`force_order` — the FORCE heuristic (Aloul et al.): iterative
+  barycenter placement over the hypergraph whose hyperedges are the groups
+  of variables that appear together (for nets: the environment of each
+  transition).  Cheap, order-of-magnitude effective on linear structures.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["interleaved_order", "force_order"]
+
+
+def interleaved_order(num_state_vars: int) -> tuple[dict[int, int], dict[int, int]]:
+    """Interleave current/next copies of ``num_state_vars`` variables.
+
+    Returns ``(current_level, next_level)`` maps: state variable ``i`` gets
+    current level ``2*i`` and next level ``2*i + 1``.  Keeping each
+    current/next pair adjacent keeps the transition relation small.
+    """
+    current = {i: 2 * i for i in range(num_state_vars)}
+    nxt = {i: 2 * i + 1 for i in range(num_state_vars)}
+    return current, nxt
+
+
+def force_order(
+    num_vars: int,
+    hyperedges: Sequence[Sequence[int]],
+    *,
+    iterations: int = 20,
+) -> list[int]:
+    """FORCE heuristic: order variables to minimize total hyperedge span.
+
+    Each hyperedge is a group of variable indices that interact.  The
+    algorithm alternates computing hyperedge centers of gravity and
+    re-sorting variables by the mean center of their edges, converging in a
+    few iterations.  Returns a permutation ``order`` where ``order[k]`` is
+    the variable placed at position ``k``.
+
+    >>> force_order(4, [[0, 3], [1, 2]])  # doctest: +SKIP
+    [0, 3, 1, 2]
+    """
+    if num_vars <= 0:
+        return []
+    position = {v: float(v) for v in range(num_vars)}
+    edges = [list(edge) for edge in hyperedges if edge]
+
+    edges_of: list[list[int]] = [[] for _ in range(num_vars)]
+    for index, edge in enumerate(edges):
+        for v in edge:
+            if not 0 <= v < num_vars:
+                raise ValueError(f"hyperedge variable {v} out of range")
+            edges_of[v].append(index)
+
+    best_order = sorted(range(num_vars))
+    best_cost = _span_cost(edges, {v: i for i, v in enumerate(best_order)})
+
+    for _ in range(iterations):
+        centers = [
+            sum(position[v] for v in edge) / len(edge) for edge in edges
+        ]
+        new_score: dict[int, float] = {}
+        for v in range(num_vars):
+            if edges_of[v]:
+                new_score[v] = sum(centers[e] for e in edges_of[v]) / len(
+                    edges_of[v]
+                )
+            else:
+                new_score[v] = position[v]
+        order = sorted(range(num_vars), key=lambda v: (new_score[v], v))
+        position = {v: float(i) for i, v in enumerate(order)}
+        cost = _span_cost(edges, {v: int(position[v]) for v in order})
+        if cost < best_cost:
+            best_cost = cost
+            best_order = order
+    return best_order
+
+
+def _span_cost(edges: Sequence[Sequence[int]], pos: dict[int, int]) -> int:
+    """Sum of hyperedge spans under a placement (lower is better)."""
+    total = 0
+    for edge in edges:
+        placed = [pos[v] for v in edge]
+        total += max(placed) - min(placed)
+    return total

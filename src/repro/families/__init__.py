@@ -1,0 +1,18 @@
+"""Families of transition sets: the GPN marking representation.
+
+Provides the abstract :class:`SetFamily` interface with explicit and
+BDD-backed implementations; see :mod:`repro.families.base`.
+"""
+
+from repro.families.base import FamilyContext, SetFamily
+from repro.families.bddfam import BddContext, BddFamily
+from repro.families.explicit import ExplicitContext, ExplicitFamily
+
+__all__ = [
+    "SetFamily",
+    "FamilyContext",
+    "ExplicitFamily",
+    "ExplicitContext",
+    "BddFamily",
+    "BddContext",
+]

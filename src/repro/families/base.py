@@ -1,0 +1,145 @@
+"""Abstract interface for families of transition sets.
+
+A GPN state (paper Def. 3.1) maps every place to an element of ``2^(2^T)``
+— a *family* of transition sets — and carries the family ``r`` of valid
+transition sets.  These families are exponentially large in the worst case
+(``r0`` is the set of maximal independent sets of the conflict graph), so
+the GPN semantics is written against this small abstract interface with two
+interchangeable backends:
+
+* :class:`repro.families.explicit.ExplicitContext` — plain frozensets;
+  exact and readable, used in unit tests and for tiny nets;
+* :class:`repro.families.bddfam.BddContext` — characteristic Boolean
+  functions on the :mod:`repro.bdd` engine; scales to the Table 1 models.
+
+Families are immutable value objects: hashable, comparable within one
+context, with set algebra plus the one GPN-specific operation
+``filter_contains(t)`` = ``{v ∈ F | t ∈ v}`` (Def. 3.5's multiple-enabling
+filter).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator, Sequence
+
+__all__ = ["SetFamily", "FamilyContext"]
+
+
+class SetFamily(ABC):
+    """An immutable family of subsets of the transition universe."""
+
+    __slots__ = ()
+
+    # -- algebra --------------------------------------------------------
+    @abstractmethod
+    def intersect(self, other: "SetFamily") -> "SetFamily":
+        """Family intersection ``self ∩ other``."""
+
+    @abstractmethod
+    def union(self, other: "SetFamily") -> "SetFamily":
+        """Family union ``self ∪ other``."""
+
+    @abstractmethod
+    def difference(self, other: "SetFamily") -> "SetFamily":
+        """Family difference ``self \\ other``."""
+
+    @abstractmethod
+    def filter_contains(self, transition: int) -> "SetFamily":
+        """``{v ∈ self | transition ∈ v}`` (Def. 3.5)."""
+
+    # -- queries --------------------------------------------------------
+    @abstractmethod
+    def is_empty(self) -> bool:
+        """True when the family has no member sets."""
+
+    @abstractmethod
+    def count(self) -> int:
+        """Number of member sets."""
+
+    @abstractmethod
+    def contains(self, transition_set: frozenset[int]) -> bool:
+        """Membership test for one transition set."""
+
+    @abstractmethod
+    def iter_sets(self, *, limit: int | None = None) -> Iterator[frozenset[int]]:
+        """Iterate member sets (order unspecified but deterministic)."""
+
+    @abstractmethod
+    def any_set(self) -> frozenset[int] | None:
+        """One member set, or ``None`` when empty."""
+
+    @abstractmethod
+    def is_subset(self, other: "SetFamily") -> bool:
+        """True when every member of ``self`` is in ``other``."""
+
+    def as_frozensets(self, *, limit: int | None = None) -> frozenset[frozenset[int]]:
+        """Materialize (a prefix of) the family — for tests and debugging."""
+        return frozenset(self.iter_sets(limit=limit))
+
+    # Subclasses must implement value equality and hashing.
+    @abstractmethod
+    def __eq__(self, other: object) -> bool: ...
+
+    @abstractmethod
+    def __hash__(self) -> int: ...
+
+    def __bool__(self) -> bool:
+        return not self.is_empty()
+
+
+class FamilyContext(ABC):
+    """Factory for families over a fixed transition universe ``0..n-1``.
+
+    One context is created per analysis run; families from different
+    contexts must not be mixed (the BDD backend shares a manager through
+    its context).
+    """
+
+    def __init__(self, num_transitions: int) -> None:
+        self.num_transitions = num_transitions
+
+    @abstractmethod
+    def empty(self) -> SetFamily:
+        """The empty family ``{}``."""
+
+    @abstractmethod
+    def singleton(self, transition_set: frozenset[int]) -> SetFamily:
+        """The family ``{transition_set}``."""
+
+    @abstractmethod
+    def from_sets(self, sets: Iterable[frozenset[int]]) -> SetFamily:
+        """A family with exactly the given member sets."""
+
+    @abstractmethod
+    def maximal_independent_sets(
+        self, adjacency: Sequence[set[int]] | Sequence[frozenset[int]]
+    ) -> SetFamily:
+        """All maximal independent sets of the given conflict graph.
+
+        This is the paper's ``r0`` (Section 3.3, in the maximal reading its
+        worked examples use): every valid transition set resolves each
+        conflict, and no conflicting pair appears together.
+        """
+
+    def union_all(self, families: Iterable[SetFamily]) -> SetFamily:
+        """Union of many families (∅ for no operands)."""
+        result = self.empty()
+        for family in families:
+            result = result.union(family)
+        return result
+
+    def intersect_all(self, families: Sequence[SetFamily]) -> SetFamily:
+        """Intersection of one-or-more families.
+
+        An empty operand list would be the universal family; GPN semantics
+        never needs it (every transition has input places), so it raises.
+        """
+        if not families:
+            raise ValueError("intersect_all needs at least one family")
+        result = families[0]
+        for family in families[1:]:
+            if result.is_empty():
+                break
+            result = result.intersect(family)
+        return result

@@ -1,0 +1,146 @@
+"""Explicit (frozenset-of-frozensets) family backend.
+
+Exact and transparent; complexity is linear in the number of member sets,
+which is exponential in the number of conflict clusters — use only for
+small nets, unit tests, and cross-validation of the BDD backend.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.families.base import FamilyContext, SetFamily
+
+__all__ = ["ExplicitFamily", "ExplicitContext"]
+
+
+class ExplicitFamily(SetFamily):
+    """A family stored as a frozenset of frozensets of transition ids."""
+
+    __slots__ = ("sets",)
+
+    def __init__(self, sets: frozenset[frozenset[int]]) -> None:
+        self.sets = sets
+
+    # -- algebra --------------------------------------------------------
+    def intersect(self, other: SetFamily) -> "ExplicitFamily":
+        assert isinstance(other, ExplicitFamily)
+        return ExplicitFamily(self.sets & other.sets)
+
+    def union(self, other: SetFamily) -> "ExplicitFamily":
+        assert isinstance(other, ExplicitFamily)
+        return ExplicitFamily(self.sets | other.sets)
+
+    def difference(self, other: SetFamily) -> "ExplicitFamily":
+        assert isinstance(other, ExplicitFamily)
+        return ExplicitFamily(self.sets - other.sets)
+
+    def filter_contains(self, transition: int) -> "ExplicitFamily":
+        return ExplicitFamily(
+            frozenset(v for v in self.sets if transition in v)
+        )
+
+    # -- queries --------------------------------------------------------
+    def is_empty(self) -> bool:
+        return not self.sets
+
+    def count(self) -> int:
+        return len(self.sets)
+
+    def contains(self, transition_set: frozenset[int]) -> bool:
+        return transition_set in self.sets
+
+    def iter_sets(self, *, limit: int | None = None) -> Iterator[frozenset[int]]:
+        ordered = sorted(self.sets, key=sorted)
+        if limit is not None:
+            ordered = ordered[:limit]
+        return iter(ordered)
+
+    def any_set(self) -> frozenset[int] | None:
+        if not self.sets:
+            return None
+        return min(self.sets, key=sorted)
+
+    def is_subset(self, other: SetFamily) -> bool:
+        assert isinstance(other, ExplicitFamily)
+        return self.sets <= other.sets
+
+    # -- value semantics -------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExplicitFamily):
+            return NotImplemented
+        return self.sets == other.sets
+
+    def __hash__(self) -> int:
+        return hash(self.sets)
+
+    def __repr__(self) -> str:
+        rendered = sorted(tuple(sorted(v)) for v in self.sets)
+        return f"ExplicitFamily({rendered})"
+
+
+class ExplicitContext(FamilyContext):
+    """Factory for :class:`ExplicitFamily` values."""
+
+    def empty(self) -> ExplicitFamily:
+        return ExplicitFamily(frozenset())
+
+    def singleton(self, transition_set: frozenset[int]) -> ExplicitFamily:
+        self._check(transition_set)
+        return ExplicitFamily(frozenset([frozenset(transition_set)]))
+
+    def from_sets(self, sets: Iterable[frozenset[int]]) -> ExplicitFamily:
+        materialized = frozenset(frozenset(v) for v in sets)
+        for v in materialized:
+            self._check(v)
+        return ExplicitFamily(materialized)
+
+    def _check(self, transition_set: Iterable[int]) -> None:
+        for t in transition_set:
+            if not 0 <= t < self.num_transitions:
+                raise ValueError(
+                    f"transition id {t} outside universe of size "
+                    f"{self.num_transitions}"
+                )
+
+    def maximal_independent_sets(
+        self, adjacency: Sequence[set[int]] | Sequence[frozenset[int]]
+    ) -> ExplicitFamily:
+        """Enumerate all maximal independent sets.
+
+        Bron–Kerbosch with pivoting on the *complement* view: maximal
+        independent sets of G are maximal cliques of the complement of G.
+        We run the recursion directly with independence tests against
+        ``adjacency`` to avoid materializing the complement.
+        """
+        n = self.num_transitions
+        if len(adjacency) != n:
+            raise ValueError("adjacency size must match the universe")
+        results: list[frozenset[int]] = []
+        # candidates/excluded partition vertices still considered.
+        def expand(current: set[int], candidates: set[int], excluded: set[int]) -> None:
+            if not candidates and not excluded:
+                results.append(frozenset(current))
+                return
+            # Pivot: vertex with most candidate non-neighbors pruned.
+            pivot_pool = candidates | excluded
+            pivot = max(
+                pivot_pool,
+                key=lambda v: len(candidates - adjacency[v] - {v}),
+            )
+            # Branch only on candidates NOT non-adjacent to the pivot,
+            # i.e. on pivot's neighbors plus the pivot itself.
+            branch = candidates & (set(adjacency[pivot]) | {pivot})
+            for v in sorted(branch):
+                non_neighbors = {
+                    u for u in candidates if u != v and u not in adjacency[v]
+                }
+                excluded_nn = {
+                    u for u in excluded if u != v and u not in adjacency[v]
+                }
+                expand(current | {v}, non_neighbors, excluded_nn)
+                candidates = candidates - {v}
+                excluded = excluded | {v}
+
+        expand(set(), set(range(n)), set())
+        return ExplicitFamily(frozenset(results))

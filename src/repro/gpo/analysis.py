@@ -1,0 +1,360 @@
+"""The generalized partial-order reachability analysis (paper §3.3).
+
+Explores GPN states with the paper's three-regime priority:
+
+1. report a *deadlock possibility* when some valid scenario enables no
+   transition (``⋃_t s_enabled(t,s) ≠ r``) and stop that branch (the
+   paper's pseudocode; configurable);
+2. fire the union of all *candidate MCSs* simultaneously with the multiple
+   firing rule — this is the generalization that collapses concurrently
+   marked conflict places into one successor state;
+3. otherwise fall back to single firing with classical partial-order
+   anticipation (branch over one fully single-enabled MCS), or, failing
+   that, over every single-enabled transition.
+
+The explored graph is tiny for the paper's benchmarks (3 states for NSDP
+regardless of size, 2 for RW) while each state covers exponentially many
+classical markings through the Def. 3.4 mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+from repro.analysis.graph import ReachabilityGraph
+from repro.analysis.stats import (
+    AnalysisResult,
+    DeadlockWitness,
+    ExplorationLimitReached,
+    stopwatch,
+)
+from repro.families.base import SetFamily
+from repro.gpo.candidates import candidate_mcs, single_enabled_mcs
+from repro.gpo.gpn import Backend, Gpn, GpnState
+from repro.gpo.mapping import scenario_marking
+from repro.gpo.semantics import (
+    dead_scenarios,
+    enabled_families,
+    multiple_fire,
+    single_fire,
+)
+from repro.net.petrinet import PetriNet
+
+__all__ = ["GpoOptions", "GpoResult", "explore_gpo", "analyze"]
+
+OnDeadlock = Literal["stop-branch", "stop-all", "continue"]
+
+
+@dataclass(frozen=True)
+class GpoOptions:
+    """Tuning knobs for the GPO explorer.
+
+    ``backend`` selects the scenario-family representation; ``on_deadlock``
+    controls what happens when a state fails the §3.3 deadlock check
+    (``"stop-branch"`` reproduces the paper's pseudocode, ``"continue"``
+    keeps exploring the surviving scenarios, ``"stop-all"`` aborts the
+    whole search at the first hit); ``validate`` re-checks the candidate
+    preservation condition semantically after every multiple firing (slow;
+    used by the test-suite).
+    """
+
+    backend: Backend = "bdd"
+    on_deadlock: OnDeadlock = "stop-branch"
+    max_states: int | None = None
+    validate: bool = False
+
+
+@dataclass
+class GpoResult:
+    """Raw outcome of a GPO exploration."""
+
+    gpn: Gpn
+    graph: ReachabilityGraph[GpnState]
+    deadlock_states: list[tuple[GpnState, SetFamily]] = field(
+        default_factory=list
+    )
+
+    @property
+    def has_deadlock(self) -> bool:
+        """True when any state failed the deadlock check."""
+        return bool(self.deadlock_states)
+
+    def witnesses(self, *, limit: int | None = 1) -> list[DeadlockWitness]:
+        """Concrete deadlocked classical markings with GPN-level traces.
+
+        Each witness decodes one dead scenario of a failing state into the
+        classical marking it maps to (Def. 3.4).  Trace steps are the fired
+        transition labels along the GPN path; multiple firings render as
+        ``{a,b,...}``.
+        """
+        out: list[DeadlockWitness] = []
+        for state, dead in self.deadlock_states:
+            scenario = dead.any_set()
+            if scenario is None:
+                continue
+            marking = scenario_marking(self.gpn, state, scenario)
+            path = self.graph.path_to(state) or []
+            out.append(
+                DeadlockWitness(
+                    marking=self.gpn.net.marking_names(marking),
+                    trace=tuple(label for label, _ in path),
+                )
+            )
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+
+def explore_gpo(
+    net: PetriNet, options: GpoOptions | None = None
+) -> GpoResult:
+    """Run the §3.3 algorithm to completion (or to the first deadlock)."""
+    if options is None:
+        options = GpoOptions()
+    gpn = Gpn(net, backend=options.backend)
+    initial = gpn.initial_state()
+    graph: ReachabilityGraph[GpnState] = ReachabilityGraph(initial)
+    result = GpoResult(gpn, graph)
+    # Depth-first exploration with an explicit stack.  ``None`` entries are
+    # exit markers maintaining ``on_path`` (the current DFS path), which
+    # lets the anti-ignoring proviso fire only on genuine back-edges:
+    # every cycle of the final graph contains at least one.
+    stack: list[GpnState | None] = [initial]
+    path: list[GpnState] = []
+    on_path: set[GpnState] = set()
+
+    while stack:
+        popped = stack.pop()
+        if popped is None:
+            on_path.discard(path.pop())
+            continue
+        state = popped
+        stack.append(None)
+        path.append(state)
+        on_path.add(state)
+        single, multiple = enabled_families(gpn, state)
+        dead = dead_scenarios(gpn, state, single)
+        if not dead.is_empty():
+            graph.mark_deadlock(state)
+            result.deadlock_states.append((state, dead))
+            if options.on_deadlock == "stop-all":
+                return result
+            if options.on_deadlock == "stop-branch":
+                continue
+
+        candidates = _viable_candidates(
+            gpn, state, candidate_mcs(gpn, multiple), single, multiple
+        )
+        if candidates:
+            fired, successor = candidates
+            if options.validate:
+                _validate_candidate_preservation(
+                    gpn, state, fired, successor, single, multiple
+                )
+            _push(
+                graph, stack, state, gpn.set_label(fired), successor, options
+            )
+
+            # Footnote 2's "not postponed forever" check (the ignoring
+            # problem): when the multiple firing closes a cycle of the
+            # current DFS path (a back-edge), postponed single-enabled
+            # transitions might never fire along that cycle; expand them
+            # here so every cycle has a state where they proceed.
+            if successor in on_path:
+                for t in sorted(single):
+                    if t in fired:
+                        continue
+                    postponed = single_fire(gpn, state, t)
+                    _push(
+                        graph,
+                        stack,
+                        state,
+                        gpn.transition_label(t),
+                        postponed,
+                        options,
+                    )
+            continue
+
+        component = single_enabled_mcs(gpn, single)
+        targets = sorted(component) if component is not None else sorted(single)
+        back_edge = False
+        for t in targets:
+            successor = single_fire(gpn, state, t)
+            _push(
+                graph, stack, state, gpn.transition_label(t), successor, options
+            )
+            back_edge = back_edge or successor in on_path
+        if back_edge and component is not None:
+            # Same anti-ignoring expansion for the single-firing regime:
+            # a cycle closed while other enabled transitions were
+            # postponed outside the chosen component.
+            for t in sorted(single):
+                if t in component:
+                    continue
+                postponed = single_fire(gpn, state, t)
+                _push(
+                    graph,
+                    stack,
+                    state,
+                    gpn.transition_label(t),
+                    postponed,
+                    options,
+                )
+    return result
+
+
+def _preserves_enabled(
+    gpn: Gpn,
+    successor: GpnState,
+    single: dict[int, SetFamily],
+    multiple: dict[int, SetFamily],
+    fired: frozenset[int],
+) -> bool:
+    """The paper's candidate side-condition, checked semantically.
+
+    Firing ``fired`` must not disable any postponed transition: every
+    single-enabled transition outside ``fired`` stays single-enabled and
+    every multiple-enabled one stays multiple-enabled.  A violation means
+    a pre-committed scenario stole a token some other execution order
+    still needs (re-entrant conflicts across loop iterations); the caller
+    then falls back to branching single firings, which preserve all
+    interleavings.
+    """
+    single_after, multiple_after = enabled_families(gpn, successor)
+    for t in single:
+        if t not in fired and t not in single_after:
+            return False
+    for t in multiple:
+        if t not in fired and t not in multiple_after:
+            return False
+    return True
+
+
+def _viable_candidates(
+    gpn: Gpn,
+    state: GpnState,
+    candidates: list[frozenset[int]],
+    single: dict[int, SetFamily],
+    multiple: dict[int, SetFamily],
+) -> tuple[frozenset[int], GpnState] | None:
+    """Select the candidate MCSs that satisfy the §3.3 side-condition.
+
+    Each candidate is vetted individually (its firing must not disable a
+    postponed enabled transition); the union of the survivors is then
+    vetted as a whole.  Returns ``(fired, successor)`` — reusing the
+    tentative firing — or ``None`` when no candidate is viable.
+    """
+    families = (single, multiple)
+    viable: list[tuple[frozenset[int], GpnState]] = []
+    for component in candidates:
+        successor = multiple_fire(gpn, state, component, families=families)
+        if _preserves_enabled(gpn, successor, single, multiple, component):
+            viable.append((component, successor))
+    if not viable:
+        return None
+    if len(viable) == 1:
+        return viable[0]
+    union = frozenset().union(*(component for component, _ in viable))
+    successor = multiple_fire(gpn, state, union, families=families)
+    if _preserves_enabled(gpn, successor, single, multiple, union):
+        return (union, successor)
+    # The union interferes through r' even though each candidate alone is
+    # fine; fire just the first viable candidate and postpone the rest.
+    return viable[0]
+
+
+def _push(
+    graph: ReachabilityGraph[GpnState],
+    stack: list[GpnState],
+    state: GpnState,
+    label: str,
+    successor: GpnState,
+    options: GpoOptions,
+) -> bool:
+    """Record an edge; returns True when the successor state is new."""
+    is_new = successor not in graph
+    graph.add_edge(state, label, successor)
+    if is_new:
+        if (
+            options.max_states is not None
+            and graph.num_states > options.max_states
+        ):
+            raise ExplorationLimitReached(options.max_states)
+        stack.append(successor)
+    return is_new
+
+
+def _validate_candidate_preservation(
+    gpn: Gpn,
+    state: GpnState,
+    fired: frozenset[int],
+    successor: GpnState,
+    single: dict[int, SetFamily],
+    multiple: dict[int, SetFamily],
+) -> None:
+    """Semantic re-check of the candidate soundness invariants.
+
+    1. Every multiple-enabled transition outside the fired union must stay
+       multiple-enabled (its enabling family is a term of the ``r'`` union
+       and its input places only gain scenarios).
+    2. Every scenario leaving ``r`` must be rescuable: it either enables
+       no transition at all (a dead scenario, reported by the deadlock
+       check) or single-enables some *fired* transition, whose
+       single-firing branch the explorer adds.
+
+    The property-test suite runs with ``validate=True`` to falsify these
+    if it can.
+    """
+    if not _preserves_enabled(gpn, successor, single, multiple, fired):
+        raise AssertionError(
+            "candidate firing disabled a postponed enabled transition"
+        )
+    # Note: scenarios *may* leave r here (pre-commitments that became
+    # jointly infeasible).  End-to-end deadlock-verdict equivalence with
+    # the full classical analysis — the property the paper's procedure
+    # guarantees — is established by the property-test suite and the
+    # fuzzing harness rather than a per-step assertion: the classical
+    # interleavings a dying scenario stood for remain covered across the
+    # other branches the explorer takes (sibling single firings, and the
+    # anti-ignoring expansion on cycles).
+
+
+def analyze(
+    net: PetriNet,
+    *,
+    backend: Backend = "bdd",
+    on_deadlock: OnDeadlock = "stop-branch",
+    max_states: int | None = None,
+    validate: bool = False,
+    want_witness: bool = True,
+) -> AnalysisResult:
+    """Generalized partial-order deadlock analysis, packaged uniformly.
+
+    ``states``/``edges`` count the explored *GPN* states (the paper's "GPO
+    States" column); ``extras["scenarios"]`` is ``|r0|`` — how many
+    classical choice resolutions each state tracks simultaneously.
+    """
+    options = GpoOptions(
+        backend=backend,
+        on_deadlock=on_deadlock,
+        max_states=max_states,
+        validate=validate,
+    )
+    with stopwatch() as elapsed:
+        result = explore_gpo(net, options)
+    witnesses = result.witnesses(limit=1) if want_witness else []
+    return AnalysisResult(
+        analyzer="gpo",
+        net_name=net.name,
+        states=result.graph.num_states,
+        edges=result.graph.num_edges,
+        deadlock=result.has_deadlock,
+        time_seconds=elapsed[0],
+        witness=witnesses[0] if witnesses else None,
+        extras={
+            "backend": backend,
+            "scenarios": result.gpn.r0.count(),
+            "deadlock_states": len(result.deadlock_states),
+        },
+    )

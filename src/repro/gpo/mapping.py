@@ -1,0 +1,48 @@
+"""The GPN → classical-marking mapping (paper Definition 3.4).
+
+``mapping(⟨m, r⟩) = { m' ⊆ P | ∃ v ∈ r : m' = {p | v ∈ m(p)} }`` — every
+valid scenario induces one classical marking; a GPN state therefore covers
+a *set* of classical markings.  These functions power the consistency
+property tests (GPN firing commutes with classical firing through the
+mapping) and deadlock witness extraction.
+"""
+
+from __future__ import annotations
+
+from repro.gpo.gpn import Gpn, GpnState
+from repro.net.petrinet import Marking
+
+__all__ = ["scenario_marking", "mapping", "mapping_named"]
+
+
+def scenario_marking(gpn: Gpn, state: GpnState, scenario: frozenset[int]) -> Marking:
+    """The classical marking induced by one scenario: ``{p | v ∈ m(p)}``."""
+    return frozenset(
+        p
+        for p in range(gpn.net.num_places)
+        if state.marking[p].contains(scenario)
+    )
+
+
+def mapping(
+    gpn: Gpn, state: GpnState, *, limit: int | None = None
+) -> set[Marking]:
+    """All classical markings covered by ``state`` (Def. 3.4).
+
+    Enumerates scenarios, so the result can be exponential; ``limit`` caps
+    the number of scenarios inspected (distinct markings may be fewer,
+    since many scenarios induce the same marking).
+    """
+    markings: set[Marking] = set()
+    for scenario in state.valid.iter_sets(limit=limit):
+        markings.add(scenario_marking(gpn, state, scenario))
+    return markings
+
+
+def mapping_named(
+    gpn: Gpn, state: GpnState, *, limit: int | None = None
+) -> set[frozenset[str]]:
+    """Like :func:`mapping` but with place names, for tests and reports."""
+    return {
+        gpn.net.marking_names(m) for m in mapping(gpn, state, limit=limit)
+    }

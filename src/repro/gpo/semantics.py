@@ -1,0 +1,160 @@
+"""GPN firing semantics: Definitions 3.2, 3.3, 3.5 and 3.6 of the paper.
+
+Two firing regimes:
+
+* **single firing** — a transition fires on the *common history* of its
+  input places (``s_enabled``); the common history moves from inputs to
+  outputs without additional coloring.  This stays "in track" with the
+  classical firing rule under the mapping of Def. 3.4.
+* **multiple firing** — a whole set of (possibly conflicting) transitions
+  fires simultaneously; each transition moves exactly the scenarios that
+  *chose* it (``m_enabled``, the ``t ∈ v`` filter), and the valid family is
+  re-conditioned (``∩ r'``), which prunes scenario combinations that have
+  become jointly infeasible — the paper's "extended conflict" effect
+  (Fig. 7: ``r2 = {{A,C},{B,D}}``).
+"""
+
+from __future__ import annotations
+
+from repro.families.base import SetFamily
+from repro.gpo.gpn import Gpn, GpnState
+
+__all__ = [
+    "s_enabled",
+    "m_enabled",
+    "single_fire",
+    "multiple_fire",
+    "enabled_families",
+    "dead_scenarios",
+]
+
+
+def s_enabled(gpn: Gpn, state: GpnState, t: int) -> SetFamily:
+    """Def. 3.2 — ``⋂_{p ∈ •t} m(p) ∩ r``: scenarios where ``t`` can fire."""
+    inputs = [state.marking[p] for p in gpn.net.pre_places[t]]
+    common = gpn.ctx.intersect_all(inputs)
+    return common.intersect(state.valid)
+
+
+def m_enabled(gpn: Gpn, state: GpnState, t: int) -> SetFamily:
+    """Def. 3.5 — ``{v ∈ ⋂_{p ∈ •t} m(p) | t ∈ v}``: scenarios choosing ``t``."""
+    inputs = [state.marking[p] for p in gpn.net.pre_places[t]]
+    common = gpn.ctx.intersect_all(inputs)
+    return common.filter_contains(t)
+
+
+def single_fire(gpn: Gpn, state: GpnState, t: int) -> GpnState:
+    """Def. 3.3 — move the common history of ``t`` from inputs to outputs.
+
+    ``r`` is unchanged; places that are both input and output of ``t``
+    (self-loops) keep their family (the "otherwise" clause).
+    """
+    enabled = s_enabled(gpn, state, t)
+    if enabled.is_empty():
+        raise ValueError(
+            f"transition {gpn.transition_label(t)!r} is not single-enabled"
+        )
+    pre = gpn.net.pre_places[t]
+    post = gpn.net.post_places[t]
+    marking = list(state.marking)
+    for p in pre - post:
+        marking[p] = marking[p].difference(enabled)
+    for p in post - pre:
+        marking[p] = marking[p].union(enabled)
+    return GpnState(tuple(marking), state.valid)
+
+
+def enabled_families(
+    gpn: Gpn, state: GpnState
+) -> tuple[dict[int, SetFamily], dict[int, SetFamily]]:
+    """Per-transition ``s_enabled`` / ``m_enabled`` families, empties omitted.
+
+    One pass computing both avoids re-intersecting input families; the
+    explorer calls this once per state.
+    """
+    single: dict[int, SetFamily] = {}
+    multiple: dict[int, SetFamily] = {}
+    for t in range(gpn.net.num_transitions):
+        inputs = [state.marking[p] for p in gpn.net.pre_places[t]]
+        if any(f.is_empty() for f in inputs):
+            continue
+        common = gpn.ctx.intersect_all(inputs)
+        if common.is_empty():
+            continue
+        s_fam = common.intersect(state.valid)
+        if not s_fam.is_empty():
+            single[t] = s_fam
+        m_fam = common.filter_contains(t)
+        if not m_fam.is_empty():
+            multiple[t] = m_fam
+    return single, multiple
+
+
+def multiple_fire(
+    gpn: Gpn,
+    state: GpnState,
+    fired: frozenset[int],
+    *,
+    families: tuple[dict[int, SetFamily], dict[int, SetFamily]] | None = None,
+) -> GpnState:
+    """Def. 3.6 — fire a set of transitions simultaneously.
+
+    ``fired`` is the union of the chosen candidate MCSs (each member must
+    be multiple-enabled).  ``families`` may pass the precomputed result of
+    :func:`enabled_families` for this state.
+    """
+    net = gpn.net
+    if families is None:
+        families = enabled_families(gpn, state)
+    single, multiple = families
+    for t in fired:
+        if t not in multiple:
+            raise ValueError(
+                f"transition {gpn.transition_label(t)!r} is not "
+                "multiple-enabled"
+            )
+
+    # r' = ∪_{t ∉ T'} s_enabled(t,s)  ∪  ∪_{t ∈ T'} m_enabled(t,s)
+    new_valid = gpn.ctx.union_all(
+        [family for t, family in single.items() if t not in fired]
+        + [multiple[t] for t in fired]
+    )
+
+    pre_union: set[int] = set()
+    post_union: set[int] = set()
+    for t in fired:
+        pre_union |= net.pre_places[t]
+        post_union |= net.post_places[t]
+
+    marking = list(state.marking)
+    for p in range(net.num_places):
+        family = marking[p]
+        if p in pre_union:
+            consumed = gpn.ctx.union_all(
+                multiple[t] for t in net.post_transitions[p] if t in fired
+            )
+            family = family.difference(consumed)
+        if p in post_union:
+            produced = gpn.ctx.union_all(
+                multiple[t] for t in net.pre_transitions[p] if t in fired
+            )
+            family = family.union(produced)
+        marking[p] = family.intersect(new_valid)
+    return GpnState(tuple(marking), new_valid)
+
+
+def dead_scenarios(
+    gpn: Gpn,
+    state: GpnState,
+    single: dict[int, SetFamily] | None = None,
+) -> SetFamily:
+    """Scenarios in ``r`` that enable no transition (§3.3 deadlock check).
+
+    The paper tests ``⋃_t s_enabled(t, s) ≠ r``; the returned family is the
+    difference ``r \\ ⋃_t s_enabled(t, s)``, whose members map to deadlocked
+    classical markings via Def. 3.4.
+    """
+    if single is None:
+        single, _ = enabled_families(gpn, state)
+    live = gpn.ctx.union_all(single.values())
+    return state.valid.difference(live)

@@ -1,0 +1,267 @@
+"""Command-line interface: ``gpo`` (or ``python -m repro``).
+
+Subcommands::
+
+    gpo verify FILE [--method gpo|full|stubborn|symbolic] [--backend ...]
+    gpo safety FILE --bad "cs0 & cs1 & !lock" [--bad ...]
+    gpo table1 [--problems NSDP,RW] [--max-states N] [--no-paper]
+    gpo figures [--figure 1|2|3]
+    gpo check FILE            # structural diagnostics + safety check
+    gpo dot FILE [--rg]       # DOT export of the net (or its full RG)
+    gpo bench-model NAME SIZE # run all analyzers on one benchmark instance
+
+``FILE`` is a net in the textual format of :mod:`repro.net.parser` or PNML
+(detected by a leading ``<``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import verify
+from repro.analysis import explore
+from repro.harness.figures import (
+    figure1_series,
+    figure2_series,
+    figure3_walkthrough,
+    format_series,
+)
+from repro.harness.runner import Budget
+from repro.harness.table1 import (
+    DEFAULT_SIZES,
+    PROBLEMS,
+    format_table1,
+    run_instance,
+    run_table1,
+)
+from repro.net import (
+    diagnose,
+    check_safe,
+    net_to_dot,
+    parse_net,
+    parse_pnml,
+    reachability_to_dot,
+)
+
+__all__ = ["main"]
+
+
+def _load(path: str):
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    if text.lstrip().startswith("<"):
+        return parse_pnml(text)
+    return parse_net(text)
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    if args.timed:
+        from repro.net import parse_timed_net
+        from repro.timed import analyze as timed_analyze
+
+        with open(args.file, "r", encoding="utf-8") as handle:
+            tpn = parse_timed_net(handle.read())
+        result = timed_analyze(tpn)
+    else:
+        net = _load(args.file)
+        kwargs = {}
+        if args.method == "gpo":
+            kwargs["backend"] = args.backend
+        result = verify(net, method=args.method, **kwargs)
+    print(result.describe())
+    if result.witness is not None:
+        print(str(result.witness))
+    return 1 if result.deadlock else 0
+
+
+def _parse_constraint(text: str):
+    """Parse ``"a & b & !c"`` into a :class:`MarkingConstraint`."""
+    from repro.gpo import MarkingConstraint
+
+    marked: list[str] = []
+    unmarked: list[str] = []
+    for token in text.split("&"):
+        token = token.strip()
+        if not token:
+            raise ValueError(f"empty conjunct in constraint {text!r}")
+        if token.startswith("!"):
+            unmarked.append(token[1:].strip())
+        else:
+            marked.append(token)
+    return MarkingConstraint(marked=tuple(marked), unmarked=tuple(unmarked))
+
+
+def _cmd_safety(args: argparse.Namespace) -> int:
+    from repro.gpo import check_safety
+
+    net = _load(args.file)
+    try:
+        constraints = [_parse_constraint(text) for text in args.bad]
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    for constraint in constraints:
+        for place in constraint.marked + constraint.unmarked:
+            if place not in net.place_index:
+                print(f"unknown place {place!r}", file=sys.stderr)
+                return 2
+    result = check_safety(net, constraints, screen=not args.no_screen)
+    print(result.describe())
+    return 1 if not result.safe else 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    problems = args.problems.split(",") if args.problems else None
+    if problems:
+        for problem in problems:
+            if problem not in PROBLEMS:
+                print(f"unknown problem {problem!r}; choose from "
+                      f"{', '.join(PROBLEMS)}", file=sys.stderr)
+                return 2
+    budget = Budget(max_states=args.max_states, max_seconds=args.max_seconds)
+    rows = run_table1(problems=problems, budget=budget)
+    print(format_table1(rows, with_paper=not args.no_paper))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    if args.figure in (None, "1"):
+        print(format_series(figure1_series(), title="Figure 1: n concurrent transitions"))
+    if args.figure in (None, "2"):
+        print(format_series(figure2_series(), title="Figure 2: n conflict pairs"))
+    if args.figure in (None, "3"):
+        print(figure3_walkthrough())
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    net = _load(args.file)
+    diagnostics = diagnose(net)
+    if diagnostics.clean:
+        print("structure: ok")
+    else:
+        print(diagnostics.summary())
+    try:
+        check_safe(net, max_states=args.max_states)
+        print("safety: 1-safe (within budget)")
+    except Exception as exc:  # UnsafeNetError and friends
+        print(f"safety: VIOLATION — {exc}")
+        return 1
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    net = _load(args.file)
+    if args.rg:
+        graph = explore(net, max_states=args.max_states)
+        print(
+            reachability_to_dot(
+                net,
+                graph.states(),
+                graph.edges(),
+                initial=net.initial_marking,
+                deadlocks=graph.deadlocks,
+            )
+        )
+    else:
+        print(net_to_dot(net))
+    return 0
+
+
+def _cmd_bench_model(args: argparse.Namespace) -> int:
+    if args.name not in PROBLEMS:
+        print(f"unknown model {args.name!r}; choose from {', '.join(PROBLEMS)}",
+              file=sys.stderr)
+        return 2
+    budget = Budget(max_states=args.max_states, max_seconds=args.max_seconds)
+    row = run_instance(args.name, args.size, budget=budget)
+    print(format_table1([row], with_paper=True))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for the CLI tests)."""
+    parser = argparse.ArgumentParser(
+        prog="gpo",
+        description="Generalized Partial Order Analysis for safe Petri nets "
+        "(reproduction of Vercauteren et al., DATE 1998)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_verify = sub.add_parser("verify", help="deadlock-check a net file")
+    p_verify.add_argument("file")
+    p_verify.add_argument(
+        "--method",
+        choices=("gpo", "full", "stubborn", "symbolic", "unfolding"),
+        default="gpo",
+    )
+    p_verify.add_argument(
+        "--backend", choices=("bdd", "explicit"), default="bdd"
+    )
+    p_verify.add_argument(
+        "--timed",
+        action="store_true",
+        help="interpret @ [eft,lft] intervals: state-class analysis",
+    )
+    p_verify.set_defaults(fn=_cmd_verify)
+
+    p_safety = sub.add_parser(
+        "safety", help="check that bad markings are unreachable"
+    )
+    p_safety.add_argument("file")
+    p_safety.add_argument(
+        "--bad",
+        action="append",
+        required=True,
+        help="bad-marking conjunction, e.g. 'cs0 & cs1 & !lock'; repeatable",
+    )
+    p_safety.add_argument(
+        "--no-screen",
+        action="store_true",
+        help="skip the GPO refutation screen (symbolic check only)",
+    )
+    p_safety.set_defaults(fn=_cmd_safety)
+
+    p_table = sub.add_parser("table1", help="regenerate Table 1")
+    p_table.add_argument("--problems", help="comma list, e.g. NSDP,RW")
+    p_table.add_argument("--max-states", type=int, default=200_000)
+    p_table.add_argument("--max-seconds", type=float, default=120.0)
+    p_table.add_argument("--no-paper", action="store_true")
+    p_table.set_defaults(fn=_cmd_table1)
+
+    p_fig = sub.add_parser("figures", help="regenerate the figure claims")
+    p_fig.add_argument("--figure", choices=("1", "2", "3"))
+    p_fig.set_defaults(fn=_cmd_figures)
+
+    p_check = sub.add_parser("check", help="diagnose a net file")
+    p_check.add_argument("file")
+    p_check.add_argument("--max-states", type=int, default=100_000)
+    p_check.set_defaults(fn=_cmd_check)
+
+    p_dot = sub.add_parser("dot", help="export DOT for a net (or its RG)")
+    p_dot.add_argument("file")
+    p_dot.add_argument("--rg", action="store_true")
+    p_dot.add_argument("--max-states", type=int, default=5_000)
+    p_dot.set_defaults(fn=_cmd_dot)
+
+    p_bench = sub.add_parser(
+        "bench-model", help="run all analyzers on one benchmark instance"
+    )
+    p_bench.add_argument("name", help="NSDP | ASAT | OVER | RW")
+    p_bench.add_argument("size", type=int)
+    p_bench.add_argument("--max-states", type=int, default=200_000)
+    p_bench.add_argument("--max-seconds", type=float, default=120.0)
+    p_bench.set_defaults(fn=_cmd_bench_model)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Plain-text table rendering for the experiment harness.
+
+Deliberately dependency-free: the harness prints the same kind of ASCII
+tables the paper publishes, suitable for terminals, logs and EXPERIMENTS.md
+code blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_number"]
+
+
+def format_number(value: float | int | None, *, digits: int = 2) -> str:
+    """Render counts/times compactly: ``1234``, ``1.86e6``, ``0.05``, ``-``."""
+    if value is None:
+        return "-"
+    if isinstance(value, int):
+        if abs(value) >= 1_000_000:
+            return f"{value:.2e}".replace("e+0", "e").replace("e+", "e")
+        return str(value)
+    return f"{value:.{digits}f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table with a header rule."""
+    rendered_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        out.append(line(row))
+    return "\n".join(out) + "\n"

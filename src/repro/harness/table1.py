@@ -1,0 +1,218 @@
+"""Regeneration of the paper's Table 1.
+
+For every instance of the four benchmark families the harness runs:
+
+* **full** explicit reachability — the "States" column;
+* **stubborn** (partial-order reduced) — the "SPIN+PO" columns;
+* **symbolic** (BDD) — the "SMV" columns (peak BDD nodes + time);
+* **gpo** — the "GPO" columns (GPN states + time).
+
+The paper's published values are kept in :data:`PAPER_TABLE1` so reports
+and tests can compare shapes side by side.  Absolute values are *not*
+expected to match (different decade, different host, reconstructed
+models — see EXPERIMENTS.md); the assertions in the benchmark suite check
+the qualitative claims instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+from repro.harness.report import format_number, format_table
+from repro.harness.runner import Budget, run_analyzer
+from repro.models import asat, nsdp, over, rw
+from repro.net.petrinet import PetriNet
+
+__all__ = [
+    "PROBLEMS",
+    "DEFAULT_SIZES",
+    "PAPER_TABLE1",
+    "Table1Row",
+    "run_instance",
+    "run_table1",
+    "format_table1",
+]
+
+#: Benchmark constructors by problem name.
+PROBLEMS: Mapping[str, Callable[[int], PetriNet]] = {
+    "NSDP": nsdp,
+    "ASAT": asat,
+    "OVER": over,
+    "RW": rw,
+}
+
+#: The instance sizes Table 1 reports.
+DEFAULT_SIZES: Mapping[str, tuple[int, ...]] = {
+    "NSDP": (2, 4, 6, 8, 10),
+    "ASAT": (2, 4, 8),
+    "OVER": (2, 3, 4, 5),
+    "RW": (6, 9, 12, 15),
+}
+
+#: Published values: (full states, SPIN+PO states, SPIN+PO time,
+#: SMV peak BDD size, SMV time, GPO states, GPO time).  ``None`` encodes
+#: the paper's "> 24 hours" entries.
+PAPER_TABLE1: Mapping[tuple[str, int], tuple] = {
+    ("NSDP", 2): (18, 12, 0.08, 1068, 0.04, 3, 0.01),
+    ("NSDP", 4): (322, 110, 0.13, 10018, 0.22, 3, 0.03),
+    ("NSDP", 6): (5778, 1422, 1.07, 52320, 8.97, 3, 0.04),
+    ("NSDP", 8): (103682, 19270, 25.62, 687263, 1169.30, 3, 0.05),
+    ("NSDP", 10): (1_860_000, 239308, 453.16, None, None, 3, 0.06),
+    ("ASAT", 2): (88, 33, 0.08, 1587, 0.05, 8, 0.01),
+    ("ASAT", 4): (7822, 192, 0.11, 117667, 79.61, 14, 0.06),
+    ("ASAT", 8): (1_580_000, 3598, 1.12, None, None, 23, 0.35),
+    ("OVER", 2): (65, 28, 0.09, 3511, 0.08, 6, 0.01),
+    ("OVER", 3): (519, 107, 0.13, 10203, 0.19, 7, 0.02),
+    ("OVER", 4): (4175, 467, 0.44, 11759, 0.64, 8, 0.04),
+    ("OVER", 5): (33460, 2059, 2.05, 24860, 3.59, 9, 0.06),
+    ("RW", 6): (72, 72, 0.06, 3689, 0.09, 2, 0.05),
+    ("RW", 9): (523, 523, 1.51, 9886, 0.16, 2, 0.20),
+    ("RW", 12): (4110, 4110, 16.89, 10037, 0.28, 2, 0.61),
+    ("RW", 15): (29642, 29642, 194.33, 10267, 0.43, 2, 1.50),
+}
+
+
+@dataclass
+class Table1Row:
+    """Measured values of one Table 1 row."""
+
+    problem: str
+    size: int
+    full_states: int | None
+    spin_states: int | None
+    spin_time: float | None
+    smv_peak: int | None
+    smv_time: float | None
+    gpo_states: int
+    gpo_time: float
+    deadlock: bool
+
+    def cells(self) -> list[str]:
+        return [
+            f"{self.problem}({self.size})",
+            format_number(self.full_states),
+            format_number(self.spin_states),
+            format_number(self.spin_time),
+            format_number(self.smv_peak),
+            format_number(self.smv_time),
+            format_number(self.gpo_states),
+            format_number(self.gpo_time),
+            "yes" if self.deadlock else "no",
+        ]
+
+
+def run_instance(
+    problem: str,
+    size: int,
+    *,
+    budget: Budget | None = None,
+    analyzers: Iterable[str] = ("full", "stubborn", "symbolic", "gpo"),
+) -> Table1Row:
+    """Run the selected analyzers on one instance and collect a row."""
+    net = PROBLEMS[problem](size)
+    wanted = set(analyzers)
+    full_states = spin_states = smv_peak = None
+    spin_time = smv_time = None
+    gpo_states, gpo_time, deadlock = 0, 0.0, False
+
+    if "full" in wanted:
+        result = run_analyzer("full", net, budget)
+        full_states = result.states if result.exhaustive else None
+    if "stubborn" in wanted:
+        result = run_analyzer("stubborn", net, budget)
+        spin_states = result.states if result.exhaustive else None
+        spin_time = result.time_seconds
+    if "symbolic" in wanted:
+        result = run_analyzer("symbolic", net, budget)
+        smv_peak = (
+            result.extras.get("peak_bdd_nodes") if result.exhaustive else None
+        )
+        smv_time = result.time_seconds
+    if "gpo" in wanted:
+        result = run_analyzer("gpo", net, budget)
+        gpo_states = result.states
+        gpo_time = result.time_seconds
+        deadlock = result.deadlock
+    return Table1Row(
+        problem=problem,
+        size=size,
+        full_states=full_states,
+        spin_states=spin_states,
+        spin_time=spin_time,
+        smv_peak=smv_peak,
+        smv_time=smv_time,
+        gpo_states=gpo_states,
+        gpo_time=gpo_time,
+        deadlock=deadlock,
+    )
+
+
+def run_table1(
+    *,
+    problems: Iterable[str] | None = None,
+    sizes: Mapping[str, Iterable[int]] | None = None,
+    budget: Budget | None = None,
+    analyzers: Iterable[str] = ("full", "stubborn", "symbolic", "gpo"),
+) -> list[Table1Row]:
+    """Run the whole table (or a selection) and return measured rows."""
+    rows: list[Table1Row] = []
+    for problem in problems or PROBLEMS:
+        wanted_sizes = (
+            sizes.get(problem, DEFAULT_SIZES[problem])
+            if sizes
+            else DEFAULT_SIZES[problem]
+        )
+        for size in wanted_sizes:
+            rows.append(
+                run_instance(
+                    problem, size, budget=budget, analyzers=analyzers
+                )
+            )
+    return rows
+
+
+def format_table1(rows: Iterable[Table1Row], *, with_paper: bool = True) -> str:
+    """Render measured rows, optionally side by side with the 1998 values."""
+    headers = [
+        "Problem",
+        "States",
+        "PO-St",
+        "PO-t(s)",
+        "BDD-peak",
+        "BDD-t(s)",
+        "GPO-St",
+        "GPO-t(s)",
+        "dead",
+    ]
+    out = format_table(
+        headers,
+        [row.cells() for row in rows],
+        title="Table 1 (measured; '-' = budget exceeded)",
+    )
+    if with_paper:
+        paper_rows = []
+        for row in rows:
+            key = (row.problem, row.size)
+            if key not in PAPER_TABLE1:
+                continue
+            full, spin, spin_t, smv, smv_t, gpo_s, gpo_t = PAPER_TABLE1[key]
+            paper_rows.append(
+                [
+                    f"{row.problem}({row.size})",
+                    format_number(full),
+                    format_number(spin),
+                    format_number(spin_t),
+                    format_number(smv),
+                    format_number(smv_t),
+                    format_number(gpo_s),
+                    format_number(gpo_t),
+                    "",
+                ]
+            )
+        out += "\n" + format_table(
+            headers,
+            paper_rows,
+            title="Table 1 (paper, 1998; '-' = > 24 hours)",
+        )
+    return out

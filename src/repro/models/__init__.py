@@ -1,0 +1,45 @@
+"""Benchmark model families and illustrative nets.
+
+The four parameterized families of the paper's Table 1:
+
+* :func:`nsdp` — non-serialized dining philosophers (deadlocks);
+* :func:`asat` — asynchronous arbiter tree (deadlock-free);
+* :func:`over` — overtake protocol (deadlocks);
+* :func:`rw` — readers and writers (deadlock-free; defeats classical PO).
+
+Plus the nets of Figures 1, 2, 3, 5 and 7, a producer/consumer system for
+the examples/ablations, and random-net generators for property testing.
+"""
+
+from repro.models.arbiter import asat
+from repro.models.figures import (
+    choice_net,
+    concurrent_net,
+    conflict_pairs_net,
+    figure3_net,
+    figure5_net,
+    figure7_net,
+)
+from repro.models.modem import modem
+from repro.models.overtake import over
+from repro.models.philosophers import nsdp
+from repro.models.producer_consumer import bounded_buffer
+from repro.models.random_nets import random_net, random_state_machine_product
+from repro.models.readers_writers import rw
+
+__all__ = [
+    "nsdp",
+    "asat",
+    "over",
+    "rw",
+    "bounded_buffer",
+    "modem",
+    "choice_net",
+    "concurrent_net",
+    "conflict_pairs_net",
+    "figure3_net",
+    "figure5_net",
+    "figure7_net",
+    "random_net",
+    "random_state_machine_product",
+]

@@ -1,0 +1,110 @@
+"""ASAT — the asynchronous arbiter tree (Table 1, rows 6-8).
+
+``n`` users (``n`` a power of two) compete for one shared resource through
+a balanced binary tree of asynchronous two-input arbiter cells.  Every
+edge of the tree carries a 4-phase request/grant/release handshake, and
+each cell serializes its two children: when both request concurrently the
+cell makes a free choice — the conflict structure the generalized analysis
+exploits.
+
+Structure per user ``i``::
+
+    idle --request--> wait --(grant)--> use --release--> idle
+
+Structure per cell ``v`` (children interfaces ``l``/``r``, own upstream
+interface)::
+
+    fwdL: req_l  + free_v -> wl_v + req_v     (forward request upstream)
+    gntL: gnt_v  + wl_v   -> hl_v + gnt_l     (pass grant down)
+    relL: rel_l  + hl_v   -> free_v + rel_v   (propagate release)
+    (and symmetrically for the right child)
+
+The root's upstream interface talks to a trivial resource manager holding
+the single resource token.  The net is deadlock-free (the resource always
+returns), strongly concurrent (every user and every cell acts
+independently), and its full state space explodes roughly two orders of
+magnitude per doubling of users — the Table 1 shape.
+"""
+
+from __future__ import annotations
+
+from repro.net.petrinet import NetBuilder, PetriNet
+
+__all__ = ["asat"]
+
+
+def asat(n: int) -> PetriNet:
+    """Build the arbiter tree for ``n`` users (a power of two, ``>= 2``)."""
+    if n < 2 or n & (n - 1) != 0:
+        raise ValueError("number of users must be a power of two >= 2")
+    builder = NetBuilder(f"asat_{n}")
+
+    def make_interface(tag: str) -> tuple[str, str, str]:
+        """Request/grant/release places of one handshake channel."""
+        return (
+            builder.place(f"req_{tag}"),
+            builder.place(f"gnt_{tag}"),
+            builder.place(f"rel_{tag}"),
+        )
+
+    def make_user(i: int, upstream: tuple[str, str, str]) -> None:
+        req, gnt, rel = upstream
+        idle = builder.place(f"idle{i}", marked=True)
+        wait = builder.place(f"wait{i}")
+        use = builder.place(f"use{i}")
+        builder.transition(f"request{i}", inputs=[idle], outputs=[wait, req])
+        builder.transition(f"acquire{i}", inputs=[wait, gnt], outputs=[use])
+        builder.transition(f"release{i}", inputs=[use], outputs=[idle, rel])
+
+    def make_cell(
+        tag: str,
+        left: tuple[str, str, str],
+        right: tuple[str, str, str],
+        upstream: tuple[str, str, str],
+    ) -> None:
+        free = builder.place(f"free_{tag}", marked=True)
+        for side, (c_req, c_gnt, c_rel) in (("l", left), ("r", right)):
+            waiting = builder.place(f"w{side}_{tag}")
+            holding = builder.place(f"h{side}_{tag}")
+            u_req, u_gnt, u_rel = upstream
+            builder.transition(
+                f"fwd{side}_{tag}",
+                inputs=[c_req, free],
+                outputs=[waiting, u_req],
+            )
+            builder.transition(
+                f"gnt{side}_{tag}",
+                inputs=[u_gnt, waiting],
+                outputs=[holding, c_gnt],
+            )
+            builder.transition(
+                f"rel{side}_{tag}",
+                inputs=[c_rel, holding],
+                outputs=[free, u_rel],
+            )
+
+    # Build the tree bottom-up.  Level 0 holds the user interfaces; each
+    # pass pairs adjacent interfaces under a new cell until one remains.
+    interfaces = []
+    for i in range(n):
+        upstream = make_interface(f"u{i}")
+        make_user(i, upstream)
+        interfaces.append(upstream)
+    level = 0
+    while len(interfaces) > 1:
+        next_interfaces = []
+        for k in range(0, len(interfaces), 2):
+            tag = f"c{level}_{k // 2}"
+            upstream = make_interface(tag)
+            make_cell(tag, interfaces[k], interfaces[k + 1], upstream)
+            next_interfaces.append(upstream)
+        interfaces = next_interfaces
+        level += 1
+
+    root_req, root_gnt, root_rel = interfaces[0]
+    res_free = builder.place("res_free", marked=True)
+    builder.transition(
+        "res_grant", inputs=[root_req, res_free], outputs=[root_gnt]
+    )
+    builder.transition("res_release", inputs=[root_rel], outputs=[res_free])
+    return builder.build()

@@ -1,0 +1,142 @@
+"""An embedded-system model: a QAM-modem-like receive pipeline.
+
+The paper's motivation ([16], §5) is the verification of embedded-system
+specifications — it reports applying the method to a QAM modem.  That
+design is not published, so this module provides a representative
+reconstruction: a multi-lane receive datapath (source → FIR filter →
+equalizer → decoder per lane, connected by capacity-1 handshake channels)
+supervised by a controller that can *retrain* the equalizers — a mode
+switch that competes with normal data processing for the equalizer
+(a conflict place) while the lanes run concurrently (interleaving
+explosion).  Exactly the concurrency-plus-conflict mix generalized
+partial-order analysis targets.
+
+Two variants:
+
+* ``modem(lanes, bug=True)`` — the retrain completion waits for the
+  FIR→EQ channel to drain ("quiesce the pipeline first"), but with the
+  equalizer paused that channel can never drain: a realistic
+  mode-switch/flow-control deadlock.
+* ``modem(lanes, bug=False)`` — retraining completes on its own and the
+  pipeline resumes: live.
+"""
+
+from __future__ import annotations
+
+from repro.net.petrinet import NetBuilder, PetriNet
+
+__all__ = ["modem"]
+
+
+def _channel(builder: NetBuilder, name: str) -> tuple[str, str]:
+    """A capacity-1 handshake channel: (full, empty) places."""
+    full = builder.place(f"{name}_full")
+    empty = builder.place(f"{name}_empty", marked=True)
+    return full, empty
+
+
+def modem(lanes: int = 2, *, bug: bool = False) -> PetriNet:
+    """Build the modem net with ``lanes`` parallel I/Q lanes (``>= 1``)."""
+    if lanes < 1:
+        raise ValueError("need at least one lane")
+    suffix = "_bug" if bug else ""
+    builder = NetBuilder(f"modem_{lanes}{suffix}")
+
+    # Controller: may trigger an equalizer retrain at any time.
+    ctl_idle = builder.place("ctl_idle", marked=True)
+    ctl_wait = builder.place("ctl_wait")
+    retrain_req = builder.place("retrain_req")
+    retrain_done = builder.place("retrain_done")
+    builder.transition(
+        "start_retrain", inputs=[ctl_idle], outputs=[ctl_wait, retrain_req]
+    )
+    builder.transition(
+        "ack_retrain", inputs=[ctl_wait, retrain_done], outputs=[ctl_idle]
+    )
+
+    # The lanes share one adaptation engine: a retrain pauses *every*
+    # equalizer (they must adapt against the same training sequence).
+    eq_idles: list[str] = []
+    first_ch2_empty: str | None = None
+    for lane in range(lanes):
+        tag = f"l{lane}"
+        # source
+        src_idle = builder.place(f"src_idle_{tag}", marked=True)
+        src_loaded = builder.place(f"src_loaded_{tag}")
+        ch1_full, ch1_empty = _channel(builder, f"ch1_{tag}")
+        builder.transition(
+            f"sample_{tag}", inputs=[src_idle], outputs=[src_loaded]
+        )
+        builder.transition(
+            f"emit_{tag}",
+            inputs=[src_loaded, ch1_empty],
+            outputs=[src_idle, ch1_full],
+        )
+        # FIR filter
+        fir_idle = builder.place(f"fir_idle_{tag}", marked=True)
+        fir_busy = builder.place(f"fir_busy_{tag}")
+        ch2_full, ch2_empty = _channel(builder, f"ch2_{tag}")
+        builder.transition(
+            f"fir_take_{tag}",
+            inputs=[fir_idle, ch1_full],
+            outputs=[fir_busy, ch1_empty],
+        )
+        builder.transition(
+            f"fir_put_{tag}",
+            inputs=[fir_busy, ch2_empty],
+            outputs=[fir_idle, ch2_full],
+        )
+        # equalizer (the conflict site: process data vs accept retrain)
+        eq_idle = builder.place(f"eq_idle_{tag}", marked=True)
+        eq_busy = builder.place(f"eq_busy_{tag}")
+        ch3_full, ch3_empty = _channel(builder, f"ch3_{tag}")
+        builder.transition(
+            f"eq_take_{tag}",
+            inputs=[eq_idle, ch2_full],
+            outputs=[eq_busy, ch2_empty],
+        )
+        builder.transition(
+            f"eq_put_{tag}",
+            inputs=[eq_busy, ch3_empty],
+            outputs=[eq_idle, ch3_full],
+        )
+        eq_idles.append(eq_idle)
+        if lane == 0:
+            first_ch2_empty = ch2_empty
+        # decoder (sink)
+        dec_idle = builder.place(f"dec_idle_{tag}", marked=True)
+        dec_busy = builder.place(f"dec_busy_{tag}")
+        builder.transition(
+            f"dec_take_{tag}",
+            inputs=[dec_idle, ch3_full],
+            outputs=[dec_busy, ch3_empty],
+        )
+        builder.transition(
+            f"dec_done_{tag}", inputs=[dec_busy], outputs=[dec_idle]
+        )
+
+    # Shared retrain engine: grabs every equalizer at once (conflicting
+    # with each lane's eq_take on the eq_idle places).
+    training = builder.place("eq_training")
+    builder.transition(
+        "eq_accept_retrain",
+        inputs=eq_idles + [retrain_req],
+        outputs=[training],
+    )
+    assert first_ch2_empty is not None
+    if bug:
+        # "Finish only once lane 0's input channel has drained" — but the
+        # FIR happily refills it while the equalizers are paused, so once
+        # every channel upstream backs up the whole modem wedges.
+        builder.transition(
+            "eq_finish_retrain",
+            inputs=[training, first_ch2_empty],
+            outputs=eq_idles + [retrain_done, first_ch2_empty],
+        )
+    else:
+        builder.transition(
+            "eq_finish_retrain",
+            inputs=[training],
+            outputs=eq_idles + [retrain_done],
+        )
+    return builder.build()

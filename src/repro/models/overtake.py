@@ -1,0 +1,81 @@
+"""OVER — the overtake protocol (Table 1, rows 9-12).
+
+``n`` cars drive in a ring; car ``i`` may overtake the car ahead of it
+(car ``i+1 mod n``) after a message handshake: it signals its intent, the
+car ahead — if it is itself cruising — yields and acknowledges, the
+overtaker pulls out, passes, signals completion, and a final acknowledge
+settles both cars back to cruising.
+
+Per car ``i`` (indices mod ``n``)::
+
+    ask_i     : cruise_i              -> asking_i + req_i
+    grant_i   : req_{i-1} + cruise_i  -> yielding_i + ack_{i-1}
+    pullout_i : asking_i + ack_i      -> out_i
+    pass_i    : out_i                 -> passing_i
+    done_i    : passing_i             -> waitfin_i + fin_i
+    resume_i  : yielding_i + fin_{i-1} -> cruise_i + finack_{i-1}
+    settle_i  : waitfin_i + finack_i  -> cruise_i
+
+The choice at ``cruise_i`` — overtake yourself or yield to the car behind
+— is a conflict place; with all cars cruising, ``n`` such conflicts are
+marked concurrently (the Figure 2 pattern embedded in a protocol).  The
+protocol deadlocks: when every car signals intent simultaneously nobody is
+left cruising to yield, and all handshakes stall in a circular wait.
+"""
+
+from __future__ import annotations
+
+from repro.net.petrinet import NetBuilder, PetriNet
+
+__all__ = ["over"]
+
+
+def over(n: int) -> PetriNet:
+    """Build the overtake-protocol net for ``n`` cars (``n >= 2``)."""
+    if n < 2:
+        raise ValueError("need at least 2 cars")
+    builder = NetBuilder(f"over_{n}")
+    for i in range(n):
+        builder.place(f"cruise{i}", marked=True)
+        for name in ("asking", "out", "passing", "waitfin", "yielding"):
+            builder.place(f"{name}{i}")
+        for channel in ("req", "ack", "fin", "finack"):
+            builder.place(f"{channel}{i}")
+    for i in range(n):
+        behind = (i - 1) % n
+        builder.transition(
+            f"ask{i}",
+            inputs=[f"cruise{i}"],
+            outputs=[f"asking{i}", f"req{i}"],
+        )
+        builder.transition(
+            f"grant{i}",
+            inputs=[f"req{behind}", f"cruise{i}"],
+            outputs=[f"yielding{i}", f"ack{behind}"],
+        )
+        builder.transition(
+            f"pullout{i}",
+            inputs=[f"asking{i}", f"ack{i}"],
+            outputs=[f"out{i}"],
+        )
+        builder.transition(
+            f"pass{i}",
+            inputs=[f"out{i}"],
+            outputs=[f"passing{i}"],
+        )
+        builder.transition(
+            f"done{i}",
+            inputs=[f"passing{i}"],
+            outputs=[f"waitfin{i}", f"fin{i}"],
+        )
+        builder.transition(
+            f"resume{i}",
+            inputs=[f"yielding{i}", f"fin{behind}"],
+            outputs=[f"cruise{i}", f"finack{behind}"],
+        )
+        builder.transition(
+            f"settle{i}",
+            inputs=[f"waitfin{i}", f"finack{i}"],
+            outputs=[f"cruise{i}"],
+        )
+    return builder.build()

@@ -1,0 +1,101 @@
+"""NSDP — the non-serialized dining philosophers (Table 1, rows 1-5).
+
+``n`` philosophers sit around a table with ``n`` forks between them;
+philosopher ``i`` shares fork ``i`` with philosopher ``i-1`` and fork
+``i+1 (mod n)`` with philosopher ``i+1``.  *Non-serialized* means fork
+acquisition is not protected by a global serializer: philosophers grab one
+fork at a time, so the classic circular-wait deadlock (everybody holding
+one fork) is reachable.
+
+Two structural knobs reproduce the published growth shapes:
+
+* ``order`` — ``"either"`` (default): a philosopher may pick up either
+  fork first and put them down in either order (six local states; the full
+  state space grows by ≈ φ³ ≈ 4.24 per philosopher, matching Table 1's
+  ×17.9 per *pair* of philosophers); ``"left-first"``: the textbook
+  three-state cycle (smaller growth, kept for tests and ablations).
+
+Every variant deadlocks: when all philosophers simultaneously hold their
+first fork, nobody can proceed.
+"""
+
+from __future__ import annotations
+
+from repro.net.petrinet import NetBuilder, PetriNet
+
+__all__ = ["nsdp"]
+
+
+def nsdp(n: int, *, order: str = "either") -> PetriNet:
+    """Build the NSDP net for ``n`` philosophers (``n >= 2``)."""
+    if n < 2:
+        raise ValueError("need at least 2 philosophers")
+    if order == "either":
+        return _nsdp_either(n)
+    if order == "left-first":
+        return _nsdp_left_first(n)
+    raise ValueError(f"unknown order {order!r}; use 'either' or 'left-first'")
+
+
+def _nsdp_either(n: int) -> PetriNet:
+    """Either-order pickup and putdown — the Table 1 configuration.
+
+    Philosopher local cycle (fork ``L = fork i``, ``R = fork i+1``)::
+
+        think --takeL--> hasL --takeR--> eat
+        think --takeR--> hasR --takeL2--> eat
+        eat --dropL--> relR --dropR2--> think     (released left first)
+        eat --dropR--> relL --dropL2--> think     (released right first)
+    """
+    builder = NetBuilder(f"nsdp_{n}")
+    for i in range(n):
+        builder.place(f"fork{i}", marked=True)
+    for i in range(n):
+        left = f"fork{i}"
+        right = f"fork{(i + 1) % n}"
+        think = builder.place(f"think{i}", marked=True)
+        has_left = builder.place(f"hasL{i}")
+        has_right = builder.place(f"hasR{i}")
+        eat = builder.place(f"eat{i}")
+        rel_left = builder.place(f"relL{i}")  # still holding left fork
+        rel_right = builder.place(f"relR{i}")  # still holding right fork
+        builder.transition(f"takeL{i}", inputs=[think, left], outputs=[has_left])
+        builder.transition(
+            f"takeR{i}", inputs=[has_left, right], outputs=[eat]
+        )
+        builder.transition(f"takeR'{i}", inputs=[think, right], outputs=[has_right])
+        builder.transition(
+            f"takeL'{i}", inputs=[has_right, left], outputs=[eat]
+        )
+        builder.transition(
+            f"dropL{i}", inputs=[eat], outputs=[rel_right, left]
+        )
+        builder.transition(
+            f"dropR{i}", inputs=[rel_right], outputs=[think, right]
+        )
+        builder.transition(
+            f"dropR'{i}", inputs=[eat], outputs=[rel_left, right]
+        )
+        builder.transition(
+            f"dropL'{i}", inputs=[rel_left], outputs=[think, left]
+        )
+    return builder.build()
+
+
+def _nsdp_left_first(n: int) -> PetriNet:
+    """Textbook three-state cycle: take left, take right, release both."""
+    builder = NetBuilder(f"nsdp_leftfirst_{n}")
+    for i in range(n):
+        builder.place(f"fork{i}", marked=True)
+    for i in range(n):
+        left = f"fork{i}"
+        right = f"fork{(i + 1) % n}"
+        think = builder.place(f"think{i}", marked=True)
+        waiting = builder.place(f"wait{i}")
+        eat = builder.place(f"eat{i}")
+        builder.transition(f"takeL{i}", inputs=[think, left], outputs=[waiting])
+        builder.transition(f"takeR{i}", inputs=[waiting, right], outputs=[eat])
+        builder.transition(
+            f"release{i}", inputs=[eat], outputs=[think, left, right]
+        )
+    return builder.build()

@@ -1,0 +1,57 @@
+"""RW — readers and writers (Table 1, rows 13-16).
+
+``n`` symmetric processes share a database.  Any number may read
+simultaneously; a writer needs exclusive access, modeled by the writer's
+start transition consuming the ``free`` token of *every* process at once.
+All end transitions additionally cycle a shared controller token, so that
+every transition of the net participates in one global conflict structure.
+
+This is the benchmark the paper highlights as the worst case for classical
+partial-order reduction: every transition (transitively) conflicts with
+every other through the shared ``free``/controller places, so stubborn-set
+closures always contain all enabled transitions and the reduced state
+space *equals* the full one (§4: "the reduced state space which equals the
+complete state space").  Generalized analysis, in contrast, finds every
+maximal conflict set multiple-enabled in both of its states and fires them
+simultaneously: 2 GPN states regardless of ``n``.  The net is
+deadlock-free.
+"""
+
+from __future__ import annotations
+
+from repro.net.petrinet import NetBuilder, PetriNet
+
+__all__ = ["rw"]
+
+
+def rw(n: int) -> PetriNet:
+    """Build the readers-writers net for ``n`` processes (``n >= 2``)."""
+    if n < 2:
+        raise ValueError("need at least 2 processes")
+    builder = NetBuilder(f"rw_{n}")
+    controller = builder.place("controller", marked=True)
+    frees = [builder.place(f"free{i}", marked=True) for i in range(n)]
+    for i in range(n):
+        reading = builder.place(f"reading{i}")
+        writing = builder.place(f"writing{i}")
+        builder.transition(
+            f"startread{i}", inputs=[frees[i]], outputs=[reading]
+        )
+        # A writer must atomically acquire every process's free token.
+        builder.transition(
+            f"startwrite{i}", inputs=list(frees), outputs=[writing]
+        )
+        # End transitions cycle the controller token (self-loop): the
+        # "conditional behavior" that welds the whole net into one
+        # conflict component and defeats stubborn-set reduction.
+        builder.transition(
+            f"endread{i}",
+            inputs=[reading, controller],
+            outputs=[frees[i], controller],
+        )
+        builder.transition(
+            f"endwrite{i}",
+            inputs=[writing, controller],
+            outputs=list(frees) + [controller],
+        )
+    return builder.build()

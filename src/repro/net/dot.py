@@ -1,0 +1,96 @@
+"""Graphviz (DOT) export for nets and reachability graphs.
+
+Pure string generation — no Graphviz dependency; the output can be piped
+into ``dot -Tpdf`` by the user.  Used by the CLI (``gpo dot``) and handy when
+debugging the benchmark models.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.net.petrinet import Marking, PetriNet
+
+__all__ = ["net_to_dot", "reachability_to_dot"]
+
+
+def _quote(s: str) -> str:
+    return '"' + s.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def net_to_dot(net: PetriNet, *, marking: Marking | None = None) -> str:
+    """Render a Petri net in the conventional circle/box style.
+
+    Places are circles (filled with a dot count when marked), transitions
+    are boxes.  ``marking`` defaults to the net's initial marking.
+    """
+    if marking is None:
+        marking = net.initial_marking
+    lines = [f"digraph {_quote(net.name)} {{", "  rankdir=LR;"]
+    for p, place in enumerate(net.places):
+        label = place + (" ●" if p in marking else "")
+        fill = ', style=filled, fillcolor="#e8f0fe"' if p in marking else ""
+        lines.append(
+            f"  {_quote('p_' + place)} [shape=circle, label={_quote(label)}{fill}];"
+        )
+    for t, transition in enumerate(net.transitions):
+        lines.append(
+            f"  {_quote('t_' + transition)} "
+            f"[shape=box, height=0.2, label={_quote(transition)}];"
+        )
+    for t in range(net.num_transitions):
+        for p in sorted(net.pre_places[t]):
+            lines.append(
+                f"  {_quote('p_' + net.places[p])} -> "
+                f"{_quote('t_' + net.transitions[t])};"
+            )
+        for p in sorted(net.post_places[t]):
+            lines.append(
+                f"  {_quote('t_' + net.transitions[t])} -> "
+                f"{_quote('p_' + net.places[p])};"
+            )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def reachability_to_dot(
+    net: PetriNet,
+    states: Iterable[object],
+    edges: Iterable[tuple[object, str, object]],
+    *,
+    initial: object | None = None,
+    state_label: Callable[[object], str] | None = None,
+    deadlocks: Iterable[object] = (),
+) -> str:
+    """Render a (possibly reduced) reachability graph.
+
+    Generic over the state type: explicit markings, GPN states and symbolic
+    frontiers all render through the same function by passing a
+    ``state_label`` callback.  ``edges`` yields ``(src, label, dst)``.
+    """
+    if state_label is None:
+        def state_label(state: object) -> str:
+            if isinstance(state, frozenset):
+                names = sorted(net.places[p] for p in state)
+                return "{" + ", ".join(names) + "}"
+            return str(state)
+
+    index: dict[object, int] = {}
+    lines = [f"digraph {_quote(net.name + '_rg')} {{"]
+    dead = set(deadlocks)
+    for state in states:
+        index[state] = len(index)
+        shape = "doublecircle" if state in dead else "ellipse"
+        extras = ""
+        if initial is not None and state == initial:
+            extras = ', style=filled, fillcolor="#e8f0fe"'
+        lines.append(
+            f"  s{index[state]} [shape={shape}, "
+            f"label={_quote(state_label(state))}{extras}];"
+        )
+    for src, label, dst in edges:
+        lines.append(
+            f"  s{index[src]} -> s{index[dst]} [label={_quote(label)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,83 @@
+"""Exception hierarchy for the Petri-net kernel.
+
+All errors raised by :mod:`repro.net` derive from :class:`NetError`, so
+callers can catch the whole family with a single ``except`` clause while the
+analysis packages (:mod:`repro.analysis`, :mod:`repro.gpo`, ...) re-use the
+more specific subclasses where appropriate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "NetError",
+    "NetStructureError",
+    "DuplicateNodeError",
+    "UnknownNodeError",
+    "NotEnabledError",
+    "UnsafeNetError",
+    "ParseError",
+]
+
+
+class NetError(Exception):
+    """Base class for all Petri-net related errors."""
+
+
+class NetStructureError(NetError):
+    """The net structure violates a structural requirement.
+
+    Raised, for instance, when an arc connects two places, two transitions,
+    or refers to a node that was never declared.
+    """
+
+
+class DuplicateNodeError(NetStructureError):
+    """A place or transition name was declared twice."""
+
+    def __init__(self, kind: str, name: str) -> None:
+        super().__init__(f"duplicate {kind} name: {name!r}")
+        self.kind = kind
+        self.name = name
+
+
+class UnknownNodeError(NetStructureError):
+    """A place or transition name is not part of the net."""
+
+    def __init__(self, kind: str, name: str) -> None:
+        super().__init__(f"unknown {kind}: {name!r}")
+        self.kind = kind
+        self.name = name
+
+
+class NotEnabledError(NetError):
+    """An attempt was made to fire a transition that is not enabled."""
+
+    def __init__(self, transition: str) -> None:
+        super().__init__(f"transition {transition!r} is not enabled")
+        self.transition = transition
+
+
+class UnsafeNetError(NetError):
+    """Firing would place a second token into an already marked place.
+
+    The entire theory of the paper (Defs. 3.1-3.6) is developed for *safe*
+    (1-bounded) Petri nets; we surface violations eagerly instead of silently
+    collapsing multiset markings into sets.
+    """
+
+    def __init__(self, transition: str, place: str) -> None:
+        super().__init__(
+            f"firing {transition!r} would make place {place!r} unsafe "
+            "(more than one token)"
+        )
+        self.transition = transition
+        self.place = place
+
+
+class ParseError(NetError):
+    """A textual net description could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        prefix = f"line {line}: " if line is not None else ""
+        super().__init__(prefix + message)
+        self.line = line

@@ -1,0 +1,230 @@
+"""Textual net description language: parser and serializer.
+
+The format is line-oriented and intended to be written by hand in examples
+and golden-file tests.  Grammar (``#`` starts a comment anywhere):
+
+.. code-block:: text
+
+    net <name>                      # optional header, first line
+    place <name> [marked]           # declare a place
+    trans <name>                    # declare a transition
+    trans <name> : <p> ... -> <p> ...   # declare with presets/postsets
+    trans <name> : ... -> ... @ [eft,lft]  # with a firing interval
+    arc <src> -> <dst>              # add a flow arc
+
+Firing intervals (``lft`` may be ``inf``) are ignored by :func:`parse_net`
+but consumed by :func:`parse_timed_net`, which returns a
+:class:`~repro.timed.tpn.TimedPetriNet` (untimed transitions default to
+``[0, inf)``).
+
+Example::
+
+    net choice
+    place p0 marked
+    place p1
+    place p2
+    trans a : p0 -> p1
+    trans b : p0 -> p2
+
+Round-trips through :func:`to_text` / :func:`parse_net` are stable and
+covered by tests.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import TextIO
+
+from repro.net.exceptions import ParseError
+from repro.net.petrinet import NetBuilder, PetriNet
+
+__all__ = [
+    "parse_net",
+    "parse_timed_net",
+    "to_text",
+    "load_net",
+    "save_net",
+]
+
+
+def _tokenize(line: str) -> list[str]:
+    """Strip comments and split a line into whitespace-delimited tokens."""
+    if "#" in line:
+        line = line[: line.index("#")]
+    return line.split()
+
+
+def _split_interval(
+    tokens: list[str], lineno: int
+) -> tuple[list[str], tuple[int, int | None] | None]:
+    """Split a ``trans`` line's tokens at ``@`` and parse the interval."""
+    if "@" not in tokens:
+        return tokens, None
+    at = tokens.index("@")
+    spec = "".join(tokens[at + 1 :])
+    if not (spec.startswith("[") and spec.endswith("]")):
+        raise ParseError("interval must look like [eft,lft]", lineno)
+    parts = spec[1:-1].split(",")
+    if len(parts) != 2:
+        raise ParseError("interval must have two bounds", lineno)
+    try:
+        eft = int(parts[0])
+        lft = None if parts[1].strip() in ("inf", "") else int(parts[1])
+    except ValueError as exc:
+        raise ParseError(f"invalid interval bound in {spec!r}", lineno) from exc
+    return tokens[:at], (eft, lft)
+
+
+def _parse(
+    text: str, default_name: str
+) -> tuple[PetriNet, dict[str, tuple[int, int | None]]]:
+    """Shared parser core: returns the net plus declared intervals."""
+    builder: NetBuilder | None = None
+    pending: list[tuple[int, list[str]]] = []
+    intervals: dict[str, tuple[int, int | None]] = {}
+
+    lines = text.splitlines()
+    for lineno, raw in enumerate(lines, start=1):
+        tokens = _tokenize(raw)
+        if not tokens:
+            continue
+        keyword = tokens[0]
+        if keyword == "net":
+            if builder is not None:
+                raise ParseError("duplicate 'net' header", lineno)
+            if len(tokens) != 2:
+                raise ParseError("'net' expects exactly one name", lineno)
+            if pending:
+                raise ParseError(
+                    "'net' header must come before declarations", lineno
+                )
+            builder = NetBuilder(tokens[1])
+            continue
+        pending.append((lineno, tokens))
+
+    if builder is None:
+        builder = NetBuilder(default_name)
+
+    # Two passes: declare all places first so 'trans ... : ...' shorthand and
+    # 'arc' lines can reference places declared later in the file.
+    for lineno, tokens in pending:
+        if tokens[0] == "place":
+            _parse_place(builder, tokens, lineno)
+    for lineno, tokens in pending:
+        if tokens[0] == "trans":
+            stripped, interval = _split_interval(tokens, lineno)
+            _parse_trans(builder, stripped, lineno)
+            if interval is not None:
+                intervals[stripped[1]] = interval
+    for lineno, tokens in pending:
+        if tokens[0] == "arc":
+            _parse_arc(builder, tokens, lineno)
+        elif tokens[0] not in ("place", "trans"):
+            raise ParseError(f"unknown keyword {tokens[0]!r}", lineno)
+
+    try:
+        return builder.build(), intervals
+    except Exception as exc:  # re-raise with parse context
+        raise ParseError(str(exc)) from exc
+
+
+def parse_net(text: str, *, name: str = "net") -> PetriNet:
+    """Parse a net description; see the module docstring for the grammar.
+
+    Firing intervals, if present, are accepted and discarded; use
+    :func:`parse_timed_net` to keep them.
+    """
+    net, _ = _parse(text, name)
+    return net
+
+
+def parse_timed_net(text: str, *, name: str = "net"):
+    """Parse a net description into a :class:`TimedPetriNet`.
+
+    Transitions without an ``@ [eft,lft]`` annotation default to
+    ``[0, inf)``.
+    """
+    from repro.timed.tpn import TimedPetriNet
+
+    net, declared = _parse(text, name)
+    intervals = [
+        declared.get(t, (0, None)) for t in net.transitions
+    ]
+    return TimedPetriNet(net, intervals)
+
+
+def _parse_place(builder: NetBuilder, tokens: list[str], lineno: int) -> None:
+    if len(tokens) < 2 or len(tokens) > 3:
+        raise ParseError("'place' expects a name and optional 'marked'", lineno)
+    marked = False
+    if len(tokens) == 3:
+        if tokens[2] != "marked":
+            raise ParseError(
+                f"expected 'marked', found {tokens[2]!r}", lineno
+            )
+        marked = True
+    try:
+        builder.place(tokens[1], marked=marked)
+    except Exception as exc:
+        raise ParseError(str(exc), lineno) from exc
+
+
+def _parse_trans(builder: NetBuilder, tokens: list[str], lineno: int) -> None:
+    if len(tokens) < 2:
+        raise ParseError("'trans' expects a name", lineno)
+    name = tokens[1]
+    inputs: list[str] = []
+    outputs: list[str] = []
+    if len(tokens) > 2:
+        if tokens[2] != ":":
+            raise ParseError("expected ':' after transition name", lineno)
+        rest = tokens[3:]
+        if "->" not in rest:
+            raise ParseError("expected '->' in transition shorthand", lineno)
+        split = rest.index("->")
+        inputs = rest[:split]
+        outputs = rest[split + 1 :]
+    try:
+        builder.transition(name, inputs=inputs, outputs=outputs)
+    except Exception as exc:
+        raise ParseError(str(exc), lineno) from exc
+
+
+def _parse_arc(builder: NetBuilder, tokens: list[str], lineno: int) -> None:
+    if len(tokens) != 4 or tokens[2] != "->":
+        raise ParseError("'arc' expects '<src> -> <dst>'", lineno)
+    try:
+        builder.arc(tokens[1], tokens[3])
+    except Exception as exc:
+        raise ParseError(str(exc), lineno) from exc
+
+
+def to_text(net: PetriNet) -> str:
+    """Serialize a net into the textual format parsed by :func:`parse_net`."""
+    out = io.StringIO()
+    out.write(f"net {net.name}\n")
+    for p, place in enumerate(net.places):
+        marked = " marked" if p in net.initial_marking else ""
+        out.write(f"place {place}{marked}\n")
+    for t, transition in enumerate(net.transitions):
+        inputs = " ".join(net.places[p] for p in sorted(net.pre_places[t]))
+        outputs = " ".join(net.places[p] for p in sorted(net.post_places[t]))
+        out.write(f"trans {transition} : {inputs} -> {outputs}\n")
+    return out.getvalue()
+
+
+def load_net(stream: TextIO | str) -> PetriNet:
+    """Load a net from an open text stream or a file path."""
+    if isinstance(stream, str):
+        with open(stream, "r", encoding="utf-8") as handle:
+            return parse_net(handle.read())
+    return parse_net(stream.read())
+
+
+def save_net(net: PetriNet, stream: TextIO | str) -> None:
+    """Write a net to an open text stream or a file path."""
+    if isinstance(stream, str):
+        with open(stream, "w", encoding="utf-8") as handle:
+            handle.write(to_text(net))
+        return
+    stream.write(to_text(net))

@@ -1,0 +1,194 @@
+"""Minimal PNML (Petri Net Markup Language) import/export.
+
+Supports the place/transition/arc core of the PNML standard — enough to
+exchange the benchmark nets with mainstream tools (LoLA, Tina, ePNK).  Only
+1-safe semantics are honoured: initial markings greater than one are
+rejected, arc inscriptions other than weight 1 are rejected.
+
+Uses :mod:`xml.etree.ElementTree` from the standard library.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import TextIO
+
+from repro.net.exceptions import ParseError
+from repro.net.petrinet import NetBuilder, PetriNet
+
+__all__ = ["parse_pnml", "to_pnml", "load_pnml", "save_pnml"]
+
+_PNML_NS = "http://www.pnml.org/version-2009/grammar/pnml"
+
+
+def _localname(tag: str) -> str:
+    """Strip an XML namespace from a tag name."""
+    return tag.rsplit("}", 1)[-1]
+
+
+def _find_text(element: ET.Element, path: str) -> str | None:
+    """Find nested ``<path><text>…</text></path>`` ignoring namespaces."""
+    for child in element.iter():
+        if _localname(child.tag) == path:
+            for sub in child.iter():
+                if _localname(sub.tag) == "text" and sub.text is not None:
+                    return sub.text.strip()
+    return None
+
+
+def parse_pnml(text: str) -> PetriNet:
+    """Parse a PNML document into a safe :class:`PetriNet`."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise ParseError(f"invalid XML: {exc}") from exc
+
+    net_elem = None
+    for child in root.iter():
+        if _localname(child.tag) == "net":
+            net_elem = child
+            break
+    if net_elem is None:
+        raise ParseError("no <net> element found")
+
+    name = _find_text(net_elem, "name") or net_elem.get("id", "pnml_net")
+    builder = NetBuilder(name)
+
+    arcs: list[tuple[str, str]] = []
+    id_to_name: dict[str, str] = {}
+    place_ids: set[str] = set()
+    transition_ids: set[str] = set()
+
+    for element in net_elem.iter():
+        tag = _localname(element.tag)
+        if tag == "place":
+            node_id = element.get("id")
+            if node_id is None:
+                raise ParseError("place without id")
+            label = _find_text(element, "name") or node_id
+            marking_text = _find_text(element, "initialMarking") or "0"
+            try:
+                tokens = int(marking_text)
+            except ValueError as exc:
+                raise ParseError(
+                    f"non-integer initial marking on {node_id!r}"
+                ) from exc
+            if tokens not in (0, 1):
+                raise ParseError(
+                    f"place {node_id!r} has {tokens} tokens; only safe "
+                    "nets are supported"
+                )
+            unique = _uniquify(label, id_to_name.values())
+            builder.place(unique, marked=tokens == 1)
+            id_to_name[node_id] = unique
+            place_ids.add(node_id)
+        elif tag == "transition":
+            node_id = element.get("id")
+            if node_id is None:
+                raise ParseError("transition without id")
+            label = _find_text(element, "name") or node_id
+            unique = _uniquify(label, id_to_name.values())
+            builder.transition(unique)
+            id_to_name[node_id] = unique
+            transition_ids.add(node_id)
+        elif tag == "arc":
+            source = element.get("source")
+            target = element.get("target")
+            if source is None or target is None:
+                raise ParseError("arc without source/target")
+            weight_text = _find_text(element, "inscription")
+            if weight_text is not None and weight_text.strip() not in ("1", ""):
+                raise ParseError(
+                    f"arc {source!r}->{target!r} has weight {weight_text}; "
+                    "only weight-1 arcs are supported"
+                )
+            arcs.append((source, target))
+
+    for source, target in arcs:
+        if source not in id_to_name:
+            raise ParseError(f"arc references unknown node {source!r}")
+        if target not in id_to_name:
+            raise ParseError(f"arc references unknown node {target!r}")
+        builder.arc(id_to_name[source], id_to_name[target])
+
+    try:
+        return builder.build()
+    except Exception as exc:
+        raise ParseError(str(exc)) from exc
+
+
+def _uniquify(label: str, taken) -> str:
+    """Disambiguate duplicate PNML labels by suffixing a counter."""
+    taken = set(taken)
+    if label not in taken:
+        return label
+    counter = 2
+    while f"{label}_{counter}" in taken:
+        counter += 1
+    return f"{label}_{counter}"
+
+
+def to_pnml(net: PetriNet) -> str:
+    """Serialize a net as a PNML document (P/T net type)."""
+    root = ET.Element("pnml", {"xmlns": _PNML_NS})
+    net_elem = ET.SubElement(
+        root,
+        "net",
+        {
+            "id": net.name,
+            "type": "http://www.pnml.org/version-2009/grammar/ptnet",
+        },
+    )
+    _append_name(net_elem, net.name)
+    page = ET.SubElement(net_elem, "page", {"id": "page0"})
+
+    for p, place in enumerate(net.places):
+        elem = ET.SubElement(page, "place", {"id": f"p{p}"})
+        _append_name(elem, place)
+        if p in net.initial_marking:
+            marking = ET.SubElement(elem, "initialMarking")
+            ET.SubElement(marking, "text").text = "1"
+    for t, transition in enumerate(net.transitions):
+        elem = ET.SubElement(page, "transition", {"id": f"t{t}"})
+        _append_name(elem, transition)
+    arc_id = 0
+    for t in range(net.num_transitions):
+        for p in sorted(net.pre_places[t]):
+            ET.SubElement(
+                page,
+                "arc",
+                {"id": f"a{arc_id}", "source": f"p{p}", "target": f"t{t}"},
+            )
+            arc_id += 1
+        for p in sorted(net.post_places[t]):
+            ET.SubElement(
+                page,
+                "arc",
+                {"id": f"a{arc_id}", "source": f"t{t}", "target": f"p{p}"},
+            )
+            arc_id += 1
+
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode", xml_declaration=True)
+
+
+def _append_name(element: ET.Element, text: str) -> None:
+    name = ET.SubElement(element, "name")
+    ET.SubElement(name, "text").text = text
+
+
+def load_pnml(stream: TextIO | str) -> PetriNet:
+    """Load PNML from an open stream or file path."""
+    if isinstance(stream, str):
+        with open(stream, "r", encoding="utf-8") as handle:
+            return parse_pnml(handle.read())
+    return parse_pnml(stream.read())
+
+
+def save_pnml(net: PetriNet, stream: TextIO | str) -> None:
+    """Write PNML to an open stream or file path."""
+    if isinstance(stream, str):
+        with open(stream, "w", encoding="utf-8") as handle:
+            handle.write(to_pnml(net))
+        return
+    stream.write(to_pnml(net))

@@ -1,0 +1,6 @@
+"""Symbolic reachability baseline (paper §2.4, the "SMV" column)."""
+
+from repro.symbolic.encoding import SymbolicNet
+from repro.symbolic.reach import SymbolicResult, analyze, reach
+
+__all__ = ["SymbolicNet", "SymbolicResult", "reach", "analyze"]

@@ -1,0 +1,146 @@
+"""Boolean encoding of safe Petri nets for symbolic reachability.
+
+One Boolean variable per place (safe nets are exactly the nets whose
+markings are bit-vectors), with the standard interleaved current/next
+variable scheme.  The transition relation is kept *partitioned* — one small
+relation per transition — so image computation uses per-transition
+relational products instead of one monolithic relation (the same regime SMV
+operates in for asynchronous models).
+
+The encoding guards each transition with "output places empty" (except
+self-loops): on a safe net this never excludes real behaviour, and it keeps
+the symbolic state space bit-identical to the explicit one even on nets
+where a firing would violate safety (the explicit engine raises there).
+"""
+
+from __future__ import annotations
+
+from repro.bdd.manager import BddManager
+from repro.bdd.ordering import force_order
+from repro.net.petrinet import Marking, PetriNet
+
+__all__ = ["SymbolicNet"]
+
+
+class SymbolicNet:
+    """A safe net compiled to BDDs.
+
+    Attributes
+    ----------
+    mgr:
+        The dedicated :class:`BddManager` (levels: interleaved
+        current/next per place, possibly permuted by the FORCE heuristic).
+    current / nxt:
+        Per place index, the BDD *level* of its current/next variable.
+    relations:
+        Per transition index, the BDD of its transition relation over
+        current and next variables (including frame conditions).
+    enabled_any:
+        BDD over current variables: "some transition is enabled";
+        its negation characterizes deadlocked markings.
+    """
+
+    def __init__(self, net: PetriNet, *, use_force_order: bool = True) -> None:
+        self.net = net
+        self.mgr = BddManager()
+        self._monolithic: int | None = None
+
+        order = self._place_order(use_force_order)
+        # position of place p in the chosen order -> interleaved levels
+        self.current: list[int] = [0] * net.num_places
+        self.nxt: list[int] = [0] * net.num_places
+        for position, p in enumerate(order):
+            self.current[p] = 2 * position
+            self.nxt[p] = 2 * position + 1
+        self.mgr.declare(2 * net.num_places)
+
+        self.relations: list[int] = [
+            self._transition_relation(t) for t in range(net.num_transitions)
+        ]
+        self.enabled_any = self.mgr.or_all(
+            self._enabled_predicate(t) for t in range(net.num_transitions)
+        )
+
+    # ------------------------------------------------------------------
+    def _place_order(self, use_force_order: bool) -> list[int]:
+        if not use_force_order:
+            return list(range(self.net.num_places))
+        hyperedges = [
+            sorted(self.net.pre_places[t] | self.net.post_places[t])
+            for t in range(self.net.num_transitions)
+        ]
+        return force_order(self.net.num_places, hyperedges)
+
+    def _enabled_predicate(self, t: int) -> int:
+        """Current-variable BDD: transition ``t`` is enabled (Def. 2.3)."""
+        mgr = self.mgr
+        node = mgr.and_all(mgr.var(self.current[p]) for p in self.net.pre_places[t])
+        return node
+
+    def _transition_relation(self, t: int) -> int:
+        """Relation ``enabled ∧ effect ∧ frame`` for one transition."""
+        mgr = self.mgr
+        net = self.net
+        pre = net.pre_places[t]
+        post = net.post_places[t]
+        conjuncts: list[int] = []
+        for p in range(net.num_places):
+            cur = self.current[p]
+            nxt = self.nxt[p]
+            if p in pre and p in post:
+                # Self-loop: token required and kept.
+                conjuncts.append(mgr.var(cur))
+                conjuncts.append(mgr.var(nxt))
+            elif p in pre:
+                conjuncts.append(mgr.var(cur))
+                conjuncts.append(mgr.nvar(nxt))
+            elif p in post:
+                # Safe-net guard: output place must be empty before firing.
+                conjuncts.append(mgr.nvar(cur))
+                conjuncts.append(mgr.var(nxt))
+            else:
+                # Frame: place unchanged.
+                conjuncts.append(
+                    mgr.iff(mgr.var(cur), mgr.var(nxt))
+                )
+        return mgr.and_all(conjuncts)
+
+    def monolithic_relation(self) -> int:
+        """The single disjunctive transition relation (1998-SMV style).
+
+        Built lazily and cached: ``⋁_t rel_t``.  Using it for image
+        computation (see ``reach(..., partitioned=False)``) reproduces the
+        blow-up regime the paper observed for SMV on asynchronous nets,
+        where the disjunction of frame conditions destroys structure.
+        """
+        if self._monolithic is None:
+            self._monolithic = self.mgr.or_all(self.relations)
+        return self._monolithic
+
+    # ------------------------------------------------------------------
+    def encode_marking(self, marking: Marking) -> int:
+        """Characteristic function of a single marking (current vars)."""
+        mgr = self.mgr
+        literals = []
+        for p in range(self.net.num_places):
+            if p in marking:
+                literals.append(mgr.var(self.current[p]))
+            else:
+                literals.append(mgr.nvar(self.current[p]))
+        return mgr.and_all(literals)
+
+    def decode_model(self, model: dict[int, bool]) -> Marking:
+        """Marking from a current-variable assignment."""
+        return frozenset(
+            p
+            for p in range(self.net.num_places)
+            if model.get(self.current[p], False)
+        )
+
+    def current_levels(self) -> frozenset[int]:
+        """All current-variable levels (for quantification)."""
+        return frozenset(self.current)
+
+    def next_to_current(self) -> dict[int, int]:
+        """Renaming map next-level -> current-level (order preserving)."""
+        return {self.nxt[p]: self.current[p] for p in range(self.net.num_places)}

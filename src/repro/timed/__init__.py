@@ -1,0 +1,28 @@
+"""Time Petri nets and state-class analysis (the paper's §5 outlook).
+
+Merlin-style time Petri nets with Berthomieu-Diaz state-class reachability:
+the direction the paper names as ongoing work ("efficient timing
+verification of concurrent systems, modeled as Timed Petri nets").
+"""
+
+from repro.timed.reach import analyze, explore_classes, timed_reachable_markings
+from repro.timed.stateclass import (
+    StateClass,
+    firable,
+    fire_class,
+    initial_class,
+)
+from repro.timed.tpn import Interval, TimedNetBuilder, TimedPetriNet
+
+__all__ = [
+    "TimedPetriNet",
+    "TimedNetBuilder",
+    "Interval",
+    "StateClass",
+    "initial_class",
+    "firable",
+    "fire_class",
+    "explore_classes",
+    "timed_reachable_markings",
+    "analyze",
+]

@@ -1,0 +1,19 @@
+"""Net unfoldings: McMillan's complete finite prefix.
+
+A further classical partial-order technique (used by the asynchronous
+timing-verification work the paper cites [13]); provides a reduction
+metric — events/conditions/cutoffs — alongside the Table 1 analyzers.
+"""
+
+from repro.unfolding.analysis import analyze, deadlock_via_prefix, prefix_markings
+from repro.unfolding.prefix import Condition, Event, Prefix, unfold
+
+__all__ = [
+    "unfold",
+    "Prefix",
+    "Condition",
+    "Event",
+    "prefix_markings",
+    "deadlock_via_prefix",
+    "analyze",
+]

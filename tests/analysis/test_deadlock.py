@@ -1,0 +1,78 @@
+"""Tests for on-the-fly deadlock detection helpers."""
+
+import pytest
+
+from repro.analysis import (
+    ExplorationLimitReached,
+    all_deadlocks,
+    deadlock_witnesses,
+    explore,
+    find_deadlock,
+    has_deadlock,
+)
+from repro.models import choice_net, concurrent_net, nsdp
+
+
+class TestFindDeadlock:
+    def test_found_with_trace(self):
+        witness = find_deadlock(choice_net())
+        assert witness is not None
+        assert witness.marking in (frozenset({"p1"}), frozenset({"p2"}))
+        assert witness.trace in (("a",), ("b",))
+
+    def test_trace_replays(self):
+        net = nsdp(3)
+        witness = find_deadlock(net)
+        assert witness is not None
+        marking = net.initial_marking
+        for label in witness.trace:
+            marking = net.fire_by_name(label, marking)
+        assert net.marking_names(marking) == witness.marking
+        assert net.is_deadlocked(marking)
+
+    def test_none_for_live_net(self, loop_net):
+        assert find_deadlock(loop_net) is None
+        assert not has_deadlock(loop_net)
+
+    def test_limit(self):
+        with pytest.raises(ExplorationLimitReached):
+            find_deadlock(nsdp(4), max_states=5)
+
+    def test_deadlock_at_initial(self):
+        from repro.net import NetBuilder
+
+        builder = NetBuilder()
+        builder.place("stuck", marked=True)
+        builder.place("need")
+        builder.place("out")
+        builder.transition("t", inputs=["stuck", "need"], outputs=["out"])
+        witness = find_deadlock(builder.build())
+        assert witness is not None
+        assert witness.trace == ()
+        assert "initial marking" in str(witness)
+
+
+class TestGraphQueries:
+    def test_all_deadlocks_order(self):
+        graph = explore(choice_net())
+        deadlocks = all_deadlocks(graph)
+        assert len(deadlocks) == 2
+        assert set(deadlocks) == graph.deadlocks
+
+    def test_witnesses_for_every_deadlock(self):
+        net = choice_net()
+        graph = explore(net)
+        witnesses = deadlock_witnesses(net, graph)
+        assert {w.marking for w in witnesses} == {
+            frozenset({"p1"}),
+            frozenset({"p2"}),
+        }
+
+    def test_witness_limit(self):
+        net = choice_net()
+        graph = explore(net)
+        assert len(deadlock_witnesses(net, graph, limit=1)) == 1
+
+    def test_terminal_state_is_deadlock(self):
+        graph = explore(concurrent_net(2))
+        assert len(all_deadlocks(graph)) == 1

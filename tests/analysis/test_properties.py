@@ -1,0 +1,98 @@
+"""Tests for behavioural property checks (safeness, liveness, invariants)."""
+
+from repro.analysis import (
+    check_invariant,
+    check_safeness,
+    dead_transitions,
+    find_violation,
+    is_quasi_live,
+    mutual_exclusion_holds,
+)
+from repro.models import choice_net, figure3_net, nsdp, rw
+from repro.net import NetBuilder
+
+
+class TestSafeness:
+    def test_safe_net(self):
+        report = check_safeness(nsdp(2))
+        assert report
+        assert "1-safe" in report.description
+
+    def test_unsafe_net_with_trace(self):
+        builder = NetBuilder()
+        builder.place("p", marked=True)
+        builder.place("q")
+        builder.place("r", marked=True)
+        builder.transition("t", inputs=["p"], outputs=["q"])
+        builder.transition("u", inputs=["q"], outputs=["r"])
+        report = check_safeness(builder.build())
+        assert not report
+        assert report.witness is not None
+        assert report.witness.trace == ("t", "u")
+
+    def test_bounded(self):
+        report = check_safeness(nsdp(4), max_states=10)
+        assert report
+        assert "bounded" in report.description
+
+
+class TestLiveness:
+    def test_dead_transition_found(self):
+        # Figure 3: D can never fire.
+        dead = dead_transitions(figure3_net())
+        assert dead == ["D"]
+
+    def test_quasi_live_net(self):
+        assert is_quasi_live(rw(2))
+
+    def test_quasi_live_report_lists_dead(self):
+        report = is_quasi_live(figure3_net())
+        assert not report
+        assert "D" in report.description
+
+
+class TestInvariants:
+    def test_holding_invariant(self, loop_net):
+        report = check_invariant(
+            loop_net, lambda m: len(m) == 1, description="one token"
+        )
+        assert report
+        assert "holds" in report.description
+
+    def test_violated_invariant_with_trace(self):
+        report = check_invariant(
+            choice_net(), lambda m: "p2" not in m, description="never p2"
+        )
+        assert not report
+        assert report.witness is not None
+        assert report.witness.trace == ("b",)
+
+    def test_find_violation(self):
+        witness = find_violation(choice_net(), lambda m: "p1" in m)
+        assert witness is not None
+        assert witness.trace == ("a",)
+
+    def test_find_violation_none(self, loop_net):
+        assert find_violation(loop_net, lambda m: "ghost" in m) is None
+
+
+class TestMutualExclusion:
+    def test_rw_writers_exclusive(self):
+        net = rw(3)
+        report = mutual_exclusion_holds(
+            net, [f"writing{i}" for i in range(3)]
+        )
+        assert report
+
+    def test_violation_detected(self):
+        # Two independent tokens can mark both "critical" places.
+        builder = NetBuilder()
+        builder.place("a", marked=True)
+        builder.place("b", marked=True)
+        builder.place("csa")
+        builder.place("csb")
+        builder.transition("ta", inputs=["a"], outputs=["csa"])
+        builder.transition("tb", inputs=["b"], outputs=["csb"])
+        report = mutual_exclusion_holds(builder.build(), ["csa", "csb"])
+        assert not report
+        assert report.witness is not None

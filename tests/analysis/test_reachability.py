@@ -1,0 +1,93 @@
+"""Tests for full reachability exploration (paper §2.2)."""
+
+import pytest
+
+from repro.analysis import (
+    ExplorationLimitReached,
+    analyze,
+    explore,
+    reachable_markings,
+)
+from repro.models import choice_net, concurrent_net, conflict_pairs_net
+
+
+class TestExplore:
+    def test_figure1_lattice(self):
+        # n concurrent transitions: the full RG is the Boolean lattice.
+        for n in (1, 2, 3, 4, 5):
+            graph = explore(concurrent_net(n))
+            assert graph.num_states == 2**n
+            assert graph.num_edges == n * 2 ** (n - 1)
+
+    def test_figure2_grid(self):
+        # n conflict pairs: 3^n states (each pair: unresolved/A/B).
+        for n in (1, 2, 3, 4):
+            graph = explore(conflict_pairs_net(n))
+            assert graph.num_states == 3**n
+
+    def test_choice(self):
+        graph = explore(choice_net())
+        assert graph.num_states == 3
+        assert len(graph.deadlocks) == 2
+
+    def test_deadlock_recording(self):
+        graph = explore(concurrent_net(2))
+        # single terminal state
+        assert len(graph.deadlocks) == 1
+
+    def test_state_limit(self):
+        with pytest.raises(ExplorationLimitReached):
+            explore(concurrent_net(6), max_states=10)
+
+    def test_stop_at_first_deadlock(self):
+        graph = explore(conflict_pairs_net(3), stop_at_first_deadlock=True)
+        assert len(graph.deadlocks) == 1
+        assert graph.num_states <= 3**3
+
+    def test_initial_state_first(self, sequence):
+        graph = explore(sequence)
+        assert next(iter(graph.states())) == sequence.initial_marking
+
+
+class TestReachableMarkings:
+    def test_matches_explore(self):
+        net = conflict_pairs_net(3)
+        assert reachable_markings(net) == set(explore(net).states())
+
+    def test_limit(self):
+        with pytest.raises(ExplorationLimitReached):
+            reachable_markings(concurrent_net(8), max_states=5)
+
+
+class TestAnalyze:
+    def test_deadlock_verdict_and_witness(self):
+        result = analyze(choice_net())
+        assert result.deadlock
+        assert result.analyzer == "full"
+        assert result.exhaustive
+        assert result.witness is not None
+        assert result.witness.marking in (
+            frozenset({"p1"}),
+            frozenset({"p2"}),
+        )
+        assert len(result.witness.trace) == 1
+
+    def test_witness_is_shortest(self):
+        result = analyze(concurrent_net(3))
+        assert result.witness is not None
+        assert len(result.witness.trace) == 3
+
+    def test_no_deadlock(self, loop_net):
+        result = analyze(loop_net)
+        assert not result.deadlock
+        assert result.witness is None
+        assert result.states == 2
+
+    def test_bounded_analysis_not_exhaustive(self):
+        result = analyze(concurrent_net(8), max_states=20)
+        assert not result.exhaustive
+        assert result.states <= 20
+        assert "bounded" in result.verdict
+
+    def test_describe_mentions_analyzer(self):
+        assert analyze(choice_net()).describe().startswith("full:")

@@ -1,0 +1,57 @@
+"""Tests for result records and the stopwatch."""
+
+from repro.analysis import AnalysisResult, DeadlockWitness, stopwatch
+
+
+class TestDeadlockWitness:
+    def test_str_with_trace(self):
+        witness = DeadlockWitness(
+            marking=frozenset({"p1", "p2"}), trace=("a", "{b,c}")
+        )
+        rendered = str(witness)
+        assert "{p1, p2}" in rendered
+        assert "a ; {b,c}" in rendered
+
+    def test_str_initial(self):
+        witness = DeadlockWitness(marking=frozenset({"p"}), trace=())
+        assert "initial marking" in str(witness)
+
+    def test_frozen(self):
+        witness = DeadlockWitness(marking=frozenset(), trace=())
+        try:
+            witness.trace = ("x",)  # type: ignore[misc]
+        except AttributeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("witness should be immutable")
+
+
+class TestAnalysisResult:
+    def make(self, **kwargs):
+        defaults = dict(
+            analyzer="full",
+            net_name="n",
+            states=5,
+            edges=7,
+            deadlock=False,
+            time_seconds=0.25,
+        )
+        defaults.update(kwargs)
+        return AnalysisResult(**defaults)
+
+    def test_verdicts(self):
+        assert self.make(deadlock=True).verdict == "DEADLOCK"
+        assert self.make().verdict == "deadlock-free"
+        assert "bounded" in self.make(exhaustive=False).verdict
+
+    def test_describe_includes_extras(self):
+        result = self.make(extras={"peak": 42})
+        assert "peak=42" in result.describe()
+        assert "states=5" in result.describe()
+
+
+def test_stopwatch_measures():
+    with stopwatch() as elapsed:
+        total = sum(range(1000))
+    assert total == 499500
+    assert elapsed[0] >= 0.0

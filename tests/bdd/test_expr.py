@@ -1,0 +1,61 @@
+"""Tests for the Boolean-expression front-end."""
+
+import pytest
+
+from repro.bdd import FALSE, TRUE, BddManager, Const, Var
+
+
+class TestEvaluate:
+    def test_var(self):
+        assert Var("x").evaluate({"x": True})
+        assert not Var("x").evaluate({"x": False})
+
+    def test_constants(self):
+        assert TRUE.evaluate({})
+        assert not FALSE.evaluate({})
+
+    def test_operators(self):
+        a, b = Var("a"), Var("b")
+        env = {"a": True, "b": False}
+        assert (a & ~b).evaluate(env)
+        assert (a | b).evaluate(env)
+        assert (a ^ b).evaluate(env)
+        assert not (a >> ~b).evaluate({"a": True, "b": True})
+        assert a.iff(b).evaluate({"a": False, "b": False})
+
+    def test_variables_collected(self):
+        expr = (Var("a") & Var("b")) | ~Var("c")
+        assert expr.variables() == frozenset({"a", "b", "c"})
+        assert TRUE.variables() == frozenset()
+
+
+class TestCompile:
+    def test_constant_folding(self):
+        mgr = BddManager()
+        assert TRUE.to_bdd(mgr, {}) == 1
+        assert FALSE.to_bdd(mgr, {}) == 0
+
+    def test_missing_variable_raises(self):
+        mgr = BddManager()
+        with pytest.raises(KeyError):
+            Var("ghost").to_bdd(mgr, {})
+
+    def test_compile_matches_evaluate(self):
+        mgr = BddManager()
+        levels = {"a": 0, "b": 1}
+        expr = (Var("a") >> Var("b")) ^ ~Var("a")
+        node = expr.to_bdd(mgr, levels)
+        for a in (False, True):
+            for b in (False, True):
+                assert mgr.evaluate(node, {0: a, 1: b}) == expr.evaluate(
+                    {"a": a, "b": b}
+                )
+
+    def test_frozen_dataclasses(self):
+        v = Var("x")
+        with pytest.raises(Exception):
+            v.name = "y"  # type: ignore[misc]
+
+    def test_const_equality(self):
+        assert Const(True) == TRUE
+        assert Const(False) == FALSE

@@ -1,0 +1,120 @@
+"""Unit tests for the core ROBDD manager."""
+
+from itertools import product
+
+import pytest
+
+from repro.bdd import ONE, ZERO, BddManager
+
+
+@pytest.fixture
+def mgr():
+    return BddManager()
+
+
+class TestNodes:
+    def test_terminals(self, mgr):
+        assert mgr.evaluate(ONE, {})
+        assert not mgr.evaluate(ZERO, {})
+
+    def test_var_and_nvar(self, mgr):
+        x = mgr.var(0)
+        nx = mgr.nvar(0)
+        assert mgr.evaluate(x, {0: True})
+        assert not mgr.evaluate(x, {0: False})
+        assert mgr.evaluate(nx, {0: False})
+        assert mgr.not_(x) == nx
+
+    def test_hash_consing(self, mgr):
+        assert mgr.var(3) == mgr.var(3)
+        before = mgr.num_nodes
+        mgr.var(3)
+        assert mgr.num_nodes == before
+
+    def test_reduction_rule(self, mgr):
+        # ite(x, g, g) must collapse to g without creating a node.
+        x = mgr.var(0)
+        y = mgr.var(1)
+        assert mgr.ite(x, y, y) == y
+
+    def test_negative_level_rejected(self, mgr):
+        with pytest.raises(ValueError):
+            mgr.var(-1)
+
+    def test_declare(self, mgr):
+        mgr.declare(5)
+        assert mgr.num_vars == 5
+        mgr.declare(3)
+        assert mgr.num_vars == 5
+
+
+class TestConnectives:
+    def test_truth_tables(self, mgr):
+        x, y = mgr.var(0), mgr.var(1)
+        cases = {
+            "and": (mgr.and_(x, y), lambda a, b: a and b),
+            "or": (mgr.or_(x, y), lambda a, b: a or b),
+            "xor": (mgr.xor(x, y), lambda a, b: a != b),
+            "implies": (mgr.implies(x, y), lambda a, b: (not a) or b),
+            "iff": (mgr.iff(x, y), lambda a, b: a == b),
+            "diff": (mgr.diff(x, y), lambda a, b: a and not b),
+        }
+        for name, (node, ref) in cases.items():
+            for a, b in product([False, True], repeat=2):
+                assert mgr.evaluate(node, {0: a, 1: b}) == ref(a, b), name
+
+    def test_idempotence_and_canonicity(self, mgr):
+        x, y = mgr.var(0), mgr.var(1)
+        assert mgr.and_(x, x) == x
+        assert mgr.or_(x, x) == x
+        assert mgr.and_(x, y) == mgr.and_(y, x)  # canonical form
+        assert mgr.not_(mgr.not_(x)) == x
+
+    def test_and_or_all(self, mgr):
+        xs = [mgr.var(i) for i in range(4)]
+        everything = mgr.and_all(xs)
+        assert mgr.evaluate(everything, {i: True for i in range(4)})
+        assert not mgr.evaluate(everything, {0: False, 1: True, 2: True, 3: True})
+        nothing = mgr.or_all([])
+        assert nothing == ZERO
+        assert mgr.and_all([]) == ONE
+
+    def test_short_circuits(self, mgr):
+        x = mgr.var(0)
+        assert mgr.and_all([x, ZERO, mgr.var(1)]) == ZERO
+        assert mgr.or_all([x, ONE]) == ONE
+
+
+class TestInspection:
+    def test_support(self, mgr):
+        x, z = mgr.var(0), mgr.var(2)
+        f = mgr.or_(x, z)
+        assert mgr.support(f) == frozenset({0, 2})
+        assert mgr.support(ONE) == frozenset()
+
+    def test_count_nodes(self, mgr):
+        x, y = mgr.var(0), mgr.var(1)
+        f = mgr.and_(x, y)
+        assert mgr.count_nodes(f) == 2
+        assert mgr.count_nodes(ZERO) == 0
+        # shared subgraphs counted once
+        g = mgr.or_(f, mgr.and_(x, y))
+        assert mgr.count_nodes(f, g) == mgr.count_nodes(f)
+
+    def test_evaluate_missing_variable_raises(self, mgr):
+        f = mgr.var(1)
+        with pytest.raises(KeyError):
+            mgr.evaluate(f, {0: True})
+
+    def test_iter_nodes(self, mgr):
+        f = mgr.and_(mgr.var(0), mgr.var(1))
+        nodes = list(mgr.iter_nodes(f))
+        assert len(nodes) == 2
+        levels = {level for _, level, _, _ in nodes}
+        assert levels == {0, 1}
+
+    def test_to_expr_string(self, mgr):
+        f = mgr.var(0)
+        assert mgr.to_expr_string(f) == "ite(x0, true, false)"
+        assert mgr.to_expr_string(f, {0: "a"}) == "ite(a, true, false)"
+        assert mgr.to_expr_string(ZERO) == "false"

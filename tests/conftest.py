@@ -1,0 +1,76 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.models import random_net, random_state_machine_product
+from repro.net import NetBuilder, PetriNet
+
+
+@pytest.fixture
+def choice() -> PetriNet:
+    """p0 -> (a | b): the minimal conflict."""
+    builder = NetBuilder("choice")
+    builder.place("p0", marked=True)
+    builder.place("p1")
+    builder.place("p2")
+    builder.transition("a", inputs=["p0"], outputs=["p1"])
+    builder.transition("b", inputs=["p0"], outputs=["p2"])
+    return builder.build()
+
+
+@pytest.fixture
+def sequence() -> PetriNet:
+    """p0 -t1-> p1 -t2-> p2: a simple pipeline."""
+    builder = NetBuilder("sequence")
+    builder.place("p0", marked=True)
+    builder.place("p1")
+    builder.place("p2")
+    builder.transition("t1", inputs=["p0"], outputs=["p1"])
+    builder.transition("t2", inputs=["p1"], outputs=["p2"])
+    return builder.build()
+
+
+@pytest.fixture
+def loop_net() -> PetriNet:
+    """A two-state cycle (deadlock-free)."""
+    builder = NetBuilder("loop")
+    builder.place("p0", marked=True)
+    builder.place("p1")
+    builder.transition("go", inputs=["p0"], outputs=["p1"])
+    builder.transition("back", inputs=["p1"], outputs=["p0"])
+    return builder.build()
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+@st.composite
+def safe_nets(draw, max_places: int = 7, max_transitions: int = 6):
+    """Random nets that are usually safe (callers filter UnsafeNetError)."""
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    rng = random.Random(seed)
+    num_places = draw(st.integers(min_value=3, max_value=max_places))
+    num_transitions = draw(st.integers(min_value=2, max_value=max_transitions))
+    return random_net(
+        rng,
+        num_places=num_places,
+        num_transitions=num_transitions,
+    )
+
+
+@st.composite
+def state_machine_nets(draw):
+    """Safe-by-construction synchronized state machines."""
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    rng = random.Random(seed)
+    return random_state_machine_product(
+        rng,
+        num_components=draw(st.integers(min_value=2, max_value=4)),
+        states_per_component=draw(st.integers(min_value=2, max_value=4)),
+        num_resources=draw(st.integers(min_value=1, max_value=3)),
+    )

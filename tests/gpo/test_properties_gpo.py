@@ -1,0 +1,148 @@
+"""Property tests for the generalized partial-order analysis.
+
+The soundness theorem this reproduction rests on, checked empirically:
+
+* **verdict equivalence** — GPO reports a deadlock iff the full classical
+  reachability graph contains one;
+* **mapping soundness** — every classical marking covered by an explored
+  GPN state is classically reachable;
+* **witness validity** — every reported dead scenario maps to a genuinely
+  deadlocked, reachable classical marking;
+* **firing consistency** (Defs. 3.3/3.6 vs Def. 2.4) — single firing
+  commutes with classical firing through the Def. 3.4 mapping.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.analysis import explore
+from repro.analysis.stats import ExplorationLimitReached
+from repro.gpo import (
+    Gpn,
+    GpoOptions,
+    explore_gpo,
+    mapping,
+    s_enabled,
+    scenario_marking,
+    single_fire,
+)
+from repro.net.exceptions import UnsafeNetError
+
+from tests.conftest import safe_nets, state_machine_nets
+
+COMMON = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: GPN graphs can exceed the classical graph on adversarial random nets
+#: (see DESIGN.md "Known limitation"); budget the explorations and skip
+#: the rare blow-ups rather than burn minutes on them.
+GPN_BUDGET = 4000
+
+
+def _full_or_none(net, max_states=3000):
+    try:
+        return explore(net, max_states=max_states)
+    except UnsafeNetError:
+        return None
+
+
+def _gpo_or_none(net, **kwargs):
+    kwargs.setdefault("max_states", GPN_BUDGET)
+    try:
+        return explore_gpo(net, GpoOptions(**kwargs))
+    except ExplorationLimitReached:
+        return None
+
+
+@given(net=safe_nets())
+@settings(**COMMON)
+def test_verdict_matches_full_on_random_nets(net):
+    full = _full_or_none(net)
+    if full is None:
+        return
+    result = _gpo_or_none(net, backend="explicit", validate=True)
+    if result is None:
+        return
+    assert result.has_deadlock == bool(full.deadlocks)
+
+
+@given(net=state_machine_nets())
+@settings(**COMMON)
+def test_verdict_matches_full_on_state_machines(net):
+    full = explore(net, max_states=5000)
+    result = _gpo_or_none(net, backend="bdd")
+    if result is None:
+        return
+    assert result.has_deadlock == bool(full.deadlocks)
+
+
+@given(net=safe_nets(max_places=6, max_transitions=5))
+@settings(**COMMON)
+def test_mapping_soundness(net):
+    full = _full_or_none(net)
+    if full is None:
+        return
+    reachable = set(full.states())
+    result = _gpo_or_none(net, backend="explicit", on_deadlock="continue")
+    if result is None:
+        return
+    for state in result.graph.states():
+        assert mapping(result.gpn, state) <= reachable
+
+
+@given(net=safe_nets(max_places=6, max_transitions=5))
+@settings(**COMMON)
+def test_witnesses_are_real_deadlocks(net):
+    full = _full_or_none(net)
+    if full is None:
+        return
+    reachable = set(full.states())
+    result = _gpo_or_none(net, backend="explicit", on_deadlock="continue")
+    if result is None:
+        return
+    for state, dead in result.deadlock_states:
+        for scenario in dead.iter_sets():
+            marking = scenario_marking(result.gpn, state, scenario)
+            assert marking in reachable
+            assert net.is_deadlocked(marking)
+
+
+@given(net=safe_nets(max_places=6, max_transitions=5))
+@settings(**COMMON)
+def test_single_firing_consistency(net):
+    """Def. 3.3 vs Def. 2.4 through the mapping.
+
+    From the initial GPN state, for any single-enabled transition t:
+    mapping(s_update(s, t)) == { classical-fire(m, t) for enabled m }
+                             ∪ { m unchanged for disabled m }.
+    """
+    if _full_or_none(net, max_states=200) is None:
+        return
+    gpn = Gpn(net, backend="explicit")
+    state = gpn.initial_state()
+    for t in range(net.num_transitions):
+        enabled_family = s_enabled(gpn, state, t)
+        if enabled_family.is_empty():
+            continue
+        after = single_fire(gpn, state, t)
+        expected = set()
+        for scenario in state.valid.iter_sets():
+            classical = scenario_marking(gpn, state, scenario)
+            if scenario in set(enabled_family.iter_sets()):
+                expected.add(net.fire(t, classical))
+            else:
+                expected.add(classical)
+        assert mapping(gpn, after) == expected
+
+
+@given(net=state_machine_nets())
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_backends_agree(net):
+    explicit = _gpo_or_none(net, backend="explicit")
+    bdd = _gpo_or_none(net, backend="bdd")
+    if explicit is None or bdd is None:
+        return
+    assert explicit.has_deadlock == bdd.has_deadlock
+    assert explicit.graph.num_states == bdd.graph.num_states

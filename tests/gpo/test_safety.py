@@ -1,0 +1,179 @@
+"""Tests for safety-property checking (screen + certification + monitor)."""
+
+import pytest
+
+from repro.analysis import explore
+from repro.gpo import (
+    MarkingConstraint,
+    check_safety,
+    monitor_net,
+    mutual_exclusion_constraints,
+    screen_safety,
+)
+from repro.models import asat, choice_net, conflict_pairs_net, nsdp, rw
+
+
+class TestMarkingConstraint:
+    def test_describe(self):
+        c = MarkingConstraint(marked=("a", "b"), unmarked=("c",))
+        assert c.describe() == "a & b & !c"
+        assert MarkingConstraint().describe() == "true"
+
+    def test_holds_in(self):
+        c = MarkingConstraint(marked=("a",), unmarked=("b",))
+        assert c.holds_in(frozenset({"a"}))
+        assert not c.holds_in(frozenset({"a", "b"}))
+        assert not c.holds_in(frozenset({"c"}))
+
+    def test_mutual_exclusion_constraints(self):
+        constraints = mutual_exclusion_constraints(["z", "x", "y"])
+        assert len(constraints) == 3
+        assert all(len(c.marked) == 2 for c in constraints)
+
+
+class TestScreen:
+    def test_violation_found_with_real_witness(self):
+        net = rw(3)
+        result = screen_safety(
+            net, [MarkingConstraint(marked=("reading0", "reading1"))]
+        )
+        assert result is not None and not result.safe
+        # The witness marking must be classically reachable.
+        reachable = set(explore(net).states())
+        assert net.marking_from_names(result.witness.marking) in reachable
+
+    def test_clean_screen_returns_none(self):
+        result = screen_safety(
+            rw(2), [MarkingConstraint(marked=("writing0", "writing1"))]
+        )
+        assert result is None
+
+    def test_screen_incompleteness_pinned(self):
+        # The reduction skips the intermediate marking {a_out0, c1}: the
+        # screen must stay silent even though the marking is reachable.
+        # (This is exactly why check_safety certifies symbolically.)
+        net = conflict_pairs_net(2)
+        bad = MarkingConstraint(marked=("a_out0", "c1"))
+        assert screen_safety(net, [bad]) is None
+
+
+class TestCheckSafety:
+    def test_certified_safe(self):
+        result = check_safety(
+            rw(3),
+            mutual_exclusion_constraints(
+                [f"writing{i}" for i in range(3)]
+            ),
+        )
+        assert result.safe
+        assert result.extras.get("certified")
+
+    def test_screen_fast_path(self):
+        result = check_safety(
+            rw(3), [MarkingConstraint(marked=("reading0", "reading2"))]
+        )
+        assert not result.safe
+        assert result.extras["engine"] == "gpo-screen"
+        assert result.witness.trace  # screen witnesses carry traces
+
+    def test_symbolic_catches_screen_blind_spot(self):
+        net = conflict_pairs_net(2)
+        bad = MarkingConstraint(marked=("a_out0", "c1"))
+        result = check_safety(net, [bad])
+        assert not result.safe
+        assert result.extras["engine"] == "symbolic"
+
+    def test_unmarked_constraints(self):
+        # "a_out0 marked while c0 unmarked" is reachable (fire A0).
+        net = conflict_pairs_net(1)
+        result = check_safety(
+            net,
+            [MarkingConstraint(marked=("a_out0",), unmarked=("c0",))],
+        )
+        assert not result.safe
+        # but "a_out0 and b_out0 together" is not
+        result = check_safety(
+            net, [MarkingConstraint(marked=("a_out0", "b_out0"))]
+        )
+        assert result.safe
+
+    def test_asat_mutex(self):
+        result = check_safety(
+            asat(4),
+            mutual_exclusion_constraints([f"use{i}" for i in range(4)]),
+        )
+        assert result.safe
+
+    def test_nsdp_fork_consistency(self):
+        # A fork cannot be on the table while its owner eats.
+        result = check_safety(
+            nsdp(3), [MarkingConstraint(marked=("fork0", "eat0"))]
+        )
+        assert result.safe
+
+    def test_describe(self):
+        safe = check_safety(
+            rw(2), [MarkingConstraint(marked=("writing0", "writing1"))]
+        )
+        assert "safe" in safe.describe()
+        unsafe = check_safety(
+            rw(2), [MarkingConstraint(marked=("reading0",))]
+        )
+        assert "UNSAFE" in unsafe.describe()
+        assert bool(safe) and not bool(unsafe)
+
+    def test_agrees_with_explicit_model_checking(self):
+        from repro.analysis import find_violation
+
+        net = nsdp(2)
+        patterns = [
+            MarkingConstraint(marked=("eat0", "eat1")),
+            MarkingConstraint(marked=("hasL0", "hasR0")),
+            MarkingConstraint(marked=("eat0", "fork1")),
+            MarkingConstraint(marked=("think0", "think1")),
+        ]
+        for constraint in patterns:
+            explicit = find_violation(net, constraint.holds_in)
+            ours = check_safety(net, [constraint])
+            assert ours.safe == (explicit is None), constraint.describe()
+
+
+class TestMonitorNet:
+    def test_monitor_fires_iff_reachable(self):
+        net = choice_net()
+        instrumented, monitor = monitor_net(
+            net, MarkingConstraint(marked=("p1",))
+        )
+        graph = explore(instrumented)
+        assert any(label == monitor for _, label, _ in graph.edges())
+
+    def test_monitor_silent_when_unreachable(self):
+        net = conflict_pairs_net(1)
+        instrumented, monitor = monitor_net(
+            net, MarkingConstraint(marked=("a_out0", "b_out0"))
+        )
+        graph = explore(instrumented)
+        assert not any(label == monitor for _, label, _ in graph.edges())
+
+    def test_rejects_negative_constraints(self):
+        with pytest.raises(ValueError):
+            monitor_net(
+                choice_net(), MarkingConstraint(unmarked=("p1",))
+            )
+        with pytest.raises(ValueError):
+            monitor_net(choice_net(), MarkingConstraint())
+
+    def test_monitor_visible_to_gpo(self):
+        # The instrumented monitor participates in the conflict structure,
+        # so GPO observes the intermediate marking the bare screen misses.
+        from repro.gpo import GpoOptions, explore_gpo
+
+        net = conflict_pairs_net(2)
+        instrumented, monitor = monitor_net(
+            net, MarkingConstraint(marked=("a_out0", "c1"))
+        )
+        result = explore_gpo(
+            instrumented, GpoOptions(on_deadlock="continue")
+        )
+        fired = {label for _, label, _ in result.graph.edges()}
+        assert any(monitor in label for label in fired)

@@ -1,0 +1,162 @@
+"""Tests for the ``gpo`` command-line interface."""
+
+import pytest
+
+from repro.harness.cli import main
+from repro.models import choice_net, figure3_net
+from repro.net import save_net, save_pnml
+
+
+@pytest.fixture
+def net_file(tmp_path):
+    path = str(tmp_path / "choice.net")
+    save_net(choice_net(), path)
+    return path
+
+
+@pytest.fixture
+def pnml_file(tmp_path):
+    path = str(tmp_path / "fig3.pnml")
+    save_pnml(figure3_net(), path)
+    return path
+
+
+class TestVerify:
+    def test_deadlock_exit_code(self, net_file, capsys):
+        assert main(["verify", net_file]) == 1
+        out = capsys.readouterr().out
+        assert "DEADLOCK" in out
+        assert "deadlock at" in out
+
+    @pytest.mark.parametrize("method", ["full", "stubborn", "symbolic", "gpo"])
+    def test_all_methods(self, net_file, method, capsys):
+        assert main(["verify", net_file, "--method", method]) == 1
+        assert method in capsys.readouterr().out
+
+    def test_pnml_autodetected(self, pnml_file, capsys):
+        assert main(["verify", pnml_file]) == 1
+
+    def test_explicit_backend(self, net_file, capsys):
+        assert main(["verify", net_file, "--backend", "explicit"]) == 1
+        assert "backend=explicit" in capsys.readouterr().out
+
+    def test_unfolding_method(self, net_file, capsys):
+        assert main(["verify", net_file, "--method", "unfolding"]) == 1
+        assert "cutoffs" in capsys.readouterr().out
+
+    def test_timed_verify(self, tmp_path, capsys):
+        path = str(tmp_path / "race.net")
+        with open(path, "w") as handle:
+            handle.write(
+                "place p marked\nplace q\nplace r\n"
+                "trans good : p -> q @ [0,1]\n"
+                "trans back : q -> p\n"
+                "trans bad : p -> r @ [5,6]\n"
+            )
+        code = main(["verify", path, "--timed"])
+        assert code == 0  # 'bad' is preempted; the net cycles forever
+        assert "timed" in capsys.readouterr().out
+        # untimed skeleton reaches the dead place r
+        assert main(["verify", path]) == 1
+
+
+class TestSafety:
+    @pytest.fixture
+    def rw_file(self, tmp_path):
+        from repro.models import rw
+
+        path = str(tmp_path / "rw3.net")
+        save_net(rw(3), path)
+        return path
+
+    def test_safe_property(self, rw_file, capsys):
+        code = main(
+            ["safety", rw_file, "--bad", "writing0 & writing1"]
+        )
+        assert code == 0
+        assert "safe" in capsys.readouterr().out
+
+    def test_unsafe_property_exit_code(self, rw_file, capsys):
+        code = main(["safety", rw_file, "--bad", "reading0 & reading1"])
+        assert code == 1
+        assert "UNSAFE" in capsys.readouterr().out
+
+    def test_negated_places(self, rw_file, capsys):
+        code = main(
+            ["safety", rw_file, "--bad", "writing0 & !controller"]
+        )
+        assert code == 0  # controller is always marked
+
+    def test_unknown_place_rejected(self, rw_file, capsys):
+        assert main(["safety", rw_file, "--bad", "ghost"]) == 2
+
+    def test_empty_conjunct_rejected(self, rw_file, capsys):
+        assert main(["safety", rw_file, "--bad", "a & & b"]) == 2
+
+    def test_no_screen_mode(self, rw_file, capsys):
+        code = main(
+            [
+                "safety",
+                rw_file,
+                "--no-screen",
+                "--bad",
+                "reading0 & reading1",
+            ]
+        )
+        assert code == 1
+
+
+class TestTable1:
+    def test_selected_problem(self, capsys):
+        code = main(
+            ["table1", "--problems", "OVER", "--max-states", "2000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OVER(2)" in out and "OVER(5)" in out
+
+    def test_unknown_problem(self, capsys):
+        assert main(["table1", "--problems", "NOPE"]) == 2
+
+
+class TestFigures:
+    def test_figure2(self, capsys):
+        assert main(["figures", "--figure", "2"]) == 0
+        assert "conflict pairs" in capsys.readouterr().out
+
+    def test_figure3(self, capsys):
+        assert main(["figures", "--figure", "3"]) == 0
+        assert "fire {A,B}" in capsys.readouterr().out
+
+
+class TestCheckAndDot:
+    def test_check_ok(self, net_file, capsys):
+        assert main(["check", net_file]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out and "1-safe" in out
+
+    def test_check_unsafe(self, tmp_path, capsys):
+        path = str(tmp_path / "unsafe.net")
+        with open(path, "w") as handle:
+            handle.write(
+                "place p marked\nplace q marked\ntrans t : p -> q\n"
+            )
+        assert main(["check", path]) == 1
+        assert "VIOLATION" in capsys.readouterr().out
+
+    def test_dot_net(self, net_file, capsys):
+        assert main(["dot", net_file]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_dot_rg(self, net_file, capsys):
+        assert main(["dot", net_file, "--rg"]) == 0
+        assert "doublecircle" in capsys.readouterr().out
+
+
+class TestBenchModel:
+    def test_runs(self, capsys):
+        assert main(["bench-model", "RW", "2"]) == 0
+        assert "RW(2)" in capsys.readouterr().out
+
+    def test_unknown_model(self, capsys):
+        assert main(["bench-model", "XX", "2"]) == 2

@@ -1,0 +1,40 @@
+"""Tests for the ASCII table renderer."""
+
+from repro.harness import format_number, format_table
+
+
+class TestFormatNumber:
+    def test_ints(self):
+        assert format_number(42) == "42"
+        assert format_number(999_999) == "999999"
+
+    def test_large_ints_scientific(self):
+        assert format_number(1_860_000) == "1.86e6"
+
+    def test_floats(self):
+        assert format_number(0.056) == "0.06"
+        assert format_number(1.5, digits=1) == "1.5"
+
+    def test_none(self):
+        assert format_number(None) == "-"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["name", "value"], [["a", "1"], ["long-name", "22"]]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        # all lines equally wide
+        assert len({len(line) for line in lines}) == 1
+
+    def test_title(self):
+        text = format_table(["x"], [["1"]], title="My Table")
+        assert text.startswith("My Table\n")
+
+    def test_numbers_right_aligned(self):
+        text = format_table(["col"], [["5"], ["500"]])
+        lines = text.splitlines()
+        assert lines[-2].endswith("  5")
+        assert lines[-1].endswith("500")

@@ -1,0 +1,46 @@
+"""Tests for the budgeted analyzer runner."""
+
+import pytest
+
+from repro.harness import Budget, run_analyzer
+from repro.models import choice_net, nsdp
+
+
+class TestRunAnalyzer:
+    @pytest.mark.parametrize("name", ["full", "stubborn", "symbolic", "gpo"])
+    def test_all_analyzers_agree_on_choice(self, name):
+        result = run_analyzer(name, choice_net())
+        assert result.deadlock
+        assert result.exhaustive
+        assert result.analyzer == name
+
+    def test_unknown_analyzer_rejected(self):
+        with pytest.raises(ValueError):
+            run_analyzer("quantum", choice_net())
+
+    def test_state_budget_overrun_reported(self):
+        result = run_analyzer(
+            "full", nsdp(4), Budget(max_states=10, max_seconds=None)
+        )
+        assert not result.exhaustive
+        assert "aborted" in result.extras
+        assert result.states == 10
+
+    def test_time_budget_overrun_reported(self):
+        result = run_analyzer(
+            "symbolic", nsdp(5), Budget(max_seconds=0.0)
+        )
+        assert not result.exhaustive
+        assert "aborted" in result.extras
+
+    def test_extra_kwargs_forwarded(self):
+        result = run_analyzer(
+            "gpo", choice_net(), Budget(extra={"backend": "explicit"})
+        )
+        assert result.extras["backend"] == "explicit"
+
+    def test_unlimited_budget(self):
+        result = run_analyzer(
+            "full", choice_net(), Budget(max_states=None, max_seconds=None)
+        )
+        assert result.exhaustive

@@ -1,0 +1,53 @@
+"""Tests for the ASAT benchmark family."""
+
+import pytest
+
+from repro.analysis import explore, has_deadlock
+from repro.models import asat
+from repro.net import check_safe, diagnose
+from repro.analysis.properties import mutual_exclusion_holds
+
+
+class TestStructure:
+    def test_power_of_two_required(self):
+        for bad in (0, 1, 3, 6):
+            with pytest.raises(ValueError):
+                asat(bad)
+
+    def test_tree_shape(self):
+        net = asat(4)
+        # 3 cells for 4 users: cells c0_0, c0_1, c1_0
+        assert "free_c0_0" in net.places
+        assert "free_c1_0" in net.places
+        assert "free_c2_0" not in net.places
+
+    def test_clean_structure(self):
+        assert diagnose(asat(2)).clean
+
+    def test_safe(self):
+        assert check_safe(asat(4))
+
+
+class TestBehaviour:
+    @pytest.mark.parametrize("n", [2, 4])
+    def test_deadlock_free(self, n):
+        assert not has_deadlock(asat(n))
+
+    def test_mutual_exclusion(self):
+        # The arbiter's whole point: at most one user in its 'use' place.
+        net = asat(4)
+        report = mutual_exclusion_holds(net, [f"use{i}" for i in range(4)])
+        assert report
+
+    def test_every_user_can_acquire(self):
+        from repro.analysis import is_quasi_live
+
+        assert is_quasi_live(asat(2))
+
+    def test_state_explosion_shape(self):
+        # Roughly two orders of magnitude per doubling (paper: 88 -> 7822).
+        small = explore(asat(2)).num_states
+        large = explore(asat(4)).num_states
+        assert small == 36
+        assert large == 768
+        assert large / small > 10

@@ -1,0 +1,76 @@
+"""Tests for the figure nets' structure and published state counts."""
+
+import pytest
+
+from repro.analysis import explore
+from repro.models import (
+    choice_net,
+    concurrent_net,
+    conflict_pairs_net,
+    figure3_net,
+    figure5_net,
+    figure7_net,
+)
+from repro.net import maximal_conflict_sets
+
+
+class TestConcurrentNet:
+    def test_structure(self):
+        net = concurrent_net(4)
+        assert net.num_places == 8
+        assert net.num_transitions == 4
+        assert len(net.initial_marking) == 4
+
+    def test_full_graph_is_lattice(self):
+        assert explore(concurrent_net(3)).num_states == 8
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            concurrent_net(0)
+
+
+class TestConflictPairsNet:
+    def test_structure(self):
+        net = conflict_pairs_net(3)
+        assert net.num_transitions == 6
+        components = maximal_conflict_sets(net)
+        assert len(components) == 3
+        assert all(len(c) == 2 for c in components)
+
+    def test_every_branch_reaches_deadlock(self):
+        graph = explore(conflict_pairs_net(2))
+        assert len(graph.deadlocks) == 4  # all A/B combinations
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            conflict_pairs_net(0)
+
+
+class TestWalkthroughNets:
+    def test_figure3_deadlocks(self):
+        # Classical analysis: {p4} (B path) and the post-C marking are dead.
+        net = figure3_net()
+        graph = explore(net)
+        assert net.marking_from_names(["p4"]) in graph.deadlocks
+
+    def test_figure5_conflict_on_p1(self):
+        net = figure5_net()
+        a = net.transition_id("A")
+        b = net.transition_id("B")
+        shared = net.pre_places[a] & net.pre_places[b]
+        assert shared == frozenset({net.place_id("p1")})
+
+    def test_figure7_two_sequential_pairs(self):
+        net = figure7_net()
+        components = maximal_conflict_sets(net)
+        assert len(components) == 2
+        # C and D share the output place p5 but never both fire (they
+        # conflict on p3), so the net stays safe.
+        from repro.net import check_safe
+
+        assert check_safe(net)
+
+    def test_choice_net_minimal(self):
+        net = choice_net()
+        assert net.num_transitions == 2
+        assert explore(net).num_states == 3

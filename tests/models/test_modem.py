@@ -1,0 +1,90 @@
+"""Tests for the QAM-modem embedded-system model."""
+
+import pytest
+
+from repro.analysis import analyze as full_analyze, explore
+from repro.gpo import analyze as gpo_analyze
+from repro.models import modem
+from repro.net import check_safe, diagnose
+from repro.stubborn import analyze as stubborn_analyze
+
+
+class TestStructure:
+    def test_lane_count_scales(self):
+        one = modem(1)
+        two = modem(2)
+        assert two.num_places > one.num_places
+        assert "eq_idle_l1" in two.places
+        assert "eq_idle_l1" not in one.places
+
+    def test_invalid_lanes(self):
+        with pytest.raises(ValueError):
+            modem(0)
+
+    @pytest.mark.parametrize("bug", [True, False])
+    def test_safe(self, bug):
+        assert check_safe(modem(2, bug=bug))
+
+    def test_clean_structure(self):
+        assert diagnose(modem(2)).clean
+
+    def test_bug_variant_distinct_name(self):
+        assert modem(2, bug=True).name != modem(2).name
+
+
+class TestBehaviour:
+    @pytest.mark.parametrize("lanes", [1, 2])
+    def test_bug_deadlocks(self, lanes):
+        assert full_analyze(modem(lanes, bug=True)).deadlock
+
+    @pytest.mark.parametrize("lanes", [1, 2])
+    def test_fixed_is_live(self, lanes):
+        assert not full_analyze(modem(lanes, bug=False)).deadlock
+
+    def test_deadlock_is_the_retrain_wedge(self):
+        net = modem(1, bug=True)
+        graph = explore(net)
+        assert graph.deadlocks
+        for marking in graph.deadlocks:
+            names = net.marking_names(marking)
+            assert "eq_training" in names
+            assert "ctl_wait" in names
+            assert "ch2_l0_full" in names  # the channel that never drains
+
+    def test_gpo_constant_states_across_lanes(self):
+        counts = {
+            gpo_analyze(modem(lanes, bug=True)).states
+            for lanes in (1, 2, 3)
+        }
+        assert counts == {11}
+
+    @pytest.mark.parametrize("bug,expected", [(True, True), (False, False)])
+    def test_all_analyzers_agree(self, bug, expected):
+        net = modem(2, bug=bug)
+        assert gpo_analyze(net).deadlock == expected
+        assert stubborn_analyze(net, max_states=200_000).deadlock == expected
+
+    def test_retrain_completes_in_fixed_variant(self):
+        net = modem(1, bug=False)
+        m = net.initial_marking
+        m = net.fire_by_name("start_retrain", m)
+        m = net.fire_by_name("eq_accept_retrain", m)
+        m = net.fire_by_name("eq_finish_retrain", m)
+        m = net.fire_by_name("ack_retrain", m)
+        assert "ctl_idle" in net.marking_names(m)
+
+    def test_pipeline_moves_data(self):
+        net = modem(1)
+        m = net.initial_marking
+        for label in (
+            "sample_l0",
+            "emit_l0",
+            "fir_take_l0",
+            "fir_put_l0",
+            "eq_take_l0",
+            "eq_put_l0",
+            "dec_take_l0",
+            "dec_done_l0",
+        ):
+            m = net.fire_by_name(label, m)
+        assert m == net.initial_marking

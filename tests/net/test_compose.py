@@ -1,0 +1,103 @@
+"""Tests for net composition operators (rename/prefix/parallel/fuse)."""
+
+import pytest
+
+from repro.analysis import explore
+from repro.net import (
+    NetBuilder,
+    NetStructureError,
+    UnknownNodeError,
+    fuse_places,
+    parallel,
+    prefix,
+    rename,
+)
+
+
+def cell(name="cell"):
+    builder = NetBuilder(name)
+    builder.place("idle", marked=True)
+    builder.place("busy")
+    builder.transition("go", inputs=["idle"], outputs=["busy"])
+    builder.transition("stop", inputs=["busy"], outputs=["idle"])
+    return builder.build()
+
+
+class TestRename:
+    def test_dict_rename(self):
+        net = rename(cell(), place_map={"idle": "free"})
+        assert "free" in net.places
+        assert "idle" not in net.places
+
+    def test_callable_rename(self):
+        net = rename(cell(), transition_map=lambda t: t.upper())
+        assert set(net.transitions) == {"GO", "STOP"}
+
+    def test_preserves_behavior(self):
+        original = explore(cell())
+        renamed = explore(prefix(cell(), "x."))
+        assert original.num_states == renamed.num_states
+        assert original.num_edges == renamed.num_edges
+
+    def test_non_injective_rejected(self):
+        with pytest.raises(NetStructureError):
+            rename(cell(), place_map=lambda p: "same")
+
+    def test_new_name(self):
+        assert rename(cell(), name="other").name == "other"
+
+
+class TestParallel:
+    def test_disjoint_union(self):
+        net = parallel([prefix(cell(), "a."), prefix(cell(), "b.")])
+        assert net.num_places == 4
+        assert net.num_transitions == 4
+        # Independent components: state count is the product.
+        assert explore(net).num_states == 4
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(NetStructureError):
+            parallel([cell(), cell()])
+
+    def test_marking_union(self):
+        net = parallel([prefix(cell(), "a."), prefix(cell(), "b.")])
+        names = net.marking_names(net.initial_marking)
+        assert names == frozenset({"a.idle", "b.idle"})
+
+
+class TestFusePlaces:
+    def test_shared_resource(self):
+        # Two cells sharing a single "machine" resource.
+        a, b = prefix(cell(), "a."), prefix(cell(), "b.")
+        both = parallel([a, b])
+        fused = fuse_places(
+            both, [["a.idle", "b.idle"]], names=["machine_free"]
+        )
+        assert "machine_free" in fused.places
+        assert fused.num_places == 3
+        # The fused place inherits all four arcs.
+        consumers = fused.post_transitions[fused.place_id("machine_free")]
+        assert len(consumers) == 2
+
+    def test_marked_if_any_member_marked(self):
+        both = parallel([prefix(cell(), "a."), prefix(cell(), "b.")])
+        fused = fuse_places(both, [["a.idle", "b.busy"]])
+        assert fused.place_id("a.idle") in fused.initial_marking
+
+    def test_overlapping_groups_rejected(self):
+        both = parallel([prefix(cell(), "a."), prefix(cell(), "b.")])
+        with pytest.raises(NetStructureError):
+            fuse_places(both, [["a.idle", "b.idle"], ["b.idle", "b.busy"]])
+
+    def test_unknown_place_rejected(self):
+        with pytest.raises(UnknownNodeError):
+            fuse_places(cell(), [["ghost"]])
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(NetStructureError):
+            fuse_places(cell(), [[]])
+
+    def test_names_length_mismatch_rejected(self):
+        both = parallel([prefix(cell(), "a."), prefix(cell(), "b.")])
+        with pytest.raises(NetStructureError):
+            fuse_places(both, [["a.idle", "b.idle"]], names=["x", "y"])

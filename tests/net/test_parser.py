@@ -1,0 +1,110 @@
+"""Tests for the textual net language parser and serializer."""
+
+import pytest
+
+from repro.net import ParseError, parse_net, to_text
+from repro.models import figure3_net, nsdp
+
+EXAMPLE = """
+# a small choice net
+net choice
+place p0 marked
+place p1
+place p2
+trans a : p0 -> p1
+trans b : p0 -> p2
+"""
+
+
+class TestParse:
+    def test_basic(self):
+        net = parse_net(EXAMPLE)
+        assert net.name == "choice"
+        assert net.num_places == 3
+        assert net.num_transitions == 2
+        assert net.marking_names(net.initial_marking) == frozenset({"p0"})
+
+    def test_arc_form(self):
+        net = parse_net(
+            """
+            place p marked
+            place q
+            trans t
+            arc p -> t
+            arc t -> q
+            """
+        )
+        assert net.num_arcs == 2
+
+    def test_forward_references(self):
+        # Transitions may reference places declared later in the file.
+        net = parse_net(
+            """
+            trans t : p -> q
+            place p marked
+            place q
+            """
+        )
+        assert net.num_arcs == 2
+
+    def test_comments_and_blanks(self):
+        net = parse_net("# only a comment\n\nplace p marked\ntrans t : p ->\n")
+        assert net.num_places == 1
+
+    def test_default_name(self):
+        net = parse_net("place p marked\ntrans t : p ->\n", name="fallback")
+        assert net.name == "fallback"
+
+    def test_transition_without_outputs(self):
+        net = parse_net("place p marked\ntrans t : p ->\n")
+        assert net.post_places[0] == frozenset()
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "net a\nnet b\n",  # duplicate header
+            "place\n",  # missing name
+            "place p extra tokens here\n",
+            "place p marke\n",  # typo'd marked
+            "trans\n",
+            "place p marked\ntrans t p ->\n",  # missing colon
+            "place p marked\ntrans t : p\n",  # missing arrow
+            "arc p -> \n",
+            "place p\nfrobnicate p\n",  # unknown keyword
+            "place p\nplace p\n",  # duplicate
+            "place p marked\ntrans t : p -> ghost\n",  # unknown place
+            "place p\nnet late\n",  # header after declarations
+        ],
+    )
+    def test_rejects(self, text):
+        with pytest.raises(ParseError):
+            parse_net(text)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_net("place p marked\nplace p\ntrans t : p ->\n")
+        assert excinfo.value.line == 2
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("make", [figure3_net, lambda: nsdp(3)])
+    def test_round_trip_preserves_net(self, make):
+        net = make()
+        again = parse_net(to_text(net))
+        assert again == net
+
+    def test_round_trip_is_stable(self):
+        net = figure3_net()
+        once = to_text(net)
+        assert to_text(parse_net(once)) == once
+
+
+def test_load_save(tmp_path):
+    from repro.net import load_net, save_net
+
+    net = figure3_net()
+    path = str(tmp_path / "fig3.net")
+    save_net(net, path)
+    assert load_net(path) == net

@@ -1,0 +1,200 @@
+"""Unit tests for the Petri-net kernel: structure, enabling, firing."""
+
+import pytest
+
+from repro.net import (
+    DuplicateNodeError,
+    NetBuilder,
+    NetStructureError,
+    NotEnabledError,
+    PetriNet,
+    UnknownNodeError,
+    UnsafeNetError,
+)
+
+
+def build_simple() -> PetriNet:
+    builder = NetBuilder("simple")
+    builder.place("p0", marked=True)
+    builder.place("p1")
+    builder.place("p2")
+    builder.transition("t0", inputs=["p0"], outputs=["p1"])
+    builder.transition("t1", inputs=["p1"], outputs=["p2"])
+    return builder.build()
+
+
+class TestBuilder:
+    def test_counts(self):
+        net = build_simple()
+        assert net.num_places == 3
+        assert net.num_transitions == 2
+        assert net.num_arcs == 4
+
+    def test_initial_marking(self):
+        net = build_simple()
+        assert net.marking_names(net.initial_marking) == frozenset({"p0"})
+
+    def test_duplicate_place_rejected(self):
+        builder = NetBuilder()
+        builder.place("p")
+        with pytest.raises(DuplicateNodeError):
+            builder.place("p")
+
+    def test_duplicate_transition_rejected(self):
+        builder = NetBuilder()
+        builder.place("p")
+        builder.transition("t", inputs=["p"])
+        with pytest.raises(DuplicateNodeError):
+            builder.transition("t", inputs=["p"])
+
+    def test_place_transition_name_collision_rejected(self):
+        builder = NetBuilder()
+        builder.place("x")
+        with pytest.raises(DuplicateNodeError):
+            builder.transition("x", inputs=["x"])
+
+    def test_arc_between_places_rejected(self):
+        builder = NetBuilder()
+        builder.place("p")
+        builder.place("q")
+        with pytest.raises(NetStructureError):
+            builder.arc("p", "q")
+
+    def test_arc_between_transitions_rejected(self):
+        builder = NetBuilder()
+        builder.place("p")
+        builder.transition("t", inputs=["p"])
+        builder.transition("u", inputs=["p"])
+        with pytest.raises(NetStructureError):
+            builder.arc("t", "u")
+
+    def test_arc_to_unknown_node_rejected(self):
+        builder = NetBuilder()
+        builder.place("p")
+        with pytest.raises(UnknownNodeError):
+            builder.arc("p", "ghost")
+
+    def test_transition_with_unknown_place_rejected(self):
+        builder = NetBuilder()
+        with pytest.raises(UnknownNodeError):
+            builder.transition("t", inputs=["nope"])
+
+    def test_source_transition_rejected_by_default(self):
+        builder = NetBuilder()
+        builder.place("p")
+        builder.transition("t", outputs=["p"])
+        with pytest.raises(NetStructureError):
+            builder.build()
+
+    def test_source_transition_allowed_explicitly(self):
+        builder = NetBuilder()
+        builder.place("p")
+        builder.transition("t", outputs=["p"])
+        net = builder.build(allow_source_transitions=True)
+        assert net.num_transitions == 1
+
+    def test_mark_after_declaration(self):
+        builder = NetBuilder()
+        builder.place("p")
+        builder.mark("p")
+        builder.transition("t", inputs=["p"])
+        net = builder.build()
+        assert net.marking_names(net.initial_marking) == frozenset({"p"})
+
+    def test_mark_unknown_place_rejected(self):
+        builder = NetBuilder()
+        with pytest.raises(UnknownNodeError):
+            builder.mark("ghost")
+
+    def test_places_bulk_declaration(self):
+        builder = NetBuilder()
+        names = builder.places("a", "b", "c", marked=True)
+        assert names == ["a", "b", "c"]
+        builder.transition("t", inputs=["a"])
+        assert builder.build().initial_marking == frozenset({0, 1, 2})
+
+
+class TestDynamics:
+    def test_enabled_at_initial(self):
+        net = build_simple()
+        t0 = net.transition_id("t0")
+        t1 = net.transition_id("t1")
+        assert net.is_enabled(t0, net.initial_marking)
+        assert not net.is_enabled(t1, net.initial_marking)
+        assert net.enabled_transitions(net.initial_marking) == [t0]
+
+    def test_fire_moves_token(self):
+        net = build_simple()
+        after = net.fire_by_name("t0", net.initial_marking)
+        assert net.marking_names(after) == frozenset({"p1"})
+
+    def test_fire_disabled_raises(self):
+        net = build_simple()
+        with pytest.raises(NotEnabledError):
+            net.fire_by_name("t1", net.initial_marking)
+
+    def test_fire_unsafe_raises(self):
+        builder = NetBuilder()
+        builder.place("a", marked=True)
+        builder.place("b", marked=True)
+        builder.transition("t", inputs=["a"], outputs=["b"])
+        net = builder.build()
+        with pytest.raises(UnsafeNetError):
+            net.fire_by_name("t", net.initial_marking)
+
+    def test_self_loop_keeps_token(self):
+        builder = NetBuilder()
+        builder.place("lock", marked=True)
+        builder.place("p", marked=True)
+        builder.place("q")
+        builder.transition("t", inputs=["p", "lock"], outputs=["q", "lock"])
+        net = builder.build()
+        after = net.fire_by_name("t", net.initial_marking)
+        assert net.marking_names(after) == frozenset({"q", "lock"})
+
+    def test_successors(self):
+        net = build_simple()
+        succs = net.successors(net.initial_marking)
+        assert len(succs) == 1
+        t, marking = succs[0]
+        assert net.transition_name(t) == "t0"
+        assert net.marking_names(marking) == frozenset({"p1"})
+
+    def test_deadlock_detection(self):
+        net = build_simple()
+        m1 = net.fire_by_name("t0", net.initial_marking)
+        m2 = net.fire_by_name("t1", m1)
+        assert not net.is_deadlocked(net.initial_marking)
+        assert net.is_deadlocked(m2)
+
+
+class TestIdentity:
+    def test_equality_and_hash(self):
+        assert build_simple() == build_simple()
+        assert hash(build_simple()) == hash(build_simple())
+
+    def test_inequality_on_marking(self):
+        builder = NetBuilder("simple")
+        builder.place("p0")
+        builder.place("p1")
+        builder.place("p2")
+        builder.transition("t0", inputs=["p0"], outputs=["p1"])
+        builder.transition("t1", inputs=["p1"], outputs=["p2"])
+        assert builder.build() != build_simple()
+
+    def test_repr_mentions_sizes(self):
+        assert "|P|=3" in repr(build_simple())
+
+    def test_unknown_lookups_raise(self):
+        net = build_simple()
+        with pytest.raises(UnknownNodeError):
+            net.place_id("nope")
+        with pytest.raises(UnknownNodeError):
+            net.transition_id("nope")
+
+    def test_arcs_iteration(self):
+        net = build_simple()
+        arcs = set(net.arcs())
+        assert ("p0", "t0") in arcs
+        assert ("t0", "p1") in arcs
+        assert len(arcs) == 4

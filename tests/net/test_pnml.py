@@ -1,0 +1,95 @@
+"""Tests for the PNML subset importer/exporter."""
+
+import pytest
+
+from repro.models import figure3_net, figure7_net
+from repro.net import ParseError, parse_pnml, to_pnml
+
+MINIMAL = """<?xml version="1.0"?>
+<pnml xmlns="http://www.pnml.org/version-2009/grammar/pnml">
+  <net id="n1" type="http://www.pnml.org/version-2009/grammar/ptnet">
+    <page id="g">
+      <place id="p1"><initialMarking><text>1</text></initialMarking></place>
+      <place id="p2"/>
+      <transition id="t1"/>
+      <arc id="a1" source="p1" target="t1"/>
+      <arc id="a2" source="t1" target="p2"/>
+    </page>
+  </net>
+</pnml>
+"""
+
+
+class TestParsePnml:
+    def test_minimal(self):
+        net = parse_pnml(MINIMAL)
+        assert net.num_places == 2
+        assert net.num_transitions == 1
+        assert net.marking_names(net.initial_marking) == frozenset({"p1"})
+
+    def test_names_from_labels(self):
+        text = MINIMAL.replace(
+            '<place id="p2"/>',
+            '<place id="p2"><name><text>buffer</text></name></place>',
+        )
+        net = parse_pnml(text)
+        assert "buffer" in net.places
+
+    def test_duplicate_labels_uniquified(self):
+        text = MINIMAL.replace(
+            '<place id="p2"/>',
+            '<place id="p2"><name><text>p1</text></name></place>',
+        )
+        net = parse_pnml(text)
+        assert len(set(net.places)) == 2
+
+    def test_rejects_multi_token_marking(self):
+        text = MINIMAL.replace(
+            "<initialMarking><text>1</text></initialMarking>",
+            "<initialMarking><text>2</text></initialMarking>",
+        )
+        with pytest.raises(ParseError):
+            parse_pnml(text)
+
+    def test_rejects_weighted_arc(self):
+        text = MINIMAL.replace(
+            '<arc id="a1" source="p1" target="t1"/>',
+            '<arc id="a1" source="p1" target="t1">'
+            "<inscription><text>3</text></inscription></arc>",
+        )
+        with pytest.raises(ParseError):
+            parse_pnml(text)
+
+    def test_rejects_dangling_arc(self):
+        text = MINIMAL.replace('target="t1"/>', 'target="ghost"/>', 1)
+        with pytest.raises(ParseError):
+            parse_pnml(text)
+
+    def test_rejects_invalid_xml(self):
+        with pytest.raises(ParseError):
+            parse_pnml("<pnml><net>")
+
+    def test_rejects_missing_net(self):
+        with pytest.raises(ParseError):
+            parse_pnml("<pnml/>")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("make", [figure3_net, figure7_net])
+    def test_round_trip(self, make):
+        net = make()
+        again = parse_pnml(to_pnml(net))
+        assert again == net
+
+    def test_output_is_namespaced(self):
+        text = to_pnml(figure3_net())
+        assert "http://www.pnml.org/version-2009/grammar/pnml" in text
+
+
+def test_load_save(tmp_path):
+    from repro.net import load_pnml, save_pnml
+
+    net = figure3_net()
+    path = str(tmp_path / "fig3.pnml")
+    save_pnml(net, path)
+    assert load_pnml(path) == net

@@ -1,0 +1,63 @@
+"""Tests for firing-interval annotations in the textual net language."""
+
+import pytest
+
+from repro.net import ParseError, parse_net, parse_timed_net
+
+TIMED = """
+net race
+place p marked
+place qa
+place qb
+trans fast : p -> qa @ [0,1]
+trans slow : p -> qb @ [2,inf]
+trans free : qa -> p
+"""
+
+
+class TestParseTimedNet:
+    def test_intervals(self):
+        tpn = parse_timed_net(TIMED)
+        assert tpn.interval_of("fast") == (0, 1)
+        assert tpn.interval_of("slow") == (2, None)
+        assert tpn.interval_of("free") == (0, None)  # default
+
+    def test_untimed_parser_ignores_intervals(self):
+        net = parse_net(TIMED)
+        assert net.num_transitions == 3
+
+    def test_spaces_inside_interval(self):
+        tpn = parse_timed_net(
+            "place p marked\ntrans t : p -> @ [1, 4]\n"
+        )
+        assert tpn.interval_of("t") == (1, 4)
+
+    def test_empty_lft_means_infinity(self):
+        tpn = parse_timed_net("place p marked\ntrans t : p -> @ [3,]\n")
+        assert tpn.interval_of("t") == (3, None)
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "trans t : p -> @ 1,2\n",  # missing brackets
+            "trans t : p -> @ [1]\n",  # one bound
+            "trans t : p -> @ [a,b]\n",  # non-numeric
+            "trans t : p -> @ [1,2,3]\n",  # too many bounds
+        ],
+    )
+    def test_malformed_interval_rejected(self, line):
+        with pytest.raises(ParseError):
+            parse_timed_net("place p marked\n" + line)
+
+    def test_invalid_interval_semantics_rejected(self):
+        from repro.net import NetStructureError
+
+        with pytest.raises(NetStructureError):
+            parse_timed_net("place p marked\ntrans t : p -> @ [5,2]\n")
+
+    def test_analysis_round_trip(self):
+        from repro.timed import analyze
+
+        result = analyze(parse_timed_net(TIMED))
+        # 'slow' is preempted by 'fast'; the net cycles p <-> qa forever.
+        assert not result.deadlock

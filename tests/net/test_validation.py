@@ -1,0 +1,59 @@
+"""Tests for structural diagnostics and the dynamic safety check."""
+
+import pytest
+
+from repro.models import nsdp
+from repro.net import NetBuilder, UnsafeNetError, check_safe, diagnose
+
+
+class TestDiagnose:
+    def test_clean_net(self):
+        assert diagnose(nsdp(3)).clean
+
+    def test_isolated_place(self):
+        builder = NetBuilder()
+        builder.place("used", marked=True)
+        builder.place("orphan")
+        builder.transition("t", inputs=["used"])
+        diagnostics = diagnose(builder.build())
+        assert diagnostics.isolated_places == ["orphan"]
+        assert not diagnostics.clean
+        assert "orphan" in diagnostics.summary()
+
+    def test_sink_transition(self):
+        builder = NetBuilder()
+        builder.place("p", marked=True)
+        builder.transition("sink", inputs=["p"])
+        assert diagnose(builder.build()).sink_transitions == ["sink"]
+
+    def test_structurally_dead_transition(self):
+        builder = NetBuilder()
+        builder.place("p", marked=True)
+        builder.place("never")  # unmarked, no producers
+        builder.place("out")
+        builder.transition("dead", inputs=["p", "never"], outputs=["out"])
+        diagnostics = diagnose(builder.build())
+        assert diagnostics.structurally_dead_transitions == ["dead"]
+        assert diagnostics.unmarked_source_places == ["never"]
+
+    def test_summary_empty_when_clean(self):
+        assert diagnose(nsdp(2)).summary() == ""
+
+
+class TestCheckSafe:
+    def test_safe_net_passes(self):
+        assert check_safe(nsdp(3))
+
+    def test_unsafe_net_raises(self):
+        builder = NetBuilder()
+        builder.place("p", marked=True)
+        builder.place("q", marked=True)
+        builder.place("r", marked=True)
+        builder.transition("t", inputs=["p"], outputs=["q"])
+        with pytest.raises(UnsafeNetError):
+            check_safe(builder.build())
+
+    def test_bounded_check_returns_true(self):
+        # A large net with a tiny budget: the bounded check passes without
+        # claiming a proof.
+        assert check_safe(nsdp(4), max_states=10)

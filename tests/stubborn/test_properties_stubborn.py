@@ -1,0 +1,58 @@
+"""Property-based tests: stubborn-set reduction preserves deadlocks.
+
+The central theorem of Valmari [14]: the reduced reachability graph
+contains a deadlock iff the full one does.  Exercised on random nets and
+on safe-by-construction synchronized state machines.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.analysis import explore
+from repro.net.exceptions import UnsafeNetError
+from repro.stubborn import explore_reduced
+
+from tests.conftest import safe_nets, state_machine_nets
+
+COMMON = dict(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(net=safe_nets())
+@settings(**COMMON)
+def test_deadlock_verdict_matches_full_on_random_nets(net):
+    try:
+        full = explore(net, max_states=3000)
+    except (UnsafeNetError, Exception) as exc:
+        if isinstance(exc, UnsafeNetError):
+            return  # unsafe instance: out of the theory's scope
+        raise
+    reduced = explore_reduced(net, max_states=5000)
+    assert bool(reduced.deadlocks) == bool(full.deadlocks)
+
+
+@given(net=state_machine_nets())
+@settings(**COMMON)
+def test_deadlock_verdict_matches_full_on_state_machines(net):
+    full = explore(net, max_states=5000)
+    reduced = explore_reduced(net, max_states=5000)
+    assert bool(reduced.deadlocks) == bool(full.deadlocks)
+
+
+@given(net=state_machine_nets())
+@settings(**COMMON)
+def test_reduction_never_grows_the_graph(net):
+    full = explore(net, max_states=5000)
+    reduced = explore_reduced(net, max_states=5000)
+    assert reduced.num_states <= full.num_states
+    assert set(reduced.states()) <= set(full.states())
+
+
+@given(net=state_machine_nets())
+@settings(**COMMON)
+def test_reduced_deadlocks_are_real(net):
+    reduced = explore_reduced(net, max_states=5000)
+    for marking in reduced.deadlocks:
+        assert net.is_deadlocked(marking)

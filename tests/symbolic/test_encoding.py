@@ -1,0 +1,85 @@
+"""Tests for the Boolean encoding of safe nets."""
+
+from repro.bdd import ZERO
+from repro.models import choice_net, concurrent_net
+from repro.symbolic import SymbolicNet
+
+
+class TestVariableLayout:
+    def test_interleaved_levels(self):
+        symnet = SymbolicNet(choice_net(), use_force_order=False)
+        for p in range(symnet.net.num_places):
+            assert symnet.nxt[p] == symnet.current[p] + 1
+        assert symnet.mgr.num_vars == 2 * symnet.net.num_places
+
+    def test_force_order_still_interleaved(self):
+        symnet = SymbolicNet(concurrent_net(4))
+        assert sorted(symnet.current + symnet.nxt) == list(range(16))
+        for p in range(8):
+            assert symnet.nxt[p] == symnet.current[p] + 1
+
+
+class TestEncodeDecode:
+    def test_round_trip(self):
+        net = choice_net()
+        symnet = SymbolicNet(net)
+        for names in (["p0"], ["p1"], ["p0", "p2"]):
+            marking = net.marking_from_names(names)
+            node = symnet.encode_marking(marking)
+            from repro.bdd import any_model
+
+            model = any_model(
+                symnet.mgr, node, sorted(symnet.current_levels())
+            )
+            assert model is not None
+            assert symnet.decode_model(model) == marking
+
+    def test_single_marking_is_minterm(self):
+        net = choice_net()
+        symnet = SymbolicNet(net)
+        from repro.bdd import satcount
+
+        node = symnet.encode_marking(net.initial_marking)
+        count = satcount(symnet.mgr, node, 2 * net.num_places)
+        assert count == 2**net.num_places  # next vars unconstrained
+
+
+class TestRelations:
+    def test_relation_respects_firing(self):
+        net = choice_net()
+        symnet = SymbolicNet(net)
+        a = net.transition_id("a")
+        rel = symnet.relations[a]
+        before = net.initial_marking
+        after = net.fire(a, before)
+        assignment = {}
+        for p in range(net.num_places):
+            assignment[symnet.current[p]] = p in before
+            assignment[symnet.nxt[p]] = p in after
+        assert symnet.mgr.evaluate(rel, assignment)
+        # Wrong successor is rejected.
+        assignment[symnet.nxt[net.place_id("p1")]] = False
+        assert not symnet.mgr.evaluate(rel, assignment)
+
+    def test_disabled_transition_has_no_step(self):
+        net = choice_net()
+        symnet = SymbolicNet(net)
+        from repro.bdd import relprod
+
+        empty = net.marking_from_names(["p1"])  # a, b disabled
+        source = symnet.encode_marking(empty)
+        for rel in symnet.relations:
+            assert relprod(
+                symnet.mgr, source, rel, symnet.current_levels()
+            ) == ZERO
+
+    def test_monolithic_cached(self):
+        symnet = SymbolicNet(choice_net())
+        assert symnet.monolithic_relation() == symnet.monolithic_relation()
+
+    def test_next_to_current_is_monotone(self):
+        symnet = SymbolicNet(concurrent_net(3))
+        mapping = symnet.next_to_current()
+        keys = sorted(mapping)
+        values = [mapping[k] for k in keys]
+        assert values == sorted(values)

@@ -1,0 +1,49 @@
+"""Property tests: the symbolic engine computes exactly the explicit
+reachable set, and its deadlock verdict matches the explicit one."""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.analysis import explore, reachable_markings
+from repro.net.exceptions import UnsafeNetError
+from repro.symbolic import reach
+
+from tests.conftest import safe_nets, state_machine_nets
+
+COMMON = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(net=safe_nets(max_places=6, max_transitions=5))
+@settings(**COMMON)
+def test_reachable_set_identical_on_random_nets(net):
+    try:
+        explicit = reachable_markings(net, max_states=2000)
+    except UnsafeNetError:
+        return
+    result = reach(net)
+    assert result.num_states == len(explicit)
+    for marking in explicit:
+        assert result.contains(marking)
+
+
+@given(net=state_machine_nets())
+@settings(**COMMON)
+def test_reachable_set_identical_on_state_machines(net):
+    explicit = reachable_markings(net, max_states=5000)
+    result = reach(net)
+    assert result.num_states == len(explicit)
+
+
+@given(net=state_machine_nets())
+@settings(**COMMON)
+def test_deadlock_verdict_matches_explicit(net):
+    graph = explore(net, max_states=5000)
+    result = reach(net)
+    marking = result.deadlock_marking()
+    assert (marking is not None) == bool(graph.deadlocks)
+    if marking is not None:
+        assert net.is_deadlocked(marking)
+        assert marking in set(graph.states())

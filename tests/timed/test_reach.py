@@ -1,0 +1,152 @@
+"""Tests for the state-class graph and timed analysis."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import ExplorationLimitReached, reachable_markings
+from repro.models import nsdp, over
+from repro.timed import (
+    TimedNetBuilder,
+    TimedPetriNet,
+    analyze,
+    explore_classes,
+    timed_reachable_markings,
+)
+from tests.conftest import state_machine_nets
+
+
+class TestUntimedEquivalence:
+    @pytest.mark.parametrize(
+        "make", [lambda: nsdp(2), lambda: over(2)]
+    )
+    def test_zero_infinity_intervals_match_untimed(self, make):
+        net = make()
+        timed = timed_reachable_markings(TimedPetriNet.untimed(net))
+        assert timed == reachable_markings(net)
+
+    def test_deadlock_verdict_matches_untimed(self):
+        tpn = TimedPetriNet.untimed(nsdp(2))
+        result = analyze(tpn)
+        assert result.deadlock
+        assert result.analyzer == "timed"
+
+
+class TestTimingPrunes:
+    def test_slow_branch_unreachable(self):
+        builder = TimedNetBuilder("race")
+        builder.place("p", marked=True)
+        builder.place("qa")
+        builder.place("qb")
+        builder.transition("fast", interval=(0, 1), inputs=["p"], outputs=["qa"])
+        builder.transition("slow", interval=(2, 3), inputs=["p"], outputs=["qb"])
+        tpn = builder.build()
+        marks = timed_reachable_markings(tpn)
+        names = {frozenset(tpn.net.marking_names(m)) for m in marks}
+        assert frozenset({"qa"}) in names
+        assert frozenset({"qb"}) not in names
+
+    def test_timing_can_remove_a_deadlock(self):
+        # Untimed: firing 'bad' leads to a dead place.  Timed: 'good'
+        # always preempts it.
+        builder = TimedNetBuilder("guarded")
+        builder.place("p", marked=True)
+        builder.place("ok")
+        builder.place("stuck")
+        builder.transition("good", interval=(0, 1), inputs=["p"], outputs=["ok"])
+        builder.transition("bad", interval=(5, 6), inputs=["p"], outputs=["stuck"])
+        builder.transition("loop", interval=(0, None), inputs=["ok"], outputs=["p"])
+        tpn = builder.build()
+        untimed_deadlock = analyze(TimedPetriNet.untimed(tpn.net)).deadlock
+        timed_deadlock = analyze(tpn).deadlock
+        assert untimed_deadlock
+        assert not timed_deadlock
+
+    def test_deadlocked_class_has_no_enabled(self):
+        builder = TimedNetBuilder("dead")
+        builder.place("p", marked=True)
+        builder.place("q")
+        builder.transition("t", interval=(1, 1), inputs=["p"], outputs=["q"])
+        graph = explore_classes(builder.build())
+        assert len(graph.deadlocks) == 1
+        (dead,) = graph.deadlocks
+        assert dead.enabled() == ()
+
+
+class TestAnalysis:
+    def test_witness_trace_replays_untimed(self):
+        tpn = TimedPetriNet.untimed(nsdp(2))
+        result = analyze(tpn)
+        assert result.witness is not None
+        marking = tpn.net.initial_marking
+        for label in result.witness.trace:
+            marking = tpn.net.fire_by_name(label, marking)
+        assert tpn.net.is_deadlocked(marking)
+
+    def test_class_limit(self):
+        with pytest.raises(ExplorationLimitReached):
+            explore_classes(TimedPetriNet.untimed(nsdp(3)), max_classes=5)
+
+    def test_extras_report_markings(self):
+        result = analyze(TimedPetriNet.untimed(nsdp(2)))
+        assert result.extras["markings"] == 17
+        # state classes can refine markings but never exceed them by
+        # orders of magnitude on an untimed wrapper (same domain always)
+        assert result.states == 17
+
+    def test_state_classes_refine_markings(self):
+        # With real intervals, several classes may share one marking.
+        builder = TimedNetBuilder("refine")
+        builder.place("a", marked=True)
+        builder.place("b", marked=True)
+        builder.place("a2")
+        builder.place("b2")
+        builder.transition("ta", interval=(0, 4), inputs=["a"], outputs=["a2"])
+        builder.transition("tb", interval=(1, 5), inputs=["b"], outputs=["b2"])
+        builder.transition("ra", interval=(2, 2), inputs=["a2"], outputs=["a"])
+        builder.transition("rb", interval=(3, 3), inputs=["b2"], outputs=["b"])
+        tpn = builder.build()
+        result = analyze(tpn, max_classes=5000)
+        assert result.states >= result.extras["markings"]
+
+
+@given(net=state_machine_nets())
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_untimed_wrapper_equivalence_property(net):
+    """[0, ∞) intervals: state-class reachability == classical."""
+    timed = timed_reachable_markings(
+        TimedPetriNet.untimed(net), max_classes=5000
+    )
+    assert timed == reachable_markings(net, max_states=5000)
+
+
+@given(
+    net=state_machine_nets(),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_timed_reachability_subset_property(net, seed):
+    """Any interval assignment only removes behaviour, never adds it."""
+    rng = random.Random(seed)
+    intervals = []
+    for _ in range(net.num_transitions):
+        eft = rng.randint(0, 3)
+        lft = None if rng.random() < 0.3 else eft + rng.randint(0, 3)
+        intervals.append((eft, lft))
+    tpn = TimedPetriNet(net, intervals)
+    try:
+        timed = timed_reachable_markings(tpn, max_classes=4000)
+    except ExplorationLimitReached:
+        return
+    untimed = reachable_markings(net, max_states=8000)
+    assert timed <= untimed

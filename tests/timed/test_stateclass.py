@@ -1,0 +1,134 @@
+"""Tests for Berthomieu-Diaz state classes: firability, firing, domains."""
+
+import pytest
+
+from repro.timed import (
+    TimedNetBuilder,
+    firable,
+    fire_class,
+    initial_class,
+)
+from repro.timed.stateclass import successors
+
+
+def race(fast=(0, 1), slow=(2, 3)):
+    """One marked place feeding two transitions with given intervals."""
+    builder = TimedNetBuilder("race")
+    builder.place("p", marked=True)
+    builder.place("qa")
+    builder.place("qb")
+    builder.transition("fast", interval=fast, inputs=["p"], outputs=["qa"])
+    builder.transition("slow", interval=slow, inputs=["p"], outputs=["qb"])
+    return builder.build()
+
+
+class TestInitialClass:
+    def test_variables_are_enabled_set(self):
+        tpn = race()
+        cls = initial_class(tpn)
+        assert cls.enabled() == (0, 1)
+        assert cls.marking == tpn.net.initial_marking
+
+    def test_delay_bounds_match_static_intervals(self):
+        tpn = race(fast=(1, 4), slow=(2, None))
+        cls = initial_class(tpn)
+        assert cls.delay_bounds(0) == (1, 4)
+        assert cls.delay_bounds(1) == (2, None)
+
+
+class TestFirability:
+    def test_urgent_beats_late(self):
+        # fast must fire by 1, slow cannot fire before 2.
+        tpn = race(fast=(0, 1), slow=(2, 3))
+        cls = initial_class(tpn)
+        assert firable(tpn, cls, 0)
+        assert not firable(tpn, cls, 1)
+
+    def test_overlapping_intervals_race(self):
+        tpn = race(fast=(0, 2), slow=(1, 3))
+        cls = initial_class(tpn)
+        assert firable(tpn, cls, 0)
+        assert firable(tpn, cls, 1)
+
+    def test_equal_boundary_still_firable(self):
+        # slow's eft equals fast's lft: firing exactly at that instant.
+        tpn = race(fast=(0, 2), slow=(2, 5))
+        cls = initial_class(tpn)
+        assert firable(tpn, cls, 1)
+
+    def test_disabled_transition_not_firable(self):
+        tpn = race()
+        cls = initial_class(tpn)
+        after = fire_class(tpn, cls, 0)
+        assert after is not None
+        assert not firable(tpn, after, 1)  # p consumed
+        assert fire_class(tpn, after, 1) is None
+
+
+class TestFiringRule:
+    def test_persisting_clock_advances(self):
+        # Two independent transitions; firing 'a' (by time 2) leaves 'b'
+        # with residual delay [max(0, 3-2), 5] = [1, 5].
+        builder = TimedNetBuilder("pair")
+        builder.place("pa", marked=True)
+        builder.place("pb", marked=True)
+        builder.place("qa")
+        builder.place("qb")
+        builder.transition("a", interval=(1, 2), inputs=["pa"], outputs=["qa"])
+        builder.transition("b", interval=(3, 5), inputs=["pb"], outputs=["qb"])
+        tpn = builder.build()
+        cls = initial_class(tpn)
+        after = fire_class(tpn, cls, 0)
+        assert after is not None
+        low, high = after.delay_bounds(1)
+        assert low == 1  # 3 - lft(a)
+        assert high == 4  # 5 - eft(a)
+
+    def test_newly_enabled_resets_clock(self):
+        builder = TimedNetBuilder("chain")
+        builder.place("p", marked=True)
+        builder.place("q")
+        builder.place("r")
+        builder.transition("first", interval=(5, 10), inputs=["p"], outputs=["q"])
+        builder.transition("second", interval=(7, 9), inputs=["q"], outputs=["r"])
+        tpn = builder.build()
+        after = fire_class(tpn, initial_class(tpn), 0)
+        assert after is not None
+        assert after.delay_bounds(1) == (7, 9)  # static interval, fresh
+
+    def test_conflict_disables_loser(self):
+        tpn = race(fast=(0, 5), slow=(0, 5))
+        after = fire_class(tpn, initial_class(tpn), 0)
+        assert after is not None
+        assert after.enabled() == ()
+
+    def test_successors_iteration(self):
+        tpn = race(fast=(0, 2), slow=(1, 3))
+        pairs = list(successors(tpn, initial_class(tpn)))
+        assert [t for t, _ in pairs] == [0, 1]
+
+    def test_unfirable_successor_none(self):
+        tpn = race(fast=(0, 1), slow=(2, 3))
+        assert fire_class(tpn, initial_class(tpn), 1) is None
+
+
+class TestClassIdentity:
+    def test_canonical_equality(self):
+        tpn = race()
+        assert initial_class(tpn) == initial_class(tpn)
+        assert hash(initial_class(tpn)) == hash(initial_class(tpn))
+
+    def test_cycle_returns_to_same_class(self):
+        builder = TimedNetBuilder("loop")
+        builder.place("p", marked=True)
+        builder.place("q")
+        builder.transition("go", interval=(1, 2), inputs=["p"], outputs=["q"])
+        builder.transition("back", interval=(0, 3), inputs=["q"], outputs=["p"])
+        tpn = builder.build()
+        cls = initial_class(tpn)
+        there = fire_class(tpn, cls, 0)
+        back = fire_class(tpn, there, 1)
+        assert back == cls
+
+    def test_repr(self):
+        assert "enabled=[0, 1]" in repr(initial_class(race()))

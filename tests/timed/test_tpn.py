@@ -1,0 +1,72 @@
+"""Tests for the time-Petri-net structure and builder."""
+
+import pytest
+
+from repro.models import choice_net
+from repro.net import NetStructureError, UnknownNodeError
+from repro.timed import TimedNetBuilder, TimedPetriNet
+
+
+class TestTimedPetriNet:
+    def test_from_mapping(self):
+        tpn = TimedPetriNet(choice_net(), {"a": (1, 2), "b": (0, None)})
+        assert tpn.interval_of("a") == (1, 2)
+        assert tpn.interval_of("b") == (0, None)
+
+    def test_from_sequence(self):
+        tpn = TimedPetriNet(choice_net(), [(0, 5), (3, 3)])
+        assert tpn.eft(1) == 3
+        assert tpn.lft(1) == 3
+
+    def test_missing_interval_rejected(self):
+        with pytest.raises(UnknownNodeError):
+            TimedPetriNet(choice_net(), {"a": (0, 1)})
+
+    def test_unknown_transition_rejected(self):
+        with pytest.raises(UnknownNodeError):
+            TimedPetriNet(
+                choice_net(), {"a": (0, 1), "b": (0, 1), "ghost": (0, 1)}
+            )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(NetStructureError):
+            TimedPetriNet(choice_net(), [(0, 1)])
+
+    def test_negative_eft_rejected(self):
+        with pytest.raises(NetStructureError):
+            TimedPetriNet(choice_net(), [(-1, 2), (0, None)])
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(NetStructureError):
+            TimedPetriNet(choice_net(), [(3, 2), (0, None)])
+
+    def test_untimed_wrapper(self):
+        tpn = TimedPetriNet.untimed(choice_net())
+        assert all(interval == (0, None) for interval in tpn.intervals)
+
+    def test_repr(self):
+        assert "|T|=2" in repr(TimedPetriNet.untimed(choice_net()))
+
+
+class TestBuilder:
+    def test_build(self):
+        builder = TimedNetBuilder("demo")
+        builder.place("p", marked=True)
+        builder.place("q")
+        builder.transition("t", interval=(1, 4), inputs=["p"], outputs=["q"])
+        tpn = builder.build()
+        assert tpn.net.name == "demo"
+        assert tpn.interval_of("t") == (1, 4)
+
+    def test_default_interval(self):
+        builder = TimedNetBuilder()
+        builder.place("p", marked=True)
+        builder.transition("t", inputs=["p"])
+        assert builder.build().interval_of("t") == (0, None)
+
+    def test_arc(self):
+        builder = TimedNetBuilder()
+        builder.place("p", marked=True)
+        builder.transition("t")
+        builder.arc("p", "t")
+        assert builder.build().net.num_arcs == 1

@@ -1,0 +1,81 @@
+"""Completeness and deadlock tests for prefix-based analysis."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.analysis import has_deadlock, reachable_markings
+from repro.models import (
+    bounded_buffer,
+    choice_net,
+    conflict_pairs_net,
+    nsdp,
+    over,
+    rw,
+)
+from repro.unfolding import analyze, deadlock_via_prefix, prefix_markings, unfold
+from tests.conftest import state_machine_nets
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: choice_net(),
+            lambda: conflict_pairs_net(3),
+            lambda: nsdp(2),
+            lambda: over(2),
+            lambda: rw(3),
+            lambda: bounded_buffer(1, 1, 1),
+        ],
+    )
+    def test_prefix_represents_every_reachable_marking(self, make):
+        net = make()
+        prefix = unfold(net)
+        assert prefix_markings(prefix) == reachable_markings(net)
+
+
+class TestDeadlock:
+    @pytest.mark.parametrize(
+        "make,expected",
+        [
+            (lambda: nsdp(2), True),
+            (lambda: over(2), True),
+            (lambda: rw(3), False),
+            (lambda: bounded_buffer(1, 1, 1), False),
+        ],
+    )
+    def test_verdicts(self, make, expected):
+        net = make()
+        dead = deadlock_via_prefix(net, unfold(net))
+        assert (dead is not None) == expected
+        if dead is not None:
+            assert net.is_deadlocked(dead)
+
+
+class TestAnalyze:
+    def test_result_fields(self):
+        result = analyze(nsdp(2))
+        assert result.analyzer == "unfolding"
+        assert result.deadlock
+        assert result.extras["cutoffs"] > 0
+        assert result.witness is not None
+
+    def test_truncated_reports_non_exhaustive(self):
+        result = analyze(nsdp(3), max_events=10)
+        assert not result.exhaustive
+        assert not result.deadlock  # verdict withheld
+
+
+@given(net=state_machine_nets())
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_completeness_property(net):
+    prefix = unfold(net, max_events=3000)
+    if prefix.num_events >= 3000:
+        return  # truncated: completeness not claimed
+    assert prefix_markings(prefix, limit=50_000) == reachable_markings(
+        net, max_states=50_000
+    )

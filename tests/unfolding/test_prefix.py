@@ -1,0 +1,76 @@
+"""Tests for McMillan prefix construction."""
+
+import pytest
+
+from repro.models import (
+    choice_net,
+    concurrent_net,
+    conflict_pairs_net,
+    figure3_net,
+    nsdp,
+)
+from repro.unfolding import unfold
+
+
+class TestStructure:
+    def test_concurrent_net_prefix_is_the_net(self):
+        # No conflicts, no reuse: the unfolding is isomorphic to the net.
+        net = concurrent_net(4)
+        prefix = unfold(net)
+        assert prefix.num_events == 4
+        assert prefix.num_conditions == 8
+        assert prefix.num_cutoffs == 0
+
+    def test_choice_prefix(self):
+        prefix = unfold(choice_net())
+        assert prefix.num_events == 2
+        assert prefix.num_conditions == 3  # p0 + the two outputs
+
+    def test_conflict_pairs_prefix_linear(self):
+        # 2n events for n pairs — the prefix never multiplies branches.
+        for n in (1, 2, 4, 6):
+            prefix = unfold(conflict_pairs_net(n))
+            assert prefix.num_events == 2 * n
+
+    def test_figure3(self):
+        net = figure3_net()
+        prefix = unfold(net)
+        labels = sorted(
+            prefix.event_label(e.index) for e in prefix.events
+        )
+        # D never gets an event: its preset conditions are in conflict.
+        assert labels == ["A", "B", "C"]
+
+    def test_cycle_truncated_by_cutoffs(self):
+        prefix = unfold(nsdp(2))
+        assert prefix.num_cutoffs > 0
+        assert prefix.num_events < 100  # finite despite the cyclic net
+
+    def test_max_events_guard(self):
+        prefix = unfold(nsdp(3), max_events=10)
+        assert prefix.num_events == 10
+
+    def test_labels(self):
+        net = choice_net()
+        prefix = unfold(net)
+        assert prefix.condition_label(0) == "p0"
+        assert prefix.event_label(0) in ("a", "b")
+
+    def test_local_configs_are_causally_closed(self):
+        prefix = unfold(nsdp(2))
+        for event in prefix.events:
+            for b in event.preset:
+                producer = prefix.conditions[b].producer
+                if producer is not None:
+                    assert producer in event.local_config
+
+    def test_local_markings_are_reachable(self):
+        from repro.analysis import reachable_markings
+
+        net = nsdp(2)
+        reachable = reachable_markings(net)
+        prefix = unfold(net)
+        assert prefix.local_markings() <= reachable
+
+    def test_repr(self):
+        assert "events=" in repr(unfold(choice_net()))
