@@ -14,6 +14,7 @@ from collections import deque
 from repro.analysis.graph import ReachabilityGraph
 from repro.analysis.stats import (
     AnalysisResult,
+    Deadline,
     DeadlockWitness,
     ExplorationLimitReached,
     stopwatch,
@@ -27,18 +28,23 @@ def explore(
     net: PetriNet,
     *,
     max_states: int | None = None,
+    max_seconds: float | None = None,
     stop_at_first_deadlock: bool = False,
 ) -> ReachabilityGraph[Marking]:
     """Build the full reachability graph RG(N) by breadth-first search.
 
-    Raises :class:`ExplorationLimitReached` when ``max_states`` is exceeded;
+    Raises :class:`ExplorationLimitReached` when ``max_states`` is exceeded
+    and :class:`TimeLimitReached` when ``max_seconds`` of wall time pass;
     with ``stop_at_first_deadlock`` the search returns as soon as one
     deadlocked marking is recorded (useful for big deadlocking instances).
     """
+    deadline = Deadline.of(max_seconds)
     graph: ReachabilityGraph[Marking] = ReachabilityGraph(net.initial_marking)
     queue: deque[Marking] = deque([net.initial_marking])
     while queue:
         marking = queue.popleft()
+        if deadline is not None:
+            deadline.check(graph.num_states)
         enabled = net.enabled_transitions(marking)
         if not enabled:
             graph.mark_deadlock(marking)
@@ -51,25 +57,33 @@ def explore(
             graph.add_edge(marking, net.transitions[t], successor)
             if is_new:
                 if max_states is not None and graph.num_states > max_states:
-                    raise ExplorationLimitReached(max_states)
+                    raise ExplorationLimitReached(
+                        max_states, graph.num_states
+                    )
                 queue.append(successor)
     return graph
 
 
 def reachable_markings(
-    net: PetriNet, *, max_states: int | None = None
+    net: PetriNet,
+    *,
+    max_states: int | None = None,
+    max_seconds: float | None = None,
 ) -> set[Marking]:
     """The set of reachable markings (no edges), cheaper than :func:`explore`."""
+    deadline = Deadline.of(max_seconds)
     seen: set[Marking] = {net.initial_marking}
     frontier: list[Marking] = [net.initial_marking]
     while frontier:
         marking = frontier.pop()
+        if deadline is not None:
+            deadline.check(len(seen))
         for t in net.enabled_transitions(marking):
             successor = net.fire(t, marking)
             if successor not in seen:
                 seen.add(successor)
                 if max_states is not None and len(seen) > max_states:
-                    raise ExplorationLimitReached(max_states)
+                    raise ExplorationLimitReached(max_states, len(seen))
                 frontier.append(successor)
     return seen
 
@@ -78,13 +92,19 @@ def analyze(
     net: PetriNet,
     *,
     max_states: int | None = None,
+    max_seconds: float | None = None,
     want_witness: bool = True,
 ) -> AnalysisResult:
-    """Run full reachability analysis and package an :class:`AnalysisResult`."""
+    """Run full reachability analysis and package an :class:`AnalysisResult`.
+
+    State-budget overruns are absorbed into a bounded, non-exhaustive
+    result; time-budget overruns propagate as :class:`TimeLimitReached`
+    (the harness runner converts them into non-exhaustive results).
+    """
     with stopwatch() as elapsed:
         exhaustive = True
         try:
-            graph = explore(net, max_states=max_states)
+            graph = explore(net, max_states=max_states, max_seconds=max_seconds)
         except ExplorationLimitReached:
             # Re-run bounded, keeping what we saw: report non-exhaustive.
             graph = _bounded_graph(net, max_states)  # type: ignore[arg-type]

@@ -16,6 +16,7 @@ from typing import Any, Iterator
 
 __all__ = [
     "AnalysisResult",
+    "Deadline",
     "DeadlockWitness",
     "ExplorationLimitReached",
     "TimeLimitReached",
@@ -24,19 +25,62 @@ __all__ = [
 
 
 class ExplorationLimitReached(RuntimeError):
-    """Raised when an explorer exceeds its configured state budget."""
+    """Raised when an explorer exceeds its configured state budget.
 
-    def __init__(self, limit: int) -> None:
+    ``states_explored`` carries the number of states the explorer had
+    actually stored when it gave up (usually ``limit + 1``), so overrun
+    reports can show real progress instead of the budget number.
+    """
+
+    def __init__(self, limit: int, states_explored: int | None = None) -> None:
         super().__init__(f"state limit of {limit} states exceeded")
         self.limit = limit
+        self.states_explored = states_explored
 
 
 class TimeLimitReached(RuntimeError):
-    """Raised when an analyzer exceeds its configured wall-time budget."""
+    """Raised when an analyzer exceeds its configured wall-time budget.
 
-    def __init__(self, seconds: float) -> None:
+    ``states_explored`` carries the progress made before the deadline hit
+    (states, events or fixpoint iterations, depending on the analyzer).
+    """
+
+    def __init__(
+        self, seconds: float, states_explored: int | None = None
+    ) -> None:
         super().__init__(f"time limit of {seconds:.1f}s exceeded")
         self.seconds = seconds
+        self.states_explored = states_explored
+
+
+class Deadline:
+    """A cooperative wall-clock budget shared by the exploration loops.
+
+    Explorers call :meth:`check` once per stored state; when the deadline
+    has passed it raises :class:`TimeLimitReached` carrying the progress
+    made so far.  ``Deadline.of(None)`` returns ``None`` so callers can
+    guard with ``if deadline is not None``.
+    """
+
+    __slots__ = ("seconds", "expires_at")
+
+    def __init__(self, seconds: float) -> None:
+        self.seconds = seconds
+        self.expires_at = time.perf_counter() + seconds
+
+    @classmethod
+    def of(cls, seconds: float | None) -> "Deadline | None":
+        """Build a deadline, or ``None`` when no time budget applies."""
+        return None if seconds is None else cls(seconds)
+
+    def expired(self) -> bool:
+        """True once the wall clock has passed the deadline."""
+        return time.perf_counter() > self.expires_at
+
+    def check(self, states_explored: int | None = None) -> None:
+        """Raise :class:`TimeLimitReached` when the deadline has passed."""
+        if time.perf_counter() > self.expires_at:
+            raise TimeLimitReached(self.seconds, states_explored)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,166 @@
+"""On-disk result cache keyed by canonical structural hashes.
+
+Repeated ``table1`` / ``figures`` runs re-verify identical nets with
+identical budgets; this cache makes them incremental.  The key is the
+SHA-256 of :meth:`VerificationJob.cache_key_material`, which is built on
+``PetriNet.canonical_hash()`` — a *structural* identity, stable across
+place/transition declaration order — plus the method, query and budget.
+
+Entries are small JSON files (one per result) under ``root/<k[:2]>/<k>.json``
+so the cache is transparent, diffable and safe to prune with ``rm``.
+Only results an analyzer actually completed (``status == "ok"``) are
+stored; killed/crashed outcomes are transient and must be re-run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.stats import AnalysisResult, DeadlockWitness
+from repro.engine.jobs import VerificationJob
+
+__all__ = [
+    "ResultCache",
+    "default_cache_root",
+    "result_from_dict",
+    "result_to_dict",
+]
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "GPO_CACHE_DIR"
+
+#: Bump when the serialized format changes; old entries are then ignored.
+FORMAT_VERSION = 1
+
+
+def default_cache_root() -> Path:
+    """The cache directory: ``$GPO_CACHE_DIR`` or ``.gpo-cache`` in cwd."""
+    return Path(os.environ.get(CACHE_DIR_ENV, ".gpo-cache"))
+
+
+def result_to_dict(result: AnalysisResult) -> dict[str, Any]:
+    """JSON-safe dict form of an :class:`AnalysisResult`."""
+    witness = None
+    if result.witness is not None:
+        witness = {
+            "marking": sorted(result.witness.marking),
+            "trace": list(result.witness.trace),
+            "label": result.witness.label,
+        }
+    return {
+        "analyzer": result.analyzer,
+        "net_name": result.net_name,
+        "states": result.states,
+        "edges": result.edges,
+        "deadlock": result.deadlock,
+        "time_seconds": result.time_seconds,
+        "witness": witness,
+        "exhaustive": result.exhaustive,
+        "extras": result.extras,
+    }
+
+
+def result_from_dict(payload: dict[str, Any]) -> AnalysisResult:
+    """Inverse of :func:`result_to_dict`."""
+    witness = None
+    if payload.get("witness") is not None:
+        w = payload["witness"]
+        witness = DeadlockWitness(
+            marking=frozenset(w["marking"]),
+            trace=tuple(w["trace"]),
+            label=w.get("label", "deadlock"),
+        )
+    return AnalysisResult(
+        analyzer=payload["analyzer"],
+        net_name=payload["net_name"],
+        states=payload["states"],
+        edges=payload["edges"],
+        deadlock=payload["deadlock"],
+        time_seconds=payload["time_seconds"],
+        witness=witness,
+        exhaustive=payload["exhaustive"],
+        extras=dict(payload.get("extras", {})),
+    )
+
+
+class ResultCache:
+    """Content-addressed store of completed :class:`AnalysisResult` values.
+
+    >>> import tempfile
+    >>> from repro.models import choice_net
+    >>> from repro.engine.jobs import VerificationJob, execute_job
+    >>> with tempfile.TemporaryDirectory() as tmp:
+    ...     cache = ResultCache(tmp)
+    ...     job = VerificationJob(net=choice_net(), method="gpo")
+    ...     cache.get(job) is None
+    ...     cache.put(job, execute_job(job))
+    ...     cache.get(job).deadlock
+    True
+    True
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, job: VerificationJob) -> str:
+        """Hex cache key of a job."""
+        material = job.cache_key_material().encode("utf-8")
+        return hashlib.sha256(material).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, job: VerificationJob) -> AnalysisResult | None:
+        """Look up a prior result; returns ``None`` on miss or corruption.
+
+        A hit patches ``net_name`` to the requesting net's name (the key
+        is structural, so two identically-structured nets with different
+        names share the entry).
+        """
+        path = self._path(self.key(job))
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if payload.get("version") != FORMAT_VERSION:
+            self.misses += 1
+            return None
+        result = result_from_dict(payload["result"])
+        result.net_name = job.net.name
+        result.extras.setdefault("cache", "hit")
+        self.hits += 1
+        return result
+
+    def put(self, job: VerificationJob, result: AnalysisResult) -> None:
+        """Store a completed result (atomically, via rename)."""
+        key = self.key(job)
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": FORMAT_VERSION,
+            "key": key,
+            "job": job.label,
+            "result": result_to_dict(result),
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True, default=str)
+        os.replace(tmp, path)
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of files removed."""
+        removed = 0
+        if not self.root.exists():
+            return 0
+        for path in self.root.glob("*/*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed

@@ -1,0 +1,165 @@
+"""Structured per-job lifecycle events, emitted as JSON lines.
+
+Every job that flows through the execution engine produces a small stream
+of :class:`JobEvent` records — ``queued``, ``cache_hit``, ``started``,
+``finished``, ``killed``, ``cancelled``, ``crashed`` — so long experiment
+runs can be observed, replayed and mined without parsing human-readable
+tables.  Sinks are deliberately tiny: a JSONL file writer for real runs,
+an in-memory list for tests, and a null sink as the default.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import TextIO
+
+__all__ = [
+    "JobEvent",
+    "EventSink",
+    "JsonlEventSink",
+    "MemoryEventSink",
+    "NullEventSink",
+]
+
+#: Recognized event kinds, in the order a healthy job emits them.
+EVENT_KINDS = (
+    "queued",
+    "cache_hit",
+    "started",
+    "finished",
+    "killed",
+    "cancelled",
+    "crashed",
+)
+
+
+@dataclass
+class JobEvent:
+    """One lifecycle event of one verification job.
+
+    ``wall_seconds`` and ``peak_rss_kb`` are only present on terminal
+    events (finished/killed/cancelled/crashed); ``detail`` carries a short
+    free-form note (abort reason, error message, cache key).
+    """
+
+    kind: str
+    job: str
+    method: str
+    net: str
+    timestamp: float
+    wall_seconds: float | None = None
+    peak_rss_kb: int | None = None
+    pid: int | None = None
+    detail: str | None = None
+
+    def to_json(self) -> str:
+        """Render as one compact JSON line (no trailing newline)."""
+        payload = {k: v for k, v in asdict(self).items() if v is not None}
+        return json.dumps(payload, sort_keys=True)
+
+
+class EventSink:
+    """Base sink; subclasses override :meth:`emit`."""
+
+    def emit(self, event: JobEvent) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def record(
+        self,
+        kind: str,
+        job: "object",
+        *,
+        wall_seconds: float | None = None,
+        peak_rss_kb: int | None = None,
+        pid: int | None = None,
+        detail: str | None = None,
+    ) -> None:
+        """Convenience: build a :class:`JobEvent` from a VerificationJob."""
+        self.emit(
+            JobEvent(
+                kind=kind,
+                job=job.label,  # type: ignore[attr-defined]
+                method=job.method,  # type: ignore[attr-defined]
+                net=job.net.name,  # type: ignore[attr-defined]
+                timestamp=time.time(),
+                wall_seconds=wall_seconds,
+                peak_rss_kb=peak_rss_kb,
+                pid=pid,
+                detail=detail,
+            )
+        )
+
+    def close(self) -> None:
+        """Release any underlying resource (default: nothing)."""
+
+
+class NullEventSink(EventSink):
+    """Discards every event (the default when observability is off)."""
+
+    def emit(self, event: JobEvent) -> None:
+        pass
+
+
+class MemoryEventSink(EventSink):
+    """Collects events in a list — the test-suite's sink."""
+
+    def __init__(self) -> None:
+        self.events: list[JobEvent] = []
+
+    def emit(self, event: JobEvent) -> None:
+        self.events.append(event)
+
+    def kinds(self) -> list[str]:
+        """The event kinds seen, in emission order."""
+        return [e.kind for e in self.events]
+
+
+class JsonlEventSink(EventSink):
+    """Appends one JSON line per event to a file (or an open stream).
+
+    Lines are flushed immediately so a crash of the harness itself leaves
+    a usable log behind.
+    """
+
+    def __init__(self, target: str | Path | TextIO) -> None:
+        if isinstance(target, (str, Path)):
+            path = Path(target)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream: TextIO = open(path, "a", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+
+    def emit(self, event: JobEvent) -> None:
+        self._stream.write(event.to_json() + "\n")
+        self._stream.flush()
+
+    def close(self) -> None:
+        if self._owns_stream and not self._stream.closed:
+            self._stream.close()
+
+    def __enter__(self) -> "JsonlEventSink":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def read_events(path: str | Path) -> list[JobEvent]:
+    """Parse a JSONL event log back into :class:`JobEvent` records."""
+    events: list[JobEvent] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            events.append(JobEvent(**json.loads(line)))
+    return events
+
+
+__all__.append("read_events")
+__all__.append("EVENT_KINDS")

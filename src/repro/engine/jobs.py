@@ -1,0 +1,212 @@
+"""Verification job specifications and in-process execution.
+
+A :class:`VerificationJob` bundles everything needed to run one analyzer
+on one net — the net itself, the method name, a resource :class:`Budget`
+and the query being decided — in a picklable form, so jobs can be shipped
+to worker processes (:mod:`repro.engine.pool`), raced against each other
+(:mod:`repro.engine.portfolio`) and used as cache keys
+(:mod:`repro.engine.cache`).
+
+:func:`execute_job` is the single place that maps a budget onto each
+analyzer's keyword arguments and converts budget overruns into
+non-exhaustive :class:`~repro.analysis.stats.AnalysisResult` values
+(mirroring the paper's "> 24 hours" entries).  The historical
+``repro.harness.runner.run_analyzer`` API is a thin wrapper around it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.analysis import analyze as full_analyze
+from repro.analysis.stats import (
+    AnalysisResult,
+    ExplorationLimitReached,
+    TimeLimitReached,
+    stopwatch,
+)
+from repro.gpo import analyze as gpo_analyze
+from repro.net.petrinet import PetriNet
+from repro.stubborn import analyze as stubborn_analyze
+from repro.symbolic import analyze as symbolic_analyze
+from repro.unfolding import analyze as unfolding_analyze
+
+__all__ = [
+    "ANALYZERS",
+    "Budget",
+    "JobResult",
+    "VerificationJob",
+    "execute_job",
+    "is_conclusive",
+]
+
+#: Registered analyzers: name -> callable(net, **kwargs) -> AnalysisResult.
+ANALYZERS: dict[str, Callable[..., AnalysisResult]] = {
+    "full": full_analyze,
+    "stubborn": stubborn_analyze,
+    "symbolic": symbolic_analyze,
+    "gpo": gpo_analyze,
+    "unfolding": unfolding_analyze,
+}
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Resource budget applied to one analyzer run.
+
+    ``max_states`` limits explicit explorers (full/stubborn/gpo, and the
+    unfolding's event count); ``max_seconds`` limits wall time — enforced
+    cooperatively inside every exploration loop, and by hard process
+    preemption when the run goes through :class:`repro.engine.pool.WorkerPool`.
+    ``None`` disables the corresponding limit.
+    """
+
+    max_states: int | None = 200_000
+    max_seconds: float | None = 120.0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def cache_token(self) -> str:
+        """Stable string form of the budget for cache keys."""
+        extra = ",".join(f"{k}={self.extra[k]!r}" for k in sorted(self.extra))
+        return f"states={self.max_states};seconds={self.max_seconds};{extra}"
+
+
+@dataclass(frozen=True)
+class VerificationJob:
+    """One unit of verification work: run ``method`` on ``net``.
+
+    Jobs are immutable and picklable; ``query`` names the property being
+    decided (only ``"deadlock"`` for now, the paper's Table 1 question).
+    """
+
+    net: PetriNet
+    method: str = "gpo"
+    budget: Budget = field(default_factory=Budget)
+    query: str = "deadlock"
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identifier used in logs and events."""
+        return f"{self.net.name}/{self.method}"
+
+    def cache_key_material(self) -> str:
+        """The text whose hash keys the on-disk result cache.
+
+        Built on the net's canonical structural hash, so declaration order
+        does not fragment the cache.
+        """
+        return "\n".join(
+            [
+                "v1",
+                self.net.canonical_hash(),
+                f"method={self.method}",
+                f"query={self.query}",
+                self.budget.cache_token(),
+            ]
+        )
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job, as observed by the execution engine.
+
+    ``status`` is one of:
+
+    * ``"ok"`` — the analyzer ran to completion (possibly reporting a
+      non-exhaustive, budget-bounded result);
+    * ``"cached"`` — served from the result cache without recomputation;
+    * ``"killed"`` — hard-preempted by the worker pool at its deadline;
+    * ``"cancelled"`` — terminated because a portfolio race was already
+      decided by another analyzer;
+    * ``"error"`` — the worker raised (e.g. ``UnsafeNetError``) or died.
+    """
+
+    job: VerificationJob
+    result: AnalysisResult
+    status: str = "ok"
+    wall_seconds: float = 0.0
+    peak_rss_kb: int | None = None
+    worker_pid: int | None = None
+    error: str | None = None
+
+    @property
+    def ran(self) -> bool:
+        """True when the analyzer actually produced its own result."""
+        return self.status in ("ok", "cached")
+
+
+def is_conclusive(result: AnalysisResult | None) -> bool:
+    """Does this result decide the deadlock question?
+
+    A deadlock found in a bounded search is still a definite "yes"; a
+    deadlock-free verdict is only definite when the search was exhaustive.
+    """
+    return result is not None and (result.deadlock or result.exhaustive)
+
+
+def execute_job(job: VerificationJob) -> AnalysisResult:
+    """Run one job in-process under its budget; never raises on overruns.
+
+    On overrun the returned result has ``exhaustive=False``, ``states``
+    equal to the progress actually made when the analyzer gave up (the
+    budget number when the analyzer does not report progress) and an
+    ``extras["aborted"]`` note.
+    """
+    try:
+        fn = ANALYZERS[job.method]
+    except KeyError:
+        raise ValueError(
+            f"unknown analyzer {job.method!r}; expected one of "
+            f"{sorted(ANALYZERS)}"
+        ) from None
+    if job.query != "deadlock":
+        raise ValueError(
+            f"unknown query {job.query!r}; only 'deadlock' is supported"
+        )
+
+    budget = job.budget
+    kwargs: dict[str, Any] = dict(budget.extra)
+    if job.method == "symbolic":
+        # No explicit state count to bound; wall clock only.
+        if budget.max_seconds is not None:
+            kwargs.setdefault("max_seconds", budget.max_seconds)
+    else:
+        if job.method == "unfolding":
+            if budget.max_states is not None:
+                kwargs.setdefault("max_events", budget.max_states)
+        elif budget.max_states is not None:
+            kwargs.setdefault("max_states", budget.max_states)
+        if budget.max_seconds is not None:
+            kwargs.setdefault("max_seconds", budget.max_seconds)
+
+    with stopwatch() as elapsed:
+        try:
+            result = fn(job.net, **kwargs)
+            if not result.exhaustive:
+                # Some analyzers absorb the budget internally (the full
+                # explorer returns a bounded graph); normalize the marker.
+                result.extras.setdefault(
+                    "aborted", f"> {budget.max_states} states"
+                )
+            return result
+        except ExplorationLimitReached as overrun:
+            aborted: dict[str, Any] = {"aborted": f"> {overrun.limit} states"}
+            states = (
+                overrun.states_explored
+                if overrun.states_explored is not None
+                else overrun.limit
+            )
+        except TimeLimitReached as overrun:
+            aborted = {"aborted": f"> {overrun.seconds:.0f}s"}
+            states = overrun.states_explored or 0
+    return AnalysisResult(
+        analyzer=job.method,
+        net_name=job.net.name,
+        states=states,
+        edges=0,
+        deadlock=False,
+        time_seconds=elapsed[0],
+        exhaustive=False,
+        extras=aborted,
+    )

@@ -1,0 +1,318 @@
+"""Process-isolated execution of verification jobs with hard preemption.
+
+Every job runs :func:`repro.engine.jobs.execute_job` in its **own**
+``multiprocessing`` process.  The cooperative deadlines threaded through
+the exploration loops normally fire first; the pool is the backstop for
+analyzers stuck in a non-cooperating region (or a pathological input): a
+worker still alive ``kill_grace`` seconds past its ``max_seconds`` budget
+is terminated and reported as a non-exhaustive result with
+``extras["aborted"]`` — never an exception, never a hung harness.
+
+Worker crashes (``UnsafeNetError``, MemoryError, even ``os._exit``) are
+likewise absorbed into ``status="error"`` results, so one bad instance
+cannot take down a whole Table 1 run.
+
+The pool also integrates the result cache (:mod:`repro.engine.cache`) and
+emits lifecycle events (:mod:`repro.engine.events`) for every job.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from multiprocessing.connection import Connection
+from typing import Sequence
+
+from repro.analysis.stats import AnalysisResult
+from repro.engine.cache import ResultCache
+from repro.engine.events import EventSink, NullEventSink
+from repro.engine.jobs import JobResult, VerificationJob, execute_job
+
+__all__ = ["WorkerPool", "run_jobs"]
+
+#: Seconds past the cooperative deadline before the hard kill (the
+#: acceptance bar is "killed within ~1s of its deadline").
+DEFAULT_KILL_GRACE = 0.5
+
+#: Scheduler poll interval in seconds.
+DEFAULT_POLL_INTERVAL = 0.02
+
+
+def _peak_rss_kb() -> int | None:
+    """Peak resident set size of the calling process, in KiB (Linux)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _worker_main(conn: Connection, job: VerificationJob) -> None:
+    """Worker-process entry: run the job, ship the result (or the error)."""
+    try:
+        result = execute_job(job)
+        conn.send(("ok", result, _peak_rss_kb()))
+    except BaseException as exc:  # noqa: BLE001 - report, don't crash silent
+        try:
+            conn.send(("error", type(exc).__name__, str(exc)))
+        except Exception:  # pragma: no cover - result not picklable
+            pass
+    finally:
+        conn.close()
+
+
+def _mp_context():
+    """Prefer ``fork`` (cheap, inherits registered analyzers) when available."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def _aborted_result(
+    job: VerificationJob, wall: float, note: str, **extras: object
+) -> AnalysisResult:
+    """Synthesized non-exhaustive result for killed/crashed workers."""
+    return AnalysisResult(
+        analyzer=job.method,
+        net_name=job.net.name,
+        states=0,
+        edges=0,
+        deadlock=False,
+        time_seconds=wall,
+        exhaustive=False,
+        extras={"aborted": note, **extras},
+    )
+
+
+class WorkerHandle:
+    """One live worker process and the bookkeeping to preempt it."""
+
+    def __init__(self, job: VerificationJob, context) -> None:
+        self.job = job
+        recv, send = context.Pipe(duplex=False)
+        self._recv = recv
+        self.process = context.Process(
+            target=_worker_main, args=(send, job), daemon=True
+        )
+        self.process.start()
+        # The parent's copy of the send end must be closed so EOF is
+        # observable if the worker dies without sending.
+        send.close()
+        self.started = time.perf_counter()
+
+    @property
+    def wall(self) -> float:
+        return time.perf_counter() - self.started
+
+    @property
+    def deadline_exceeded(self) -> bool:
+        """Past the hard-preemption point (budget + grace)?"""
+        max_seconds = self.job.budget.max_seconds
+        if max_seconds is None:
+            return False
+        return self.wall > max_seconds + DEFAULT_KILL_GRACE
+
+    def poll(self) -> JobResult | None:
+        """Non-blocking check: a finished/crashed/overdue worker yields a
+        :class:`JobResult`, a still-running one yields ``None``."""
+        if self._recv.poll(0):
+            try:
+                message = self._recv.recv()
+            except EOFError:
+                return self._reap_crash()
+            return self._finish(message)
+        if not self.process.is_alive():
+            return self._reap_crash()
+        if self.deadline_exceeded:
+            return self.kill(status="killed")
+        return None
+
+    def _finish(self, message: tuple) -> JobResult:
+        wall = self.wall
+        pid = self.process.pid
+        self.process.join()
+        self._recv.close()
+        if message[0] == "ok":
+            _, result, rss = message
+            return JobResult(
+                job=self.job,
+                result=result,
+                status="ok",
+                wall_seconds=wall,
+                peak_rss_kb=rss,
+                worker_pid=pid,
+            )
+        _, error_type, error_msg = message
+        error = f"{error_type}: {error_msg}"
+        return JobResult(
+            job=self.job,
+            result=_aborted_result(self.job, wall, "worker error", error=error),
+            status="error",
+            wall_seconds=wall,
+            worker_pid=pid,
+            error=error,
+        )
+
+    def _reap_crash(self) -> JobResult:
+        wall = self.wall
+        pid = self.process.pid
+        self.process.join()
+        self._recv.close()
+        error = f"worker died (exit code {self.process.exitcode})"
+        return JobResult(
+            job=self.job,
+            result=_aborted_result(self.job, wall, "worker crash", error=error),
+            status="error",
+            wall_seconds=wall,
+            worker_pid=pid,
+            error=error,
+        )
+
+    def kill(self, *, status: str = "killed") -> JobResult:
+        """Terminate the worker now (SIGTERM, then SIGKILL) and report it."""
+        wall = self.wall
+        pid = self.process.pid
+        self.process.terminate()
+        self.process.join(timeout=1.0)
+        if self.process.is_alive():  # pragma: no cover - SIGTERM ignored
+            self.process.kill()
+            self.process.join()
+        self._recv.close()
+        max_seconds = self.job.budget.max_seconds
+        note = (
+            f"> {max_seconds:.0f}s (hard preemption)"
+            if status == "killed" and max_seconds is not None
+            else "race lost"
+            if status == "cancelled"
+            else "terminated"
+        )
+        return JobResult(
+            job=self.job,
+            result=_aborted_result(self.job, wall, note, **{status: True}),
+            status=status,
+            wall_seconds=wall,
+            worker_pid=pid,
+        )
+
+
+class WorkerPool:
+    """Run verification jobs in isolated processes, at most ``max_workers``
+    at a time, with caching and lifecycle events.
+
+    ``max_workers=1`` still isolates each job in a process (so hard
+    preemption works) but runs them strictly in submission order.
+    """
+
+    def __init__(
+        self,
+        max_workers: int = 1,
+        *,
+        cache: ResultCache | None = None,
+        events: EventSink | None = None,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+    ) -> None:
+        self.max_workers = max(1, max_workers)
+        self.cache = cache
+        self.events = events if events is not None else NullEventSink()
+        self.poll_interval = poll_interval
+        self._context = _mp_context()
+
+    # ------------------------------------------------------------------
+    def run_one(self, job: VerificationJob) -> JobResult:
+        """Run a single job (convenience wrapper around :meth:`run`)."""
+        return self.run([job])[0]
+
+    def run(self, jobs: Sequence[VerificationJob]) -> list[JobResult]:
+        """Run all jobs; the result list is parallel to the input order."""
+        results: list[JobResult | None] = [None] * len(jobs)
+        pending: list[int] = list(range(len(jobs)))
+        running: dict[int, WorkerHandle] = {}
+        for job in jobs:
+            self.events.record("queued", job)
+        try:
+            while pending or running:
+                while pending and len(running) < self.max_workers:
+                    index = pending.pop(0)
+                    job = jobs[index]
+                    cached = self._try_cache(job)
+                    if cached is not None:
+                        results[index] = cached
+                        continue
+                    running[index] = self._spawn(job)
+                progressed = False
+                for index, handle in list(running.items()):
+                    outcome = handle.poll()
+                    if outcome is None:
+                        continue
+                    del running[index]
+                    results[index] = self._finalize(outcome)
+                    progressed = True
+                if not progressed and running:
+                    time.sleep(self.poll_interval)
+        finally:
+            # Only reached with live workers when an exception is unwinding
+            # (e.g. KeyboardInterrupt): never leave orphan processes behind.
+            for handle in running.values():
+                handle.kill(status="cancelled")
+        return results  # type: ignore[return-value]  # every slot is filled
+
+    # ------------------------------------------------------------------
+    def _spawn(self, job: VerificationJob) -> WorkerHandle:
+        handle = WorkerHandle(job, self._context)
+        self.events.record("started", job, pid=handle.process.pid)
+        return handle
+
+    def _try_cache(self, job: VerificationJob) -> JobResult | None:
+        if self.cache is None:
+            return None
+        result = self.cache.get(job)
+        if result is None:
+            return None
+        self.events.record(
+            "cache_hit", job, detail=self.cache.key(job)[:16]
+        )
+        return JobResult(
+            job=job, result=result, status="cached", wall_seconds=0.0
+        )
+
+    def _finalize(self, outcome: JobResult) -> JobResult:
+        job = outcome.job
+        if outcome.status == "ok":
+            if self.cache is not None:
+                self.cache.put(job, outcome.result)
+            self.events.record(
+                "finished",
+                job,
+                wall_seconds=outcome.wall_seconds,
+                peak_rss_kb=outcome.peak_rss_kb,
+                pid=outcome.worker_pid,
+                detail=outcome.result.verdict,
+            )
+        elif outcome.status == "error":
+            self.events.record(
+                "crashed",
+                job,
+                wall_seconds=outcome.wall_seconds,
+                pid=outcome.worker_pid,
+                detail=outcome.error,
+            )
+        else:  # killed / cancelled
+            self.events.record(
+                outcome.status,
+                job,
+                wall_seconds=outcome.wall_seconds,
+                pid=outcome.worker_pid,
+                detail=outcome.result.extras.get("aborted"),
+            )
+        return outcome
+
+
+def run_jobs(
+    jobs: Sequence[VerificationJob],
+    *,
+    max_workers: int = 1,
+    cache: ResultCache | None = None,
+    events: EventSink | None = None,
+) -> list[JobResult]:
+    """One-shot convenience: run jobs through a fresh :class:`WorkerPool`."""
+    pool = WorkerPool(max_workers, cache=cache, events=events)
+    return pool.run(jobs)

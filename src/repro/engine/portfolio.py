@@ -1,0 +1,221 @@
+"""Portfolio verification: race several analyzers, keep the first answer.
+
+The paper's Table 1 shows that no single analyzer dominates — the BDD
+engine wins on RW, GPO wins everywhere its reductions apply, explicit
+search wins on tiny instances.  Like SMPT's portfolio of reachability
+methods, :func:`run_race` starts several analyzers on the same net in
+isolated worker processes, returns as soon as one produces a *conclusive*
+verdict (a deadlock found, or an exhaustive deadlock-free search) and
+terminates the losers.
+
+With ``jobs=1`` the race degenerates to a **deterministic sequential
+fallback**: methods run one at a time in the order given, stopping at the
+first conclusive result — useful for reproducible CI runs and machines
+without spare cores.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.engine.cache import ResultCache
+from repro.engine.events import EventSink, NullEventSink
+from repro.engine.jobs import (
+    Budget,
+    JobResult,
+    VerificationJob,
+    is_conclusive,
+)
+from repro.engine.pool import WorkerHandle, WorkerPool, _mp_context
+from repro.net.petrinet import PetriNet
+
+__all__ = ["DEFAULT_PORTFOLIO", "RaceOutcome", "run_race"]
+
+#: Default portfolio, cheapest-reduction-first.
+DEFAULT_PORTFOLIO: tuple[str, ...] = ("gpo", "symbolic", "stubborn", "full")
+
+
+@dataclass
+class RaceOutcome:
+    """Result of racing a portfolio of analyzers on one net."""
+
+    net_name: str
+    methods: tuple[str, ...]
+    winner: JobResult | None
+    results: list[JobResult] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def conclusive(self) -> bool:
+        return self.winner is not None
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary (CLI output)."""
+        lines = []
+        for outcome in self.results:
+            marker = (
+                "*"
+                if self.winner is not None
+                and outcome.job.method == self.winner.job.method
+                else " "
+            )
+            lines.append(
+                f" {marker} {outcome.job.method:<9} [{outcome.status}] "
+                f"{outcome.result.verdict}  states={outcome.result.states}  "
+                f"time={outcome.wall_seconds:.3f}s"
+            )
+        verdict = (
+            self.winner.result.verdict if self.winner else "INCONCLUSIVE"
+        )
+        header = (
+            f"race on {self.net_name}: {verdict} "
+            f"(wall={self.wall_seconds:.3f}s, methods={','.join(self.methods)})"
+        )
+        return "\n".join([header, *lines])
+
+
+def run_race(
+    net: PetriNet,
+    *,
+    methods: Sequence[str] = DEFAULT_PORTFOLIO,
+    budget: Budget | None = None,
+    jobs: int = 2,
+    cache: ResultCache | None = None,
+    events: EventSink | None = None,
+) -> RaceOutcome:
+    """Race ``methods`` on ``net``; first conclusive verdict wins.
+
+    ``jobs`` bounds how many analyzers run concurrently.  ``jobs=1``
+    selects the deterministic sequential fallback.  Methods that never
+    started because the race was already decided are reported with
+    ``status="skipped"`` entries omitted (only started/cached jobs appear
+    in ``results``).
+    """
+    if budget is None:
+        budget = Budget()
+    sink = events if events is not None else NullEventSink()
+    job_specs = [
+        VerificationJob(net=net, method=m, budget=budget) for m in methods
+    ]
+    started_at = time.perf_counter()
+    if jobs <= 1:
+        outcome = _race_sequential(job_specs, cache, sink)
+    else:
+        outcome = _race_parallel(job_specs, jobs, cache, sink)
+    winner, results = outcome
+    return RaceOutcome(
+        net_name=net.name,
+        methods=tuple(methods),
+        winner=winner,
+        results=results,
+        wall_seconds=time.perf_counter() - started_at,
+    )
+
+
+def _race_sequential(
+    job_specs: list[VerificationJob],
+    cache: ResultCache | None,
+    events: EventSink,
+) -> tuple[JobResult | None, list[JobResult]]:
+    """Run methods one at a time, stop at the first conclusive verdict."""
+    pool = WorkerPool(1, cache=cache, events=events)
+    results: list[JobResult] = []
+    for job in job_specs:
+        outcome = pool.run_one(job)
+        results.append(outcome)
+        if outcome.ran and is_conclusive(outcome.result):
+            return outcome, results
+    return None, results
+
+
+def _race_parallel(
+    job_specs: list[VerificationJob],
+    jobs: int,
+    cache: ResultCache | None,
+    events: EventSink,
+) -> tuple[JobResult | None, list[JobResult]]:
+    """Start up to ``jobs`` workers; kill survivors once one concludes."""
+    context = _mp_context()
+    pending = list(job_specs)
+    running: list[WorkerHandle] = []
+    results: list[JobResult] = []
+    winner: JobResult | None = None
+    for job in job_specs:
+        events.record("queued", job)
+    try:
+        while pending or running:
+            while winner is None and pending and len(running) < jobs:
+                job = pending.pop(0)
+                cached = cache.get(job) if cache is not None else None
+                if cached is not None:
+                    events.record("cache_hit", job)
+                    outcome = JobResult(
+                        job=job, result=cached, status="cached"
+                    )
+                    results.append(outcome)
+                    if is_conclusive(cached):
+                        winner = outcome
+                    continue
+                handle = WorkerHandle(job, context)
+                events.record("started", job, pid=handle.process.pid)
+                running.append(handle)
+            if winner is not None:
+                pending.clear()
+                for handle in running:
+                    cancelled = handle.kill(status="cancelled")
+                    events.record(
+                        "cancelled",
+                        cancelled.job,
+                        wall_seconds=cancelled.wall_seconds,
+                        pid=cancelled.worker_pid,
+                    )
+                    results.append(cancelled)
+                running.clear()
+                break
+            progressed = False
+            for handle in list(running):
+                outcome = handle.poll()
+                if outcome is None:
+                    continue
+                progressed = True
+                running.remove(handle)
+                results.append(outcome)
+                _log_terminal(events, outcome)
+                if (
+                    outcome.status == "ok"
+                    and cache is not None
+                ):
+                    cache.put(outcome.job, outcome.result)
+                if (
+                    winner is None
+                    and outcome.ran
+                    and is_conclusive(outcome.result)
+                ):
+                    winner = outcome
+            if not progressed and running:
+                time.sleep(0.02)
+    finally:
+        for handle in running:
+            handle.kill(status="cancelled")
+    return winner, results
+
+
+def _log_terminal(events: EventSink, outcome: JobResult) -> None:
+    kind = {
+        "ok": "finished",
+        "error": "crashed",
+        "killed": "killed",
+        "cancelled": "cancelled",
+    }.get(outcome.status, "finished")
+    events.record(
+        kind,
+        outcome.job,
+        wall_seconds=outcome.wall_seconds,
+        peak_rss_kb=outcome.peak_rss_kb,
+        pid=outcome.worker_pid,
+        detail=outcome.result.verdict
+        if outcome.status == "ok"
+        else outcome.error,
+    )

@@ -25,6 +25,7 @@ from typing import Literal
 from repro.analysis.graph import ReachabilityGraph
 from repro.analysis.stats import (
     AnalysisResult,
+    Deadline,
     DeadlockWitness,
     ExplorationLimitReached,
     stopwatch,
@@ -56,12 +57,14 @@ class GpoOptions:
     keeps exploring the surviving scenarios, ``"stop-all"`` aborts the
     whole search at the first hit); ``validate`` re-checks the candidate
     preservation condition semantically after every multiple firing (slow;
-    used by the test-suite).
+    used by the test-suite).  ``max_seconds`` is a cooperative wall-clock
+    budget checked once per visited state.
     """
 
     backend: Backend = "bdd"
     on_deadlock: OnDeadlock = "stop-branch"
     max_states: int | None = None
+    max_seconds: float | None = None
     validate: bool = False
 
 
@@ -112,6 +115,7 @@ def explore_gpo(
     """Run the §3.3 algorithm to completion (or to the first deadlock)."""
     if options is None:
         options = GpoOptions()
+    deadline = Deadline.of(options.max_seconds)
     gpn = Gpn(net, backend=options.backend)
     initial = gpn.initial_state()
     graph: ReachabilityGraph[GpnState] = ReachabilityGraph(initial)
@@ -130,6 +134,8 @@ def explore_gpo(
             on_path.discard(path.pop())
             continue
         state = popped
+        if deadline is not None:
+            deadline.check(graph.num_states)
         stack.append(None)
         path.append(state)
         on_path.add(state)
@@ -280,7 +286,9 @@ def _push(
             options.max_states is not None
             and graph.num_states > options.max_states
         ):
-            raise ExplorationLimitReached(options.max_states)
+            raise ExplorationLimitReached(
+                options.max_states, graph.num_states
+            )
         stack.append(successor)
     return is_new
 
@@ -326,6 +334,7 @@ def analyze(
     backend: Backend = "bdd",
     on_deadlock: OnDeadlock = "stop-branch",
     max_states: int | None = None,
+    max_seconds: float | None = None,
     validate: bool = False,
     want_witness: bool = True,
 ) -> AnalysisResult:
@@ -339,6 +348,7 @@ def analyze(
         backend=backend,
         on_deadlock=on_deadlock,
         max_states=max_states,
+        max_seconds=max_seconds,
         validate=validate,
     )
     with stopwatch() as elapsed:

@@ -7,7 +7,12 @@ from repro.harness.figures import (
     format_series,
 )
 from repro.harness.report import format_number, format_table
-from repro.harness.runner import ANALYZERS, Budget, run_analyzer
+from repro.harness.runner import (
+    ANALYZERS,
+    Budget,
+    run_analyzer,
+    run_analyzer_isolated,
+)
 from repro.harness.table1 import (
     DEFAULT_SIZES,
     PAPER_TABLE1,
@@ -22,6 +27,7 @@ __all__ = [
     "ANALYZERS",
     "Budget",
     "run_analyzer",
+    "run_analyzer_isolated",
     "PROBLEMS",
     "DEFAULT_SIZES",
     "PAPER_TABLE1",

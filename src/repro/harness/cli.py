@@ -4,7 +4,8 @@ Subcommands::
 
     gpo verify FILE [--method gpo|full|stubborn|symbolic] [--backend ...]
     gpo safety FILE --bad "cs0 & cs1 & !lock" [--bad ...]
-    gpo table1 [--problems NSDP,RW] [--max-states N] [--no-paper]
+    gpo race FILE [--methods gpo,symbolic] [--jobs N]  # portfolio race
+    gpo table1 [--problems NSDP,RW] [--jobs N] [--portfolio] [--no-cache]
     gpo figures [--figure 1|2|3]
     gpo check FILE            # structural diagnostics + safety check
     gpo dot FILE [--rg]       # DOT export of the net (or its full RG)
@@ -12,6 +13,13 @@ Subcommands::
 
 ``FILE`` is a net in the textual format of :mod:`repro.net.parser` or PNML
 (detected by a leading ``<``).
+
+``table1`` / ``bench-model`` / ``race`` run through the parallel execution
+engine (:mod:`repro.engine`): ``--jobs N`` analyzer processes at a time,
+hard-preempted at their deadline, with an on-disk result cache (disable
+with ``--no-cache``; directory from ``--cache-dir`` or ``$GPO_CACHE_DIR``,
+default ``.gpo-cache``) and a JSONL lifecycle-event log (``--events PATH``,
+default ``<cache-dir>/events.jsonl`` when caching is on).
 """
 
 from __future__ import annotations
@@ -21,6 +29,10 @@ import sys
 
 from repro import verify
 from repro.analysis import explore
+from repro.engine.cache import ResultCache
+from repro.engine.events import EventSink, JsonlEventSink
+from repro.engine.jobs import ANALYZERS
+from repro.engine.portfolio import DEFAULT_PORTFOLIO, run_race
 from repro.harness.figures import (
     figure1_series,
     figure2_series,
@@ -32,7 +44,6 @@ from repro.harness.table1 import (
     DEFAULT_SIZES,
     PROBLEMS,
     format_table1,
-    run_instance,
     run_table1,
 )
 from repro.net import (
@@ -111,6 +122,20 @@ def _cmd_safety(args: argparse.Namespace) -> int:
     return 1 if not result.safe else 0
 
 
+def _engine_setup(
+    args: argparse.Namespace,
+) -> tuple[ResultCache | None, EventSink | None]:
+    """Build the cache and event sink the engine-backed commands share."""
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    if args.events:
+        sink: EventSink | None = JsonlEventSink(args.events)
+    elif cache is not None:
+        sink = JsonlEventSink(cache.root / "events.jsonl")
+    else:
+        sink = None
+    return cache, sink
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     problems = args.problems.split(",") if args.problems else None
     if problems:
@@ -120,9 +145,70 @@ def _cmd_table1(args: argparse.Namespace) -> int:
                       f"{', '.join(PROBLEMS)}", file=sys.stderr)
                 return 2
     budget = Budget(max_states=args.max_states, max_seconds=args.max_seconds)
-    rows = run_table1(problems=problems, budget=budget)
-    print(format_table1(rows, with_paper=not args.no_paper))
-    return 0
+    cache, sink = _engine_setup(args)
+    try:
+        if args.portfolio:
+            for problem in problems or PROBLEMS:
+                for size in DEFAULT_SIZES[problem]:
+                    outcome = run_race(
+                        PROBLEMS[problem](size),
+                        budget=budget,
+                        jobs=args.jobs,
+                        cache=cache,
+                        events=sink,
+                    )
+                    print(outcome.describe())
+            return 0
+        rows = run_table1(
+            problems=problems,
+            budget=budget,
+            jobs=args.jobs,
+            cache=cache,
+            events=sink,
+        )
+        print(format_table1(rows, with_paper=not args.no_paper))
+        if cache is not None and cache.hits:
+            print(
+                f"[cache] {cache.hits} hit(s), {cache.misses} miss(es) "
+                f"in {cache.root}"
+            )
+        return 0
+    finally:
+        if sink is not None:
+            sink.close()
+
+
+def _cmd_race(args: argparse.Namespace) -> int:
+    net = _load(args.file)
+    methods = (
+        args.methods.split(",") if args.methods else list(DEFAULT_PORTFOLIO)
+    )
+    for method in methods:
+        if method not in ANALYZERS:
+            print(
+                f"unknown analyzer {method!r}; choose from "
+                f"{', '.join(sorted(ANALYZERS))}",
+                file=sys.stderr,
+            )
+            return 2
+    budget = Budget(max_states=args.max_states, max_seconds=args.max_seconds)
+    cache, sink = _engine_setup(args)
+    try:
+        outcome = run_race(
+            net,
+            methods=methods,
+            budget=budget,
+            jobs=args.jobs,
+            cache=cache,
+            events=sink,
+        )
+    finally:
+        if sink is not None:
+            sink.close()
+    print(outcome.describe())
+    if not outcome.conclusive:
+        return 2
+    return 1 if outcome.winner.result.deadlock else 0
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -175,9 +261,31 @@ def _cmd_bench_model(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     budget = Budget(max_states=args.max_states, max_seconds=args.max_seconds)
-    row = run_instance(args.name, args.size, budget=budget)
-    print(format_table1([row], with_paper=True))
-    return 0
+    cache, sink = _engine_setup(args)
+    try:
+        if args.portfolio:
+            outcome = run_race(
+                PROBLEMS[args.name](args.size),
+                budget=budget,
+                jobs=args.jobs,
+                cache=cache,
+                events=sink,
+            )
+            print(outcome.describe())
+            return 0
+        rows = run_table1(
+            problems=[args.name],
+            sizes={args.name: [args.size]},
+            budget=budget,
+            jobs=args.jobs,
+            cache=cache,
+            events=sink,
+        )
+        print(format_table1(rows, with_paper=True))
+        return 0
+    finally:
+        if sink is not None:
+            sink.close()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -223,11 +331,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_safety.set_defaults(fn=_cmd_safety)
 
+    def add_engine_flags(p: argparse.ArgumentParser, *, jobs: int) -> None:
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=jobs,
+            help=f"worker processes (default {jobs}); 1 = sequential",
+        )
+        p.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="disable the on-disk result cache",
+        )
+        p.add_argument(
+            "--cache-dir",
+            default=None,
+            help="cache directory (default $GPO_CACHE_DIR or .gpo-cache)",
+        )
+        p.add_argument(
+            "--events",
+            default=None,
+            metavar="PATH",
+            help="JSONL job-event log (default <cache-dir>/events.jsonl)",
+        )
+
+    p_race = sub.add_parser(
+        "race", help="race a portfolio of analyzers on one net"
+    )
+    p_race.add_argument("file")
+    p_race.add_argument(
+        "--methods",
+        help=f"comma list (default {','.join(DEFAULT_PORTFOLIO)})",
+    )
+    p_race.add_argument("--max-states", type=int, default=200_000)
+    p_race.add_argument("--max-seconds", type=float, default=120.0)
+    add_engine_flags(p_race, jobs=2)
+    p_race.set_defaults(fn=_cmd_race)
+
     p_table = sub.add_parser("table1", help="regenerate Table 1")
     p_table.add_argument("--problems", help="comma list, e.g. NSDP,RW")
     p_table.add_argument("--max-states", type=int, default=200_000)
     p_table.add_argument("--max-seconds", type=float, default=120.0)
     p_table.add_argument("--no-paper", action="store_true")
+    p_table.add_argument(
+        "--portfolio",
+        action="store_true",
+        help="race the analyzers per instance instead of tabulating all",
+    )
+    add_engine_flags(p_table, jobs=1)
     p_table.set_defaults(fn=_cmd_table1)
 
     p_fig = sub.add_parser("figures", help="regenerate the figure claims")
@@ -252,6 +403,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("size", type=int)
     p_bench.add_argument("--max-states", type=int, default=200_000)
     p_bench.add_argument("--max-seconds", type=float, default=120.0)
+    p_bench.add_argument(
+        "--portfolio",
+        action="store_true",
+        help="race the portfolio instead of running every analyzer",
+    )
+    add_engine_flags(p_bench, jobs=1)
     p_bench.set_defaults(fn=_cmd_bench_model)
     return parser
 

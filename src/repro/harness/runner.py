@@ -1,54 +1,26 @@
-"""Uniform execution of the four analyzers with resource budgets.
+"""Uniform execution of the analyzers with resource budgets.
 
-The Table 1 experiments run four very differently-scaling analyzers on
-instances whose full state spaces range from a dozen states to millions.
-:func:`run_analyzer` wraps each one with a state/time budget and converts
-budget overruns into a non-exhaustive :class:`AnalysisResult` instead of
-an exception, mirroring the paper's "> 24 hours" entries.
+Historically this module owned the budget logic; that now lives in
+:mod:`repro.engine.jobs` (so the worker pool can reuse it in child
+processes), and ``runner`` is the stable harness-facing API:
+
+* :func:`run_analyzer` — run one analyzer in-process under a budget,
+  never raising on overruns (the paper's "> 24 hours" entries);
+* :func:`run_analyzer_isolated` — same contract, but delegated to a
+  :class:`repro.engine.pool.WorkerPool` worker process, adding **hard**
+  wall-clock preemption and crash isolation on top of the cooperative
+  budgets.
+
+``Budget`` and ``ANALYZERS`` are re-exported for backward compatibility.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable
-
-from repro.analysis import analyze as full_analyze
-from repro.analysis.stats import (
-    AnalysisResult,
-    ExplorationLimitReached,
-    TimeLimitReached,
-    stopwatch,
-)
-from repro.gpo import analyze as gpo_analyze
+from repro.analysis.stats import AnalysisResult
+from repro.engine.jobs import ANALYZERS, Budget, VerificationJob, execute_job
 from repro.net.petrinet import PetriNet
-from repro.stubborn import analyze as stubborn_analyze
-from repro.symbolic import analyze as symbolic_analyze
-from repro.unfolding import analyze as unfolding_analyze
 
-__all__ = ["ANALYZERS", "Budget", "run_analyzer"]
-
-#: Registered analyzers: name -> callable(net, **kwargs) -> AnalysisResult.
-ANALYZERS: dict[str, Callable[..., AnalysisResult]] = {
-    "full": full_analyze,
-    "stubborn": stubborn_analyze,
-    "symbolic": symbolic_analyze,
-    "gpo": gpo_analyze,
-    "unfolding": unfolding_analyze,
-}
-
-
-@dataclass(frozen=True)
-class Budget:
-    """Resource budget applied to one analyzer run.
-
-    ``max_states`` limits explicit explorers (full/stubborn/gpo);
-    ``max_seconds`` limits the symbolic fixpoint.  ``None`` disables the
-    corresponding limit.
-    """
-
-    max_states: int | None = 200_000
-    max_seconds: float | None = 120.0
-    extra: dict[str, Any] = field(default_factory=dict)
+__all__ = ["ANALYZERS", "Budget", "run_analyzer", "run_analyzer_isolated"]
 
 
 def run_analyzer(
@@ -57,52 +29,34 @@ def run_analyzer(
     """Run one analyzer under a budget; never raises on budget overruns.
 
     On overrun the returned result has ``exhaustive=False``, ``states``
-    equal to the budget (explicit engines) or 0 (symbolic), and an
-    ``extras["aborted"]`` note.
+    equal to the progress actually made at abort, and an
+    ``extras["aborted"]`` note.  Time budgets are enforced cooperatively
+    inside every exploration loop; use :func:`run_analyzer_isolated` when
+    hard preemption is required.
     """
-    if budget is None:
-        budget = Budget()
-    try:
-        fn = ANALYZERS[name]
-    except KeyError:
+    return execute_job(
+        VerificationJob(
+            net=net, method=name, budget=budget if budget is not None else Budget()
+        )
+    )
+
+
+def run_analyzer_isolated(
+    name: str, net: PetriNet, budget: Budget | None = None
+) -> AnalysisResult:
+    """Run one analyzer in its own worker process (hard preemption).
+
+    A worker that outlives its ``max_seconds`` budget is terminated and
+    reported as a non-exhaustive result; a worker crash yields an
+    ``extras["error"]`` result instead of propagating.
+    """
+    from repro.engine.pool import WorkerPool
+
+    job = VerificationJob(
+        net=net, method=name, budget=budget if budget is not None else Budget()
+    )
+    if job.method not in ANALYZERS:
         raise ValueError(
             f"unknown analyzer {name!r}; expected one of {sorted(ANALYZERS)}"
-        ) from None
-
-    kwargs: dict[str, Any] = dict(budget.extra)
-    if name == "symbolic":
-        if budget.max_seconds is not None:
-            kwargs.setdefault("max_seconds", budget.max_seconds)
-    elif name == "unfolding":
-        if budget.max_states is not None:
-            kwargs.setdefault("max_events", budget.max_states)
-    else:
-        if budget.max_states is not None:
-            kwargs.setdefault("max_states", budget.max_states)
-
-    with stopwatch() as elapsed:
-        try:
-            result = fn(net, **kwargs)
-            if not result.exhaustive:
-                # Some analyzers absorb the budget internally (the full
-                # explorer returns a bounded graph); normalize the marker.
-                result.extras.setdefault(
-                    "aborted", f"> {budget.max_states} states"
-                )
-            return result
-        except ExplorationLimitReached as overrun:
-            aborted: dict[str, Any] = {"aborted": f"> {overrun.limit} states"}
-            states = overrun.limit
-        except TimeLimitReached as overrun:
-            aborted = {"aborted": f"> {overrun.seconds:.0f}s"}
-            states = 0
-    return AnalysisResult(
-        analyzer=name,
-        net_name=net.name,
-        states=states,
-        edges=0,
-        deadlock=False,
-        time_seconds=elapsed[0],
-        exhaustive=False,
-        extras=aborted,
-    )
+        )
+    return WorkerPool(max_workers=1).run_one(job).result

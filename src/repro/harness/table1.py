@@ -19,6 +19,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping
 
+from repro.analysis.stats import AnalysisResult
+from repro.engine.cache import ResultCache
+from repro.engine.events import EventSink
+from repro.engine.jobs import VerificationJob
+from repro.engine.pool import WorkerPool
 from repro.harness.report import format_number, format_table
 from repro.harness.runner import Budget, run_analyzer
 from repro.models import asat, nsdp, over, rw
@@ -102,50 +107,69 @@ class Table1Row:
         ]
 
 
+#: Column order the four analyzers contribute to a Table 1 row.
+_ANALYZER_ORDER = ("full", "stubborn", "symbolic", "gpo")
+
+
+def _assemble_row(
+    problem: str, size: int, results: Mapping[str, AnalysisResult]
+) -> Table1Row:
+    """Build a :class:`Table1Row` from per-analyzer results.
+
+    Shared by the sequential and the pooled execution paths so that
+    ``--jobs N`` produces exactly the same rows as ``--jobs 1``.
+    """
+    full = results.get("full")
+    spin = results.get("stubborn")
+    smv = results.get("symbolic")
+    gpo = results.get("gpo")
+    return Table1Row(
+        problem=problem,
+        size=size,
+        full_states=(full.states if full and full.exhaustive else None),
+        spin_states=(spin.states if spin and spin.exhaustive else None),
+        spin_time=spin.time_seconds if spin else None,
+        smv_peak=(
+            smv.extras.get("peak_bdd_nodes") if smv and smv.exhaustive else None
+        ),
+        smv_time=smv.time_seconds if smv else None,
+        gpo_states=gpo.states if gpo else 0,
+        gpo_time=gpo.time_seconds if gpo else 0.0,
+        deadlock=gpo.deadlock if gpo else False,
+    )
+
+
 def run_instance(
     problem: str,
     size: int,
     *,
     budget: Budget | None = None,
-    analyzers: Iterable[str] = ("full", "stubborn", "symbolic", "gpo"),
+    analyzers: Iterable[str] = _ANALYZER_ORDER,
 ) -> Table1Row:
     """Run the selected analyzers on one instance and collect a row."""
     net = PROBLEMS[problem](size)
     wanted = set(analyzers)
-    full_states = spin_states = smv_peak = None
-    spin_time = smv_time = None
-    gpo_states, gpo_time, deadlock = 0, 0.0, False
+    results = {
+        name: run_analyzer(name, net, budget)
+        for name in _ANALYZER_ORDER
+        if name in wanted
+    }
+    return _assemble_row(problem, size, results)
 
-    if "full" in wanted:
-        result = run_analyzer("full", net, budget)
-        full_states = result.states if result.exhaustive else None
-    if "stubborn" in wanted:
-        result = run_analyzer("stubborn", net, budget)
-        spin_states = result.states if result.exhaustive else None
-        spin_time = result.time_seconds
-    if "symbolic" in wanted:
-        result = run_analyzer("symbolic", net, budget)
-        smv_peak = (
-            result.extras.get("peak_bdd_nodes") if result.exhaustive else None
+
+def _instance_specs(
+    problems: Iterable[str] | None,
+    sizes: Mapping[str, Iterable[int]] | None,
+) -> list[tuple[str, int]]:
+    specs: list[tuple[str, int]] = []
+    for problem in problems or PROBLEMS:
+        wanted_sizes = (
+            sizes.get(problem, DEFAULT_SIZES[problem])
+            if sizes
+            else DEFAULT_SIZES[problem]
         )
-        smv_time = result.time_seconds
-    if "gpo" in wanted:
-        result = run_analyzer("gpo", net, budget)
-        gpo_states = result.states
-        gpo_time = result.time_seconds
-        deadlock = result.deadlock
-    return Table1Row(
-        problem=problem,
-        size=size,
-        full_states=full_states,
-        spin_states=spin_states,
-        spin_time=spin_time,
-        smv_peak=smv_peak,
-        smv_time=smv_time,
-        gpo_states=gpo_states,
-        gpo_time=gpo_time,
-        deadlock=deadlock,
-    )
+        specs.extend((problem, size) for size in wanted_sizes)
+    return specs
 
 
 def run_table1(
@@ -153,23 +177,47 @@ def run_table1(
     problems: Iterable[str] | None = None,
     sizes: Mapping[str, Iterable[int]] | None = None,
     budget: Budget | None = None,
-    analyzers: Iterable[str] = ("full", "stubborn", "symbolic", "gpo"),
+    analyzers: Iterable[str] = _ANALYZER_ORDER,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    events: EventSink | None = None,
 ) -> list[Table1Row]:
-    """Run the whole table (or a selection) and return measured rows."""
-    rows: list[Table1Row] = []
-    for problem in problems or PROBLEMS:
-        wanted_sizes = (
-            sizes.get(problem, DEFAULT_SIZES[problem])
-            if sizes
-            else DEFAULT_SIZES[problem]
-        )
-        for size in wanted_sizes:
-            rows.append(
-                run_instance(
-                    problem, size, budget=budget, analyzers=analyzers
-                )
+    """Run the whole table (or a selection) and return measured rows.
+
+    With ``jobs > 1`` (or when a ``cache`` / ``events`` sink is supplied)
+    every (instance, analyzer) cell becomes a :class:`VerificationJob`
+    executed through the :class:`~repro.engine.pool.WorkerPool` — analyzer
+    runs are process-isolated, hard-preempted at their deadline, cached by
+    canonical structural hash, and logged as JSONL lifecycle events.  Row
+    assembly is deterministic regardless of completion order.
+    """
+    specs = _instance_specs(problems, sizes)
+    if jobs <= 1 and cache is None and events is None:
+        return [
+            run_instance(problem, size, budget=budget, analyzers=analyzers)
+            for problem, size in specs
+        ]
+
+    wanted = [name for name in _ANALYZER_ORDER if name in set(analyzers)]
+    job_budget = budget if budget is not None else Budget()
+    job_list: list[VerificationJob] = []
+    keys: list[tuple[str, int, str]] = []
+    for problem, size in specs:
+        net = PROBLEMS[problem](size)
+        for name in wanted:
+            job_list.append(
+                VerificationJob(net=net, method=name, budget=job_budget)
             )
-    return rows
+            keys.append((problem, size, name))
+    pool = WorkerPool(max_workers=jobs, cache=cache, events=events)
+    outcomes = pool.run(job_list)
+    per_instance: dict[tuple[str, int], dict[str, AnalysisResult]] = {}
+    for (problem, size, name), outcome in zip(keys, outcomes):
+        per_instance.setdefault((problem, size), {})[name] = outcome.result
+    return [
+        _assemble_row(problem, size, per_instance.get((problem, size), {}))
+        for problem, size in specs
+    ]
 
 
 def format_table1(rows: Iterable[Table1Row], *, with_paper: bool = True) -> str:

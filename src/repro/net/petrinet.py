@@ -27,6 +27,7 @@ Example
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.net.exceptions import (
@@ -78,6 +79,7 @@ class PetriNet:
         "post_transitions",
         "initial_marking",
         "_hash",
+        "_canonical_hash",
     )
 
     def __init__(
@@ -117,6 +119,7 @@ class PetriNet:
         )
         self.initial_marking: Marking = frozenset(initial_marking)
         self._hash: int | None = None
+        self._canonical_hash: str | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -232,6 +235,47 @@ class PetriNet:
     def fire_by_name(self, transition: str, marking: Marking) -> Marking:
         """Fire a transition given by name."""
         return self.fire(self.transition_id(transition), marking)
+
+    # ------------------------------------------------------------------
+    # Canonical structural identity
+    # ------------------------------------------------------------------
+    def canonical_form(self) -> str:
+        """Stable structural serialization, independent of declaration order.
+
+        Places are listed sorted by name, transitions sorted by name with
+        their pre/post place names sorted, and the initial marking sorted —
+        so two nets that differ only in the order places/transitions were
+        declared produce the same text.  The net's ``name`` is *not* part
+        of the form: it identifies structure, not labeling.
+        """
+        lines = ["places " + ",".join(sorted(self.places))]
+        lines.append(
+            "marked "
+            + ",".join(sorted(self.places[p] for p in self.initial_marking))
+        )
+        transitions = []
+        for t, name in enumerate(self.transitions):
+            inputs = ",".join(
+                sorted(self.places[p] for p in self.pre_places[t])
+            )
+            outputs = ",".join(
+                sorted(self.places[p] for p in self.post_places[t])
+            )
+            transitions.append(f"trans {name} {inputs} -> {outputs}")
+        lines.extend(sorted(transitions))
+        return "\n".join(lines)
+
+    def canonical_hash(self) -> str:
+        """SHA-256 of :meth:`canonical_form` (hex digest, cached).
+
+        This is the structural identity used by the result cache in
+        :mod:`repro.engine.cache`: equal hashes mean the nets have the same
+        named structure regardless of declaration order.
+        """
+        if self._canonical_hash is None:
+            form = self.canonical_form().encode("utf-8")
+            self._canonical_hash = hashlib.sha256(form).hexdigest()
+        return self._canonical_hash
 
     # ------------------------------------------------------------------
     # Equality / hashing / repr

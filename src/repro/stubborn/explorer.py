@@ -14,6 +14,7 @@ from repro.analysis.graph import ReachabilityGraph
 from repro.analysis.reachability import extract_witness
 from repro.analysis.stats import (
     AnalysisResult,
+    Deadline,
     ExplorationLimitReached,
     stopwatch,
 )
@@ -29,16 +30,20 @@ def explore_reduced(
     *,
     strategy: SeedStrategy = "best",
     max_states: int | None = None,
+    max_seconds: float | None = None,
     stop_at_first_deadlock: bool = False,
     info: StructuralInfo | None = None,
 ) -> ReachabilityGraph[Marking]:
     """Build the stubborn-set reduced reachability graph (BFS order)."""
     if info is None:
         info = StructuralInfo(net)
+    deadline = Deadline.of(max_seconds)
     graph: ReachabilityGraph[Marking] = ReachabilityGraph(net.initial_marking)
     queue: deque[Marking] = deque([net.initial_marking])
     while queue:
         marking = queue.popleft()
+        if deadline is not None:
+            deadline.check(graph.num_states)
         to_fire = stubborn_enabled(net, info, marking, strategy=strategy)
         if not to_fire:
             graph.mark_deadlock(marking)
@@ -51,7 +56,9 @@ def explore_reduced(
             graph.add_edge(marking, net.transitions[t], successor)
             if is_new:
                 if max_states is not None and graph.num_states > max_states:
-                    raise ExplorationLimitReached(max_states)
+                    raise ExplorationLimitReached(
+                        max_states, graph.num_states
+                    )
                 queue.append(successor)
     return graph
 
@@ -61,16 +68,20 @@ def analyze(
     *,
     strategy: SeedStrategy = "best",
     max_states: int | None = None,
+    max_seconds: float | None = None,
     want_witness: bool = True,
 ) -> AnalysisResult:
     """Run stubborn-set reduced analysis, packaged uniformly.
 
     The reported deadlock verdict is equivalent to the full analysis; the
-    reported ``states`` count is the size of the *reduced* graph.
+    reported ``states`` count is the size of the *reduced* graph.  Budget
+    overruns (state or wall-clock) propagate as exceptions; the harness
+    runner converts them into non-exhaustive results.
     """
     with stopwatch() as elapsed:
         graph = explore_reduced(
-            net, strategy=strategy, max_states=max_states
+            net, strategy=strategy, max_states=max_states,
+            max_seconds=max_seconds,
         )
     witness = None
     if graph.deadlocks and want_witness:

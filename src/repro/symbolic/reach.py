@@ -110,7 +110,9 @@ def reach(
 
     while frontier != ZERO:
         if deadline is not None and time.perf_counter() > deadline:
-            raise TimeLimitReached(max_seconds)  # type: ignore[arg-type]
+            # Progress is fixpoint iterations; there is no explicit state
+            # count to report at abort.
+            raise TimeLimitReached(max_seconds, iterations)  # type: ignore[arg-type]
         iterations += 1
         image = ZERO
         for rel in relations:

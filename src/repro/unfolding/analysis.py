@@ -102,11 +102,12 @@ def analyze(
     net: PetriNet,
     *,
     max_events: int | None = 10_000,
+    max_seconds: float | None = None,
     want_witness: bool = True,
 ) -> AnalysisResult:
     """Unfold and report prefix sizes plus a deadlock verdict."""
     with stopwatch() as elapsed:
-        prefix = unfold(net, max_events=max_events)
+        prefix = unfold(net, max_events=max_events, max_seconds=max_seconds)
         exhaustive = (
             max_events is None or prefix.num_events < max_events
         )

@@ -33,6 +33,7 @@ import heapq
 from dataclasses import dataclass, field
 from itertools import product
 
+from repro.analysis.stats import Deadline
 from repro.net.petrinet import Marking, PetriNet
 
 __all__ = ["Condition", "Event", "Prefix", "unfold"]
@@ -106,9 +107,15 @@ class Prefix:
 class _Builder:
     """Internal state of the unfolding construction."""
 
-    def __init__(self, net: PetriNet, max_events: int | None) -> None:
+    def __init__(
+        self,
+        net: PetriNet,
+        max_events: int | None,
+        max_seconds: float | None = None,
+    ) -> None:
         self.net = net
         self.max_events = max_events
+        self.deadline = Deadline.of(max_seconds)
         self.prefix = Prefix(net)
         # per condition: its causal past as a frozenset of event indices
         self.past: list[frozenset[int]] = []
@@ -224,6 +231,8 @@ class _Builder:
                 and len(self.prefix.events) >= self.max_events
             ):
                 break
+            if self.deadline is not None:
+                self.deadline.check(len(self.prefix.events))
             size, t, preset, config = heapq.heappop(self.queue)
             # A preset condition may have been consumed only in conflict —
             # occurrence nets allow sharing; but if any producer became a
@@ -273,11 +282,18 @@ class _Builder:
         return producer is not None and self.prefix.events[producer].is_cutoff
 
 
-def unfold(net: PetriNet, *, max_events: int | None = 10_000) -> Prefix:
+def unfold(
+    net: PetriNet,
+    *,
+    max_events: int | None = 10_000,
+    max_seconds: float | None = None,
+) -> Prefix:
     """Build the complete finite prefix of ``net``'s unfolding.
 
     ``max_events`` guards against runaway growth (the prefix of a bounded
     net is finite, but can be large); reaching the bound leaves the prefix
     truncated — check ``num_events`` against it when completeness matters.
+    ``max_seconds`` is a cooperative wall-clock budget: exceeding it raises
+    :class:`~repro.analysis.stats.TimeLimitReached`.
     """
-    return _Builder(net, max_events).run()
+    return _Builder(net, max_events, max_seconds).run()

@@ -11,6 +11,12 @@ from repro.models import random_net, random_state_machine_product
 from repro.net import NetBuilder, PetriNet
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache_dir(tmp_path, monkeypatch):
+    """Keep the engine's default result cache out of the working tree."""
+    monkeypatch.setenv("GPO_CACHE_DIR", str(tmp_path / "gpo-cache"))
+
+
 @pytest.fixture
 def choice() -> PetriNet:
     """p0 -> (a | b): the minimal conflict."""

@@ -1,0 +1,110 @@
+"""Tests for the canonical-hash result cache."""
+
+from repro.engine.cache import ResultCache, result_from_dict, result_to_dict
+from repro.engine.events import MemoryEventSink
+from repro.engine.jobs import Budget, VerificationJob, execute_job
+from repro.engine.pool import WorkerPool
+from repro.models import choice_net, nsdp
+from repro.net import NetBuilder
+
+
+def _shuffled_choice(name="choice"):
+    """The choice net with places/transitions declared in reverse order."""
+    builder = NetBuilder(name)
+    builder.place("p2")
+    builder.place("p1")
+    builder.place("p0", marked=True)
+    builder.transition("b", inputs=["p0"], outputs=["p2"])
+    builder.transition("a", inputs=["p0"], outputs=["p1"])
+    return builder.build()
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_every_field(self):
+        result = execute_job(VerificationJob(net=choice_net()))
+        clone = result_from_dict(result_to_dict(result))
+        assert clone.analyzer == result.analyzer
+        assert clone.net_name == result.net_name
+        assert clone.states == result.states
+        assert clone.edges == result.edges
+        assert clone.deadlock == result.deadlock
+        assert clone.exhaustive == result.exhaustive
+        assert clone.extras == result.extras
+        assert clone.witness is not None
+        assert clone.witness.marking == result.witness.marking
+        assert clone.witness.trace == result.witness.trace
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = VerificationJob(net=choice_net())
+        assert cache.get(job) is None
+        result = execute_job(job)
+        cache.put(job, result)
+        hit = cache.get(job)
+        assert hit is not None
+        assert hit.deadlock == result.deadlock
+        assert hit.states == result.states
+        assert hit.extras.get("cache") == "hit"
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_key_is_stable_across_declaration_order(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job_a = VerificationJob(net=choice_net())
+        job_b = VerificationJob(net=_shuffled_choice())
+        assert cache.key(job_a) == cache.key(job_b)
+
+    def test_key_distinguishes_structure_and_budget(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        base = VerificationJob(net=choice_net())
+        assert cache.key(base) != cache.key(
+            VerificationJob(net=nsdp(2))
+        )
+        assert cache.key(base) != cache.key(
+            VerificationJob(net=choice_net(), budget=Budget(max_states=1))
+        )
+
+    def test_hit_patches_net_name(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = VerificationJob(net=choice_net())
+        cache.put(job, execute_job(job))
+        renamed = VerificationJob(net=_shuffled_choice(name="other"))
+        hit = cache.get(renamed)
+        assert hit is not None
+        assert hit.net_name == "other"
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = VerificationJob(net=choice_net())
+        cache.put(job, execute_job(job))
+        path = cache._path(cache.key(job))
+        path.write_text("{not json")
+        assert cache.get(job) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = VerificationJob(net=choice_net())
+        cache.put(job, execute_job(job))
+        assert cache.clear() == 1
+        assert cache.get(job) is None
+
+
+class TestPoolIntegration:
+    def test_cache_hit_skips_recomputation(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        sink = MemoryEventSink()
+        pool = WorkerPool(1, cache=cache, events=sink)
+        job = VerificationJob(net=nsdp(2), method="gpo")
+
+        first = pool.run_one(job)
+        assert first.status == "ok"
+        second = pool.run_one(job)
+        assert second.status == "cached"
+        assert second.worker_pid is None  # no process was spawned
+        assert "cache_hit" in sink.kinds()
+
+        # The cached result carries the same verdict and counts.
+        assert second.result.deadlock == first.result.deadlock
+        assert second.result.states == first.result.states
+        assert second.result.exhaustive == first.result.exhaustive

@@ -1,0 +1,79 @@
+"""Tests for the JSONL lifecycle-event stream."""
+
+import json
+
+from repro.engine.events import (
+    JobEvent,
+    JsonlEventSink,
+    MemoryEventSink,
+    NullEventSink,
+    read_events,
+)
+from repro.engine.jobs import VerificationJob
+from repro.engine.pool import WorkerPool
+from repro.models import choice_net
+
+
+class TestJobEvent:
+    def test_to_json_is_compact_and_valid(self):
+        event = JobEvent(
+            kind="finished",
+            job="choice/gpo",
+            method="gpo",
+            net="choice",
+            timestamp=123.0,
+            wall_seconds=0.5,
+        )
+        payload = json.loads(event.to_json())
+        assert payload["kind"] == "finished"
+        assert payload["wall_seconds"] == 0.5
+        assert "peak_rss_kb" not in payload  # None fields are omitted
+
+    def test_null_sink_swallows(self):
+        NullEventSink().emit(
+            JobEvent("queued", "j", "gpo", "n", timestamp=0.0)
+        )
+
+
+class TestJsonlSink:
+    def test_pool_writes_parseable_jsonl(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        with JsonlEventSink(log) as sink:
+            WorkerPool(1, events=sink).run_one(
+                VerificationJob(net=choice_net())
+            )
+        lines = log.read_text().strip().splitlines()
+        assert len(lines) == 3
+        kinds = [json.loads(line)["kind"] for line in lines]
+        assert kinds == ["queued", "started", "finished"]
+        finished = json.loads(lines[-1])
+        assert finished["net"] == "choice"
+        assert finished["wall_seconds"] >= 0.0
+        assert finished["detail"] == "DEADLOCK"
+
+    def test_appends_across_sinks(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        for _ in range(2):
+            with JsonlEventSink(log) as sink:
+                WorkerPool(1, events=sink).run_one(
+                    VerificationJob(net=choice_net())
+                )
+        assert len(log.read_text().strip().splitlines()) == 6
+
+    def test_read_events_roundtrip(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        with JsonlEventSink(log) as sink:
+            WorkerPool(1, events=sink).run_one(
+                VerificationJob(net=choice_net())
+            )
+        events = read_events(log)
+        assert [e.kind for e in events] == ["queued", "started", "finished"]
+        assert all(isinstance(e, JobEvent) for e in events)
+        assert events[-1].method == "gpo"
+
+
+class TestMemorySink:
+    def test_kinds_helper(self):
+        sink = MemoryEventSink()
+        WorkerPool(1, events=sink).run_one(VerificationJob(net=choice_net()))
+        assert sink.kinds() == ["queued", "started", "finished"]

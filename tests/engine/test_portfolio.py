@@ -1,0 +1,121 @@
+"""Tests for portfolio racing."""
+
+import os
+import time
+
+import pytest
+
+from repro.engine.cache import ResultCache
+from repro.engine.events import MemoryEventSink
+from repro.engine.jobs import ANALYZERS, Budget
+from repro.engine.portfolio import run_race
+from repro.models import choice_net, nsdp, rw
+
+requires_fork = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="test analyzers need fork inheritance"
+)
+
+
+def _sleepy_analyzer(net, **kwargs):
+    time.sleep(60)
+
+
+@pytest.fixture
+def sleepy_analyzer():
+    ANALYZERS["sleepy"] = _sleepy_analyzer
+    yield
+    ANALYZERS.pop("sleepy", None)
+
+
+class TestParallelRace:
+    @requires_fork
+    def test_first_conclusive_wins_and_losers_are_killed(
+        self, sleepy_analyzer
+    ):
+        start = time.perf_counter()
+        outcome = run_race(
+            choice_net(),
+            methods=("sleepy", "gpo"),
+            budget=Budget(max_seconds=30.0),
+            jobs=2,
+        )
+        wall = time.perf_counter() - start
+        assert outcome.conclusive
+        assert outcome.winner.job.method == "gpo"
+        assert outcome.winner.result.deadlock
+        by_method = {o.job.method: o for o in outcome.results}
+        assert by_method["sleepy"].status == "cancelled"
+        assert wall < 10  # nowhere near the sleeper's 60s
+
+    def test_all_methods_agree_net(self):
+        outcome = run_race(
+            rw(3), methods=("gpo", "symbolic"), jobs=2
+        )
+        assert outcome.conclusive
+        assert not outcome.winner.result.deadlock
+
+    def test_inconclusive_portfolio(self):
+        # Tiny state budgets, no deadlock found: nobody concludes.
+        outcome = run_race(
+            nsdp(6),
+            methods=("stubborn", "full"),
+            budget=Budget(max_states=5, max_seconds=None),
+            jobs=2,
+        )
+        assert not outcome.conclusive
+        assert outcome.winner is None
+        assert len(outcome.results) == 2
+
+    def test_describe_mentions_winner(self):
+        outcome = run_race(choice_net(), methods=("gpo",), jobs=2)
+        text = outcome.describe()
+        assert "DEADLOCK" in text
+        assert "gpo" in text
+
+
+class TestSequentialFallback:
+    def test_stops_at_first_conclusive(self):
+        sink = MemoryEventSink()
+        outcome = run_race(
+            choice_net(),
+            methods=("gpo", "full", "symbolic"),
+            jobs=1,
+            events=sink,
+        )
+        assert outcome.conclusive
+        assert outcome.winner.job.method == "gpo"
+        # Later methods never started: exactly one job ran.
+        assert len(outcome.results) == 1
+        assert sink.kinds().count("started") == 1
+
+    def test_deterministic_order(self):
+        first = run_race(rw(2), methods=("symbolic", "gpo"), jobs=1)
+        second = run_race(rw(2), methods=("symbolic", "gpo"), jobs=1)
+        assert first.winner.job.method == "symbolic"
+        assert second.winner.job.method == "symbolic"
+
+    def test_falls_through_inconclusive_methods(self):
+        outcome = run_race(
+            nsdp(6),
+            methods=("stubborn", "gpo"),
+            budget=Budget(max_states=5, max_seconds=None),
+            jobs=1,
+        )
+        # stubborn is bounded-out, but gpo needs only a couple of states.
+        assert outcome.conclusive
+        assert outcome.winner.job.method == "gpo"
+        assert len(outcome.results) == 2
+
+
+class TestRaceCaching:
+    def test_cached_verdict_wins_instantly(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = run_race(
+            choice_net(), methods=("gpo",), jobs=2, cache=cache
+        )
+        assert first.winner.status == "ok"
+        second = run_race(
+            choice_net(), methods=("gpo",), jobs=2, cache=cache
+        )
+        assert second.winner.status == "cached"
+        assert second.winner.result.deadlock

@@ -1,5 +1,7 @@
 """Tests for the ``gpo`` command-line interface."""
 
+import re
+
 import pytest
 
 from repro.harness.cli import main
@@ -160,3 +162,92 @@ class TestBenchModel:
 
     def test_unknown_model(self, capsys):
         assert main(["bench-model", "XX", "2"]) == 2
+
+
+class TestRace:
+    def test_deadlock_net_exits_one(self, net_file, capsys):
+        code = main(["race", net_file, "--jobs", "1", "--no-cache"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "DEADLOCK" in out
+
+    def test_deadlock_free_net_exits_zero(self, tmp_path, capsys):
+        from repro.models import rw
+
+        path = str(tmp_path / "rw.net")
+        save_net(rw(2), path)
+        code = main(["race", path, "--jobs", "1", "--no-cache"])
+        assert code == 0
+        assert "deadlock-free" in capsys.readouterr().out
+
+    def test_inconclusive_exits_two(self, tmp_path, capsys):
+        from repro.models import nsdp
+
+        path = str(tmp_path / "nsdp.net")
+        save_net(nsdp(6), path)
+        code = main(
+            [
+                "race",
+                path,
+                "--jobs",
+                "1",
+                "--no-cache",
+                "--methods",
+                "stubborn",
+                "--max-states",
+                "5",
+            ]
+        )
+        assert code == 2
+        assert "INCONCLUSIVE" in capsys.readouterr().out
+
+    def test_unknown_method_rejected(self, net_file, capsys):
+        assert main(["race", net_file, "--methods", "quantum"]) == 2
+
+    def test_cache_warm_rerun(self, net_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        args = ["race", net_file, "--jobs", "1", "--cache-dir", cache_dir]
+        assert main(args) == 1
+        assert main(args) == 1
+        assert "cache" in capsys.readouterr().out
+
+
+class TestTable1Engine:
+    @staticmethod
+    def _state_columns(out):
+        """Row shapes minus the timing columns, which naturally vary."""
+        rows = {}
+        for line in out.splitlines():
+            match = re.match(r"\s*(RW\(\d+\))\s", line)
+            if match:
+                cells = line.split()
+                rows[match.group(1)] = [
+                    c for c in cells[1:] if "." not in c
+                ]
+        return rows
+
+    def test_jobs_flag_matches_sequential_output(self, capsys):
+        seq = main(
+            ["table1", "--problems", "RW", "--max-states", "2000",
+             "--no-cache"]
+        )
+        seq_out = capsys.readouterr().out
+        par = main(
+            ["table1", "--problems", "RW", "--max-states", "2000",
+             "--no-cache", "--jobs", "4"]
+        )
+        par_out = capsys.readouterr().out
+        assert seq == par == 0
+        seq_rows = self._state_columns(seq_out)
+        assert seq_rows  # the table printed at least one RW row
+        assert seq_rows == self._state_columns(par_out)
+
+    def test_portfolio_mode(self, capsys):
+        code = main(
+            ["table1", "--problems", "RW", "--max-states", "2000",
+             "--no-cache", "--portfolio", "--jobs", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "race on rw_6" in out
+        assert "deadlock-free" in out

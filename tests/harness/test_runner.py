@@ -44,3 +44,41 @@ class TestRunAnalyzer:
             "full", choice_net(), Budget(max_states=None, max_seconds=None)
         )
         assert result.exhaustive
+
+
+class TestCooperativeTimeBudgets:
+    """max_seconds now binds the explicit explorers, not just symbolic."""
+
+    @pytest.mark.parametrize(
+        "name", ["full", "stubborn", "gpo", "unfolding"]
+    )
+    def test_zero_time_budget_aborts_explicit_engines(self, name):
+        result = run_analyzer(
+            name, nsdp(4), Budget(max_states=None, max_seconds=0.0)
+        )
+        assert not result.exhaustive
+        assert "aborted" in result.extras
+
+    def test_overrun_reports_actual_states(self):
+        result = run_analyzer(
+            "stubborn", nsdp(4), Budget(max_states=10, max_seconds=None)
+        )
+        assert not result.exhaustive
+        assert result.states == 11  # real progress, not the budget number
+
+
+class TestIsolatedRunner:
+    def test_same_verdict_as_in_process(self):
+        from repro.harness import run_analyzer_isolated
+
+        inproc = run_analyzer("gpo", choice_net())
+        isolated = run_analyzer_isolated("gpo", choice_net())
+        assert isolated.deadlock == inproc.deadlock
+        assert isolated.states == inproc.states
+        assert isolated.exhaustive == inproc.exhaustive
+
+    def test_unknown_analyzer_rejected(self):
+        from repro.harness import run_analyzer_isolated
+
+        with pytest.raises(ValueError):
+            run_analyzer_isolated("quantum", choice_net())

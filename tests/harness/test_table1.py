@@ -73,3 +73,50 @@ class TestFormatting:
         )
         text = format_table1(rows, with_paper=False)
         assert "paper" not in text
+
+
+class TestParallelExecution:
+    """--jobs N must reproduce --jobs 1 rows exactly (modulo wall time)."""
+
+    @staticmethod
+    def _shape(row):
+        return (
+            row.problem,
+            row.size,
+            row.full_states,
+            row.spin_states,
+            row.smv_peak,
+            row.gpo_states,
+            row.deadlock,
+        )
+
+    def test_jobs4_matches_sequential(self):
+        kwargs = dict(
+            problems=["NSDP"],
+            sizes={"NSDP": [2, 4]},
+            budget=Budget(max_states=2000, max_seconds=60.0),
+        )
+        sequential = run_table1(**kwargs)
+        parallel = run_table1(**kwargs, jobs=4)
+        assert [self._shape(r) for r in sequential] == [
+            self._shape(r) for r in parallel
+        ]
+
+    def test_cache_round_trip_preserves_rows(self, tmp_path):
+        from repro.engine.cache import ResultCache
+        from repro.engine.events import MemoryEventSink
+
+        cache = ResultCache(tmp_path)
+        sink = MemoryEventSink()
+        kwargs = dict(
+            problems=["RW"],
+            sizes={"RW": [2]},
+            budget=Budget(max_states=2000, max_seconds=60.0),
+        )
+        cold = run_table1(**kwargs, jobs=2, cache=cache)
+        warm = run_table1(**kwargs, jobs=2, cache=cache, events=sink)
+        assert [self._shape(r) for r in cold] == [
+            self._shape(r) for r in warm
+        ]
+        assert sink.kinds().count("cache_hit") == 4  # one per analyzer
+        assert sink.kinds().count("started") == 0  # nothing recomputed

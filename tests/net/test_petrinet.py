@@ -198,3 +198,58 @@ class TestIdentity:
         assert ("p0", "t0") in arcs
         assert ("t0", "p1") in arcs
         assert len(arcs) == 4
+
+
+class TestCanonicalHash:
+    def test_stable_across_declaration_order(self):
+        a = NetBuilder("one")
+        a.place("p0", marked=True)
+        a.place("p1")
+        a.place("p2")
+        a.transition("t0", inputs=["p0"], outputs=["p1"])
+        a.transition("t1", inputs=["p1"], outputs=["p2"])
+
+        b = NetBuilder("two")  # same structure, everything declared reversed
+        b.place("p2")
+        b.place("p1")
+        b.place("p0")
+        b.mark("p0")
+        b.transition("t1", inputs=["p1"], outputs=["p2"])
+        b.transition("t0", inputs=["p0"], outputs=["p1"])
+
+        assert a.build().canonical_form() == b.build().canonical_form()
+        assert a.build().canonical_hash() == b.build().canonical_hash()
+
+    def test_name_does_not_affect_hash(self):
+        a = build_simple()
+        b = NetBuilder("renamed")
+        b.place("p0", marked=True)
+        b.place("p1")
+        b.place("p2")
+        b.transition("t0", inputs=["p0"], outputs=["p1"])
+        b.transition("t1", inputs=["p1"], outputs=["p2"])
+        assert a.canonical_hash() == b.build().canonical_hash()
+
+    def test_structure_changes_hash(self):
+        base = build_simple().canonical_hash()
+
+        different_marking = NetBuilder("simple")
+        different_marking.place("p0")
+        different_marking.place("p1")
+        different_marking.place("p2")
+        different_marking.transition("t0", inputs=["p0"], outputs=["p1"])
+        different_marking.transition("t1", inputs=["p1"], outputs=["p2"])
+        assert different_marking.build().canonical_hash() != base
+
+        different_arc = NetBuilder("simple")
+        different_arc.place("p0", marked=True)
+        different_arc.place("p1")
+        different_arc.place("p2")
+        different_arc.transition("t0", inputs=["p0"], outputs=["p2"])
+        different_arc.transition("t1", inputs=["p1"], outputs=["p2"])
+        assert different_arc.build().canonical_hash() != base
+
+    def test_hash_is_hex_sha256(self):
+        digest = build_simple().canonical_hash()
+        assert len(digest) == 64
+        assert set(digest) <= set("0123456789abcdef")
