@@ -1,131 +1,10 @@
-"""Labelled reachability graphs.
+"""Compatibility re-export: the graph type lives in :mod:`repro.search`.
 
-A :class:`ReachabilityGraph` stores the states discovered by any of the
-explorers (full, stubborn-set reduced, or generalized partial-order — the
-GPN analyzer stores its own state type through the same structure) together
-with labelled edges, the initial state, and the set of deadlock states.
-
-States may be any hashable objects; for the classical analyzers they are
-``frozenset`` markings.
+:class:`ReachabilityGraph` moved next to the generic exploration driver
+(`repro.search.graph`) together with the budget and witness helpers; this
+module keeps the historical ``repro.analysis.graph`` import path working.
 """
 
-from __future__ import annotations
-
-from collections import deque
-from typing import Generic, Hashable, Iterator, TypeVar
+from repro.search.graph import ReachabilityGraph
 
 __all__ = ["ReachabilityGraph"]
-
-S = TypeVar("S", bound=Hashable)
-
-
-class ReachabilityGraph(Generic[S]):
-    """A rooted, edge-labelled directed graph over hashable states."""
-
-    def __init__(self, initial: S) -> None:
-        self.initial: S = initial
-        self._index: dict[S, int] = {initial: 0}
-        self._states: list[S] = [initial]
-        self._edges: list[list[tuple[str, int]]] = [[]]
-        self.deadlocks: set[S] = set()
-
-    # ------------------------------------------------------------------
-    def __contains__(self, state: S) -> bool:
-        return state in self._index
-
-    def __len__(self) -> int:
-        return len(self._states)
-
-    @property
-    def num_states(self) -> int:
-        """Number of distinct states."""
-        return len(self._states)
-
-    @property
-    def num_edges(self) -> int:
-        """Number of edges (parallel edges with distinct labels count)."""
-        return sum(len(out) for out in self._edges)
-
-    def states(self) -> Iterator[S]:
-        """Iterate states in discovery order (initial state first)."""
-        return iter(self._states)
-
-    def add_state(self, state: S) -> bool:
-        """Insert a state; returns True when it was new."""
-        if state in self._index:
-            return False
-        self._index[state] = len(self._states)
-        self._states.append(state)
-        self._edges.append([])
-        return True
-
-    def add_edge(self, source: S, label: str, target: S) -> None:
-        """Insert an edge; both endpoints are added when missing."""
-        self.add_state(source)
-        self.add_state(target)
-        self._edges[self._index[source]].append(
-            (label, self._index[target])
-        )
-
-    def mark_deadlock(self, state: S) -> None:
-        """Record ``state`` as a deadlock."""
-        self.add_state(state)
-        self.deadlocks.add(state)
-
-    def successors(self, state: S) -> list[tuple[str, S]]:
-        """Outgoing ``(label, target)`` pairs of a state."""
-        return [
-            (label, self._states[target])
-            for label, target in self._edges[self._index[state]]
-        ]
-
-    def edges(self) -> Iterator[tuple[S, str, S]]:
-        """Iterate all edges as ``(source, label, target)``."""
-        for source_index, out in enumerate(self._edges):
-            source = self._states[source_index]
-            for label, target in out:
-                yield (source, label, self._states[target])
-
-    # ------------------------------------------------------------------
-    def path_to(self, goal: S) -> list[tuple[str, S]] | None:
-        """Shortest edge path from the initial state to ``goal``.
-
-        Returns ``[(label, state), ...]`` ending at ``goal``, the empty list
-        when ``goal`` is the initial state, or ``None`` when unreachable
-        inside this graph.  Used for counterexample traces.
-        """
-        if goal not in self._index:
-            return None
-        goal_index = self._index[goal]
-        if goal_index == 0:
-            return []
-        parent: dict[int, tuple[int, str]] = {0: (-1, "")}
-        queue = deque([0])
-        while queue:
-            current = queue.popleft()
-            for label, target in self._edges[current]:
-                if target in parent:
-                    continue
-                parent[target] = (current, label)
-                if target == goal_index:
-                    return self._unwind(parent, goal_index)
-                queue.append(target)
-        return None
-
-    def _unwind(
-        self, parent: dict[int, tuple[int, str]], goal_index: int
-    ) -> list[tuple[str, S]]:
-        path: list[tuple[str, S]] = []
-        node = goal_index
-        while node != 0:
-            previous, label = parent[node]
-            path.append((label, self._states[node]))
-            node = previous
-        path.reverse()
-        return path
-
-    def __repr__(self) -> str:
-        return (
-            f"ReachabilityGraph(states={self.num_states}, "
-            f"edges={self.num_edges}, deadlocks={len(self.deadlocks)})"
-        )

@@ -5,23 +5,68 @@ semantics.  This is the "States" column of Table 1 and the baseline against
 which every reduction is validated: the property tests check that the
 stubborn-set explorer preserves deadlocks, that the symbolic engine computes
 exactly this state set, and that GPO's scenario mapping stays inside it.
+
+Since the search-core refactor this module is a thin
+:class:`~repro.search.core.SearchSpace` adapter (:class:`MarkingSpace`)
+over the generic driver in :mod:`repro.search.core`; the exploration loop,
+budgets and witness extraction all live there.
 """
 
 from __future__ import annotations
 
-from collections import deque
+from typing import Iterable, Sequence
 
-from repro.analysis.graph import ReachabilityGraph
-from repro.analysis.stats import (
-    AnalysisResult,
-    Deadline,
-    DeadlockWitness,
-    ExplorationLimitReached,
-    stopwatch,
-)
+from repro.analysis.stats import AnalysisResult, stopwatch
 from repro.net.petrinet import Marking, PetriNet
+from repro.search.core import SearchContext, abort_note, raise_if_bounded
+from repro.search.core import explore as _drive
+from repro.search.graph import ReachabilityGraph
+from repro.search.witness import extract_witness
 
-__all__ = ["explore", "analyze", "reachable_markings"]
+__all__ = [
+    "MarkingSpace",
+    "analyze",
+    "explore",
+    "extract_witness",
+    "reachable_markings",
+]
+
+
+class MarkingSpace:
+    """The full interleaving semantics as a :class:`SearchSpace`.
+
+    States are classical markings; every enabled transition fires.  The
+    enabled set is memoized per driver-visited state (the driver passes the
+    identical object to ``is_deadlock`` and ``successors``).
+    """
+
+    def __init__(self, net: PetriNet) -> None:
+        self.net = net
+        self._memo_marking: Marking | None = None
+        self._memo_enabled: Sequence[int] = ()
+
+    def _enabled(self, marking: Marking) -> Sequence[int]:
+        if marking is not self._memo_marking:
+            self._memo_enabled = self.net.enabled_transitions(marking)
+            self._memo_marking = marking
+        return self._memo_enabled
+
+    def initial(self) -> Marking:
+        return self.net.initial_marking
+
+    def is_deadlock(self, marking: Marking) -> bool:
+        return not self._enabled(marking)
+
+    def successors(
+        self, marking: Marking, ctx: SearchContext[Marking]
+    ) -> Iterable[tuple[str, Marking]]:
+        net = self.net
+        for t in self._enabled(marking):
+            yield net.transitions[t], net.fire(t, marking)
+
+    def instrumentation(self) -> dict[str, object]:
+        """No adapter-specific counters beyond the driver's."""
+        return {}
 
 
 def explore(
@@ -33,35 +78,22 @@ def explore(
 ) -> ReachabilityGraph[Marking]:
     """Build the full reachability graph RG(N) by breadth-first search.
 
-    Raises :class:`ExplorationLimitReached` when ``max_states`` is exceeded
-    and :class:`TimeLimitReached` when ``max_seconds`` of wall time pass;
-    with ``stop_at_first_deadlock`` the search returns as soon as one
-    deadlocked marking is recorded (useful for big deadlocking instances).
+    Raises :class:`ExplorationLimitReached` when ``max_states`` would be
+    exceeded and :class:`TimeLimitReached` when ``max_seconds`` of wall
+    time pass; with ``stop_at_first_deadlock`` the search returns as soon
+    as one deadlocked marking is recorded (useful for big deadlocking
+    instances).  ``analyze`` uses the driver's partial results instead of
+    these exceptions.
     """
-    deadline = Deadline.of(max_seconds)
-    graph: ReachabilityGraph[Marking] = ReachabilityGraph(net.initial_marking)
-    queue: deque[Marking] = deque([net.initial_marking])
-    while queue:
-        marking = queue.popleft()
-        if deadline is not None:
-            deadline.check(graph.num_states)
-        enabled = net.enabled_transitions(marking)
-        if not enabled:
-            graph.mark_deadlock(marking)
-            if stop_at_first_deadlock:
-                return graph
-            continue
-        for t in enabled:
-            successor = net.fire(t, marking)
-            is_new = successor not in graph
-            graph.add_edge(marking, net.transitions[t], successor)
-            if is_new:
-                if max_states is not None and graph.num_states > max_states:
-                    raise ExplorationLimitReached(
-                        max_states, graph.num_states
-                    )
-                queue.append(successor)
-    return graph
+    outcome = _drive(
+        MarkingSpace(net),
+        order="bfs",
+        max_states=max_states,
+        max_seconds=max_seconds,
+        stop_at_first_deadlock=stop_at_first_deadlock,
+    )
+    raise_if_bounded(outcome, max_states=max_states, max_seconds=max_seconds)
+    return outcome.graph
 
 
 def reachable_markings(
@@ -70,22 +102,15 @@ def reachable_markings(
     max_states: int | None = None,
     max_seconds: float | None = None,
 ) -> set[Marking]:
-    """The set of reachable markings (no edges), cheaper than :func:`explore`."""
-    deadline = Deadline.of(max_seconds)
-    seen: set[Marking] = {net.initial_marking}
-    frontier: list[Marking] = [net.initial_marking]
-    while frontier:
-        marking = frontier.pop()
-        if deadline is not None:
-            deadline.check(len(seen))
-        for t in net.enabled_transitions(marking):
-            successor = net.fire(t, marking)
-            if successor not in seen:
-                seen.add(successor)
-                if max_states is not None and len(seen) > max_states:
-                    raise ExplorationLimitReached(max_states, len(seen))
-                frontier.append(successor)
-    return seen
+    """The set of reachable markings explored depth-first."""
+    outcome = _drive(
+        MarkingSpace(net),
+        order="dfs",
+        max_states=max_states,
+        max_seconds=max_seconds,
+    )
+    raise_if_bounded(outcome, max_states=max_states, max_seconds=max_seconds)
+    return set(outcome.graph.states())
 
 
 def analyze(
@@ -97,21 +122,26 @@ def analyze(
 ) -> AnalysisResult:
     """Run full reachability analysis and package an :class:`AnalysisResult`.
 
-    State-budget overruns are absorbed into a bounded, non-exhaustive
-    result; time-budget overruns propagate as :class:`TimeLimitReached`
-    (the harness runner converts them into non-exhaustive results).
+    Budget overruns (state or wall-clock) are absorbed into a bounded,
+    non-exhaustive result carrying the real progress made — the driver
+    returns the partial graph directly, nothing is re-explored.
     """
+    space = MarkingSpace(net)
     with stopwatch() as elapsed:
-        exhaustive = True
-        try:
-            graph = explore(net, max_states=max_states, max_seconds=max_seconds)
-        except ExplorationLimitReached:
-            # Re-run bounded, keeping what we saw: report non-exhaustive.
-            graph = _bounded_graph(net, max_states)  # type: ignore[arg-type]
-            exhaustive = False
+        outcome = _drive(
+            space, order="bfs", max_states=max_states, max_seconds=max_seconds
+        )
+    graph = outcome.graph
     witness = None
     if graph.deadlocks and want_witness:
         witness = extract_witness(net, graph)
+    extras = outcome.stats.as_extras()
+    extras.update(space.instrumentation())
+    note = abort_note(
+        outcome.stop_reason, max_states=max_states, max_seconds=max_seconds
+    )
+    if note is not None:
+        extras["aborted"] = note
     return AnalysisResult(
         analyzer="full",
         net_name=net.name,
@@ -120,46 +150,6 @@ def analyze(
         deadlock=bool(graph.deadlocks),
         time_seconds=elapsed[0],
         witness=witness,
-        exhaustive=exhaustive,
-    )
-
-
-def _bounded_graph(net: PetriNet, max_states: int) -> ReachabilityGraph[Marking]:
-    """BFS that stops (instead of raising) at the state budget."""
-    graph: ReachabilityGraph[Marking] = ReachabilityGraph(net.initial_marking)
-    queue: deque[Marking] = deque([net.initial_marking])
-    while queue and graph.num_states < max_states:
-        marking = queue.popleft()
-        enabled = net.enabled_transitions(marking)
-        if not enabled:
-            graph.mark_deadlock(marking)
-            continue
-        for t in enabled:
-            successor = net.fire(t, marking)
-            is_new = successor not in graph
-            if is_new and graph.num_states >= max_states:
-                continue
-            graph.add_edge(marking, net.transitions[t], successor)
-            if is_new:
-                queue.append(successor)
-    return graph
-
-
-def extract_witness(
-    net: PetriNet, graph: ReachabilityGraph[Marking]
-) -> DeadlockWitness | None:
-    """Shortest trace to some deadlock state in an explored graph."""
-    best: tuple[int, Marking, list[tuple[str, Marking]]] | None = None
-    for marking in graph.deadlocks:
-        path = graph.path_to(marking)
-        if path is None:
-            continue
-        if best is None or len(path) < best[0]:
-            best = (len(path), marking, path)
-    if best is None:
-        return None
-    _, marking, path = best
-    return DeadlockWitness(
-        marking=net.marking_names(marking),
-        trace=tuple(label for label, _ in path),
+        exhaustive=outcome.exhaustive,
+        extras=extras,
     )

@@ -1,18 +1,30 @@
 """Result records shared by all analyzers.
 
-Every explorer (full, stubborn, symbolic, GPO) returns an
+Every explorer (full, stubborn, symbolic, GPO, timed) returns an
 :class:`AnalysisResult` so the harness can tabulate them uniformly: the
 state/edge counts, deadlock verdict with an optional witness trace, wall
-time, and analyzer-specific extras (peak BDD nodes for the symbolic engine,
-scenario counts for GPO).
+time, and analyzer-specific extras — which since the search-core refactor
+always include the uniform instrumentation counters (``expanded``,
+``peak_frontier``, ``mean_enabled``, ``states_per_second``; see
+:data:`repro.search.core.INSTRUMENTATION_FIELDS`).
+
+The budget types (:class:`Deadline`, the limit exceptions, ``stopwatch``)
+and :class:`DeadlockWitness` moved next to the generic exploration driver
+in :mod:`repro.search`; they are re-exported here for compatibility.
 """
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any
+
+from repro.search.limits import (
+    Deadline,
+    ExplorationLimitReached,
+    TimeLimitReached,
+    stopwatch,
+)
+from repro.search.witness import DeadlockWitness
 
 __all__ = [
     "AnalysisResult",
@@ -22,87 +34,6 @@ __all__ = [
     "TimeLimitReached",
     "stopwatch",
 ]
-
-
-class ExplorationLimitReached(RuntimeError):
-    """Raised when an explorer exceeds its configured state budget.
-
-    ``states_explored`` carries the number of states the explorer had
-    actually stored when it gave up (usually ``limit + 1``), so overrun
-    reports can show real progress instead of the budget number.
-    """
-
-    def __init__(self, limit: int, states_explored: int | None = None) -> None:
-        super().__init__(f"state limit of {limit} states exceeded")
-        self.limit = limit
-        self.states_explored = states_explored
-
-
-class TimeLimitReached(RuntimeError):
-    """Raised when an analyzer exceeds its configured wall-time budget.
-
-    ``states_explored`` carries the progress made before the deadline hit
-    (states, events or fixpoint iterations, depending on the analyzer).
-    """
-
-    def __init__(
-        self, seconds: float, states_explored: int | None = None
-    ) -> None:
-        super().__init__(f"time limit of {seconds:.1f}s exceeded")
-        self.seconds = seconds
-        self.states_explored = states_explored
-
-
-class Deadline:
-    """A cooperative wall-clock budget shared by the exploration loops.
-
-    Explorers call :meth:`check` once per stored state; when the deadline
-    has passed it raises :class:`TimeLimitReached` carrying the progress
-    made so far.  ``Deadline.of(None)`` returns ``None`` so callers can
-    guard with ``if deadline is not None``.
-    """
-
-    __slots__ = ("seconds", "expires_at")
-
-    def __init__(self, seconds: float) -> None:
-        self.seconds = seconds
-        self.expires_at = time.perf_counter() + seconds
-
-    @classmethod
-    def of(cls, seconds: float | None) -> "Deadline | None":
-        """Build a deadline, or ``None`` when no time budget applies."""
-        return None if seconds is None else cls(seconds)
-
-    def expired(self) -> bool:
-        """True once the wall clock has passed the deadline."""
-        return time.perf_counter() > self.expires_at
-
-    def check(self, states_explored: int | None = None) -> None:
-        """Raise :class:`TimeLimitReached` when the deadline has passed."""
-        if time.perf_counter() > self.expires_at:
-            raise TimeLimitReached(self.seconds, states_explored)
-
-
-@dataclass(frozen=True)
-class DeadlockWitness:
-    """A concrete witness marking plus a firing trace reaching it.
-
-    ``marking`` holds place *names*; ``trace`` holds transition names from
-    the initial marking.  For GPN analysis the trace steps may be sets of
-    simultaneously fired transitions rendered as ``{a,b}``.  ``label``
-    names what the marking witnesses (a deadlock by default; the safety
-    checker reuses the type for bad-marking witnesses).
-    """
-
-    marking: frozenset[str]
-    trace: tuple[str, ...]
-    label: str = "deadlock"
-
-    def __str__(self) -> str:
-        marking = "{" + ", ".join(sorted(self.marking)) + "}"
-        if not self.trace:
-            return f"{self.label} at initial marking {marking}"
-        return f"{self.label} at {marking} via " + " ; ".join(self.trace)
 
 
 @dataclass
@@ -137,20 +68,3 @@ class AnalysisResult:
         for key, value in sorted(self.extras.items()):
             parts.append(f"{key}={value}")
         return "  ".join(parts)
-
-
-@contextmanager
-def stopwatch() -> Iterator[list[float]]:
-    """Context manager measuring wall time into a single-element list.
-
-    >>> with stopwatch() as elapsed:
-    ...     pass
-    >>> elapsed[0] >= 0.0
-    True
-    """
-    box = [0.0]
-    start = time.perf_counter()
-    try:
-        yield box
-    finally:
-        box[0] = time.perf_counter() - start

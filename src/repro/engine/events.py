@@ -42,7 +42,9 @@ class JobEvent:
 
     ``wall_seconds`` and ``peak_rss_kb`` are only present on terminal
     events (finished/killed/cancelled/crashed); ``detail`` carries a short
-    free-form note (abort reason, error message, cache key).
+    free-form note (abort reason, error message, cache key); ``stats``
+    carries the search-core instrumentation counters of a finished run
+    (see :data:`repro.search.core.INSTRUMENTATION_FIELDS`).
     """
 
     kind: str
@@ -54,6 +56,7 @@ class JobEvent:
     peak_rss_kb: int | None = None
     pid: int | None = None
     detail: str | None = None
+    stats: dict | None = None
 
     def to_json(self) -> str:
         """Render as one compact JSON line (no trailing newline)."""
@@ -76,6 +79,7 @@ class EventSink:
         peak_rss_kb: int | None = None,
         pid: int | None = None,
         detail: str | None = None,
+        stats: dict | None = None,
     ) -> None:
         """Convenience: build a :class:`JobEvent` from a VerificationJob."""
         self.emit(
@@ -89,6 +93,7 @@ class EventSink:
                 peak_rss_kb=peak_rss_kb,
                 pid=pid,
                 detail=detail,
+                stats=stats,
             )
         )
 

@@ -28,6 +28,7 @@ from repro.analysis.stats import (
 )
 from repro.gpo import analyze as gpo_analyze
 from repro.net.petrinet import PetriNet
+from repro.search.core import INSTRUMENTATION_FIELDS
 from repro.stubborn import analyze as stubborn_analyze
 from repro.symbolic import analyze as symbolic_analyze
 from repro.unfolding import analyze as unfolding_analyze
@@ -38,6 +39,7 @@ __all__ = [
     "JobResult",
     "VerificationJob",
     "execute_job",
+    "instrumentation_of",
     "is_conclusive",
 ]
 
@@ -134,6 +136,21 @@ class JobResult:
     def ran(self) -> bool:
         """True when the analyzer actually produced its own result."""
         return self.status in ("ok", "cached")
+
+
+def instrumentation_of(result: AnalysisResult) -> dict[str, Any]:
+    """The search-core instrumentation counters present in ``extras``.
+
+    Every driver-based analyzer records the uniform counters
+    (:data:`repro.search.core.INSTRUMENTATION_FIELDS`); analyzers without
+    an explicit search (symbolic) contribute nothing.  Used to attach a
+    ``stats`` payload to the ``finished`` JSONL event of each job.
+    """
+    return {
+        key: result.extras[key]
+        for key in INSTRUMENTATION_FIELDS
+        if key in result.extras
+    }
 
 
 def is_conclusive(result: AnalysisResult | None) -> bool:

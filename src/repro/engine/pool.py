@@ -26,7 +26,12 @@ from typing import Sequence
 from repro.analysis.stats import AnalysisResult
 from repro.engine.cache import ResultCache
 from repro.engine.events import EventSink, NullEventSink
-from repro.engine.jobs import JobResult, VerificationJob, execute_job
+from repro.engine.jobs import (
+    JobResult,
+    VerificationJob,
+    execute_job,
+    instrumentation_of,
+)
 
 __all__ = ["WorkerPool", "run_jobs"]
 
@@ -286,6 +291,7 @@ class WorkerPool:
                 peak_rss_kb=outcome.peak_rss_kb,
                 pid=outcome.worker_pid,
                 detail=outcome.result.verdict,
+                stats=instrumentation_of(outcome.result) or None,
             )
         elif outcome.status == "error":
             self.events.record(

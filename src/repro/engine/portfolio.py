@@ -26,6 +26,7 @@ from repro.engine.jobs import (
     Budget,
     JobResult,
     VerificationJob,
+    instrumentation_of,
     is_conclusive,
 )
 from repro.engine.pool import WorkerHandle, WorkerPool, _mp_context
@@ -218,4 +219,7 @@ def _log_terminal(events: EventSink, outcome: JobResult) -> None:
         detail=outcome.result.verdict
         if outcome.status == "ok"
         else outcome.error,
+        stats=instrumentation_of(outcome.result) or None
+        if outcome.status == "ok"
+        else None,
     )

@@ -15,21 +15,20 @@ Explores GPN states with the paper's three-regime priority:
 The explored graph is tiny for the paper's benchmarks (3 states for NSDP
 regardless of size, 2 for RW) while each state covers exponentially many
 classical markings through the Def. 3.4 mapping.
+
+The depth-first walk itself runs on the generic driver in
+:mod:`repro.search.core`; :class:`GpnSpace` supplies the successor regimes
+and uses the driver-maintained DFS path
+(:meth:`~repro.search.core.SearchContext.on_current_path`) to detect the
+back-edges that trigger the anti-ignoring expansions.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Literal
+from typing import Iterable, Literal
 
-from repro.analysis.graph import ReachabilityGraph
-from repro.analysis.stats import (
-    AnalysisResult,
-    Deadline,
-    DeadlockWitness,
-    ExplorationLimitReached,
-    stopwatch,
-)
+from repro.analysis.stats import AnalysisResult, DeadlockWitness, stopwatch
 from repro.families.base import SetFamily
 from repro.gpo.candidates import candidate_mcs, single_enabled_mcs
 from repro.gpo.gpn import Backend, Gpn, GpnState
@@ -41,8 +40,16 @@ from repro.gpo.semantics import (
     single_fire,
 )
 from repro.net.petrinet import PetriNet
+from repro.search.core import (
+    SearchContext,
+    SearchOutcome,
+    abort_note,
+    raise_if_bounded,
+)
+from repro.search.core import explore as _drive
+from repro.search.graph import ReachabilityGraph
 
-__all__ = ["GpoOptions", "GpoResult", "explore_gpo", "analyze"]
+__all__ = ["GpoOptions", "GpoResult", "GpnSpace", "explore_gpo", "analyze"]
 
 OnDeadlock = Literal["stop-branch", "stop-all", "continue"]
 
@@ -109,88 +116,89 @@ class GpoResult:
         return out
 
 
-def explore_gpo(
-    net: PetriNet, options: GpoOptions | None = None
-) -> GpoResult:
-    """Run the §3.3 algorithm to completion (or to the first deadlock)."""
-    if options is None:
-        options = GpoOptions()
-    deadline = Deadline.of(options.max_seconds)
-    gpn = Gpn(net, backend=options.backend)
-    initial = gpn.initial_state()
-    graph: ReachabilityGraph[GpnState] = ReachabilityGraph(initial)
-    result = GpoResult(gpn, graph)
-    # Depth-first exploration with an explicit stack.  ``None`` entries are
-    # exit markers maintaining ``on_path`` (the current DFS path), which
-    # lets the anti-ignoring proviso fire only on genuine back-edges:
-    # every cycle of the final graph contains at least one.
-    stack: list[GpnState | None] = [initial]
-    path: list[GpnState] = []
-    on_path: set[GpnState] = set()
+class GpnSpace:
+    """The §3.3 successor regimes as a :class:`SearchSpace` over GPN states.
 
-    while stack:
-        popped = stack.pop()
-        if popped is None:
-            on_path.discard(path.pop())
-            continue
-        state = popped
-        if deadline is not None:
-            deadline.check(graph.num_states)
-        stack.append(None)
-        path.append(state)
-        on_path.add(state)
-        single, multiple = enabled_families(gpn, state)
-        dead = dead_scenarios(gpn, state, single)
-        if not dead.is_empty():
-            graph.mark_deadlock(state)
-            result.deadlock_states.append((state, dead))
-            if options.on_deadlock == "stop-all":
-                return result
-            if options.on_deadlock == "stop-branch":
-                continue
+    ``is_deadlock`` runs the scenario deadlock check and collects the
+    failing states with their dead-scenario families; ``successors``
+    applies the candidate-multiple-firing / single-firing priority, with
+    the anti-ignoring expansions (footnote 2) keyed on the driver's DFS
+    path.  The per-state enabled/dead families are memoized so the two
+    hooks share one computation.
+    """
+
+    def __init__(self, gpn: Gpn, options: GpoOptions) -> None:
+        self.gpn = gpn
+        self.options = options
+        self.deadlock_states: list[tuple[GpnState, SetFamily]] = []
+        self.scenario_states = 0
+        self.scenario_total = 0
+        self.scenario_max = 0
+        self._memo_state: GpnState | None = None
+        self._memo: tuple[dict, dict, SetFamily] | None = None
+
+    def initial(self) -> GpnState:
+        return self.gpn.initial_state()
+
+    def _families(self, state: GpnState) -> tuple[dict, dict, SetFamily]:
+        if state is not self._memo_state:
+            single, multiple = enabled_families(self.gpn, state)
+            dead = dead_scenarios(self.gpn, state, single)
+            self._memo = (single, multiple, dead)
+            self._memo_state = state
+        assert self._memo is not None
+        return self._memo
+
+    def is_deadlock(self, state: GpnState) -> bool:
+        count = state.valid.count()
+        self.scenario_states += 1
+        self.scenario_total += count
+        if count > self.scenario_max:
+            self.scenario_max = count
+        _, _, dead = self._families(state)
+        if dead.is_empty():
+            return False
+        self.deadlock_states.append((state, dead))
+        return True
+
+    def successors(
+        self, state: GpnState, ctx: SearchContext[GpnState]
+    ) -> Iterable[tuple[str, GpnState]]:
+        single, multiple, dead = self._families(state)
+        if not dead.is_empty() and self.options.on_deadlock == "stop-branch":
+            return
+        gpn = self.gpn
 
         candidates = _viable_candidates(
             gpn, state, candidate_mcs(gpn, multiple), single, multiple
         )
         if candidates:
             fired, successor = candidates
-            if options.validate:
+            if self.options.validate:
                 _validate_candidate_preservation(
                     gpn, state, fired, successor, single, multiple
                 )
-            _push(
-                graph, stack, state, gpn.set_label(fired), successor, options
-            )
+            yield gpn.set_label(fired), successor
 
             # Footnote 2's "not postponed forever" check (the ignoring
             # problem): when the multiple firing closes a cycle of the
             # current DFS path (a back-edge), postponed single-enabled
             # transitions might never fire along that cycle; expand them
             # here so every cycle has a state where they proceed.
-            if successor in on_path:
+            if ctx.on_current_path(successor):
                 for t in sorted(single):
                     if t in fired:
                         continue
-                    postponed = single_fire(gpn, state, t)
-                    _push(
-                        graph,
-                        stack,
-                        state,
-                        gpn.transition_label(t),
-                        postponed,
-                        options,
-                    )
-            continue
+                    yield gpn.transition_label(t), single_fire(gpn, state, t)
+            return
 
         component = single_enabled_mcs(gpn, single)
         targets = sorted(component) if component is not None else sorted(single)
         back_edge = False
         for t in targets:
             successor = single_fire(gpn, state, t)
-            _push(
-                graph, stack, state, gpn.transition_label(t), successor, options
-            )
-            back_edge = back_edge or successor in on_path
+            yield gpn.transition_label(t), successor
+            back_edge = back_edge or ctx.on_current_path(successor)
         if back_edge and component is not None:
             # Same anti-ignoring expansion for the single-firing regime:
             # a cycle closed while other enabled transitions were
@@ -198,15 +206,53 @@ def explore_gpo(
             for t in sorted(single):
                 if t in component:
                     continue
-                postponed = single_fire(gpn, state, t)
-                _push(
-                    graph,
-                    stack,
-                    state,
-                    gpn.transition_label(t),
-                    postponed,
-                    options,
-                )
+                yield gpn.transition_label(t), single_fire(gpn, state, t)
+
+    def instrumentation(self) -> dict[str, object]:
+        """Scenario-family sizes over the expanded GPN states."""
+        if not self.scenario_states:
+            return {}
+        return {
+            "mean_scenarios": round(
+                self.scenario_total / self.scenario_states, 3
+            ),
+            "max_scenarios": self.scenario_max,
+        }
+
+
+def _explore(
+    net: PetriNet, options: GpoOptions
+) -> tuple[GpoResult, SearchOutcome[GpnState], GpnSpace]:
+    """Drive the GPO space; shared by :func:`explore_gpo` and :func:`analyze`."""
+    gpn = Gpn(net, backend=options.backend)
+    space = GpnSpace(gpn, options)
+    outcome = _drive(
+        space,
+        order="dfs",
+        max_states=options.max_states,
+        max_seconds=options.max_seconds,
+        stop_at_first_deadlock=options.on_deadlock == "stop-all",
+    )
+    result = GpoResult(gpn, outcome.graph, space.deadlock_states)
+    return result, outcome, space
+
+
+def explore_gpo(
+    net: PetriNet, options: GpoOptions | None = None
+) -> GpoResult:
+    """Run the §3.3 algorithm to completion (or to the first deadlock).
+
+    Raises on budget overruns like the classical ``explore`` wrappers;
+    ``analyze`` uses the driver's partial results instead.
+    """
+    if options is None:
+        options = GpoOptions()
+    result, outcome, _ = _explore(net, options)
+    raise_if_bounded(
+        outcome,
+        max_states=options.max_states,
+        max_seconds=options.max_seconds,
+    )
     return result
 
 
@@ -270,29 +316,6 @@ def _viable_candidates(
     return viable[0]
 
 
-def _push(
-    graph: ReachabilityGraph[GpnState],
-    stack: list[GpnState],
-    state: GpnState,
-    label: str,
-    successor: GpnState,
-    options: GpoOptions,
-) -> bool:
-    """Record an edge; returns True when the successor state is new."""
-    is_new = successor not in graph
-    graph.add_edge(state, label, successor)
-    if is_new:
-        if (
-            options.max_states is not None
-            and graph.num_states > options.max_states
-        ):
-            raise ExplorationLimitReached(
-                options.max_states, graph.num_states
-            )
-        stack.append(successor)
-    return is_new
-
-
 def _validate_candidate_preservation(
     gpn: Gpn,
     state: GpnState,
@@ -343,6 +366,8 @@ def analyze(
     ``states``/``edges`` count the explored *GPN* states (the paper's "GPO
     States" column); ``extras["scenarios"]`` is ``|r0|`` — how many
     classical choice resolutions each state tracks simultaneously.
+    Budget overruns are absorbed into a bounded, non-exhaustive result
+    carrying the real progress made.
     """
     options = GpoOptions(
         backend=backend,
@@ -352,8 +377,20 @@ def analyze(
         validate=validate,
     )
     with stopwatch() as elapsed:
-        result = explore_gpo(net, options)
+        result, outcome, space = _explore(net, options)
     witnesses = result.witnesses(limit=1) if want_witness else []
+    extras: dict[str, object] = {
+        "backend": backend,
+        "scenarios": result.gpn.r0.count(),
+        "deadlock_states": len(result.deadlock_states),
+    }
+    extras.update(outcome.stats.as_extras())
+    extras.update(space.instrumentation())
+    note = abort_note(
+        outcome.stop_reason, max_states=max_states, max_seconds=max_seconds
+    )
+    if note is not None:
+        extras["aborted"] = note
     return AnalysisResult(
         analyzer="gpo",
         net_name=net.name,
@@ -362,9 +399,6 @@ def analyze(
         deadlock=result.has_deadlock,
         time_seconds=elapsed[0],
         witness=witnesses[0] if witnesses else None,
-        extras={
-            "backend": backend,
-            "scenarios": result.gpn.r0.count(),
-            "deadlock_states": len(result.deadlock_states),
-        },
+        exhaustive=outcome.exhaustive,
+        extras=extras,
     )

@@ -4,8 +4,9 @@ Subcommands::
 
     gpo verify FILE [--method gpo|full|stubborn|symbolic] [--backend ...]
     gpo safety FILE --bad "cs0 & cs1 & !lock" [--bad ...]
+    gpo reach FILE --target "a & b" [--method full|stubborn] [--order bfs|dfs]
     gpo race FILE [--methods gpo,symbolic] [--jobs N]  # portfolio race
-    gpo table1 [--problems NSDP,RW] [--jobs N] [--portfolio] [--no-cache]
+    gpo table1 [--problems NSDP,RW] [--jobs N] [--portfolio] [--stats]
     gpo figures [--figure 1|2|3]
     gpo check FILE            # structural diagnostics + safety check
     gpo dot FILE [--rg]       # DOT export of the net (or its full RG)
@@ -122,6 +123,61 @@ def _cmd_safety(args: argparse.Namespace) -> int:
     return 1 if not result.safe else 0
 
 
+def _cmd_reach(args: argparse.Namespace) -> int:
+    from repro.analysis.reachability import MarkingSpace
+    from repro.search.query import find_state
+    from repro.stubborn.explorer import StubbornSpace
+
+    net = _load(args.file)
+    try:
+        constraints = [_parse_constraint(text) for text in args.target]
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    for constraint in constraints:
+        for place in constraint.marked + constraint.unmarked:
+            if place not in net.place_index:
+                print(f"unknown place {place!r}", file=sys.stderr)
+                return 2
+
+    space = (
+        StubbornSpace(net) if args.method == "stubborn" else MarkingSpace(net)
+    )
+
+    def hit(marking) -> bool:
+        names = net.marking_names(marking)
+        return any(c.holds_in(names) for c in constraints)
+
+    result = find_state(
+        space,
+        hit,
+        order=args.order,
+        max_states=args.max_states,
+        max_seconds=args.max_seconds,
+    )
+    stats = result.outcome.stats
+    searched = (
+        f"searched {result.outcome.graph.num_states} states "
+        f"({args.method}, {args.order})"
+    )
+    if result.reached:
+        print(f"REACHED  {searched}")
+        if result.trace is not None:
+            print("trace: " + (" ; ".join(result.trace) or "<initial>"))
+        return 0
+    # A stubborn-set search only preserves deadlocks, not general
+    # reachability: a miss is inconclusive even when exhaustive.
+    if result.exhaustive and args.method == "full":
+        print(f"not reachable  {searched}")
+        return 1
+    reason = (
+        result.outcome.stop_reason or "reduced search misses are inconclusive"
+    )
+    print(f"INCONCLUSIVE ({reason})  {searched}")
+    print(f"explored {stats.expanded} states at {stats.states_per_second:.0f}/s")
+    return 2
+
+
 def _engine_setup(
     args: argparse.Namespace,
 ) -> tuple[ResultCache | None, EventSink | None]:
@@ -166,7 +222,11 @@ def _cmd_table1(args: argparse.Namespace) -> int:
             cache=cache,
             events=sink,
         )
-        print(format_table1(rows, with_paper=not args.no_paper))
+        print(
+            format_table1(
+                rows, with_paper=not args.no_paper, with_stats=args.stats
+            )
+        )
         if cache is not None and cache.hits:
             print(
                 f"[cache] {cache.hits} hit(s), {cache.misses} miss(es) "
@@ -281,7 +341,9 @@ def _cmd_bench_model(args: argparse.Namespace) -> int:
             cache=cache,
             events=sink,
         )
-        print(format_table1(rows, with_paper=True))
+        print(
+            format_table1(rows, with_paper=True, with_stats=args.stats)
+        )
         return 0
     finally:
         if sink is not None:
@@ -374,6 +436,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_table.add_argument("--max-seconds", type=float, default=120.0)
     p_table.add_argument("--no-paper", action="store_true")
     p_table.add_argument(
+        "--stats",
+        action="store_true",
+        help="append instrumentation columns (states/sec, reduction ratio, "
+        "mean scenario-family size)",
+    )
+    p_table.add_argument(
         "--portfolio",
         action="store_true",
         help="race the analyzers per instance instead of tabulating all",
@@ -408,8 +476,37 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="race the portfolio instead of running every analyzer",
     )
+    p_bench.add_argument(
+        "--stats",
+        action="store_true",
+        help="append instrumentation columns to the measured table",
+    )
     add_engine_flags(p_bench, jobs=1)
     p_bench.set_defaults(fn=_cmd_bench_model)
+
+    p_reach = sub.add_parser(
+        "reach",
+        help="on-the-fly marking-reachability query (early termination)",
+    )
+    p_reach.add_argument("file")
+    p_reach.add_argument(
+        "--target",
+        action="append",
+        required=True,
+        help="target (sub)marking conjunction, e.g. 'cs0 & cs1 & !lock'; "
+        "repeatable (any match terminates the search)",
+    )
+    p_reach.add_argument(
+        "--method",
+        choices=("full", "stubborn"),
+        default="full",
+        help="successor rule; stubborn misses are inconclusive "
+        "(the reduction only preserves deadlocks)",
+    )
+    p_reach.add_argument("--order", choices=("bfs", "dfs"), default="bfs")
+    p_reach.add_argument("--max-states", type=int, default=200_000)
+    p_reach.add_argument("--max-seconds", type=float, default=120.0)
+    p_reach.set_defaults(fn=_cmd_reach)
     return parser
 
 

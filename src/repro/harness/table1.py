@@ -16,7 +16,7 @@ the qualitative claims instead.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping
 
 from repro.analysis.stats import AnalysisResult
@@ -80,7 +80,13 @@ PAPER_TABLE1: Mapping[tuple[str, int], tuple] = {
 
 @dataclass
 class Table1Row:
-    """Measured values of one Table 1 row."""
+    """Measured values of one Table 1 row.
+
+    ``stats`` holds the search-core instrumentation of the row's analyzer
+    runs — the full explorer's states/sec, the stubborn reduction ratio,
+    the mean GPO scenario-family size — rendered by
+    ``format_table1(..., with_stats=True)``.
+    """
 
     problem: str
     size: int
@@ -92,9 +98,10 @@ class Table1Row:
     gpo_states: int
     gpo_time: float
     deadlock: bool
+    stats: dict = field(default_factory=dict)
 
-    def cells(self) -> list[str]:
-        return [
+    def cells(self, *, with_stats: bool = False) -> list[str]:
+        out = [
             f"{self.problem}({self.size})",
             format_number(self.full_states),
             format_number(self.spin_states),
@@ -105,6 +112,12 @@ class Table1Row:
             format_number(self.gpo_time),
             "yes" if self.deadlock else "no",
         ]
+        if with_stats:
+            out.extend(
+                format_number(self.stats.get(key))
+                for key in ("full_rate", "po_ratio", "gpo_scen")
+            )
+        return out
 
 
 #: Column order the four analyzers contribute to a Table 1 row.
@@ -123,6 +136,13 @@ def _assemble_row(
     spin = results.get("stubborn")
     smv = results.get("symbolic")
     gpo = results.get("gpo")
+    stats: dict = {}
+    if full is not None:
+        stats["full_rate"] = full.extras.get("states_per_second")
+    if spin is not None:
+        stats["po_ratio"] = spin.extras.get("stubborn_ratio")
+    if gpo is not None:
+        stats["gpo_scen"] = gpo.extras.get("mean_scenarios")
     return Table1Row(
         problem=problem,
         size=size,
@@ -136,6 +156,7 @@ def _assemble_row(
         gpo_states=gpo.states if gpo else 0,
         gpo_time=gpo.time_seconds if gpo else 0.0,
         deadlock=gpo.deadlock if gpo else False,
+        stats={k: v for k, v in stats.items() if v is not None},
     )
 
 
@@ -220,8 +241,19 @@ def run_table1(
     ]
 
 
-def format_table1(rows: Iterable[Table1Row], *, with_paper: bool = True) -> str:
-    """Render measured rows, optionally side by side with the 1998 values."""
+def format_table1(
+    rows: Iterable[Table1Row],
+    *,
+    with_paper: bool = True,
+    with_stats: bool = False,
+) -> str:
+    """Render measured rows, optionally side by side with the 1998 values.
+
+    ``with_stats`` appends the instrumentation columns (full states/sec,
+    stubborn reduction ratio, mean GPO scenario-family size) to the
+    measured table only — the paper published none of these.
+    """
+    rows = list(rows)
     headers = [
         "Problem",
         "States",
@@ -233,9 +265,12 @@ def format_table1(rows: Iterable[Table1Row], *, with_paper: bool = True) -> str:
         "GPO-t(s)",
         "dead",
     ]
+    measured_headers = headers + (
+        ["full-St/s", "PO-ratio", "GPO-scen"] if with_stats else []
+    )
     out = format_table(
-        headers,
-        [row.cells() for row in rows],
+        measured_headers,
+        [row.cells(with_stats=with_stats) for row in rows],
         title="Table 1 (measured; '-' = budget exceeded)",
     )
     if with_paper:

@@ -1,0 +1,63 @@
+"""Observer hooks for the generic exploration driver.
+
+Observers watch a search as it runs: the driver calls ``on_state`` for
+every newly stored state (including the initial one), ``on_edge`` for
+every edge added, ``on_deadlock`` for every recorded deadlock, and
+``on_done`` once with the final :class:`~repro.search.core.SearchOutcome`.
+Any hook except ``on_done`` may return a truthy value to request early
+termination — the driver then stops with ``stop_reason="observer"``.
+
+:class:`MarkingQueryObserver` is the on-the-fly reachability query from
+the paper's verification setting: it terminates the search the moment a
+state satisfying the target predicate is stored, without building the
+rest of the graph.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generic, Hashable, TypeVar
+
+__all__ = ["MarkingQueryObserver", "SearchObserver"]
+
+S = TypeVar("S", bound=Hashable)
+
+
+class SearchObserver(Generic[S]):
+    """No-op base class; subclasses override the hooks they care about."""
+
+    def on_state(self, state: S, ctx: Any) -> bool | None:
+        """A new state was stored.  Return truthy to stop the search."""
+        return None
+
+    def on_edge(
+        self, source: S, label: str, target: S, is_new: bool
+    ) -> bool | None:
+        """An edge was added.  Return truthy to stop the search."""
+        return None
+
+    def on_deadlock(self, state: S) -> bool | None:
+        """A deadlock was recorded.  Return truthy to stop the search."""
+        return None
+
+    def on_done(self, outcome: Any) -> None:
+        """The search finished; ``outcome`` is the final SearchOutcome."""
+        return None
+
+
+class MarkingQueryObserver(SearchObserver[S]):
+    """Stop the search as soon as a state satisfies ``predicate``.
+
+    After the run, ``matched`` holds the first satisfying state (or
+    ``None``); the driver reports ``stop_reason="observer"`` when the
+    query terminated the search early.
+    """
+
+    def __init__(self, predicate: Callable[[S], bool]) -> None:
+        self.predicate = predicate
+        self.matched: S | None = None
+
+    def on_state(self, state: S, ctx: Any) -> bool:
+        if self.matched is None and self.predicate(state):
+            self.matched = state
+            return True
+        return False

@@ -1,0 +1,80 @@
+"""On-the-fly state queries over any :class:`SearchSpace`.
+
+:func:`find_state` drives a space just far enough to answer "is a state
+satisfying this predicate reachable?" — it attaches a
+:class:`~repro.search.observers.MarkingQueryObserver` so the search stops
+at the first hit instead of building the full graph.  A negative answer
+is conclusive only when the underlying search was exhaustive, which the
+result records; for reduced searches (stubborn sets preserve deadlocks,
+not general reachability) callers must treat negatives as inconclusive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, Hashable, TypeVar
+
+from repro.search.core import SearchOutcome, SearchSpace, explore
+from repro.search.observers import MarkingQueryObserver
+
+__all__ = ["QueryResult", "find_state"]
+
+S = TypeVar("S", bound=Hashable)
+
+
+@dataclass
+class QueryResult(Generic[S]):
+    """Outcome of an on-the-fly reachability query.
+
+    ``reached`` is True when a satisfying state was found, in which case
+    ``state`` holds it and ``trace`` the shortest label path to it inside
+    the explored graph.  ``exhaustive`` is True when the search drained
+    the space without finding one — only then is a negative conclusive.
+    """
+
+    reached: bool
+    state: S | None
+    trace: tuple[str, ...] | None
+    exhaustive: bool
+    outcome: SearchOutcome[S]
+
+    @property
+    def conclusive(self) -> bool:
+        """True when the answer (either way) is definitive."""
+        return self.reached or self.exhaustive
+
+
+def find_state(
+    space: SearchSpace[S],
+    predicate,
+    *,
+    order: str = "bfs",
+    max_states: int | None = None,
+    max_seconds: float | None = None,
+) -> QueryResult[S]:
+    """Search ``space`` for a state satisfying ``predicate``."""
+    query: MarkingQueryObserver[S] = MarkingQueryObserver(predicate)
+    outcome = explore(
+        space,
+        order=order,
+        max_states=max_states,
+        max_seconds=max_seconds,
+        observers=(query,),
+    )
+    if query.matched is None:
+        return QueryResult(
+            reached=False,
+            state=None,
+            trace=None,
+            exhaustive=outcome.exhaustive,
+            outcome=outcome,
+        )
+    path = outcome.graph.path_to(query.matched)
+    trace = tuple(label for label, _ in path) if path is not None else None
+    return QueryResult(
+        reached=True,
+        state=query.matched,
+        trace=trace,
+        exhaustive=outcome.exhaustive,
+        outcome=outcome,
+    )

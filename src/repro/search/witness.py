@@ -1,0 +1,62 @@
+"""Witness records and trace extraction over explored graphs.
+
+Every analyzer reports counterexamples as :class:`DeadlockWitness` values;
+:func:`extract_witness` recovers the shortest trace to a recorded deadlock
+from any explored :class:`~repro.search.graph.ReachabilityGraph` whose
+states are classical markings.  Both the full and the stubborn-set
+explorers share this single implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.search.graph import ReachabilityGraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.net.petrinet import Marking, PetriNet
+
+__all__ = ["DeadlockWitness", "extract_witness"]
+
+
+@dataclass(frozen=True)
+class DeadlockWitness:
+    """A concrete witness marking plus a firing trace reaching it.
+
+    ``marking`` holds place *names*; ``trace`` holds transition names from
+    the initial marking.  For GPN analysis the trace steps may be sets of
+    simultaneously fired transitions rendered as ``{a,b}``.  ``label``
+    names what the marking witnesses (a deadlock by default; the safety
+    checker reuses the type for bad-marking witnesses).
+    """
+
+    marking: frozenset[str]
+    trace: tuple[str, ...]
+    label: str = "deadlock"
+
+    def __str__(self) -> str:
+        marking = "{" + ", ".join(sorted(self.marking)) + "}"
+        if not self.trace:
+            return f"{self.label} at initial marking {marking}"
+        return f"{self.label} at {marking} via " + " ; ".join(self.trace)
+
+
+def extract_witness(
+    net: "PetriNet", graph: "ReachabilityGraph[Marking]"
+) -> DeadlockWitness | None:
+    """Shortest trace to some deadlock state in an explored graph."""
+    best: tuple[int, "Marking", list[tuple[str, "Marking"]]] | None = None
+    for marking in graph.deadlocks:
+        path = graph.path_to(marking)
+        if path is None:
+            continue
+        if best is None or len(path) < best[0]:
+            best = (len(path), marking, path)
+    if best is None:
+        return None
+    _, marking, path = best
+    return DeadlockWitness(
+        marking=net.marking_names(marking),
+        trace=tuple(label for label, _ in path),
+    )

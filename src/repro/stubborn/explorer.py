@@ -4,25 +4,91 @@ This is the paper's "SPIN+PO" column: the state space explored when, in
 every marking, only the enabled part of one stubborn set is fired.  All
 deadlocks of the full graph are preserved (Valmari [14], Godefroid-Wolper
 [9]); the number of stored states is what Table 1 reports.
+
+The exploration itself runs on the generic driver in
+:mod:`repro.search.core`; :class:`StubbornSpace` only supplies the reduced
+successor rule and measures the reduction ratio (fired / enabled
+transitions) it achieves.
 """
 
 from __future__ import annotations
 
-from collections import deque
+from typing import Iterable
 
-from repro.analysis.graph import ReachabilityGraph
-from repro.analysis.reachability import extract_witness
-from repro.analysis.stats import (
-    AnalysisResult,
-    Deadline,
-    ExplorationLimitReached,
-    stopwatch,
-)
+from repro.analysis.stats import AnalysisResult, stopwatch
 from repro.net.petrinet import Marking, PetriNet
 from repro.net.structure import StructuralInfo
+from repro.search.core import SearchContext, abort_note, raise_if_bounded
+from repro.search.core import explore as _drive
+from repro.search.graph import ReachabilityGraph
+from repro.search.witness import extract_witness
 from repro.stubborn.stubborn import SeedStrategy, stubborn_enabled
 
-__all__ = ["explore_reduced", "analyze"]
+__all__ = ["StubbornSpace", "explore_reduced", "analyze"]
+
+
+class StubbornSpace:
+    """Stubborn-set reduced successors as a :class:`SearchSpace`.
+
+    In every marking only the enabled part of one stubborn set fires.
+    ``enabled_total`` / ``fired_total`` accumulate the full and reduced
+    enabled-set sizes over all expanded states, giving the reduction ratio
+    reported in the instrumentation extras.
+    """
+
+    def __init__(
+        self,
+        net: PetriNet,
+        *,
+        strategy: SeedStrategy = "best",
+        info: StructuralInfo | None = None,
+    ) -> None:
+        self.net = net
+        self.strategy = strategy
+        self.info = StructuralInfo(net) if info is None else info
+        self.enabled_total = 0
+        self.fired_total = 0
+        self._memo_marking: Marking | None = None
+        self._memo_fire: list[int] = []
+
+    def _to_fire(self, marking: Marking) -> list[int]:
+        if marking is not self._memo_marking:
+            enabled = self.net.enabled_transitions(marking)
+            to_fire = stubborn_enabled(
+                self.net,
+                self.info,
+                marking,
+                strategy=self.strategy,
+                enabled=enabled,
+            )
+            self.enabled_total += len(enabled)
+            self.fired_total += len(to_fire)
+            self._memo_fire = to_fire
+            self._memo_marking = marking
+        return self._memo_fire
+
+    def initial(self) -> Marking:
+        return self.net.initial_marking
+
+    def is_deadlock(self, marking: Marking) -> bool:
+        return not self._to_fire(marking)
+
+    def successors(
+        self, marking: Marking, ctx: SearchContext[Marking]
+    ) -> Iterable[tuple[str, Marking]]:
+        net = self.net
+        for t in self._to_fire(marking):
+            yield net.transitions[t], net.fire(t, marking)
+
+    def instrumentation(self) -> dict[str, object]:
+        """Reduction ratio achieved so far (1.0 means no reduction)."""
+        if not self.enabled_total:
+            return {}
+        return {
+            "stubborn_ratio": round(
+                self.fired_total / self.enabled_total, 3
+            )
+        }
 
 
 def explore_reduced(
@@ -34,33 +100,20 @@ def explore_reduced(
     stop_at_first_deadlock: bool = False,
     info: StructuralInfo | None = None,
 ) -> ReachabilityGraph[Marking]:
-    """Build the stubborn-set reduced reachability graph (BFS order)."""
-    if info is None:
-        info = StructuralInfo(net)
-    deadline = Deadline.of(max_seconds)
-    graph: ReachabilityGraph[Marking] = ReachabilityGraph(net.initial_marking)
-    queue: deque[Marking] = deque([net.initial_marking])
-    while queue:
-        marking = queue.popleft()
-        if deadline is not None:
-            deadline.check(graph.num_states)
-        to_fire = stubborn_enabled(net, info, marking, strategy=strategy)
-        if not to_fire:
-            graph.mark_deadlock(marking)
-            if stop_at_first_deadlock:
-                return graph
-            continue
-        for t in to_fire:
-            successor = net.fire(t, marking)
-            is_new = successor not in graph
-            graph.add_edge(marking, net.transitions[t], successor)
-            if is_new:
-                if max_states is not None and graph.num_states > max_states:
-                    raise ExplorationLimitReached(
-                        max_states, graph.num_states
-                    )
-                queue.append(successor)
-    return graph
+    """Build the stubborn-set reduced reachability graph (BFS order).
+
+    Raises on budget overruns like the full ``explore``; ``analyze`` uses
+    the driver's partial results instead.
+    """
+    outcome = _drive(
+        StubbornSpace(net, strategy=strategy, info=info),
+        order="bfs",
+        max_states=max_states,
+        max_seconds=max_seconds,
+        stop_at_first_deadlock=stop_at_first_deadlock,
+    )
+    raise_if_bounded(outcome, max_states=max_states, max_seconds=max_seconds)
+    return outcome.graph
 
 
 def analyze(
@@ -75,17 +128,27 @@ def analyze(
 
     The reported deadlock verdict is equivalent to the full analysis; the
     reported ``states`` count is the size of the *reduced* graph.  Budget
-    overruns (state or wall-clock) propagate as exceptions; the harness
-    runner converts them into non-exhaustive results.
+    overruns (state or wall-clock) are absorbed into a bounded,
+    non-exhaustive result carrying the real progress made, exactly like
+    the other analyzers.
     """
+    space = StubbornSpace(net, strategy=strategy)
     with stopwatch() as elapsed:
-        graph = explore_reduced(
-            net, strategy=strategy, max_states=max_states,
-            max_seconds=max_seconds,
+        outcome = _drive(
+            space, order="bfs", max_states=max_states, max_seconds=max_seconds
         )
+    graph = outcome.graph
     witness = None
     if graph.deadlocks and want_witness:
         witness = extract_witness(net, graph)
+    extras: dict[str, object] = {"strategy": strategy}
+    extras.update(outcome.stats.as_extras())
+    extras.update(space.instrumentation())
+    note = abort_note(
+        outcome.stop_reason, max_states=max_states, max_seconds=max_seconds
+    )
+    if note is not None:
+        extras["aborted"] = note
     return AnalysisResult(
         analyzer="stubborn",
         net_name=net.name,
@@ -94,5 +157,6 @@ def analyze(
         deadlock=bool(graph.deadlocks),
         time_seconds=elapsed[0],
         witness=witness,
-        extras={"strategy": strategy},
+        exhaustive=outcome.exhaustive,
+        extras=extras,
     )

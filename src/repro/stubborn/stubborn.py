@@ -92,11 +92,14 @@ def stubborn_enabled(
     marking: Marking,
     *,
     strategy: SeedStrategy = "best",
+    enabled: list[int] | None = None,
 ) -> list[int]:
     """The enabled part of a chosen stubborn set in ``marking``.
 
     Returns the transitions to fire from this state.  Empty iff the marking
-    is a deadlock.  ``strategy``:
+    is a deadlock.  Pass ``enabled`` when the caller already computed
+    ``net.enabled_transitions(marking)`` (the explorer does, to measure the
+    reduction ratio without recomputing).  ``strategy``:
 
     * ``"first"`` — close from the first enabled transition (fast);
     * ``"best"`` — close from every enabled seed, fire the set whose
@@ -104,7 +107,8 @@ def stubborn_enabled(
       explorer to follow one interleaving in Figure 1 and one conflict pair
       at a time in Figure 2).
     """
-    enabled = net.enabled_transitions(marking)
+    if enabled is None:
+        enabled = net.enabled_transitions(marking)
     if not enabled:
         return []
     if strategy == "first":

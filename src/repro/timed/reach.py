@@ -5,64 +5,107 @@ untimed analyzers answer for plain nets: reachable markings *under timing*,
 timed deadlocks, and which behaviours timing prunes relative to the
 untimed skeleton (timed reachability is always a subset — asserted by the
 property tests).
+
+The breadth-first walk runs on the generic driver in
+:mod:`repro.search.core`; :class:`StateClassSpace` only supplies the
+state-class successor rule.
 """
 
 from __future__ import annotations
 
-from collections import deque
+from typing import Iterable
 
-from repro.analysis.graph import ReachabilityGraph
-from repro.analysis.stats import (
-    AnalysisResult,
-    DeadlockWitness,
-    ExplorationLimitReached,
-    stopwatch,
-)
+from repro.analysis.stats import AnalysisResult, DeadlockWitness, stopwatch
 from repro.net.petrinet import Marking
+from repro.search.core import SearchContext, abort_note, raise_if_bounded
+from repro.search.core import explore as _drive
+from repro.search.graph import ReachabilityGraph
 from repro.timed.stateclass import StateClass, fire_class, initial_class
 from repro.timed.tpn import TimedPetriNet
 
-__all__ = ["explore_classes", "timed_reachable_markings", "analyze"]
+__all__ = [
+    "StateClassSpace",
+    "analyze",
+    "explore_classes",
+    "timed_reachable_markings",
+]
+
+
+class StateClassSpace:
+    """The Berthomieu-Diaz firing rule as a :class:`SearchSpace`.
+
+    A class with enabled but *unfirable* transitions cannot occur (some
+    enabled transition is always firable under strong semantics), so
+    deadlocked classes are exactly those with no firable transition — the
+    successor list is memoized per driver-visited class so the deadlock
+    check and the successor hook share one computation.
+    """
+
+    def __init__(self, tpn: TimedPetriNet) -> None:
+        self.tpn = tpn
+        self._memo_class: StateClass | None = None
+        self._memo_succs: list[tuple[str, StateClass]] = []
+
+    def _succs(self, cls: StateClass) -> list[tuple[str, StateClass]]:
+        if cls is not self._memo_class:
+            out: list[tuple[str, StateClass]] = []
+            for t in cls.variables:
+                successor = fire_class(self.tpn, cls, t)
+                if successor is not None:
+                    out.append((self.tpn.net.transitions[t], successor))
+            self._memo_succs = out
+            self._memo_class = cls
+        return self._memo_succs
+
+    def initial(self) -> StateClass:
+        return initial_class(self.tpn)
+
+    def is_deadlock(self, cls: StateClass) -> bool:
+        return not self._succs(cls)
+
+    def successors(
+        self, cls: StateClass, ctx: SearchContext[StateClass]
+    ) -> Iterable[tuple[str, StateClass]]:
+        return self._succs(cls)
+
+    def instrumentation(self) -> dict[str, object]:
+        """No adapter-specific counters beyond the driver's."""
+        return {}
 
 
 def explore_classes(
-    tpn: TimedPetriNet, *, max_classes: int | None = None
+    tpn: TimedPetriNet,
+    *,
+    max_classes: int | None = None,
+    max_seconds: float | None = None,
 ) -> ReachabilityGraph[StateClass]:
     """Breadth-first construction of the state-class graph.
 
     Classes compare by (marking, canonical DBM); on bounded nets with
-    integer intervals the graph is finite.  A class with enabled but
-    *unfirable* transitions cannot occur (some enabled transition is
-    always firable under strong semantics), so deadlocked classes are
-    exactly those with no enabled transition.
+    integer intervals the graph is finite.  Raises on budget overruns like
+    the untimed ``explore``; ``analyze`` uses the driver's partial results
+    instead.
     """
-    initial = initial_class(tpn)
-    graph: ReachabilityGraph[StateClass] = ReachabilityGraph(initial)
-    queue: deque[StateClass] = deque([initial])
-    while queue:
-        cls = queue.popleft()
-        fired_any = False
-        for t in cls.variables:
-            successor = fire_class(tpn, cls, t)
-            if successor is None:
-                continue
-            fired_any = True
-            is_new = successor not in graph
-            graph.add_edge(cls, tpn.net.transitions[t], successor)
-            if is_new:
-                if max_classes is not None and graph.num_states > max_classes:
-                    raise ExplorationLimitReached(max_classes)
-                queue.append(successor)
-        if not fired_any:
-            graph.mark_deadlock(cls)
-    return graph
+    outcome = _drive(
+        StateClassSpace(tpn),
+        order="bfs",
+        max_states=max_classes,
+        max_seconds=max_seconds,
+    )
+    raise_if_bounded(outcome, max_states=max_classes, max_seconds=max_seconds)
+    return outcome.graph
 
 
 def timed_reachable_markings(
-    tpn: TimedPetriNet, *, max_classes: int | None = None
+    tpn: TimedPetriNet,
+    *,
+    max_classes: int | None = None,
+    max_seconds: float | None = None,
 ) -> set[Marking]:
     """Markings reachable when the timing constraints are respected."""
-    graph = explore_classes(tpn, max_classes=max_classes)
+    graph = explore_classes(
+        tpn, max_classes=max_classes, max_seconds=max_seconds
+    )
     return {cls.marking for cls in graph.states()}
 
 
@@ -70,6 +113,7 @@ def analyze(
     tpn: TimedPetriNet,
     *,
     max_classes: int | None = None,
+    max_seconds: float | None = None,
     want_witness: bool = True,
 ) -> AnalysisResult:
     """Timed deadlock analysis packaged like the untimed analyzers.
@@ -77,9 +121,17 @@ def analyze(
     ``states`` counts state classes; ``extras["markings"]`` counts the
     distinct markings they cover.  A witness trace is a firing sequence
     of the state-class graph (feasible under some timing of the delays).
+    Budget overruns are absorbed into a bounded, non-exhaustive result.
     """
+    space = StateClassSpace(tpn)
     with stopwatch() as elapsed:
-        graph = explore_classes(tpn, max_classes=max_classes)
+        outcome = _drive(
+            space,
+            order="bfs",
+            max_states=max_classes,
+            max_seconds=max_seconds,
+        )
+    graph = outcome.graph
     witness = None
     if graph.deadlocks and want_witness:
         target = next(iter(graph.deadlocks))
@@ -89,6 +141,13 @@ def analyze(
             trace=tuple(label for label, _ in path),
         )
     markings = {cls.marking for cls in graph.states()}
+    extras: dict[str, object] = {"markings": len(markings)}
+    extras.update(outcome.stats.as_extras())
+    note = abort_note(
+        outcome.stop_reason, max_states=max_classes, max_seconds=max_seconds
+    )
+    if note is not None:
+        extras["aborted"] = note
     return AnalysisResult(
         analyzer="timed",
         net_name=tpn.net.name,
@@ -97,5 +156,6 @@ def analyze(
         deadlock=bool(graph.deadlocks),
         time_seconds=elapsed[0],
         witness=witness,
-        extras={"markings": len(markings)},
+        exhaustive=outcome.exhaustive,
+        extras=extras,
     )

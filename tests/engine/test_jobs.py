@@ -86,8 +86,8 @@ class TestCooperativeDeadlines:
 
 class TestOverrunProgressReporting:
     def test_state_overrun_reports_actual_progress(self):
-        # The stubborn explorer raises with its real state count, which is
-        # one past the budget — not the budget number itself.
+        # The driver stops exactly at the state budget, so the bounded
+        # result reports the real stored-state count (== the budget).
         job = VerificationJob(
             net=nsdp(4),
             method="stubborn",
@@ -95,7 +95,7 @@ class TestOverrunProgressReporting:
         )
         result = execute_job(job)
         assert not result.exhaustive
-        assert result.states == 11
+        assert result.states == 10
         assert result.extras["aborted"] == "> 10 states"
 
     def test_full_analyzer_bounded_graph_matches_budget(self):

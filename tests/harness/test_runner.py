@@ -64,7 +64,7 @@ class TestCooperativeTimeBudgets:
             "stubborn", nsdp(4), Budget(max_states=10, max_seconds=None)
         )
         assert not result.exhaustive
-        assert result.states == 11  # real progress, not the budget number
+        assert result.states == 10  # real progress: stops exactly at budget
 
 
 class TestIsolatedRunner:

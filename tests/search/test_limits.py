@@ -1,0 +1,71 @@
+"""Direct unit tests for the shared budget helpers."""
+
+import time
+
+import pytest
+
+from repro.search.limits import (
+    Deadline,
+    ExplorationLimitReached,
+    TimeLimitReached,
+    stopwatch,
+)
+
+
+class TestDeadline:
+    def test_of_none_is_none(self):
+        assert Deadline.of(None) is None
+
+    def test_of_builds_deadline(self):
+        deadline = Deadline.of(5.0)
+        assert deadline is not None
+        assert deadline.seconds == 5.0
+
+    def test_not_expired_immediately(self):
+        assert not Deadline(60.0).expired()
+
+    def test_zero_budget_expires(self):
+        deadline = Deadline(0.0)
+        time.sleep(0.001)
+        assert deadline.expired()
+
+    def test_check_passes_before_deadline(self):
+        Deadline(60.0).check(5)  # must not raise
+
+    def test_check_raises_with_progress(self):
+        deadline = Deadline(0.0)
+        time.sleep(0.001)
+        with pytest.raises(TimeLimitReached) as exc_info:
+            deadline.check(42)
+        assert exc_info.value.seconds == 0.0
+        assert exc_info.value.states_explored == 42
+
+
+class TestLimitExceptions:
+    def test_exploration_limit_carries_progress(self):
+        exc = ExplorationLimitReached(100, 100)
+        assert exc.limit == 100
+        assert exc.states_explored == 100
+        assert "100" in str(exc)
+
+    def test_time_limit_message(self):
+        exc = TimeLimitReached(1.5)
+        assert exc.states_explored is None
+        assert "1.5s" in str(exc)
+
+
+class TestStopwatch:
+    def test_measures_elapsed_time(self):
+        with stopwatch() as elapsed:
+            time.sleep(0.01)
+        assert elapsed[0] >= 0.01
+
+    def test_records_on_exception(self):
+        box = None
+        try:
+            with stopwatch() as elapsed:
+                box = elapsed
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert box is not None and box[0] >= 0.0
