@@ -127,6 +127,9 @@ def analyze(
     returns the partial graph directly, nothing is re-explored.
     """
     space = MarkingSpace(net)
+    # Consult the structural certificate before exploring: when it holds,
+    # UnsafeNetError is provably unreachable during the search below.
+    certified = net.static_analysis().safety_certificate.certified
     with stopwatch() as elapsed:
         outcome = _drive(
             space, order="bfs", max_states=max_states, max_seconds=max_seconds
@@ -137,6 +140,7 @@ def analyze(
         witness = extract_witness(net, graph)
     extras = outcome.stats.as_extras()
     extras.update(space.instrumentation())
+    extras["safety_certified"] = certified
     note = abort_note(
         outcome.stop_reason, max_states=max_states, max_seconds=max_seconds
     )

@@ -96,7 +96,11 @@ class VerificationJob:
         """The text whose hash keys the on-disk result cache.
 
         Built on the net's canonical structural hash, so declaration order
-        does not fragment the cache.
+        does not fragment the cache.  The structural safety certificate is
+        deliberately *not* part of the key: it is a deterministic function
+        of exactly the structure and initial marking the canonical hash
+        already covers, so equal hashes imply equal certificates and
+        adding it could only fragment the cache, never disambiguate it.
         """
         return "\n".join(
             [

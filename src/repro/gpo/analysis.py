@@ -376,6 +376,9 @@ def analyze(
         max_seconds=max_seconds,
         validate=validate,
     )
+    # Consult the structural certificate before exploring: when it holds,
+    # UnsafeNetError is provably unreachable during the search below.
+    certified = net.static_analysis().safety_certificate.certified
     with stopwatch() as elapsed:
         result, outcome, space = _explore(net, options)
     witnesses = result.witnesses(limit=1) if want_witness else []
@@ -386,6 +389,7 @@ def analyze(
     }
     extras.update(outcome.stats.as_extras())
     extras.update(space.instrumentation())
+    extras["safety_certified"] = certified
     note = abort_note(
         outcome.stop_reason, max_states=max_states, max_seconds=max_seconds
     )

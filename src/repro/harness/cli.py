@@ -9,8 +9,16 @@ Subcommands::
     gpo table1 [--problems NSDP,RW] [--jobs N] [--portfolio] [--stats]
     gpo figures [--figure 1|2|3]
     gpo check FILE            # structural diagnostics + safety check
+    gpo lint FILE [--json]    # full structural report (invariants, siphons,
+                              # safety certificate, net class)
     gpo dot FILE [--rg]       # DOT export of the net (or its full RG)
     gpo bench-model NAME SIZE # run all analyzers on one benchmark instance
+
+``check`` decides 1-safeness with the structural certificate first (zero
+states explored) and falls back to the bounded dynamic check; exit status
+is 0 = safe, 1 = unsafe, 2 = unknown (bound exhausted).  ``table1`` and
+``bench-model`` accept ``--lint`` to refuse structurally broken models
+before spending any exploration budget.
 
 ``FILE`` is a net in the textual format of :mod:`repro.net.parser` or PNML
 (detected by a leading ``<``).
@@ -26,6 +34,7 @@ default ``<cache-dir>/events.jsonl`` when caching is on).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro import verify
@@ -55,6 +64,8 @@ from repro.net import (
     parse_pnml,
     reachability_to_dot,
 )
+from repro.static import certify_safety
+from repro.static import lint as run_lint
 
 __all__ = ["main"]
 
@@ -201,6 +212,14 @@ def _cmd_table1(args: argparse.Namespace) -> int:
                       f"{', '.join(PROBLEMS)}", file=sys.stderr)
                 return 2
     budget = Budget(max_states=args.max_states, max_seconds=args.max_seconds)
+    if args.lint:
+        refusal = _lint_refusal(
+            PROBLEMS[problem](size)
+            for problem in (problems or PROBLEMS)
+            for size in DEFAULT_SIZES[problem]
+        )
+        if refusal is not None:
+            return refusal
     cache, sink = _engine_setup(args)
     try:
         if args.portfolio:
@@ -288,13 +307,53 @@ def _cmd_check(args: argparse.Namespace) -> int:
         print("structure: ok")
     else:
         print(diagnostics.summary())
-    try:
-        check_safe(net, max_states=args.max_states)
-        print("safety: 1-safe (within budget)")
-    except Exception as exc:  # UnsafeNetError and friends
-        print(f"safety: VIOLATION — {exc}")
+    certificate = certify_safety(net)
+    if certificate.certified:
+        print("safety: 1-safe (structural certificate, 0 states explored)")
+        return 0
+    verdict = check_safe(net, max_states=args.max_states)
+    if verdict.status == "safe":
+        print(f"safety: 1-safe (exhaustive, {verdict.states} states)")
+        return 0
+    if verdict.status == "unsafe":
+        print(f"safety: VIOLATION — {verdict.violation}")
         return 1
-    return 0
+    print(
+        f"safety: unknown — no certificate and the {args.max_states}-state "
+        "bound was exhausted without a verdict"
+    )
+    return 2
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    net = _load(args.file)
+    report = run_lint(net)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    return 1 if report.broken else 0
+
+
+def _lint_refusal(instances) -> int | None:
+    """The ``--lint`` pre-pass: lint each net, refuse on any broken one.
+
+    Returns the exit status (2) when some model is refused, else ``None``.
+    """
+    broken = False
+    for net in instances:
+        report = run_lint(net)
+        verdict = "BROKEN" if report.broken else "ok"
+        print(f"[lint] {net.name}: {verdict}", file=sys.stderr)
+        if report.broken:
+            for line in report.summary().splitlines():
+                print(f"[lint]   {line}", file=sys.stderr)
+            broken = True
+    if broken:
+        print("[lint] refusing to run structurally broken models",
+              file=sys.stderr)
+        return 2
+    return None
 
 
 def _cmd_dot(args: argparse.Namespace) -> int:
@@ -321,6 +380,10 @@ def _cmd_bench_model(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     budget = Budget(max_states=args.max_states, max_seconds=args.max_seconds)
+    if args.lint:
+        refusal = _lint_refusal([PROBLEMS[args.name](args.size)])
+        if refusal is not None:
+            return refusal
     cache, sink = _engine_setup(args)
     try:
         if args.portfolio:
@@ -446,6 +509,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="race the analyzers per instance instead of tabulating all",
     )
+    p_table.add_argument(
+        "--lint",
+        action="store_true",
+        help="structurally lint every instance first; refuse broken models",
+    )
     add_engine_flags(p_table, jobs=1)
     p_table.set_defaults(fn=_cmd_table1)
 
@@ -457,6 +525,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("file")
     p_check.add_argument("--max-states", type=int, default=100_000)
     p_check.set_defaults(fn=_cmd_check)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="structural report: invariants, siphons/traps, safety "
+        "certificate, net class",
+    )
+    p_lint.add_argument("file")
+    p_lint.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_lint.set_defaults(fn=_cmd_lint)
 
     p_dot = sub.add_parser("dot", help="export DOT for a net (or its RG)")
     p_dot.add_argument("file")
@@ -480,6 +559,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="append instrumentation columns to the measured table",
+    )
+    p_bench.add_argument(
+        "--lint",
+        action="store_true",
+        help="structurally lint the instance first; refuse a broken model",
     )
     add_engine_flags(p_bench, jobs=1)
     p_bench.set_defaults(fn=_cmd_bench_model)

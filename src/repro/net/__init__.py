@@ -28,7 +28,7 @@ from repro.net.structure import (
     conflict_places,
     maximal_conflict_sets,
 )
-from repro.net.validation import Diagnostics, check_safe, diagnose
+from repro.net.validation import Diagnostics, SafetyCheck, check_safe, diagnose
 
 __all__ = [
     "PetriNet",
@@ -57,6 +57,7 @@ __all__ = [
     "diagnose",
     "check_safe",
     "Diagnostics",
+    "SafetyCheck",
     "NetError",
     "NetStructureError",
     "DuplicateNodeError",

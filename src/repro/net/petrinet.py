@@ -28,7 +28,10 @@ Example
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Sequence
+
+if TYPE_CHECKING:
+    from repro.static.analysis import StaticAnalysis
 
 from repro.net.exceptions import (
     DuplicateNodeError,
@@ -80,6 +83,7 @@ class PetriNet:
         "initial_marking",
         "_hash",
         "_canonical_hash",
+        "_static",
     )
 
     def __init__(
@@ -120,6 +124,7 @@ class PetriNet:
         self.initial_marking: Marking = frozenset(initial_marking)
         self._hash: int | None = None
         self._canonical_hash: str | None = None
+        self._static: object | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -276,6 +281,37 @@ class PetriNet:
             form = self.canonical_form().encode("utf-8")
             self._canonical_hash = hashlib.sha256(form).hexdigest()
         return self._canonical_hash
+
+    # ------------------------------------------------------------------
+    # Structural static analysis
+    # ------------------------------------------------------------------
+    def static_analysis(self) -> "StaticAnalysis":
+        """The cached :class:`repro.static.analysis.StaticAnalysis` facade.
+
+        Imported lazily to keep ``repro.net`` free of a dependency on the
+        analysis layer; the instance itself computes everything lazily, so
+        calling this is cheap until a specific fact is requested.
+        """
+        if self._static is None:
+            from repro.static.analysis import StaticAnalysis
+
+            self._static = StaticAnalysis(self)
+        return self._static  # type: ignore[return-value]
+
+    def __getstate__(self) -> dict[str, object]:
+        # Worker processes receive pickled nets; the static-analysis cache
+        # (fraction matrices, a back-reference cycle) is recomputable and
+        # deliberately not shipped.
+        return {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot != "_static"
+        }
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._static = None
 
     # ------------------------------------------------------------------
     # Equality / hashing / repr

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from repro.net.exceptions import UnsafeNetError
 from repro.net.petrinet import Marking, PetriNet
 
-__all__ = ["Diagnostics", "diagnose", "check_safe"]
+__all__ = ["Diagnostics", "SafetyCheck", "diagnose", "check_safe"]
 
 
 @dataclass
@@ -92,22 +92,48 @@ def diagnose(net: PetriNet) -> Diagnostics:
     return diagnostics
 
 
-def check_safe(net: PetriNet, *, max_states: int = 100_000) -> bool:
-    """Dynamically verify 1-safety by bounded exhaustive exploration.
+@dataclass(frozen=True)
+class SafetyCheck:
+    """Tri-state verdict of the bounded dynamic 1-safety check.
 
-    Returns True when every marking reachable within ``max_states`` states
-    fires without a safety violation; raises :class:`UnsafeNetError` on the
-    first violation.  A return of True with the default bound is a proof
-    only when the full state space fits in the bound; the explicit
-    reachability analyzer reports whether exploration was exhaustive.
+    ``status`` is ``"safe"`` (exhaustive exploration, no violation),
+    ``"unsafe"`` (a reachable firing puts two tokens on a place), or
+    ``"unknown"`` (the state bound was hit before either conclusion —
+    explicitly *not* conflated with "safe").  Truthiness means proven
+    safe, so ``assert check_safe(net)`` keeps its historical reading.
+    """
+
+    status: str
+    states: int
+    violation: str | None = None
+
+    def __bool__(self) -> bool:
+        return self.status == "safe"
+
+
+def check_safe(net: PetriNet, *, max_states: int = 100_000) -> SafetyCheck:
+    """Dynamically check 1-safety by bounded exhaustive exploration.
+
+    Returns a :class:`SafetyCheck`: ``"safe"`` only when the *entire*
+    state space was explored within ``max_states`` states without a
+    violation, ``"unsafe"`` on the first violating firing, ``"unknown"``
+    when the bound was exhausted first.  For a structural (zero-state)
+    safety proof see :func:`repro.static.safety.certify_safety`.
     """
     seen: set[Marking] = {net.initial_marking}
     frontier = [net.initial_marking]
-    while frontier and len(seen) <= max_states:
+    while frontier:
+        if len(seen) > max_states:
+            return SafetyCheck(status="unknown", states=len(seen))
         marking = frontier.pop()
         for t in net.enabled_transitions(marking):
-            successor = net.fire(t, marking)  # raises UnsafeNetError
+            try:
+                successor = net.fire(t, marking)
+            except UnsafeNetError as exc:
+                return SafetyCheck(
+                    status="unsafe", states=len(seen), violation=str(exc)
+                )
             if successor not in seen:
                 seen.add(successor)
                 frontier.append(successor)
-    return True
+    return SafetyCheck(status="safe", states=len(seen))

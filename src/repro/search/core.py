@@ -68,6 +68,7 @@ INSTRUMENTATION_FIELDS = (
     "stubborn_ratio",
     "mean_scenarios",
     "max_scenarios",
+    "safety_certified",
 )
 
 

@@ -1,0 +1,53 @@
+"""Structural static analysis: facts from the net, not the state space.
+
+Everything in this package is computed purely from the incidence
+structure and the initial marking — invariant bases, siphons and traps,
+the 1-safeness certificate, net classification, and the ``gpo lint``
+report.  Zero states are ever explored here; the point is to *avoid*
+exploration (certified safety, deadlock-freedom pre-check) or to gate it
+(lint refusal of broken models).
+"""
+
+from repro.static.analysis import StaticAnalysis
+from repro.static.classify import classification_chain, classify, mcs_consistency
+from repro.static.invariants import (
+    Invariant,
+    InvariantBasis,
+    farkas,
+    p_invariants,
+    t_invariants,
+)
+from repro.static.lint import LintReport, lint
+from repro.static.matrix import IncidenceMatrix, incidence
+from repro.static.safety import SafetyCertificate, assured_safety, certify_safety
+from repro.static.siphons import (
+    SiphonAnalysis,
+    deadlock_freedom_precheck,
+    maximal_trap_within,
+    minimal_siphons,
+    minimal_traps,
+)
+
+__all__ = [
+    "StaticAnalysis",
+    "IncidenceMatrix",
+    "incidence",
+    "Invariant",
+    "InvariantBasis",
+    "farkas",
+    "p_invariants",
+    "t_invariants",
+    "SiphonAnalysis",
+    "minimal_siphons",
+    "minimal_traps",
+    "maximal_trap_within",
+    "deadlock_freedom_precheck",
+    "SafetyCertificate",
+    "certify_safety",
+    "assured_safety",
+    "classify",
+    "classification_chain",
+    "mcs_consistency",
+    "LintReport",
+    "lint",
+]

@@ -1,0 +1,135 @@
+"""Structural net classification and MCS sanity checking.
+
+The classical syntactic hierarchy, most specific first:
+
+* **state machine** — ``|•t| = |t•| = 1`` for every transition: no
+  concurrency, all conflict;
+* **marked graph** — ``|•p| = |p•| = 1`` for every place: no conflict,
+  all concurrency;
+* **free choice** — ``p ∈ •t`` and ``|p•| > 1`` imply ``•t = {p}``:
+  whenever there is a choice, it is a *free* one (no other place can veto
+  a branch);
+* **extended free choice** — ``•t ∩ •u ≠ ∅`` implies ``•t = •u``;
+* **asymmetric choice** — ``p• ∩ q• ≠ ∅`` implies ``p• ⊆ q•`` or
+  ``q• ⊆ p•``;
+* **general** — anything else.
+
+The classification doubles as a cross-check of the conflict machinery in
+:mod:`repro.net.structure`: in an (extended) free-choice net the conflict
+relation of Definition 2.2 is an equivalence, so every maximal conflict
+set must be a set of transitions with pairwise-equal presets.
+:func:`mcs_consistency` asserts exactly that and returns human-readable
+discrepancies (always empty unless the MCS machinery is broken).
+"""
+
+from __future__ import annotations
+
+from repro.net.petrinet import PetriNet
+from repro.net.structure import StructuralInfo
+
+__all__ = ["classify", "classification_chain", "mcs_consistency"]
+
+
+def _is_state_machine(net: PetriNet) -> bool:
+    return all(
+        len(net.pre_places[t]) == 1 and len(net.post_places[t]) == 1
+        for t in range(net.num_transitions)
+    )
+
+
+def _is_marked_graph(net: PetriNet) -> bool:
+    return all(
+        len(net.pre_transitions[p]) == 1 and len(net.post_transitions[p]) == 1
+        for p in range(net.num_places)
+    )
+
+
+def _is_free_choice(net: PetriNet) -> bool:
+    for p in range(net.num_places):
+        consumers = net.post_transitions[p]
+        if len(consumers) <= 1:
+            continue
+        if any(net.pre_places[t] != frozenset([p]) for t in consumers):
+            return False
+    return True
+
+
+def _is_extended_free_choice(net: PetriNet) -> bool:
+    for t in range(net.num_transitions):
+        for u in range(t + 1, net.num_transitions):
+            if net.pre_places[t] & net.pre_places[u]:
+                if net.pre_places[t] != net.pre_places[u]:
+                    return False
+    return True
+
+
+def _is_asymmetric_choice(net: PetriNet) -> bool:
+    for p in range(net.num_places):
+        for q in range(p + 1, net.num_places):
+            consumers_p = net.post_transitions[p]
+            consumers_q = net.post_transitions[q]
+            if consumers_p & consumers_q:
+                if not (
+                    consumers_p <= consumers_q or consumers_q <= consumers_p
+                ):
+                    return False
+    return True
+
+
+def classification_chain(net: PetriNet) -> list[str]:
+    """Every class of the hierarchy the net belongs to, specific first."""
+    chain: list[str] = []
+    if _is_state_machine(net):
+        chain.append("state-machine")
+    if _is_marked_graph(net):
+        chain.append("marked-graph")
+    if _is_free_choice(net):
+        chain.append("free-choice")
+    if _is_extended_free_choice(net):
+        chain.append("extended-free-choice")
+    if _is_asymmetric_choice(net):
+        chain.append("asymmetric-choice")
+    chain.append("general")
+    return chain
+
+
+def classify(net: PetriNet) -> str:
+    """The most specific structural class of ``net``."""
+    return classification_chain(net)[0]
+
+
+def mcs_consistency(
+    net: PetriNet, info: StructuralInfo | None = None
+) -> list[str]:
+    """Cross-check the MCS machinery against the classification.
+
+    In an extended-free-choice net conflict is an equivalence relation
+    (``•t ∩ •u ≠ ∅ ⟹ •t = •u``), so each maximal conflict set computed by
+    :mod:`repro.net.structure` must consist of transitions with identical
+    presets.  Independently of the class, singleton MCSs must be exactly
+    the transitions with no distinct conflicter.  Returns discrepancy
+    strings (empty = consistent).
+    """
+    if info is None:
+        info = StructuralInfo(net)
+    issues: list[str] = []
+    if _is_extended_free_choice(net):
+        for component in info.mcs_list:
+            presets = {net.pre_places[t] for t in component}
+            if len(presets) > 1:
+                names = ", ".join(
+                    net.transitions[t] for t in sorted(component)
+                )
+                issues.append(
+                    f"extended-free-choice net has an MCS with unequal "
+                    f"presets: {{{names}}}"
+                )
+    for t in range(net.num_transitions):
+        lonely = not info.conflicters(t)
+        singleton = len(info.mcs(t)) == 1
+        if lonely != singleton:
+            issues.append(
+                f"transition {net.transitions[t]!r}: conflict-free={lonely} "
+                f"but |MCS|={len(info.mcs(t))}"
+            )
+    return issues

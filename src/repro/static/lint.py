@@ -1,0 +1,149 @@
+"""Model linting: advisory diagnostics merged with structural facts.
+
+One entry point, :func:`lint`, producing a :class:`LintReport` that joins
+the advisory diagnostics of :func:`repro.net.validation.diagnose` with
+everything the static subsystem can say without exploring a single state:
+net class, invariant bases, siphons/traps, the 1-safeness certificate and
+the siphon–trap deadlock-freedom pre-check.  The CLI's ``gpo lint``
+renders it (human-readable or ``--json``); ``table1 --lint`` and
+``bench-model --lint`` use :attr:`LintReport.broken` as a refusal gate
+before spending any exploration budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.net.petrinet import PetriNet
+from repro.net.validation import Diagnostics, diagnose
+from repro.static.analysis import StaticAnalysis
+from repro.static.safety import SafetyCertificate
+
+__all__ = ["LintReport", "lint"]
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Everything ``gpo lint`` knows about a model, in one record."""
+
+    net: PetriNet
+    diagnostics: Diagnostics
+    net_class: str
+    p_invariant_count: int
+    t_invariant_count: int
+    invariants_capped: bool
+    siphon_count: int
+    trap_count: int
+    siphons_capped: bool
+    certificate: SafetyCertificate
+    deadlock_precheck: str
+    mcs_issues: tuple[str, ...]
+
+    @property
+    def broken(self) -> bool:
+        """True when the model should be refused by benchmark pre-passes.
+
+        A model is *broken* when the advisory diagnostics fire (isolated
+        places, structurally dead transitions, unmarked sources, sink
+        transitions) or the MCS cross-check found an inconsistency.  An
+        absent safety certificate is **not** breakage — it only means the
+        dynamic fallback must run.
+        """
+        return bool(not self.diagnostics.clean or self.mcs_issues)
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-serializable rendering (used by ``gpo lint --json``)."""
+        return {
+            "net": self.net.name,
+            "places": self.net.num_places,
+            "transitions": self.net.num_transitions,
+            "broken": self.broken,
+            "net_class": self.net_class,
+            "diagnostics": {
+                "clean": self.diagnostics.clean,
+                "isolated_places": list(self.diagnostics.isolated_places),
+                "sink_transitions": list(self.diagnostics.sink_transitions),
+                "structurally_dead_transitions": list(
+                    self.diagnostics.structurally_dead_transitions
+                ),
+                "unmarked_source_places": list(
+                    self.diagnostics.unmarked_source_places
+                ),
+            },
+            "invariants": {
+                "p": self.p_invariant_count,
+                "t": self.t_invariant_count,
+                "capped": self.invariants_capped,
+            },
+            "siphons": {
+                "minimal_siphons": self.siphon_count,
+                "minimal_traps": self.trap_count,
+                "capped": self.siphons_capped,
+            },
+            "safety": {
+                "certified": self.certificate.certified,
+                "uncovered_places": [
+                    self.net.places[p] for p in self.certificate.uncovered
+                ],
+                "basis_capped": self.certificate.basis_capped,
+            },
+            "deadlock_precheck": self.deadlock_precheck,
+            "mcs_issues": list(self.mcs_issues),
+        }
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"{self.net.name}: {self.net.num_places} places, "
+            f"{self.net.num_transitions} transitions",
+            f"  class: {self.net_class}",
+        ]
+        cap = " (capped)" if self.invariants_capped else ""
+        lines.append(
+            f"  invariants: {self.p_invariant_count} P, "
+            f"{self.t_invariant_count} T{cap}"
+        )
+        cap = " (capped)" if self.siphons_capped else ""
+        lines.append(
+            f"  siphons/traps: {self.siphon_count} minimal siphons, "
+            f"{self.trap_count} minimal traps{cap}"
+        )
+        lines.append(f"  1-safeness: {self.certificate.explain(self.net)}")
+        lines.append(f"  deadlock pre-check: {self.deadlock_precheck}")
+        diag = self.diagnostics.summary()
+        if diag:
+            lines.append("  diagnostics:")
+            lines.extend(f"    {line}" for line in diag.splitlines())
+        else:
+            lines.append("  diagnostics: clean")
+        for issue in self.mcs_issues:
+            lines.append(f"  MCS inconsistency: {issue}")
+        lines.append(f"  verdict: {'BROKEN' if self.broken else 'ok'}")
+        return "\n".join(lines)
+
+
+def lint(
+    net: PetriNet, *, analysis: StaticAnalysis | None = None
+) -> LintReport:
+    """Run every structural check on ``net`` and collect the report."""
+    if analysis is None:
+        analysis = net.static_analysis()
+    siphons = analysis.siphons
+    traps = analysis.traps
+    p_basis = analysis.p_invariants
+    t_basis = analysis.t_invariants
+    return LintReport(
+        net=net,
+        diagnostics=diagnose(net),
+        net_class=analysis.net_class,
+        p_invariant_count=len(p_basis),
+        t_invariant_count=len(t_basis),
+        invariants_capped=p_basis.capped or t_basis.capped,
+        siphon_count=len(siphons),
+        trap_count=len(traps),
+        siphons_capped=siphons.capped or traps.capped,
+        certificate=analysis.safety_certificate,
+        deadlock_precheck=analysis.deadlock_freedom(),
+        mcs_issues=tuple(analysis.mcs_issues()),
+    )

@@ -1,0 +1,217 @@
+"""Siphon and trap analysis on the raw flow relation.
+
+A **siphon** (structural deadlock) is a place set ``D`` with ``•D ⊆ D•``:
+every transition producing into ``D`` also consumes from it, so once ``D``
+is token-free it stays token-free.  A **trap** is the dual, ``Q• ⊆ •Q``:
+every transition consuming from ``Q`` also produces into it, so a marked
+trap stays marked forever.
+
+The load-bearing classical fact (the Commoner/Hack argument, valid for
+*general* nets in the total-deadlock direction used here): at any dead
+marking the set of empty places is a siphon, and — provided the net has at
+least one transition and no transition has an empty preset — that siphon
+is non-empty, hence contains a *minimal* siphon that is completely empty.
+A siphon containing an initially marked trap can never be emptied.
+Therefore:
+
+    every minimal siphon contains an initially marked trap
+        ⟹  no reachable marking is dead (deadlock-freedom).
+
+The converse direction does not hold in general, so the pre-check answers
+``"deadlock-free"`` or ``"unknown"`` — never "deadlock".
+
+Minimal-siphon enumeration is NP-hard in general; the search below is a
+branch-and-bound refinement (grow a candidate set by repairing one
+violated constraint at a time, branching over the input places that can
+repair it) with explicit size and count caps.  A capped enumeration sets
+``capped`` and disables the deadlock-freedom conclusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.petrinet import PetriNet
+
+__all__ = [
+    "SiphonAnalysis",
+    "minimal_siphons",
+    "minimal_traps",
+    "maximal_trap_within",
+    "deadlock_freedom_precheck",
+]
+
+#: Default enumeration caps: generous for the benchmark families, hard
+#: bounds against the exponential worst case.
+DEFAULT_MAX_SIZE = 24
+DEFAULT_MAX_COUNT = 512
+
+
+@dataclass(frozen=True)
+class SiphonAnalysis:
+    """Result of one (possibly capped) minimal-siphon enumeration.
+
+    ``siphons`` are inclusion-minimal among those found; when ``capped``
+    is True the enumeration hit a size or count bound and *absence* of a
+    siphon means nothing.
+    """
+
+    siphons: tuple[frozenset[int], ...]
+    capped: bool
+
+    def __len__(self) -> int:
+        return len(self.siphons)
+
+
+def _enumerate_refinement(
+    *,
+    num_places: int,
+    producing: tuple[frozenset[int], ...],
+    repairing: tuple[frozenset[int], ...],
+    max_size: int,
+    max_count: int,
+) -> SiphonAnalysis:
+    """Shared siphon/trap search over an abstract constraint system.
+
+    A set ``D`` is feasible iff for every transition ``t`` with
+    ``producing[p] ∋ t`` for some ``p ∈ D`` there is a ``q ∈ D`` with
+    ``t ∈ repairing-domain`` — concretely: every *violated* transition
+    (touches ``D`` on the constrained side, does not touch it on the
+    repairing side) is repaired by adding one of ``repairing[t]``.
+    Instantiated with producers/presets it enumerates siphons; with the
+    roles dualized, traps.
+    """
+    found: list[frozenset[int]] = []
+    capped = False
+
+    # ``producing[p]`` are the transitions constrained by p's membership;
+    # ``repairing[t]`` are the places whose presence satisfies t.
+    def violated(include: frozenset[int]) -> int | None:
+        producers: set[int] = set()
+        for p in include:
+            producers |= producing[p]
+        for t in sorted(producers):
+            if not (repairing[t] & include):
+                return t
+        return None
+
+    def minimal_against(candidate: frozenset[int]) -> bool:
+        return not any(existing <= candidate for existing in found)
+
+    def search(include: frozenset[int], excluded: frozenset[int]) -> None:
+        nonlocal capped
+        if len(found) >= max_count:
+            capped = True
+            return
+        if len(include) > max_size:
+            capped = True
+            return
+        if not minimal_against(include):
+            return
+        t = violated(include)
+        if t is None:
+            found.append(include)
+            return
+        options = sorted(repairing[t] - include - excluded)
+        tried: set[int] = set()
+        for p in options:
+            search(include | {p}, excluded | frozenset(tried))
+            tried.add(p)
+
+    for seed in range(num_places):
+        search(frozenset([seed]), frozenset(range(seed)))
+
+    # The search records sets in discovery order; later discoveries can
+    # subsume earlier ones (a superset found first from another seed), so
+    # filter to the inclusion-minimal ones.
+    minimal: list[frozenset[int]] = []
+    for candidate in sorted(found, key=len):
+        if not any(existing <= candidate for existing in minimal):
+            minimal.append(candidate)
+    minimal.sort(key=lambda s: (len(s), sorted(s)))
+    return SiphonAnalysis(siphons=tuple(minimal), capped=capped)
+
+
+def minimal_siphons(
+    net: PetriNet,
+    *,
+    max_size: int = DEFAULT_MAX_SIZE,
+    max_count: int = DEFAULT_MAX_COUNT,
+) -> SiphonAnalysis:
+    """Enumerate minimal siphons (``•D ⊆ D•``), capped and flagged.
+
+    A violated transition produces into the candidate without consuming
+    from it; it is repaired by adding one of its input places.
+    """
+    return _enumerate_refinement(
+        num_places=net.num_places,
+        producing=net.pre_transitions,  # •p per place: producers into D
+        repairing=net.pre_places,  # •t: adding an input place repairs t
+        max_size=max_size,
+        max_count=max_count,
+    )
+
+
+def minimal_traps(
+    net: PetriNet,
+    *,
+    max_size: int = DEFAULT_MAX_SIZE,
+    max_count: int = DEFAULT_MAX_COUNT,
+) -> SiphonAnalysis:
+    """Enumerate minimal traps (``Q• ⊆ •Q``) — the dual enumeration."""
+    return _enumerate_refinement(
+        num_places=net.num_places,
+        producing=net.post_transitions,  # p• per place: consumers from Q
+        repairing=net.post_places,  # t•: adding an output place repairs t
+        max_size=max_size,
+        max_count=max_count,
+    )
+
+
+def maximal_trap_within(
+    net: PetriNet, places: frozenset[int]
+) -> frozenset[int]:
+    """The largest trap contained in ``places`` (possibly empty).
+
+    Iteratively removes any place with a consumer producing nothing back
+    into the remaining set; the fixpoint is the unique maximal trap.
+    """
+    remaining = set(places)
+    changed = True
+    while changed:
+        changed = False
+        for p in sorted(remaining):
+            for t in net.post_transitions[p]:
+                if not (net.post_places[t] & remaining):
+                    remaining.discard(p)
+                    changed = True
+                    break
+    return frozenset(remaining)
+
+
+def deadlock_freedom_precheck(
+    net: PetriNet, analysis: SiphonAnalysis | None = None
+) -> str:
+    """``"deadlock-free"`` when the siphon–trap condition closes the case.
+
+    Returns ``"deadlock-free"`` only when it is a theorem that no
+    reachable marking is dead: every minimal siphon of a complete
+    enumeration contains an initially marked trap (or some transition has
+    an empty preset and is permanently enabled).  Everything else —
+    including a capped enumeration — is ``"unknown"``; this check never
+    claims the *presence* of a deadlock.
+    """
+    if net.num_transitions == 0:
+        # No transitions: the initial marking itself is dead.
+        return "unknown"
+    if any(not pre for pre in net.pre_places):
+        return "deadlock-free"  # a source transition is always enabled
+    if analysis is None:
+        analysis = minimal_siphons(net)
+    if analysis.capped:
+        return "unknown"
+    for siphon in analysis.siphons:
+        trap = maximal_trap_within(net, siphon)
+        if not (trap & net.initial_marking):
+            return "unknown"
+    return "deadlock-free"

@@ -133,6 +133,9 @@ def analyze(
     the other analyzers.
     """
     space = StubbornSpace(net, strategy=strategy)
+    # Consult the structural certificate before exploring: when it holds,
+    # UnsafeNetError is provably unreachable during the search below.
+    certified = net.static_analysis().safety_certificate.certified
     with stopwatch() as elapsed:
         outcome = _drive(
             space, order="bfs", max_states=max_states, max_seconds=max_seconds
@@ -144,6 +147,7 @@ def analyze(
     extras: dict[str, object] = {"strategy": strategy}
     extras.update(outcome.stats.as_extras())
     extras.update(space.instrumentation())
+    extras["safety_certified"] = certified
     note = abort_note(
         outcome.stop_reason, max_states=max_states, max_seconds=max_seconds
     )

@@ -124,6 +124,9 @@ def analyze(
     Budget overruns are absorbed into a bounded, non-exhaustive result.
     """
     space = StateClassSpace(tpn)
+    # Consult the structural certificate of the underlying untimed net
+    # before exploring (timing restricts, never extends, reachability).
+    certified = tpn.net.static_analysis().safety_certificate.certified
     with stopwatch() as elapsed:
         outcome = _drive(
             space,
@@ -143,6 +146,7 @@ def analyze(
     markings = {cls.marking for cls in graph.states()}
     extras: dict[str, object] = {"markings": len(markings)}
     extras.update(outcome.stats.as_extras())
+    extras["safety_certified"] = certified
     note = abort_note(
         outcome.stop_reason, max_states=max_classes, max_seconds=max_seconds
     )

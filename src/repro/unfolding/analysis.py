@@ -106,6 +106,9 @@ def analyze(
     want_witness: bool = True,
 ) -> AnalysisResult:
     """Unfold and report prefix sizes plus a deadlock verdict."""
+    # Consult the structural certificate before unfolding: when it holds,
+    # the occurrence-net construction never hits a safety violation.
+    certified = net.static_analysis().safety_certificate.certified
     with stopwatch() as elapsed:
         prefix = unfold(net, max_events=max_events, max_seconds=max_seconds)
         exhaustive = (
@@ -127,5 +130,6 @@ def analyze(
         extras={
             "conditions": prefix.num_conditions,
             "cutoffs": prefix.num_cutoffs,
+            "safety_certified": certified,
         },
     )

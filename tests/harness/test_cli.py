@@ -155,6 +155,44 @@ class TestCheckAndDot:
         assert "doublecircle" in capsys.readouterr().out
 
 
+class TestLint:
+    @pytest.fixture
+    def broken_file(self, tmp_path):
+        # 'dead' is an unmarked source place, so 'stuck' can never fire.
+        path = str(tmp_path / "broken.net")
+        with open(path, "w") as handle:
+            handle.write(
+                "place p marked\nplace dead\n"
+                "trans t : p -> p\ntrans stuck : dead -> p\n"
+            )
+        return path
+
+    def test_clean_net_exits_zero(self, net_file, capsys):
+        assert main(["lint", net_file]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: ok" in out
+        assert "structurally 1-safe" in out
+
+    def test_broken_net_exits_one(self, broken_file, capsys):
+        assert main(["lint", broken_file]) == 1
+        assert "verdict: BROKEN" in capsys.readouterr().out
+
+    def test_json_output_is_parseable(self, net_file, capsys):
+        import json
+
+        assert main(["lint", net_file, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["broken"] is False
+        assert report["safety"]["certified"] is True
+        assert report["net_class"] == "state-machine"
+
+    def test_bench_model_lint_prepass(self, capsys):
+        assert main(["bench-model", "RW", "2", "--lint", "--no-cache"]) == 0
+        captured = capsys.readouterr()
+        assert "[lint] rw_2: ok" in captured.err
+        assert "RW(2)" in captured.out
+
+
 class TestBenchModel:
     def test_runs(self, capsys):
         assert main(["bench-model", "RW", "2"]) == 0

@@ -1,9 +1,7 @@
 """Tests for structural diagnostics and the dynamic safety check."""
 
-import pytest
-
 from repro.models import nsdp
-from repro.net import NetBuilder, UnsafeNetError, check_safe, diagnose
+from repro.net import NetBuilder, check_safe, diagnose
 
 
 class TestDiagnose:
@@ -42,18 +40,28 @@ class TestDiagnose:
 
 class TestCheckSafe:
     def test_safe_net_passes(self):
-        assert check_safe(nsdp(3))
+        verdict = check_safe(nsdp(3))
+        assert verdict  # truthiness = proven safe
+        assert verdict.status == "safe"
+        assert verdict.violation is None
+        assert verdict.states > 0
 
-    def test_unsafe_net_raises(self):
+    def test_unsafe_net_reported(self):
         builder = NetBuilder()
         builder.place("p", marked=True)
         builder.place("q", marked=True)
         builder.place("r", marked=True)
         builder.transition("t", inputs=["p"], outputs=["q"])
-        with pytest.raises(UnsafeNetError):
-            check_safe(builder.build())
+        verdict = check_safe(builder.build())
+        assert not verdict
+        assert verdict.status == "unsafe"
+        assert verdict.violation is not None
+        assert "q" in verdict.violation
 
-    def test_bounded_check_returns_true(self):
-        # A large net with a tiny budget: the bounded check passes without
-        # claiming a proof.
-        assert check_safe(nsdp(4), max_states=10)
+    def test_bounded_check_is_unknown_not_safe(self):
+        # A large net with a tiny budget: hitting the bound must not be
+        # conflated with a safety proof.
+        verdict = check_safe(nsdp(4), max_states=10)
+        assert not verdict
+        assert verdict.status == "unknown"
+        assert verdict.violation is None

@@ -1,0 +1,114 @@
+"""Tests for the structural net-class hierarchy and the MCS cross-check."""
+
+from repro.models import asat, nsdp, over, rw
+from repro.net import NetBuilder
+from repro.static import classification_chain, classify, mcs_consistency
+
+
+def build(spec, marked=("p",)):
+    """Tiny net DSL: spec maps transition -> (inputs, outputs)."""
+    builder = NetBuilder("t")
+    places = sorted(
+        {p for ins, outs in spec.values() for p in (*ins, *outs)}
+    )
+    for p in places:
+        builder.place(p, marked=p in marked)
+    for t, (ins, outs) in spec.items():
+        builder.transition(t, inputs=ins, outputs=outs)
+    return builder.build()
+
+
+class TestClassify:
+    def test_state_machine(self):
+        net = build({"a": (["p"], ["q"]), "b": (["q"], ["p"])})
+        assert classify(net) == "state-machine"
+
+    def test_marked_graph(self):
+        # Fork/join: every place has one producer and one consumer, but
+        # the fork transition has two outputs.
+        net = build(
+            {"fork": (["p"], ["x", "y"]), "join": (["x", "y"], ["p"])}
+        )
+        assert classify(net) == "marked-graph"
+
+    def test_free_choice(self):
+        # A choice at p, but one branch forks: not a state machine.
+        net = build(
+            {
+                "a": (["p"], ["x", "y"]),
+                "b": (["p"], ["z"]),
+                "ra": (["x", "y"], ["p"]),
+                "rb": (["z"], ["p"]),
+            }
+        )
+        assert classify(net) == "free-choice"
+
+    def test_extended_free_choice(self):
+        # Both transitions share the full preset {p, q}: EFC but the
+        # choice is not free (two places gate it).
+        net = build(
+            {
+                "a": (["p", "q"], ["p", "r"]),
+                "b": (["p", "q"], ["q", "r"]),
+                "back": (["r"], ["q"]),
+            },
+            marked=("p", "q"),
+        )
+        assert classify(net) == "extended-free-choice"
+
+    def test_asymmetric_choice(self):
+        # •a = {p} and •b = {p, q} overlap without being equal, but the
+        # consumer sets of p and q are ordered by inclusion.
+        net = build(
+            {
+                "a": (["p"], ["r"]),
+                "b": (["p", "q"], ["r"]),
+                "back": (["r"], ["p"]),
+            },
+            marked=("p", "q"),
+        )
+        assert classify(net) == "asymmetric-choice"
+
+    def test_general(self):
+        # Three pairwise-overlapping presets with incomparable consumers.
+        net = build(
+            {
+                "a": (["p", "q"], ["r"]),
+                "b": (["q", "s"], ["r"]),
+                "c": (["s", "p"], ["r"]),
+                "back": (["r"], ["p"]),
+            },
+            marked=("p", "q", "s"),
+        )
+        assert classify(net) == "general"
+
+    def test_chain_is_specific_first_and_ends_general(self):
+        net = build({"a": (["p"], ["q"]), "b": (["q"], ["p"])})
+        chain = classification_chain(net)
+        assert chain[0] == "state-machine"
+        assert chain[-1] == "general"
+        # A state machine is trivially free-choice.
+        assert "free-choice" in chain
+
+    def test_benchmark_families(self):
+        assert classify(nsdp(2)) == "general"
+        assert classify(rw(6)) == "general"
+        assert classify(asat(2)) == "asymmetric-choice"
+        assert classify(over(2)) == "asymmetric-choice"
+
+
+class TestMcsConsistency:
+    def test_clean_on_benchmarks(self):
+        for net in (nsdp(2), asat(2), over(2), rw(6)):
+            assert mcs_consistency(net) == []
+
+    def test_clean_on_free_choice(self):
+        net = build(
+            {
+                "a": (["p"], ["x"]),
+                "b": (["p"], ["y"]),
+                "ra": (["x"], ["p"]),
+                "rb": (["y"], ["p"]),
+            }
+        )
+        assert mcs_consistency(net) == []

@@ -1,0 +1,143 @@
+"""Tests for the exact Farkas invariant computation."""
+
+from fractions import Fraction
+from math import gcd
+
+from repro.models import asat, nsdp, over, rw
+from repro.net import NetBuilder
+from repro.static import farkas, incidence, p_invariants, t_invariants
+
+
+def ring2():
+    """p0 -t-> p1 -u-> p0: one conserved token."""
+    builder = NetBuilder("ring2")
+    builder.place("p0", marked=True)
+    builder.place("p1")
+    builder.transition("t", inputs=["p0"], outputs=["p1"])
+    builder.transition("u", inputs=["p1"], outputs=["p0"])
+    return builder.build()
+
+
+def two_rings():
+    """Two independent rings: the basis must keep the supports apart."""
+    builder = NetBuilder("two_rings")
+    for c in ("a", "b"):
+        builder.place(f"{c}0", marked=True)
+        builder.place(f"{c}1")
+        builder.transition(f"{c}_go", inputs=[f"{c}0"], outputs=[f"{c}1"])
+        builder.transition(f"{c}_back", inputs=[f"{c}1"], outputs=[f"{c}0"])
+    return builder.build()
+
+
+class TestFarkas:
+    def test_single_constraint(self):
+        rays, capped = farkas([[1, -1]])
+        assert not capped
+        assert rays == [(Fraction(1), Fraction(1))]
+
+    def test_empty_system(self):
+        assert farkas([]) == ([], False)
+
+    def test_no_nonnegative_solution(self):
+        # y1 + y2 = 0 has no non-zero non-negative solution.
+        rays, capped = farkas([[1, 1]])
+        assert rays == []
+        assert not capped
+
+    def test_rays_are_integral_with_gcd_one(self):
+        mat = incidence(nsdp(3))
+        constraints = [list(mat.effect[t]) for t in range(mat.num_transitions)]
+        rays, capped = farkas(constraints)
+        assert not capped
+        assert rays
+        for ray in rays:
+            ints = [int(w) for w in ray]
+            assert all(Fraction(i) == w for i, w in zip(ints, ray))
+            assert all(i >= 0 for i in ints)
+            g = 0
+            for i in ints:
+                g = gcd(g, i)
+            assert g == 1
+
+    def test_row_cap_flags_capped(self):
+        mat = incidence(asat(2))
+        constraints = [list(mat.effect[t]) for t in range(mat.num_transitions)]
+        rays, capped = farkas(constraints, max_rows=2)
+        assert capped
+        # Whatever survived the cap is still a genuine solution.
+        for ray in rays:
+            for row in constraints:
+                assert sum(w * c for w, c in zip(ray, row)) == 0
+
+
+class TestPInvariants:
+    def test_ring_has_the_token_invariant(self):
+        basis = p_invariants(ring2())
+        assert basis.kind == "P"
+        assert len(basis) == 1
+        assert basis.invariants[0].weights == (Fraction(1), Fraction(1))
+
+    def test_minimal_support_keeps_rings_apart(self):
+        basis = p_invariants(two_rings())
+        supports = {inv.support for inv in basis.invariants}
+        assert supports == {frozenset({0, 1}), frozenset({2, 3})}
+
+    def test_every_invariant_annihilates_the_incidence_matrix(self):
+        for net in (nsdp(2), asat(2), over(2), rw(6)):
+            mat = incidence(net)
+            basis = p_invariants(net, matrix=mat)
+            assert not basis.capped
+            assert basis.invariants
+            for inv in basis.invariants:
+                for t in range(mat.num_transitions):
+                    total = sum(
+                        inv.weights[p] * mat.effect[t][p]
+                        for p in range(mat.num_places)
+                    )
+                    assert total == 0
+
+    def test_value_is_the_weighted_token_count(self):
+        net = ring2()
+        inv = p_invariants(net).invariants[0]
+        assert inv.value(net.initial_marking) == 1
+        assert inv.value(frozenset()) == 0
+        assert inv.value(frozenset({0, 1})) == 2
+
+    def test_covering_lists_by_support(self):
+        basis = p_invariants(two_rings())
+        assert len(basis.covering(0)) == 1
+        assert 0 in basis.covering(0)[0].support
+
+    def test_describe_renders_weights(self):
+        net = ring2()
+        inv = p_invariants(net).invariants[0]
+        assert inv.describe(net.places) == "p0 + p1"
+
+
+class TestTInvariants:
+    def test_ring_reproduces_in_one_lap(self):
+        basis = t_invariants(ring2())
+        assert basis.kind == "T"
+        assert len(basis) == 1
+        assert basis.invariants[0].weights == (Fraction(1), Fraction(1))
+
+    def test_every_invariant_has_zero_net_effect(self):
+        for net in (nsdp(2), asat(2), over(2), rw(6)):
+            mat = incidence(net)
+            basis = t_invariants(net, matrix=mat)
+            assert not basis.capped
+            for inv in basis.invariants:
+                for p in range(mat.num_places):
+                    total = sum(
+                        inv.weights[t] * mat.effect[t][p]
+                        for t in range(mat.num_transitions)
+                    )
+                    assert total == 0
+
+    def test_acyclic_net_has_no_t_invariants(self):
+        builder = NetBuilder("acyclic")
+        builder.place("a", marked=True)
+        builder.place("b")
+        builder.transition("t", inputs=["a"], outputs=["b"])
+        basis = t_invariants(builder.build())
+        assert len(basis) == 0

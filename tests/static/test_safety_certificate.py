@@ -1,0 +1,106 @@
+"""Tests for the structural 1-safeness certificate."""
+
+import pickle
+
+from repro.models import asat, nsdp, over, rw
+from repro.net import NetBuilder
+from repro.static import assured_safety, certify_safety, p_invariants
+
+
+def unsafe_net():
+    """p, q both marked; t: p -> q puts a second token on q."""
+    builder = NetBuilder("unsafe")
+    builder.place("p", marked=True)
+    builder.place("q", marked=True)
+    builder.transition("t", inputs=["p"], outputs=["q"])
+    return builder.build()
+
+
+class TestCertifySafety:
+    def test_benchmarks_are_certified(self):
+        for net in (nsdp(2), asat(2), over(2), rw(6)):
+            certificate = certify_safety(net)
+            assert certificate.certified, certificate.explain(net)
+            assert certificate.uncovered == ()
+            assert not certificate.basis_capped
+            assert all(
+                bound is not None and bound <= 1
+                for bound in certificate.bounds.values()
+            )
+
+    def test_unsafe_net_is_not_certified(self):
+        net = unsafe_net()
+        certificate = certify_safety(net)
+        # y(p) = y(q) with y·m0 = 2: the invariant bound is 2, so no
+        # place is covered and the certificate must not exist.
+        assert not certificate.certified
+        assert set(certificate.uncovered) == {0, 1}
+        assert certificate.bounds[0] == 2
+        assert "not covered" in certificate.explain(net)
+
+    def test_certified_explain_mentions_coverage(self):
+        net = nsdp(2)
+        text = certify_safety(net).explain(net)
+        assert "structurally 1-safe" in text
+
+    def test_capped_basis_is_flagged(self):
+        net = nsdp(2)
+        basis = p_invariants(net, max_rows=1)
+        assert basis.capped
+        certificate = certify_safety(net, basis=basis)
+        assert certificate.basis_capped
+
+    def test_bounds_are_structural_floor_values(self):
+        # fork: a -> b, c then joiners feed d; the invariant
+        # y = (1,1,1,2)/... gives d the bound floor(1/2) = 0.
+        builder = NetBuilder("fork")
+        builder.place("a", marked=True)
+        builder.place("b")
+        builder.place("c")
+        builder.place("d")
+        builder.transition("t", inputs=["a"], outputs=["b"])
+        builder.transition("u", inputs=["a"], outputs=["c"])
+        builder.transition("v", inputs=["b", "c"], outputs=["d"])
+        net = builder.build()
+        certificate = certify_safety(net)
+        assert certificate.certified
+        assert certificate.bounds[net.place_id("d")] == 0  # unreachable
+
+
+class TestAssuredSafety:
+    def test_structural_path_short_circuits(self):
+        status, source = assured_safety(nsdp(2))
+        assert (status, source) == ("safe", "structural")
+
+    def test_dynamic_fallback_detects_unsafe(self):
+        status, source = assured_safety(unsafe_net())
+        assert (status, source) == ("unsafe", "dynamic")
+
+    def test_dynamic_fallback_reports_unknown_on_budget(self):
+        # Force the structural path to fail with a crippled basis, then
+        # give the dynamic check too small a budget to finish.
+        net = nsdp(4)
+        certificate = certify_safety(net, basis=p_invariants(net, max_rows=1))
+        assert not certificate.certified
+        status, source = assured_safety(
+            net, certificate=certificate, max_states=10
+        )
+        assert (status, source) == ("unknown", "dynamic")
+
+
+class TestStaticAnalysisAccessor:
+    def test_cached_on_the_net(self):
+        net = nsdp(2)
+        assert net.static_analysis() is net.static_analysis()
+
+    def test_certificate_available_via_accessor(self):
+        net = nsdp(2)
+        assert net.static_analysis().safety_certificate.certified
+
+    def test_pickle_drops_the_cache_and_recomputes(self):
+        net = nsdp(2)
+        net.static_analysis().safety_certificate  # populate the cache
+        clone = pickle.loads(pickle.dumps(net))
+        assert clone == net
+        assert clone._static is None
+        assert clone.static_analysis().safety_certificate.certified

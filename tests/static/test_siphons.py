@@ -1,0 +1,152 @@
+"""Tests for siphon/trap enumeration and the deadlock-freedom pre-check."""
+
+from repro.models import modem, nsdp, rw
+from repro.net import NetBuilder
+from repro.static import (
+    deadlock_freedom_precheck,
+    maximal_trap_within,
+    minimal_siphons,
+    minimal_traps,
+)
+
+
+def ring2():
+    builder = NetBuilder("ring2")
+    builder.place("p0", marked=True)
+    builder.place("p1")
+    builder.transition("t", inputs=["p0"], outputs=["p1"])
+    builder.transition("u", inputs=["p1"], outputs=["p0"])
+    return builder.build()
+
+
+def drain_net():
+    """a feeds b, b drains: {b} is a siphon but not a trap."""
+    builder = NetBuilder("drain")
+    builder.place("a", marked=True)
+    builder.place("b")
+    builder.transition("move", inputs=["a"], outputs=["b"])
+    builder.transition("drain", inputs=["b"])
+    return builder.build()
+
+
+class TestEnumeration:
+    def test_ring_siphon_is_the_whole_ring(self):
+        analysis = minimal_siphons(ring2())
+        assert not analysis.capped
+        assert analysis.siphons == (frozenset({0, 1}),)
+
+    def test_ring_trap_is_the_whole_ring(self):
+        analysis = minimal_traps(ring2())
+        assert analysis.siphons == (frozenset({0, 1}),)
+
+    def test_drain_net_siphons(self):
+        net = drain_net()
+        analysis = minimal_siphons(net)
+        # {a} is a siphon (no producers at all); {b} is not ('move'
+        # produces into b without consuming from it).
+        assert frozenset({net.place_id("a")}) in analysis.siphons
+        assert frozenset({net.place_id("b")}) not in analysis.siphons
+
+    def test_drain_net_has_no_marked_trap(self):
+        net = drain_net()
+        # Everything can drain: the only trap inside {a,b} is empty.
+        full = frozenset(range(net.num_places))
+        assert maximal_trap_within(net, full) == frozenset()
+
+    def test_every_result_is_a_siphon(self):
+        for net in (nsdp(2), rw(6), modem(1, bug=True)):
+            analysis = minimal_siphons(net)
+            for siphon in analysis.siphons:
+                producers = set()
+                consumers = set()
+                for p in siphon:
+                    producers |= net.pre_transitions[p]
+                    consumers |= net.post_transitions[p]
+                assert producers <= consumers
+
+    def test_every_result_is_a_trap(self):
+        for net in (nsdp(2), rw(6)):
+            analysis = minimal_traps(net)
+            for trap in analysis.siphons:
+                producers = set()
+                consumers = set()
+                for p in trap:
+                    producers |= net.pre_transitions[p]
+                    consumers |= net.post_transitions[p]
+                assert consumers <= producers
+
+    def test_results_are_inclusion_minimal(self):
+        for net in (nsdp(2), rw(6)):
+            siphons = minimal_siphons(net).siphons
+            for a in siphons:
+                for b in siphons:
+                    assert not (a < b)
+
+    def test_traps_are_siphons_of_the_reversed_net(self):
+        net = nsdp(2)
+        builder = NetBuilder("reversed")
+        for p in range(net.num_places):
+            builder.place(net.places[p], marked=p in net.initial_marking)
+        for t in range(net.num_transitions):
+            builder.transition(
+                net.transitions[t],
+                inputs=[net.places[p] for p in net.post_places[t]],
+                outputs=[net.places[p] for p in net.pre_places[t]],
+            )
+        reversed_net = builder.build()
+        assert set(minimal_traps(net).siphons) == set(
+            minimal_siphons(reversed_net).siphons
+        )
+
+    def test_count_cap_flags_capped(self):
+        analysis = minimal_siphons(nsdp(2), max_count=1)
+        assert analysis.capped
+        assert len(analysis.siphons) <= 1
+
+    def test_size_cap_flags_capped(self):
+        analysis = minimal_siphons(nsdp(2), max_size=1)
+        assert analysis.capped
+
+
+class TestMaximalTrap:
+    def test_trap_of_a_ring_is_itself(self):
+        net = ring2()
+        full = frozenset({0, 1})
+        assert maximal_trap_within(net, full) == full
+
+    def test_proper_subset_of_ring_is_no_trap(self):
+        net = ring2()
+        assert maximal_trap_within(net, frozenset({0})) == frozenset()
+
+
+class TestDeadlockPrecheck:
+    def test_ring_is_deadlock_free(self):
+        assert deadlock_freedom_precheck(ring2()) == "deadlock-free"
+
+    def test_rw_is_deadlock_free(self):
+        assert deadlock_freedom_precheck(rw(6)) == "deadlock-free"
+
+    def test_nsdp_is_unknown(self):
+        # NSDP really deadlocks, so the check must not claim freedom.
+        assert deadlock_freedom_precheck(nsdp(2)) == "unknown"
+
+    def test_buggy_modem_is_unknown(self):
+        assert deadlock_freedom_precheck(modem(1, bug=True)) == "unknown"
+
+    def test_capped_enumeration_is_unknown(self):
+        analysis = minimal_siphons(rw(6), max_count=1)
+        assert analysis.capped
+        assert deadlock_freedom_precheck(rw(6), analysis) == "unknown"
+
+    def test_no_transitions_is_unknown(self):
+        builder = NetBuilder("inert")
+        builder.place("p", marked=True)
+        # The initial marking itself is dead.
+        assert deadlock_freedom_precheck(builder.build()) == "unknown"
+
+    def test_source_transition_is_deadlock_free(self):
+        builder = NetBuilder("source")
+        builder.place("p")
+        builder.transition("gen", outputs=["p"])
+        net = builder.build(allow_source_transitions=True)
+        assert deadlock_freedom_precheck(net) == "deadlock-free"
