@@ -7,9 +7,20 @@ stubborn-set explorer preserves deadlocks, that the symbolic engine computes
 exactly this state set, and that GPO's scenario mapping stays inside it.
 
 Since the search-core refactor this module is a thin
-:class:`~repro.search.core.SearchSpace` adapter (:class:`MarkingSpace`)
-over the generic driver in :mod:`repro.search.core`; the exploration loop,
-budgets and witness extraction all live there.
+:class:`~repro.search.core.SearchSpace` adapter over the generic driver in
+:mod:`repro.search.core`.  Two interchangeable spaces implement the same
+semantics:
+
+* :class:`KernelMarkingSpace` — the default fast path: packed integer
+  markings from :class:`repro.net.kernel.MarkingKernel`, one fused
+  enable-and-fire pass per state, and incremental enabled-set maintenance
+  (only transitions touching the fired preset/postset are re-tested);
+* :class:`MarkingSpace` — the frozenset reference path, selected with
+  ``use_kernel=False`` (and by ``gpo check --no-kernel``) so the slow
+  path stays exercised and debuggable.
+
+Both produce byte-identical graphs (states in the same discovery order,
+edges in the same order) — the differential test-suite holds them to that.
 """
 
 from __future__ import annotations
@@ -18,12 +29,18 @@ from typing import Iterable, Sequence
 
 from repro.analysis.stats import AnalysisResult, stopwatch
 from repro.net.petrinet import Marking, PetriNet
-from repro.search.core import SearchContext, abort_note, raise_if_bounded
+from repro.search.core import (
+    SearchContext,
+    SearchOutcome,
+    abort_note,
+    raise_if_bounded,
+)
 from repro.search.core import explore as _drive
 from repro.search.graph import ReachabilityGraph
 from repro.search.witness import extract_witness
 
 __all__ = [
+    "KernelMarkingSpace",
     "MarkingSpace",
     "analyze",
     "explore",
@@ -35,10 +52,13 @@ __all__ = [
 class MarkingSpace:
     """The full interleaving semantics as a :class:`SearchSpace`.
 
-    States are classical markings; every enabled transition fires.  The
-    enabled set is memoized per driver-visited state (the driver passes the
-    identical object to ``is_deadlock`` and ``successors``).
+    Reference (frozenset) path: states are classical markings; every
+    enabled transition fires.  The enabled set is memoized per
+    driver-visited state (the driver passes the identical object to
+    ``is_deadlock`` and ``successors``).
     """
+
+    uses_kernel = False
 
     def __init__(self, net: PetriNet) -> None:
         self.net = net
@@ -62,11 +82,86 @@ class MarkingSpace:
     ) -> Iterable[tuple[str, Marking]]:
         net = self.net
         for t in self._enabled(marking):
-            yield net.transitions[t], net.fire(t, marking)
+            yield net.transitions[t], net._fire_enabled(t, marking)
 
     def instrumentation(self) -> dict[str, object]:
         """No adapter-specific counters beyond the driver's."""
         return {}
+
+
+class KernelMarkingSpace:
+    """The same semantics on packed integer markings (the fast path).
+
+    States are ``int`` bitmasks.  Each stored state's enabled set is kept
+    as a transition bitmask in ``_enabled_masks``; a successor's mask is
+    derived from its predecessor's by re-testing only the transitions
+    whose preset touches the fired transition's preset/postset
+    (``kernel.affected``), which turns the per-state enabling cost from
+    O(|T|·|preset|) into O(affected).
+    """
+
+    uses_kernel = True
+
+    def __init__(self, net: PetriNet) -> None:
+        self.net = net
+        self.kernel = net.kernel()
+        self._enabled_masks: dict[int, int] = {
+            self.kernel.initial: self.kernel.enabled_mask(self.kernel.initial)
+        }
+
+    def decode(self, bits: int) -> Marking:
+        """Frozenset view of a packed state (report boundary)."""
+        return self.kernel.decode(bits)
+
+    def initial(self) -> int:
+        return self.kernel.initial
+
+    def is_deadlock(self, bits: int) -> bool:
+        return not self._enabled_masks[bits]
+
+    def successors(
+        self, bits: int, ctx: SearchContext[int]
+    ) -> list[tuple[str, int]]:
+        kernel = self.kernel
+        labels = self.net.transitions
+        masks = self._enabled_masks
+        clear_mask = kernel.clear_mask
+        post_mask = kernel.post_mask
+        update = kernel.update_enabled_mask
+        out: list[tuple[str, int]] = []
+        enabled = mask = masks[bits]
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            t = low.bit_length() - 1
+            cleared = bits & clear_mask[t]
+            post = post_mask[t]
+            if cleared & post:
+                kernel.fire_enabled(t, bits)  # raises UnsafeNetError
+            successor = cleared | post
+            if successor not in masks:
+                masks[successor] = update(enabled, t, successor)
+            out.append((labels[t], successor))
+        return out
+
+    def instrumentation(self) -> dict[str, object]:
+        """No adapter-specific counters beyond the driver's."""
+        return {}
+
+
+def _marking_space(
+    net: PetriNet, use_kernel: bool
+) -> MarkingSpace | KernelMarkingSpace:
+    return KernelMarkingSpace(net) if use_kernel else MarkingSpace(net)
+
+
+def _decoded_graph(
+    outcome: SearchOutcome, space: MarkingSpace | KernelMarkingSpace
+) -> ReachabilityGraph[Marking]:
+    """The outcome's graph over classical markings (decode boundary)."""
+    if isinstance(space, KernelMarkingSpace):
+        return outcome.graph.map_states(space.decode)
+    return outcome.graph
 
 
 def explore(
@@ -75,6 +170,7 @@ def explore(
     max_states: int | None = None,
     max_seconds: float | None = None,
     stop_at_first_deadlock: bool = False,
+    use_kernel: bool = True,
 ) -> ReachabilityGraph[Marking]:
     """Build the full reachability graph RG(N) by breadth-first search.
 
@@ -83,17 +179,20 @@ def explore(
     time pass; with ``stop_at_first_deadlock`` the search returns as soon
     as one deadlocked marking is recorded (useful for big deadlocking
     instances).  ``analyze`` uses the driver's partial results instead of
-    these exceptions.
+    these exceptions.  The returned graph always carries classical
+    frozenset markings; with ``use_kernel`` (the default) the exploration
+    itself runs on packed integers and is decoded here.
     """
+    space = _marking_space(net, use_kernel)
     outcome = _drive(
-        MarkingSpace(net),
+        space,
         order="bfs",
         max_states=max_states,
         max_seconds=max_seconds,
         stop_at_first_deadlock=stop_at_first_deadlock,
     )
     raise_if_bounded(outcome, max_states=max_states, max_seconds=max_seconds)
-    return outcome.graph
+    return _decoded_graph(outcome, space)
 
 
 def reachable_markings(
@@ -101,16 +200,18 @@ def reachable_markings(
     *,
     max_states: int | None = None,
     max_seconds: float | None = None,
+    use_kernel: bool = True,
 ) -> set[Marking]:
     """The set of reachable markings explored depth-first."""
+    space = _marking_space(net, use_kernel)
     outcome = _drive(
-        MarkingSpace(net),
+        space,
         order="dfs",
         max_states=max_states,
         max_seconds=max_seconds,
     )
     raise_if_bounded(outcome, max_states=max_states, max_seconds=max_seconds)
-    return set(outcome.graph.states())
+    return set(_decoded_graph(outcome, space).states())
 
 
 def analyze(
@@ -119,14 +220,18 @@ def analyze(
     max_states: int | None = None,
     max_seconds: float | None = None,
     want_witness: bool = True,
+    use_kernel: bool = True,
 ) -> AnalysisResult:
     """Run full reachability analysis and package an :class:`AnalysisResult`.
 
     Budget overruns (state or wall-clock) are absorbed into a bounded,
     non-exhaustive result carrying the real progress made — the driver
     returns the partial graph directly, nothing is re-explored.
+    ``use_kernel`` selects the packed-integer fast path (default) or the
+    frozenset reference path; both report identical counts and witnesses
+    (``extras["kernel"]`` records which one ran).
     """
-    space = MarkingSpace(net)
+    space = _marking_space(net, use_kernel)
     # Consult the structural certificate before exploring: when it holds,
     # UnsafeNetError is provably unreachable during the search below.
     certified = net.static_analysis().safety_certificate.certified
@@ -137,7 +242,10 @@ def analyze(
     graph = outcome.graph
     witness = None
     if graph.deadlocks and want_witness:
-        witness = extract_witness(net, graph)
+        decode = (
+            space.decode if isinstance(space, KernelMarkingSpace) else None
+        )
+        witness = extract_witness(net, graph, decode=decode)
     extras = outcome.stats.as_extras()
     extras.update(space.instrumentation())
     extras["safety_certified"] = certified

@@ -77,6 +77,7 @@ class Gpn:
 
     def __init__(self, net: PetriNet, *, backend: Backend = "bdd") -> None:
         self.net = net
+        self.kernel = net.kernel()
         self.info = StructuralInfo(net)
         if backend == "bdd":
             self.ctx: FamilyContext = BddContext(net.num_transitions)

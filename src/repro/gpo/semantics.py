@@ -12,6 +12,12 @@ Two firing regimes:
   re-conditioned (``∩ r'``), which prunes scenario combinations that have
   become jointly infeasible — the paper's "extended conflict" effect
   (Fig. 7: ``r2 = {{A,C},{B,D}}``).
+
+Although GPN states are family tuples rather than packable markings, the
+structure walks here run on the net's compiled
+:class:`~repro.net.kernel.MarkingKernel` index tables (``pre_index``,
+``pre_not_post_index``, ``consumers``, ...) and place-set membership is
+tested on its bitmasks, so no per-firing frozenset algebra remains.
 """
 
 from __future__ import annotations
@@ -31,14 +37,14 @@ __all__ = [
 
 def s_enabled(gpn: Gpn, state: GpnState, t: int) -> SetFamily:
     """Def. 3.2 — ``⋂_{p ∈ •t} m(p) ∩ r``: scenarios where ``t`` can fire."""
-    inputs = [state.marking[p] for p in gpn.net.pre_places[t]]
+    inputs = [state.marking[p] for p in gpn.kernel.pre_index[t]]
     common = gpn.ctx.intersect_all(inputs)
     return common.intersect(state.valid)
 
 
 def m_enabled(gpn: Gpn, state: GpnState, t: int) -> SetFamily:
     """Def. 3.5 — ``{v ∈ ⋂_{p ∈ •t} m(p) | t ∈ v}``: scenarios choosing ``t``."""
-    inputs = [state.marking[p] for p in gpn.net.pre_places[t]]
+    inputs = [state.marking[p] for p in gpn.kernel.pre_index[t]]
     common = gpn.ctx.intersect_all(inputs)
     return common.filter_contains(t)
 
@@ -54,12 +60,11 @@ def single_fire(gpn: Gpn, state: GpnState, t: int) -> GpnState:
         raise ValueError(
             f"transition {gpn.transition_label(t)!r} is not single-enabled"
         )
-    pre = gpn.net.pre_places[t]
-    post = gpn.net.post_places[t]
+    kernel = gpn.kernel
     marking = list(state.marking)
-    for p in pre - post:
+    for p in kernel.pre_not_post_index[t]:
         marking[p] = marking[p].difference(enabled)
-    for p in post - pre:
+    for p in kernel.post_not_pre_index[t]:
         marking[p] = marking[p].union(enabled)
     return GpnState(tuple(marking), state.valid)
 
@@ -74,8 +79,9 @@ def enabled_families(
     """
     single: dict[int, SetFamily] = {}
     multiple: dict[int, SetFamily] = {}
+    pre_index = gpn.kernel.pre_index
     for t in range(gpn.net.num_transitions):
-        inputs = [state.marking[p] for p in gpn.net.pre_places[t]]
+        inputs = [state.marking[p] for p in pre_index[t]]
         if any(f.is_empty() for f in inputs):
             continue
         common = gpn.ctx.intersect_all(inputs)
@@ -120,23 +126,24 @@ def multiple_fire(
         + [multiple[t] for t in fired]
     )
 
-    pre_union: set[int] = set()
-    post_union: set[int] = set()
+    kernel = gpn.kernel
+    pre_bits = 0
+    post_bits = 0
     for t in fired:
-        pre_union |= net.pre_places[t]
-        post_union |= net.post_places[t]
+        pre_bits |= kernel.pre_mask[t]
+        post_bits |= kernel.post_mask[t]
 
     marking = list(state.marking)
     for p in range(net.num_places):
         family = marking[p]
-        if p in pre_union:
+        if (pre_bits >> p) & 1:
             consumed = gpn.ctx.union_all(
-                multiple[t] for t in net.post_transitions[p] if t in fired
+                multiple[t] for t in kernel.consumers[p] if t in fired
             )
             family = family.difference(consumed)
-        if p in post_union:
+        if (post_bits >> p) & 1:
             produced = gpn.ctx.union_all(
-                multiple[t] for t in net.pre_transitions[p] if t in fired
+                multiple[t] for t in kernel.producers[p] if t in fired
             )
             family = family.union(produced)
         marking[p] = family.intersect(new_valid)

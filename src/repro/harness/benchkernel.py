@@ -1,0 +1,196 @@
+"""The ``gpo bench-kernel`` micro-benchmark: kernel vs reference path.
+
+Runs the full and stubborn-set analyzers over the Table 1 benchmark
+families twice per instance — once on the frozenset *reference* rules
+(``use_kernel=False``) and once on the compiled bitmask
+:class:`~repro.net.kernel.MarkingKernel` — and reports states/sec plus
+the speedup ratio.  Both runs must produce identical state and edge
+counts (the representations are supposed to be observationally
+equivalent); any disagreement fails the benchmark, which is what the CI
+smoke job keys on.
+
+The measured numbers are persisted to ``BENCH_kernel.json`` so the
+README's performance note and regressions across commits have a stable
+artifact to diff.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Mapping
+
+import repro.analysis.reachability as _full
+import repro.stubborn.explorer as _stubborn
+from repro.analysis.stats import AnalysisResult
+from repro.harness.table1 import PROBLEMS
+from repro.net.petrinet import PetriNet
+
+__all__ = [
+    "BENCH_SIZES",
+    "QUICK_SIZES",
+    "BenchRow",
+    "run_bench",
+    "format_bench",
+    "write_bench",
+]
+
+#: Mid-size Table 1 instances: big enough for stable rates, small enough
+#: that the whole benchmark stays under a couple of minutes.
+BENCH_SIZES: Mapping[str, int] = {
+    "NSDP": 8,
+    "ASAT": 4,
+    "OVER": 5,
+    "RW": 12,
+}
+
+#: Sizes for ``--quick`` (CI smoke): each instance explores in well under
+#: a second per run, so only count equality is meaningful — not speedup.
+QUICK_SIZES: Mapping[str, int] = {
+    "NSDP": 4,
+    "ASAT": 2,
+    "OVER": 3,
+    "RW": 6,
+}
+
+_ANALYZERS: Mapping[str, Callable[..., AnalysisResult]] = {
+    "full": _full.analyze,
+    "stubborn": _stubborn.analyze,
+}
+
+
+@dataclass(frozen=True)
+class BenchRow:
+    """One (instance, analyzer) measurement of both paths."""
+
+    problem: str
+    size: int
+    analyzer: str
+    states: int
+    edges: int
+    deadlock: bool
+    ref_seconds: float
+    kernel_seconds: float
+    ref_states_per_second: float
+    kernel_states_per_second: float
+    speedup: float
+    counts_match: bool
+
+
+def _best_time(
+    run: Callable[[], AnalysisResult], repetitions: int
+) -> tuple[AnalysisResult, float]:
+    """Best-of-N wall time of ``run`` (minimum filters scheduler noise)."""
+    best = float("inf")
+    result: AnalysisResult | None = None
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        result = run()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    assert result is not None
+    return result, best
+
+
+def _bench_instance(
+    net: PetriNet, problem: str, size: int, repetitions: int
+) -> list[BenchRow]:
+    # Build the shared per-net artifacts outside the timed region: both
+    # paths use them, and the kernel compile is a one-off per net.
+    net.kernel()
+    net.static_analysis()
+    rows: list[BenchRow] = []
+    for analyzer, analyze in _ANALYZERS.items():
+        reference, ref_seconds = _best_time(
+            lambda a=analyze: a(net, use_kernel=False, want_witness=False),
+            repetitions,
+        )
+        kernelized, kernel_seconds = _best_time(
+            lambda a=analyze: a(net, use_kernel=True, want_witness=False),
+            repetitions,
+        )
+        counts_match = (
+            reference.states == kernelized.states
+            and reference.edges == kernelized.edges
+            and reference.deadlock == kernelized.deadlock
+        )
+        rows.append(
+            BenchRow(
+                problem=problem,
+                size=size,
+                analyzer=analyzer,
+                states=reference.states,
+                edges=reference.edges,
+                deadlock=reference.deadlock,
+                ref_seconds=round(ref_seconds, 6),
+                kernel_seconds=round(kernel_seconds, 6),
+                ref_states_per_second=round(
+                    reference.states / ref_seconds, 1
+                ),
+                kernel_states_per_second=round(
+                    kernelized.states / kernel_seconds, 1
+                ),
+                speedup=round(ref_seconds / kernel_seconds, 2),
+                counts_match=counts_match,
+            )
+        )
+    return rows
+
+
+def run_bench(
+    *,
+    quick: bool = False,
+    problems: list[str] | None = None,
+    repetitions: int | None = None,
+) -> list[BenchRow]:
+    """Measure every family (or ``problems``) with both paths.
+
+    ``quick`` switches to the small CI sizes with one repetition;
+    otherwise each run is best-of-3.
+    """
+    sizes = QUICK_SIZES if quick else BENCH_SIZES
+    if repetitions is None:
+        repetitions = 1 if quick else 3
+    rows: list[BenchRow] = []
+    for problem in problems or list(sizes):
+        size = sizes[problem]
+        net = PROBLEMS[problem](size)
+        rows.extend(_bench_instance(net, problem, size, repetitions))
+    return rows
+
+
+def format_bench(rows: list[BenchRow]) -> str:
+    """Human-readable table of the measurements."""
+    header = (
+        f"{'instance':12s} {'analyzer':9s} {'states':>8s} "
+        f"{'ref/s':>10s} {'kernel/s':>10s} {'speedup':>8s} {'counts':>7s}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.problem + '(' + str(row.size) + ')':12s} "
+            f"{row.analyzer:9s} {row.states:8d} "
+            f"{row.ref_states_per_second:10.0f} "
+            f"{row.kernel_states_per_second:10.0f} "
+            f"{row.speedup:7.2f}x "
+            f"{'ok' if row.counts_match else 'MISMATCH':>7s}"
+        )
+    return "\n".join(lines)
+
+
+def write_bench(rows: list[BenchRow], path: str | Path) -> None:
+    """Persist the measurements as the ``BENCH_kernel.json`` artifact."""
+    payload = {
+        "benchmark": "marking-kernel",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "rows": [asdict(row) for row in rows],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )

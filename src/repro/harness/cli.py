@@ -13,6 +13,8 @@ Subcommands::
                               # safety certificate, net class)
     gpo dot FILE [--rg]       # DOT export of the net (or its full RG)
     gpo bench-model NAME SIZE # run all analyzers on one benchmark instance
+    gpo bench-kernel [--quick] [--out BENCH_kernel.json]
+                              # bitmask kernel vs frozenset reference path
 
 ``check`` decides 1-safeness with the structural certificate first (zero
 states explored) and falls back to the bounded dynamic check; exit status
@@ -311,7 +313,9 @@ def _cmd_check(args: argparse.Namespace) -> int:
     if certificate.certified:
         print("safety: 1-safe (structural certificate, 0 states explored)")
         return 0
-    verdict = check_safe(net, max_states=args.max_states)
+    verdict = check_safe(
+        net, max_states=args.max_states, use_kernel=not args.no_kernel
+    )
     if verdict.status == "safe":
         print(f"safety: 1-safe (exhaustive, {verdict.states} states)")
         return 0
@@ -411,6 +415,34 @@ def _cmd_bench_model(args: argparse.Namespace) -> int:
     finally:
         if sink is not None:
             sink.close()
+
+
+def _cmd_bench_kernel(args: argparse.Namespace) -> int:
+    from repro.harness.benchkernel import (
+        format_bench,
+        run_bench,
+        write_bench,
+    )
+
+    problems = args.problems.split(",") if args.problems else None
+    if problems:
+        for problem in problems:
+            if problem not in PROBLEMS:
+                print(f"unknown problem {problem!r}; choose from "
+                      f"{', '.join(PROBLEMS)}", file=sys.stderr)
+                return 2
+    rows = run_bench(quick=args.quick, problems=problems)
+    print(format_bench(rows))
+    if args.out:
+        write_bench(rows, args.out)
+        print(f"[bench] wrote {args.out}")
+    if not all(row.counts_match for row in rows):
+        print(
+            "[bench] kernel/reference state or edge counts disagree",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -524,6 +556,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_check = sub.add_parser("check", help="diagnose a net file")
     p_check.add_argument("file")
     p_check.add_argument("--max-states", type=int, default=100_000)
+    p_check.add_argument(
+        "--no-kernel",
+        action="store_true",
+        help="run the dynamic safety walk on the frozenset reference "
+        "rules instead of the bitmask marking kernel",
+    )
     p_check.set_defaults(fn=_cmd_check)
 
     p_lint = sub.add_parser(
@@ -567,6 +605,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_engine_flags(p_bench, jobs=1)
     p_bench.set_defaults(fn=_cmd_bench_model)
+
+    p_kernel = sub.add_parser(
+        "bench-kernel",
+        help="benchmark the bitmask marking kernel against the frozenset "
+        "reference path (fails on any count disagreement)",
+    )
+    p_kernel.add_argument(
+        "--quick",
+        action="store_true",
+        help="small instances, one repetition (CI smoke; rates are noise)",
+    )
+    p_kernel.add_argument("--problems", help="comma list, e.g. NSDP,RW")
+    p_kernel.add_argument(
+        "--out",
+        default="BENCH_kernel.json",
+        metavar="PATH",
+        help="JSON artifact path (default BENCH_kernel.json; '' disables)",
+    )
+    p_kernel.set_defaults(fn=_cmd_bench_kernel)
 
     p_reach = sub.add_parser(
         "reach",

@@ -18,6 +18,7 @@ from repro.net.exceptions import (
     UnknownNodeError,
     UnsafeNetError,
 )
+from repro.net.kernel import MarkingKernel
 from repro.net.parser import load_net, parse_net, parse_timed_net, save_net, to_text
 from repro.net.petrinet import Marking, NetBuilder, PetriNet
 from repro.net.pnml import load_pnml, parse_pnml, save_pnml, to_pnml
@@ -34,6 +35,7 @@ __all__ = [
     "PetriNet",
     "NetBuilder",
     "Marking",
+    "MarkingKernel",
     "StructuralInfo",
     "conflict",
     "conflict_graph",

@@ -1,0 +1,293 @@
+"""Compiled bitmask marking kernel for safe nets.
+
+The frozenset firing rules in :mod:`repro.net.petrinet` are the *reference
+implementation*: readable, directly checked against the paper's
+definitions, and kept as the debuggable slow path.  This module is the
+fast path every explicit explorer runs on: a :class:`MarkingKernel` is
+built once per net and packs a safe-net marking into a single Python
+``int`` — bit ``p`` set iff place ``p`` holds its token — with
+per-transition masks precompiled so the hot loop is pure integer algebra:
+
+* **enabling** (Def. 2.3) — ``m & pre_mask[t] == pre_mask[t]``;
+* **firing** (Def. 2.4) — ``(m & clear_mask[t]) | post_mask[t]`` with the
+  1-safety violation check ``m & clear_mask[t] & post_mask[t]`` (a set
+  bit is a place that already holds a token and is not consumed by
+  ``t`` — exactly the ``(m − •t) ∩ t•`` conflict of the reference rule);
+* **successor generation** — one fused pass per marking; the enabling
+  test is performed exactly once per transition (the reference
+  ``PetriNet.successors`` historically re-checked it inside ``fire``);
+* **incremental enabling** — after firing ``t`` only the transitions in
+  ``affected[t]`` (those whose preset touches ``•t ∪ t•``) can change
+  their enabling status, so a successor's enabled set is derived from its
+  predecessor's in O(affected) instead of O(|T|·|preset|) per state.
+
+The packed representation never leaves the exploration layer: explorers
+carry ``int`` states internally and convert back to the classical
+``frozenset`` :data:`~repro.net.petrinet.Marking` via :meth:`decode` only
+at the reachability-graph / witness / report boundary.
+
+Index tables (``pre_index`` / ``post_index`` / ``consumers`` / ...) expose
+the same structure as sorted tuples for explorers whose states are not
+plain markings (GPN scenario families, timed state classes) but whose
+inner loops still iterate presets and postsets per transition.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.net.exceptions import NotEnabledError, UnsafeNetError
+from repro.net.petrinet import Marking, PetriNet
+
+__all__ = ["MarkingKernel", "iter_bits"]
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Positions of the set bits of ``mask``, in ascending order.
+
+    Ascending order is what makes the kernel path yield transitions in
+    index order — the same deterministic order the reference
+    ``PetriNet.enabled_transitions`` produces.
+    """
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+class MarkingKernel:
+    """Per-net compiled tables for integer-marking exploration.
+
+    Build once via :meth:`PetriNet.kernel` (cached on the net); all tables
+    are immutable tuples, so a kernel is safe to share between explorers.
+
+    Attributes
+    ----------
+    pre_mask / post_mask:
+        Per transition, the bitmask of its input / output places
+        (``•t`` and ``t•``).
+    clear_mask:
+        ``~pre_mask[t]``; ``m & clear_mask[t]`` removes the consumed
+        tokens (Python's arbitrary-precision AND keeps the result exact
+        for any net size).
+    self_loop_mask:
+        ``pre_mask[t] & post_mask[t]`` — places that keep their token.
+    affected:
+        Per transition ``t``, the ascending tuple of transitions ``u``
+        whose preset intersects ``•t ∪ t•`` — the only transitions whose
+        enabling can change when ``t`` fires.
+    consumers:
+        Per place ``p``, the ascending tuple of transitions consuming
+        from ``p`` (``p•`` — the place→consumers index).
+    pre_index / post_index / pre_not_post_index / post_not_pre_index:
+        Sorted index-tuple views of the presets/postsets for explorers
+        that iterate them per transition without packing states.
+    initial:
+        The packed initial marking ``m0``.
+    """
+
+    __slots__ = (
+        "net",
+        "num_places",
+        "num_transitions",
+        "pre_mask",
+        "post_mask",
+        "clear_mask",
+        "self_loop_mask",
+        "affected",
+        "_affected_tests",
+        "consumers",
+        "producers",
+        "pre_index",
+        "post_index",
+        "pre_not_post_index",
+        "post_not_pre_index",
+        "initial",
+    )
+
+    def __init__(self, net: PetriNet) -> None:
+        self.net = net
+        self.num_places: int = net.num_places
+        self.num_transitions: int = net.num_transitions
+        pre_masks: List[int] = []
+        post_masks: List[int] = []
+        for t in range(net.num_transitions):
+            pre = 0
+            for p in net.pre_places[t]:
+                pre |= 1 << p
+            post = 0
+            for p in net.post_places[t]:
+                post |= 1 << p
+            pre_masks.append(pre)
+            post_masks.append(post)
+        self.pre_mask: Tuple[int, ...] = tuple(pre_masks)
+        self.post_mask: Tuple[int, ...] = tuple(post_masks)
+        self.clear_mask: Tuple[int, ...] = tuple(~m for m in pre_masks)
+        self.self_loop_mask: Tuple[int, ...] = tuple(
+            pre & post for pre, post in zip(pre_masks, post_masks)
+        )
+        self.affected: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(
+                u
+                for u in range(net.num_transitions)
+                if pre_masks[u] & (pre_masks[t] | post_masks[t])
+            )
+            for t in range(net.num_transitions)
+        )
+        # Hot-loop companion of ``affected``: per affected transition u the
+        # triple (pre_mask[u], 1 << u, ~(1 << u)) so the incremental update
+        # does no table indexing or shifting per re-test.
+        self._affected_tests: Tuple[Tuple[Tuple[int, int, int], ...], ...] = (
+            tuple(
+                tuple(
+                    (pre_masks[u], 1 << u, ~(1 << u))
+                    for u in affected_t
+                )
+                for affected_t in self.affected
+            )
+        )
+        self.consumers: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(sorted(net.post_transitions[p]))
+            for p in range(net.num_places)
+        )
+        self.producers: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(sorted(net.pre_transitions[p]))
+            for p in range(net.num_places)
+        )
+        self.pre_index: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(sorted(net.pre_places[t]))
+            for t in range(net.num_transitions)
+        )
+        self.post_index: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(sorted(net.post_places[t]))
+            for t in range(net.num_transitions)
+        )
+        self.pre_not_post_index: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(sorted(net.pre_places[t] - net.post_places[t]))
+            for t in range(net.num_transitions)
+        )
+        self.post_not_pre_index: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(sorted(net.post_places[t] - net.pre_places[t]))
+            for t in range(net.num_transitions)
+        )
+        self.initial: int = self.encode(net.initial_marking)
+
+    # ------------------------------------------------------------------
+    # Packing boundary
+    # ------------------------------------------------------------------
+    def encode(self, marking: Marking) -> int:
+        """Pack a classical frozenset marking into the int representation."""
+        bits = 0
+        for p in marking:
+            bits |= 1 << p
+        return bits
+
+    def decode(self, bits: int) -> Marking:
+        """Unpack an int marking back into the classical frozenset form."""
+        return frozenset(iter_bits(bits))
+
+    # ------------------------------------------------------------------
+    # Dynamics (bitmask forms of Defs. 2.3 / 2.4)
+    # ------------------------------------------------------------------
+    def is_enabled(self, transition: int, bits: int) -> bool:
+        """Enabling rule: all input-place bits set in ``bits``."""
+        pre = self.pre_mask[transition]
+        return bits & pre == pre
+
+    def enabled_transitions(self, bits: int) -> List[int]:
+        """All enabled transitions in index order (full scan)."""
+        return [
+            t
+            for t, pre in enumerate(self.pre_mask)
+            if bits & pre == pre
+        ]
+
+    def enabled_mask(self, bits: int) -> int:
+        """The enabled set as a transition bitmask (full scan)."""
+        mask = 0
+        for t, pre in enumerate(self.pre_mask):
+            if bits & pre == pre:
+                mask |= 1 << t
+        return mask
+
+    def update_enabled_mask(self, enabled: int, fired: int, bits: int) -> int:
+        """Enabled mask of ``bits``, derived incrementally.
+
+        ``enabled`` is the enabled mask of the *predecessor* marking and
+        ``bits`` the marking obtained by firing ``fired`` from it; only
+        the transitions in ``affected[fired]`` are re-tested.
+        """
+        for pre, bit, notbit in self._affected_tests[fired]:
+            if bits & pre == pre:
+                enabled |= bit
+            else:
+                enabled &= notbit
+        return enabled
+
+    def is_deadlocked(self, bits: int) -> bool:
+        """True when no transition is enabled in ``bits``."""
+        return not any(
+            bits & pre == pre for pre in self.pre_mask
+        )
+
+    def fire(self, transition: int, bits: int) -> int:
+        """Checked firing: raises like the reference ``PetriNet.fire``.
+
+        :class:`NotEnabledError` when some input bit is missing;
+        :class:`UnsafeNetError` when a surviving token collides with a
+        produced one (lowest-index conflict place reported, matching the
+        reference path byte for byte).
+        """
+        pre = self.pre_mask[transition]
+        if bits & pre != pre:
+            raise NotEnabledError(self.net.transitions[transition])
+        cleared = bits & self.clear_mask[transition]
+        post = self.post_mask[transition]
+        conflict = cleared & post
+        if conflict:
+            place = (conflict & -conflict).bit_length() - 1
+            raise UnsafeNetError(
+                self.net.transitions[transition], self.net.places[place]
+            )
+        return cleared | post
+
+    def fire_enabled(self, transition: int, bits: int) -> int:
+        """Firing for a transition already known enabled (1-safety checked)."""
+        cleared = bits & self.clear_mask[transition]
+        post = self.post_mask[transition]
+        conflict = cleared & post
+        if conflict:
+            place = (conflict & -conflict).bit_length() - 1
+            raise UnsafeNetError(
+                self.net.transitions[transition], self.net.places[place]
+            )
+        return cleared | post
+
+    def successors(self, bits: int) -> List[Tuple[int, int]]:
+        """All ``(transition, successor)`` pairs in one fused pass.
+
+        The enabling test runs exactly once per transition; no
+        intermediate sets are allocated.
+        """
+        out: List[Tuple[int, int]] = []
+        clear_mask = self.clear_mask
+        post_mask = self.post_mask
+        for t, pre in enumerate(self.pre_mask):
+            if bits & pre != pre:
+                continue
+            cleared = bits & clear_mask[t]
+            post = post_mask[t]
+            conflict = cleared & post
+            if conflict:
+                place = (conflict & -conflict).bit_length() - 1
+                raise UnsafeNetError(
+                    self.net.transitions[t], self.net.places[place]
+                )
+            out.append((t, cleared | post))
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"MarkingKernel({self.net.name!r}, |P|={self.num_places}, "
+            f"|T|={self.num_transitions})"
+        )

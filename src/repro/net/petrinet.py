@@ -31,6 +31,7 @@ import hashlib
 from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Sequence
 
 if TYPE_CHECKING:
+    from repro.net.kernel import MarkingKernel
     from repro.static.analysis import StaticAnalysis
 
 from repro.net.exceptions import (
@@ -84,6 +85,8 @@ class PetriNet:
         "_hash",
         "_canonical_hash",
         "_static",
+        "_kernel",
+        "_num_arcs",
     )
 
     def __init__(
@@ -125,6 +128,8 @@ class PetriNet:
         self._hash: int | None = None
         self._canonical_hash: str | None = None
         self._static: object | None = None
+        self._kernel: object | None = None
+        self._num_arcs: int | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -141,10 +146,12 @@ class PetriNet:
 
     @property
     def num_arcs(self) -> int:
-        """Number of arcs ``|F|``."""
-        return sum(len(s) for s in self.pre_places) + sum(
-            len(s) for s in self.post_places
-        )
+        """Number of arcs ``|F|`` (computed once, then cached)."""
+        if self._num_arcs is None:
+            self._num_arcs = sum(len(s) for s in self.pre_places) + sum(
+                len(s) for s in self.post_places
+            )
+        return self._num_arcs
 
     def place_id(self, name: str) -> int:
         """Return the index of place ``name`` (raises ``UnknownNodeError``)."""
@@ -185,26 +192,25 @@ class PetriNet:
         return self.pre_places[transition] <= marking
 
     def enabled_transitions(self, marking: Marking) -> list[int]:
-        """All transitions enabled in ``marking``, in index order."""
+        """All transitions enabled in ``marking``, in index order.
+
+        This is the *reference implementation* of the enabling scan,
+        kept deliberately close to Def. 2.3.  The hot exploration paths
+        use the precompiled bitmask form in
+        :class:`repro.net.kernel.MarkingKernel`; ``gpo check --no-kernel``
+        and the differential test-suite route through this one so the
+        slow path stays exercised and debuggable.
+        """
         return [
             t
             for t in range(len(self.transitions))
             if self.pre_places[t] <= marking
         ]
 
-    def fire(self, transition: int, marking: Marking) -> Marking:
-        """Firing rule (Def. 2.4) for safe nets.
-
-        Removes a token from every input place and adds one to every output
-        place.  Raises :class:`NotEnabledError` when the transition is not
-        enabled and :class:`UnsafeNetError` when firing would put a second
-        token into a marked place (self-loop places ``p ∈ •t ∩ t•`` keep
-        their token and are fine).
-        """
+    def _fire_enabled(self, transition: int, marking: Marking) -> Marking:
+        """Firing for a transition already known enabled (1-safety checked)."""
         pre = self.pre_places[transition]
         post = self.post_places[transition]
-        if not pre <= marking:
-            raise NotEnabledError(self.transitions[transition])
         after_consume = marking - pre
         conflict_places = after_consume & post
         if conflict_places:
@@ -212,15 +218,38 @@ class PetriNet:
             raise UnsafeNetError(self.transitions[transition], place)
         return after_consume | post
 
+    def fire(self, transition: int, marking: Marking) -> Marking:
+        """Firing rule (Def. 2.4) for safe nets — reference implementation.
+
+        Removes a token from every input place and adds one to every output
+        place.  Raises :class:`NotEnabledError` when the transition is not
+        enabled and :class:`UnsafeNetError` when firing would put a second
+        token into a marked place (self-loop places ``p ∈ •t ∩ t•`` keep
+        their token and are fine).  The bitmask fast path is
+        :meth:`repro.net.kernel.MarkingKernel.fire`.
+        """
+        if not self.pre_places[transition] <= marking:
+            raise NotEnabledError(self.transitions[transition])
+        return self._fire_enabled(transition, marking)
+
     def successors(self, marking: Marking) -> list[tuple[int, Marking]]:
-        """All ``(transition, next_marking)`` pairs reachable in one step."""
+        """All ``(transition, next_marking)`` pairs reachable in one step.
+
+        Fires inline from the already-computed enabled list — the
+        enabling test runs once per transition, not again inside the
+        firing (``fire`` keeps the check for the public API).
+        """
         out = []
         for t in self.enabled_transitions(marking):
-            out.append((t, self.fire(t, marking)))
+            out.append((t, self._fire_enabled(t, marking)))
         return out
 
     def is_deadlocked(self, marking: Marking) -> bool:
-        """True when no transition is enabled in ``marking``."""
+        """True when no transition is enabled in ``marking``.
+
+        Reference implementation; the exploration layer uses the
+        kernel's ``enabled_mask == 0`` check instead.
+        """
         return not any(
             self.pre_places[t] <= marking
             for t in range(len(self.transitions))
@@ -298,20 +327,34 @@ class PetriNet:
             self._static = StaticAnalysis(self)
         return self._static  # type: ignore[return-value]
 
+    def kernel(self) -> "MarkingKernel":
+        """The cached compiled :class:`repro.net.kernel.MarkingKernel`.
+
+        Built on first use (one pass over the structure) and shared by
+        every explorer running on this net; imported lazily so the
+        reference dynamics above stay importable on their own.
+        """
+        if self._kernel is None:
+            from repro.net.kernel import MarkingKernel
+
+            self._kernel = MarkingKernel(self)
+        return self._kernel  # type: ignore[return-value]
+
     def __getstate__(self) -> dict[str, object]:
-        # Worker processes receive pickled nets; the static-analysis cache
-        # (fraction matrices, a back-reference cycle) is recomputable and
+        # Worker processes receive pickled nets; the static-analysis and
+        # kernel caches (back-reference cycles) are recomputable and
         # deliberately not shipped.
         return {
             slot: getattr(self, slot)
             for slot in self.__slots__
-            if slot != "_static"
+            if slot not in ("_static", "_kernel")
         }
 
     def __setstate__(self, state: dict[str, object]) -> None:
         for slot, value in state.items():
             setattr(self, slot, value)
         self._static = None
+        self._kernel = None
 
     # ------------------------------------------------------------------
     # Equality / hashing / repr
@@ -442,10 +485,14 @@ class NetBuilder:
                 f"arc {source!r} -> {target!r} connects two transitions"
             )
         else:
-            missing = source if source not in self._place_set and (
-                source not in self._transition_set
-            ) else target
-            raise UnknownNodeError("node", missing)
+            # Some endpoint was never declared; report the first one.
+            for endpoint in (source, target):
+                if (
+                    endpoint not in self._place_set
+                    and endpoint not in self._transition_set
+                ):
+                    raise UnknownNodeError("node", endpoint)
+            raise AssertionError("unreachable: both endpoints exist")
 
     # ------------------------------------------------------------------
     def build(self, *, allow_source_transitions: bool = False) -> PetriNet:

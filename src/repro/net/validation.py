@@ -111,7 +111,9 @@ class SafetyCheck:
         return self.status == "safe"
 
 
-def check_safe(net: PetriNet, *, max_states: int = 100_000) -> SafetyCheck:
+def check_safe(
+    net: PetriNet, *, max_states: int = 100_000, use_kernel: bool = True
+) -> SafetyCheck:
     """Dynamically check 1-safety by bounded exhaustive exploration.
 
     Returns a :class:`SafetyCheck`: ``"safe"`` only when the *entire*
@@ -119,7 +121,15 @@ def check_safe(net: PetriNet, *, max_states: int = 100_000) -> SafetyCheck:
     violation, ``"unsafe"`` on the first violating firing, ``"unknown"``
     when the bound was exhausted first.  For a structural (zero-state)
     safety proof see :func:`repro.static.safety.certify_safety`.
+
+    ``use_kernel`` (default) runs the walk on packed integer markings via
+    the net's :class:`~repro.net.kernel.MarkingKernel`; ``gpo check
+    --no-kernel`` selects the frozenset reference rules instead.  Both
+    walks pop and fire in the same order, so they report the same verdict,
+    state count and violation.
     """
+    if use_kernel:
+        return _check_safe_kernel(net, max_states=max_states)
     seen: set[Marking] = {net.initial_marking}
     frontier = [net.initial_marking]
     while frontier:
@@ -129,6 +139,35 @@ def check_safe(net: PetriNet, *, max_states: int = 100_000) -> SafetyCheck:
         for t in net.enabled_transitions(marking):
             try:
                 successor = net.fire(t, marking)
+            except UnsafeNetError as exc:
+                return SafetyCheck(
+                    status="unsafe", states=len(seen), violation=str(exc)
+                )
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(successor)
+    return SafetyCheck(status="safe", states=len(seen))
+
+
+def _check_safe_kernel(net: PetriNet, *, max_states: int) -> SafetyCheck:
+    """Bitmask twin of the reference walk in :func:`check_safe`.
+
+    Same DFS pop order, same per-marking transition order, same bound
+    semantics — only the marking representation differs.
+    """
+    kernel = net.kernel()
+    seen: set[int] = {kernel.initial}
+    frontier = [kernel.initial]
+    while frontier:
+        if len(seen) > max_states:
+            return SafetyCheck(status="unknown", states=len(seen))
+        bits = frontier.pop()
+        # Fire one transition at a time (not the fused kernel.successors)
+        # so the states count at an "unsafe" verdict includes successors
+        # discovered before the violating firing, like the reference walk.
+        for t in kernel.enabled_transitions(bits):
+            try:
+                successor = kernel.fire_enabled(t, bits)
             except UnsafeNetError as exc:
                 return SafetyCheck(
                     status="unsafe", states=len(seen), violation=str(exc)

@@ -65,6 +65,7 @@ INSTRUMENTATION_FIELDS = (
     "peak_frontier",
     "mean_enabled",
     "states_per_second",
+    "kernel",
     "stubborn_ratio",
     "mean_scenarios",
     "max_scenarios",
@@ -143,6 +144,9 @@ class SearchStats:
     peak_frontier: int = 1
     successor_total: int = 0
     elapsed_seconds: float = 0.0
+    #: True when the space ran on the bitmask marking kernel
+    #: (``space.uses_kernel``) rather than the frozenset reference path.
+    kernel: bool = False
 
     @property
     def mean_enabled(self) -> float:
@@ -165,6 +169,7 @@ class SearchStats:
             "peak_frontier": self.peak_frontier,
             "mean_enabled": round(self.mean_enabled, 3),
             "states_per_second": round(self.states_per_second, 1),
+            "kernel": self.kernel,
         }
 
 
@@ -253,12 +258,28 @@ def explore(
     start = time.perf_counter()
     initial = space.initial()
     graph: ReachabilityGraph[S] = ReachabilityGraph(initial)
-    stats = SearchStats()
+    stats = SearchStats(kernel=bool(getattr(space, "uses_kernel", False)))
     path: list[S] = []
     on_path: set[S] = set()
     ctx: SearchContext[S] = SearchContext(order, graph, on_path)
     frontier: deque[S] = deque([initial])
     depth_first = order == "dfs"
+
+    # Hot-loop bindings: the loop below runs once per edge of graphs with
+    # hundreds of thousands of edges, so counters live in locals and the
+    # graph is updated through its index-based fast path (one dict probe
+    # per successor instead of ``add_edge``'s three).
+    index_get = graph.raw_index().get
+    edge_lists = graph.raw_edges()
+    insert_new = graph.insert_new
+    frontier_append = frontier.append
+    has_observers = bool(observers)
+    cap: float = max_states if max_states is not None else float("inf")
+    num_states = 1
+    expanded = 0
+    deadlocks = 0
+    peak_frontier = 1
+    successor_total = 0
 
     stop: str | None = None
     for observer in observers:
@@ -267,8 +288,8 @@ def explore(
 
     while frontier and stop is None:
         pending = len(frontier) - len(path)
-        if pending > stats.peak_frontier:
-            stats.peak_frontier = pending
+        if pending > peak_frontier:
+            peak_frontier = pending
         if depth_first:
             popped = frontier.pop()
             if popped is _EXIT:
@@ -280,14 +301,14 @@ def explore(
         if deadline is not None and deadline.expired():
             stop = "time-budget"
             break
-        stats.expanded += 1
+        expanded += 1
         if depth_first:
-            frontier.append(_EXIT)
+            frontier_append(_EXIT)
             path.append(state)
             on_path.add(state)
         if space.is_deadlock(state):
             graph.mark_deadlock(state)
-            stats.deadlocks += 1
+            deadlocks += 1
             for observer in observers:
                 if observer.on_deadlock(state):
                     stop = "observer"
@@ -296,29 +317,43 @@ def explore(
                 break
             if stop is not None:
                 break
+        source_index = index_get(state)
+        assert source_index is not None
+        out_edges = edge_lists[source_index]
         for label, successor in space.successors(state, ctx):
-            stats.successor_total += 1
-            is_new = successor not in graph
-            if (
-                is_new
-                and max_states is not None
-                and graph.num_states >= max_states
-            ):
-                stop = "state-budget"
-                break
-            graph.add_edge(state, label, successor)
-            for observer in observers:
-                if observer.on_edge(state, label, successor, is_new):
-                    stop = "observer"
-            if is_new:
-                stats.states += 1
-                for observer in observers:
-                    if observer.on_state(successor, ctx):
-                        stop = "observer"
-                frontier.append(successor)
-            if stop is not None:
-                break
+            successor_total += 1
+            target_index = index_get(successor)
+            if target_index is None:
+                if num_states >= cap:
+                    stop = "state-budget"
+                    break
+                target_index = insert_new(successor)
+                num_states += 1
+                frontier_append(successor)
+                out_edges.append((label, target_index))
+                if has_observers:
+                    for observer in observers:
+                        if observer.on_edge(state, label, successor, True):
+                            stop = "observer"
+                    for observer in observers:
+                        if observer.on_state(successor, ctx):
+                            stop = "observer"
+                    if stop is not None:
+                        break
+            else:
+                out_edges.append((label, target_index))
+                if has_observers:
+                    for observer in observers:
+                        if observer.on_edge(state, label, successor, False):
+                            stop = "observer"
+                    if stop is not None:
+                        break
 
+    stats.states = num_states
+    stats.expanded = expanded
+    stats.deadlocks = deadlocks
+    stats.peak_frontier = peak_frontier
+    stats.successor_total = successor_total
     stats.elapsed_seconds = time.perf_counter() - start
     exhaustive = stop is None or stop == "deadlock"
     outcome = SearchOutcome(

@@ -13,11 +13,12 @@ States may be any hashable objects; for the classical analyzers they are
 from __future__ import annotations
 
 from collections import deque
-from typing import Generic, Hashable, Iterator, TypeVar
+from typing import Callable, Generic, Hashable, Iterator, TypeVar
 
 __all__ = ["ReachabilityGraph"]
 
 S = TypeVar("S", bound=Hashable)
+R = TypeVar("R", bound=Hashable)
 
 
 class ReachabilityGraph(Generic[S]):
@@ -68,6 +69,43 @@ class ReachabilityGraph(Generic[S]):
             (label, self._index[target])
         )
 
+    # -- index-based fast path (used by the search driver) -------------
+    def index_of(self, state: S) -> int:
+        """Index of an already-stored state (KeyError when missing)."""
+        return self._index[state]
+
+    def raw_index(self) -> dict[S, int]:
+        """The state→index mapping itself.
+
+        The search driver binds its ``.get`` once and probes it per
+        successor — one dict operation instead of the three
+        :meth:`add_edge` performs.  Treat the mapping as read-only.
+        """
+        return self._index
+
+    def raw_edges(self) -> list[list[tuple[str, int]]]:
+        """The per-state outgoing-edge lists, indexed like the states.
+
+        The driver appends ``(label, target_index)`` pairs directly —
+        the list object is stable (``insert_new`` mutates it in place),
+        so binding it once per search is safe.
+        """
+        return self._edges
+
+    def insert_new(self, state: S) -> int:
+        """Append a state known to be absent; returns its new index."""
+        index = len(self._states)
+        self._index[state] = index
+        self._states.append(state)
+        self._edges.append([])
+        return index
+
+    def append_edge(
+        self, source_index: int, label: str, target_index: int
+    ) -> None:
+        """Append an edge between already-stored states, by index."""
+        self._edges[source_index].append((label, target_index))
+
     def mark_deadlock(self, state: S) -> None:
         """Record ``state`` as a deadlock."""
         self.add_state(state)
@@ -88,6 +126,25 @@ class ReachabilityGraph(Generic[S]):
                 yield (source, label, self._states[target])
 
     # ------------------------------------------------------------------
+    def map_states(self, fn: Callable[[S], R]) -> "ReachabilityGraph[R]":
+        """Structure-preserving state translation (e.g. int → frozenset).
+
+        Returns a new graph with every state replaced by ``fn(state)``,
+        keeping discovery order, edges (by index — structure is preserved
+        even if ``fn`` were non-injective) and deadlock markings.  This is
+        the decode boundary for explorers that carry packed integer
+        markings internally (:mod:`repro.net.kernel`) but report
+        classical-marking graphs.
+        """
+        mapped: ReachabilityGraph[R] = ReachabilityGraph(fn(self.initial))
+        for state in self._states[1:]:
+            translated = fn(state)
+            mapped._index[translated] = len(mapped._states)
+            mapped._states.append(translated)
+        mapped._edges = [list(out) for out in self._edges]
+        mapped.deadlocks = {fn(state) for state in self.deadlocks}
+        return mapped
+
     def path_to(self, goal: S) -> list[tuple[str, S]] | None:
         """Shortest edge path from the initial state to ``goal``.
 

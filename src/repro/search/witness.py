@@ -10,7 +10,7 @@ explorers share this single implementation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable, Hashable, TypeVar
 
 from repro.search.graph import ReachabilityGraph
 
@@ -42,20 +42,39 @@ class DeadlockWitness:
         return f"{self.label} at {marking} via " + " ; ".join(self.trace)
 
 
+S = TypeVar("S", bound=Hashable)
+
+
 def extract_witness(
-    net: "PetriNet", graph: "ReachabilityGraph[Marking]"
+    net: "PetriNet",
+    graph: "ReachabilityGraph[S]",
+    *,
+    decode: "Callable[[S], Marking] | None" = None,
 ) -> DeadlockWitness | None:
-    """Shortest trace to some deadlock state in an explored graph."""
-    best: tuple[int, "Marking", list[tuple[str, "Marking"]]] | None = None
-    for marking in graph.deadlocks:
-        path = graph.path_to(marking)
+    """Shortest trace to some deadlock state in an explored graph.
+
+    Graph states are classical markings by default; explorers carrying
+    packed integer markings pass their kernel's ``decode`` so the witness
+    crosses back to the frozenset representation here, at the report
+    boundary.  Ties between equally short deadlocks break on discovery
+    order (not ``deadlocks``-set iteration order), so the kernel and
+    reference paths extract the *same* witness from their byte-identical
+    graphs.
+    """
+    deadlocks = graph.deadlocks
+    best: tuple[int, S, list[tuple[str, S]]] | None = None
+    for state in graph.states():
+        if state not in deadlocks:
+            continue
+        path = graph.path_to(state)
         if path is None:
             continue
         if best is None or len(path) < best[0]:
-            best = (len(path), marking, path)
+            best = (len(path), state, path)
     if best is None:
         return None
-    _, marking, path = best
+    _, state, path = best
+    marking = decode(state) if decode is not None else state
     return DeadlockWitness(
         marking=net.marking_names(marking),
         trace=tuple(label for label, _ in path),

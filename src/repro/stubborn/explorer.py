@@ -6,9 +6,13 @@ deadlocks of the full graph are preserved (Valmari [14], Godefroid-Wolper
 [9]); the number of stored states is what Table 1 reports.
 
 The exploration itself runs on the generic driver in
-:mod:`repro.search.core`; :class:`StubbornSpace` only supplies the reduced
-successor rule and measures the reduction ratio (fired / enabled
-transitions) it achieves.
+:mod:`repro.search.core`.  Two interchangeable spaces supply the reduced
+successor rule: :class:`KernelStubbornSpace` (default) carries packed
+integer markings from :class:`repro.net.kernel.MarkingKernel` with
+incremental enabled-set maintenance, and :class:`StubbornSpace` is the
+frozenset reference path (``use_kernel=False``).  Both measure the
+reduction ratio (fired / enabled transitions) and produce byte-identical
+reduced graphs.
 """
 
 from __future__ import annotations
@@ -18,23 +22,40 @@ from typing import Iterable
 from repro.analysis.stats import AnalysisResult, stopwatch
 from repro.net.petrinet import Marking, PetriNet
 from repro.net.structure import StructuralInfo
-from repro.search.core import SearchContext, abort_note, raise_if_bounded
+from repro.search.core import (
+    SearchContext,
+    SearchOutcome,
+    abort_note,
+    raise_if_bounded,
+)
 from repro.search.core import explore as _drive
 from repro.search.graph import ReachabilityGraph
 from repro.search.witness import extract_witness
-from repro.stubborn.stubborn import SeedStrategy, stubborn_enabled
+from repro.stubborn.stubborn import (
+    SeedStrategy,
+    stubborn_enabled,
+    stubborn_enabled_kernel,
+)
 
-__all__ = ["StubbornSpace", "explore_reduced", "analyze"]
+__all__ = [
+    "KernelStubbornSpace",
+    "StubbornSpace",
+    "explore_reduced",
+    "analyze",
+]
 
 
 class StubbornSpace:
     """Stubborn-set reduced successors as a :class:`SearchSpace`.
 
-    In every marking only the enabled part of one stubborn set fires.
-    ``enabled_total`` / ``fired_total`` accumulate the full and reduced
-    enabled-set sizes over all expanded states, giving the reduction ratio
-    reported in the instrumentation extras.
+    Reference (frozenset) path.  In every marking only the enabled part
+    of one stubborn set fires.  ``enabled_total`` / ``fired_total``
+    accumulate the full and reduced enabled-set sizes over all expanded
+    states, giving the reduction ratio reported in the instrumentation
+    extras.
     """
+
+    uses_kernel = False
 
     def __init__(
         self,
@@ -78,7 +99,7 @@ class StubbornSpace:
     ) -> Iterable[tuple[str, Marking]]:
         net = self.net
         for t in self._to_fire(marking):
-            yield net.transitions[t], net.fire(t, marking)
+            yield net.transitions[t], net._fire_enabled(t, marking)
 
     def instrumentation(self) -> dict[str, object]:
         """Reduction ratio achieved so far (1.0 means no reduction)."""
@@ -91,6 +112,118 @@ class StubbornSpace:
         }
 
 
+class KernelStubbornSpace:
+    """The same reduction on packed integer markings (the fast path).
+
+    States are ``int`` bitmasks; each stored state's full enabled set is
+    maintained incrementally as a transition bitmask (only the
+    transitions touching the fired preset/postset are re-tested), and the
+    stubborn closure runs on the kernel's precompiled masks.  Produces
+    the same fired sets — and hence the same reduced graph — as
+    :class:`StubbornSpace`.
+    """
+
+    uses_kernel = True
+
+    def __init__(
+        self,
+        net: PetriNet,
+        *,
+        strategy: SeedStrategy = "best",
+        info: StructuralInfo | None = None,
+    ) -> None:
+        self.net = net
+        self.kernel = net.kernel()
+        self.strategy = strategy
+        self.info = StructuralInfo(net) if info is None else info
+        self.enabled_total = 0
+        self.fired_total = 0
+        self._enabled_masks: dict[int, int] = {
+            self.kernel.initial: self.kernel.enabled_mask(self.kernel.initial)
+        }
+        self._memo_bits: int | None = None
+        self._memo_fire: list[int] = []
+
+    def decode(self, bits: int) -> Marking:
+        """Frozenset view of a packed state (report boundary)."""
+        return self.kernel.decode(bits)
+
+    def _to_fire(self, bits: int) -> list[int]:
+        if bits != self._memo_bits:
+            mask = self._enabled_masks[bits]
+            enabled = []
+            while mask:
+                low = mask & -mask
+                enabled.append(low.bit_length() - 1)
+                mask ^= low
+            to_fire = stubborn_enabled_kernel(
+                self.kernel,
+                self.info,
+                bits,
+                strategy=self.strategy,
+                enabled=enabled,
+            )
+            self.enabled_total += len(enabled)
+            self.fired_total += len(to_fire)
+            self._memo_fire = to_fire
+            self._memo_bits = bits
+        return self._memo_fire
+
+    def initial(self) -> int:
+        return self.kernel.initial
+
+    def is_deadlock(self, bits: int) -> bool:
+        return not self._to_fire(bits)
+
+    def successors(
+        self, bits: int, ctx: SearchContext[int]
+    ) -> list[tuple[str, int]]:
+        kernel = self.kernel
+        labels = self.net.transitions
+        masks = self._enabled_masks
+        enabled = masks[bits]
+        out: list[tuple[str, int]] = []
+        for t in self._to_fire(bits):
+            successor = kernel.fire_enabled(t, bits)
+            if successor not in masks:
+                masks[successor] = kernel.update_enabled_mask(
+                    enabled, t, successor
+                )
+            out.append((labels[t], successor))
+        return out
+
+    def instrumentation(self) -> dict[str, object]:
+        """Reduction ratio achieved so far (1.0 means no reduction)."""
+        if not self.enabled_total:
+            return {}
+        return {
+            "stubborn_ratio": round(
+                self.fired_total / self.enabled_total, 3
+            )
+        }
+
+
+def _stubborn_space(
+    net: PetriNet,
+    *,
+    strategy: SeedStrategy,
+    info: StructuralInfo | None,
+    use_kernel: bool,
+) -> StubbornSpace | KernelStubbornSpace:
+    if use_kernel:
+        return KernelStubbornSpace(net, strategy=strategy, info=info)
+    return StubbornSpace(net, strategy=strategy, info=info)
+
+
+def _decoded_graph(
+    outcome: SearchOutcome, space: StubbornSpace | KernelStubbornSpace
+) -> ReachabilityGraph[Marking]:
+    """The outcome's graph over classical markings (decode boundary)."""
+    if isinstance(space, KernelStubbornSpace):
+        return outcome.graph.map_states(space.decode)
+    return outcome.graph
+
+
 def explore_reduced(
     net: PetriNet,
     *,
@@ -99,21 +232,27 @@ def explore_reduced(
     max_seconds: float | None = None,
     stop_at_first_deadlock: bool = False,
     info: StructuralInfo | None = None,
+    use_kernel: bool = True,
 ) -> ReachabilityGraph[Marking]:
     """Build the stubborn-set reduced reachability graph (BFS order).
 
     Raises on budget overruns like the full ``explore``; ``analyze`` uses
-    the driver's partial results instead.
+    the driver's partial results instead.  The returned graph always
+    carries classical frozenset markings; with ``use_kernel`` (the
+    default) the exploration runs on packed integers and is decoded here.
     """
+    space = _stubborn_space(
+        net, strategy=strategy, info=info, use_kernel=use_kernel
+    )
     outcome = _drive(
-        StubbornSpace(net, strategy=strategy, info=info),
+        space,
         order="bfs",
         max_states=max_states,
         max_seconds=max_seconds,
         stop_at_first_deadlock=stop_at_first_deadlock,
     )
     raise_if_bounded(outcome, max_states=max_states, max_seconds=max_seconds)
-    return outcome.graph
+    return _decoded_graph(outcome, space)
 
 
 def analyze(
@@ -123,6 +262,7 @@ def analyze(
     max_states: int | None = None,
     max_seconds: float | None = None,
     want_witness: bool = True,
+    use_kernel: bool = True,
 ) -> AnalysisResult:
     """Run stubborn-set reduced analysis, packaged uniformly.
 
@@ -130,9 +270,13 @@ def analyze(
     reported ``states`` count is the size of the *reduced* graph.  Budget
     overruns (state or wall-clock) are absorbed into a bounded,
     non-exhaustive result carrying the real progress made, exactly like
-    the other analyzers.
+    the other analyzers.  ``use_kernel`` selects the packed-integer fast
+    path (default) or the frozenset reference path; both report identical
+    counts (``extras["kernel"]`` records which one ran).
     """
-    space = StubbornSpace(net, strategy=strategy)
+    space = _stubborn_space(
+        net, strategy=strategy, info=None, use_kernel=use_kernel
+    )
     # Consult the structural certificate before exploring: when it holds,
     # UnsafeNetError is provably unreachable during the search below.
     certified = net.static_analysis().safety_certificate.certified
@@ -143,7 +287,10 @@ def analyze(
     graph = outcome.graph
     witness = None
     if graph.deadlocks and want_witness:
-        witness = extract_witness(net, graph)
+        decode = (
+            space.decode if isinstance(space, KernelStubbornSpace) else None
+        )
+        witness = extract_witness(net, graph, decode=decode)
     extras: dict[str, object] = {"strategy": strategy}
     extras.update(outcome.stats.as_extras())
     extras.update(space.instrumentation())

@@ -29,10 +29,17 @@ precisely the degenerate behaviour the paper reports for the RW benchmark.
 
 from __future__ import annotations
 
+from repro.net.kernel import MarkingKernel
 from repro.net.petrinet import Marking, PetriNet
 from repro.net.structure import StructuralInfo
 
-__all__ = ["stubborn_set", "stubborn_enabled", "SeedStrategy"]
+__all__ = [
+    "stubborn_set",
+    "stubborn_enabled",
+    "stubborn_set_kernel",
+    "stubborn_enabled_kernel",
+    "SeedStrategy",
+]
 
 #: Strategies for choosing the seed transition of the closure.
 SeedStrategy = str  # "first" | "best"
@@ -44,7 +51,12 @@ def stubborn_set(
     marking: Marking,
     seed: int,
 ) -> set[int]:
-    """Close ``{seed}`` under rules D1/D2; ``seed`` must be enabled."""
+    """Close ``{seed}`` under rules D1/D2; ``seed`` must be enabled.
+
+    Reference (frozenset-marking) implementation;
+    :func:`stubborn_set_kernel` is the bitmask twin and must stay
+    step-for-step equivalent to it.
+    """
     assert net.is_enabled(seed, marking), "stubborn seed must be enabled"
     stubborn: set[int] = set()
     worklist: list[int] = [seed]
@@ -86,6 +98,60 @@ def _choose_scapegoat(net: PetriNet, marking: Marking, t: int) -> int:
     return best
 
 
+def stubborn_set_kernel(
+    kernel: MarkingKernel,
+    info: StructuralInfo,
+    bits: int,
+    seed: int,
+) -> set[int]:
+    """Bitmask twin of :func:`stubborn_set` over a packed marking.
+
+    Identical closure, identical worklist order, identical scapegoat
+    tie-breaks (the scapegoat scan iterates the *same* ``pre_places``
+    frozenset), so the resulting set — and therefore the reduced graph —
+    matches the reference path exactly.
+    """
+    net = kernel.net
+    pre_mask = kernel.pre_mask
+    assert bits & pre_mask[seed] == pre_mask[seed], (
+        "stubborn seed must be enabled"
+    )
+    stubborn: set[int] = set()
+    worklist: list[int] = [seed]
+    while worklist:
+        t = worklist.pop()
+        if t in stubborn:
+            continue
+        stubborn.add(t)
+        if bits & pre_mask[t] == pre_mask[t]:
+            # D2: pull in everything that can disable t.
+            for u in info.conflicters(t):
+                if u not in stubborn:
+                    worklist.append(u)
+        else:
+            # D1: pick a scapegoat place and pull in its producers.
+            scapegoat = _choose_scapegoat_kernel(net, bits, t)
+            for u in net.pre_transitions[scapegoat]:
+                if u not in stubborn:
+                    worklist.append(u)
+    return stubborn
+
+
+def _choose_scapegoat_kernel(net: PetriNet, bits: int, t: int) -> int:
+    """Bitmask twin of :func:`_choose_scapegoat` (same iteration order)."""
+    best: int | None = None
+    best_producers = -1
+    for p in net.pre_places[t]:
+        if (bits >> p) & 1:
+            continue
+        producers = len(net.pre_transitions[p])
+        if best is None or producers < best_producers:
+            best = p
+            best_producers = producers
+    assert best is not None, "disabled transition must have an unmarked input"
+    return best
+
+
 def stubborn_enabled(
     net: PetriNet,
     info: StructuralInfo,
@@ -95,6 +161,9 @@ def stubborn_enabled(
     enabled: list[int] | None = None,
 ) -> list[int]:
     """The enabled part of a chosen stubborn set in ``marking``.
+
+    Reference (frozenset-marking) implementation;
+    :func:`stubborn_enabled_kernel` is the packed-marking fast path.
 
     Returns the transitions to fire from this state.  Empty iff the marking
     is a deadlock.  Pass ``enabled`` when the caller already computed
@@ -127,6 +196,49 @@ def stubborn_enabled(
         fired = [t for t in enabled if t in chosen]
         # Seeds inside an already-computed set yield the same closure or a
         # subset; skipping them is a cheap but effective dedup.
+        seen_seeds |= chosen & enabled_set
+        if best is None or len(fired) < len(best):
+            best = fired
+            if len(best) == 1:
+                break
+    assert best is not None
+    return best
+
+
+def stubborn_enabled_kernel(
+    kernel: MarkingKernel,
+    info: StructuralInfo,
+    bits: int,
+    *,
+    strategy: SeedStrategy = "best",
+    enabled: list[int] | None = None,
+) -> list[int]:
+    """Packed-marking twin of :func:`stubborn_enabled`.
+
+    Same seed order, same closures, same best-set tie-breaks — the
+    differential test-suite asserts the fired lists are identical to the
+    reference path on every explored marking.
+    """
+    if enabled is None:
+        enabled = kernel.enabled_transitions(bits)
+    if not enabled:
+        return []
+    if strategy == "first":
+        chosen = stubborn_set_kernel(kernel, info, bits, enabled[0])
+        return [t for t in enabled if t in chosen]
+    if strategy != "best":
+        raise ValueError(f"unknown seed strategy {strategy!r}")
+
+    best: list[int] | None = None
+    enabled_set = set(enabled)
+    seen_seeds: set[int] = set()
+    for seed in enabled:
+        if seed in seen_seeds:
+            continue
+        chosen = stubborn_set_kernel(kernel, info, bits, seed)
+        fired = [t for t in enabled if t in chosen]
+        # Same dedup as the reference path: seeds inside an
+        # already-computed set yield the same closure or a subset.
         seen_seeds |= chosen & enabled_set
         if best is None or len(fired) < len(best):
             best = fired

@@ -39,18 +39,31 @@ class StateClassSpace:
     deadlocked classes are exactly those with no firable transition — the
     successor list is memoized per driver-visited class so the deadlock
     check and the successor hook share one computation.
+
+    With ``use_kernel`` (the default) the marking half of the firing rule
+    runs on the net's :class:`~repro.net.kernel.MarkingKernel` — the
+    class's marking is packed once per expansion and the per-transition
+    persistence/enabling tests are bitmask algebra; the state classes
+    themselves keep their frozenset markings (the DBM dominates their
+    identity anyway).
     """
 
-    def __init__(self, tpn: TimedPetriNet) -> None:
+    def __init__(self, tpn: TimedPetriNet, *, use_kernel: bool = True) -> None:
         self.tpn = tpn
+        self.kernel = tpn.net.kernel() if use_kernel else None
+        self.uses_kernel = use_kernel
         self._memo_class: StateClass | None = None
         self._memo_succs: list[tuple[str, StateClass]] = []
 
     def _succs(self, cls: StateClass) -> list[tuple[str, StateClass]]:
         if cls is not self._memo_class:
+            kernel = self.kernel
+            bits = None if kernel is None else kernel.encode(cls.marking)
             out: list[tuple[str, StateClass]] = []
             for t in cls.variables:
-                successor = fire_class(self.tpn, cls, t)
+                successor = fire_class(
+                    self.tpn, cls, t, kernel=kernel, bits=bits
+                )
                 if successor is not None:
                     out.append((self.tpn.net.transitions[t], successor))
             self._memo_succs = out
@@ -78,6 +91,7 @@ def explore_classes(
     *,
     max_classes: int | None = None,
     max_seconds: float | None = None,
+    use_kernel: bool = True,
 ) -> ReachabilityGraph[StateClass]:
     """Breadth-first construction of the state-class graph.
 
@@ -87,7 +101,7 @@ def explore_classes(
     instead.
     """
     outcome = _drive(
-        StateClassSpace(tpn),
+        StateClassSpace(tpn, use_kernel=use_kernel),
         order="bfs",
         max_states=max_classes,
         max_seconds=max_seconds,
@@ -115,6 +129,7 @@ def analyze(
     max_classes: int | None = None,
     max_seconds: float | None = None,
     want_witness: bool = True,
+    use_kernel: bool = True,
 ) -> AnalysisResult:
     """Timed deadlock analysis packaged like the untimed analyzers.
 
@@ -122,8 +137,10 @@ def analyze(
     distinct markings they cover.  A witness trace is a firing sequence
     of the state-class graph (feasible under some timing of the delays).
     Budget overruns are absorbed into a bounded, non-exhaustive result.
+    ``use_kernel`` selects the bitmask marking steps (default) or the
+    frozenset reference rule; both build the same class graph.
     """
-    space = StateClassSpace(tpn)
+    space = StateClassSpace(tpn, use_kernel=use_kernel)
     # Consult the structural certificate of the underlying untimed net
     # before exploring (timing restricts, never extends, reachability).
     certified = tpn.net.static_analysis().safety_certificate.certified

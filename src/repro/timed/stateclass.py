@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro.net.kernel import MarkingKernel
 from repro.net.petrinet import Marking
 from repro.timed.tpn import TimedPetriNet
 
@@ -175,9 +176,21 @@ def firable(tpn: TimedPetriNet, cls: StateClass, t: int) -> bool:
 
 
 def fire_class(
-    tpn: TimedPetriNet, cls: StateClass, t: int
+    tpn: TimedPetriNet,
+    cls: StateClass,
+    t: int,
+    *,
+    kernel: MarkingKernel | None = None,
+    bits: int | None = None,
 ) -> StateClass | None:
-    """Successor state class after firing ``t``, or ``None`` if unfirable."""
+    """Successor state class after firing ``t``, or ``None`` if unfirable.
+
+    With a :class:`~repro.net.kernel.MarkingKernel` the marking steps —
+    firing, the intermediate marking ``m − •f``, the persistence subset
+    tests and the new enabled set — run on packed integers (``bits`` may
+    pass the caller's already-encoded marking); without one they run on
+    the reference frozenset rules.  Both produce the same class.
+    """
     if t not in cls.variables:
         return None
     f_index = cls.variables.index(t) + 1
@@ -186,14 +199,29 @@ def fire_class(
         return None
 
     net = tpn.net
-    new_marking = net.fire(t, cls.marking)
-    intermediate = cls.marking - net.pre_places[t]
-    persisting = [
-        u
-        for u in cls.variables
-        if u != t and net.pre_places[u] <= intermediate
-    ]
-    new_variables = tuple(sorted(net.enabled_transitions(new_marking)))
+    if kernel is not None:
+        if bits is None:
+            bits = kernel.encode(cls.marking)
+        new_bits = kernel.fire(t, bits)
+        intermediate_bits = bits & kernel.clear_mask[t]
+        pre_mask = kernel.pre_mask
+        persisting = [
+            u
+            for u in cls.variables
+            if u != t and intermediate_bits & pre_mask[u] == pre_mask[u]
+        ]
+        # kernel.enabled_transitions is ascending == sorted.
+        new_variables = tuple(kernel.enabled_transitions(new_bits))
+        new_marking = kernel.decode(new_bits)
+    else:
+        new_marking = net.fire(t, cls.marking)
+        intermediate = cls.marking - net.pre_places[t]
+        persisting = [
+            u
+            for u in cls.variables
+            if u != t and net.pre_places[u] <= intermediate
+        ]
+        new_variables = tuple(sorted(net.enabled_transitions(new_marking)))
     persisting_set = set(persisting)
 
     # Old DBM indices of the persisting transitions.

@@ -146,6 +146,18 @@ class TestCheckAndDot:
         assert main(["check", path]) == 1
         assert "VIOLATION" in capsys.readouterr().out
 
+    def test_check_no_kernel_agrees(self, tmp_path, capsys):
+        """The reference-path flag reports the same verdicts."""
+        path = str(tmp_path / "unsafe.net")
+        with open(path, "w") as handle:
+            handle.write(
+                "place p marked\nplace q marked\ntrans t : p -> q\n"
+            )
+        assert main(["check", path, "--no-kernel"]) == 1
+        reference_out = capsys.readouterr().out
+        assert main(["check", path]) == 1
+        assert capsys.readouterr().out == reference_out
+
     def test_dot_net(self, net_file, capsys):
         assert main(["dot", net_file]) == 0
         assert "digraph" in capsys.readouterr().out
@@ -200,6 +212,29 @@ class TestBenchModel:
 
     def test_unknown_model(self, capsys):
         assert main(["bench-model", "XX", "2"]) == 2
+
+
+class TestBenchKernel:
+    def test_quick_writes_valid_json(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "BENCH_kernel.json"
+        code = main(
+            ["bench-kernel", "--quick", "--problems", "OVER,ASAT",
+             "--out", str(out_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "MISMATCH" not in out
+        payload = json.loads(out_path.read_text())
+        assert payload["benchmark"] == "marking-kernel"
+        rows = payload["rows"]
+        assert {row["analyzer"] for row in rows} == {"full", "stubborn"}
+        assert all(row["counts_match"] for row in rows)
+        assert all(row["kernel_states_per_second"] > 0 for row in rows)
+
+    def test_unknown_problem(self, capsys):
+        assert main(["bench-kernel", "--quick", "--problems", "XX"]) == 2
 
 
 class TestRace:
