@@ -29,6 +29,9 @@ from typing import Iterable, Sequence
 
 from repro.analysis.stats import AnalysisResult, stopwatch
 from repro.net.petrinet import Marking, PetriNet
+from repro.obs import names
+from repro.obs.record import record_result
+from repro.obs.tracer import current_tracer
 from repro.search.core import (
     SearchContext,
     SearchOutcome,
@@ -37,6 +40,7 @@ from repro.search.core import (
 )
 from repro.search.core import explore as _drive
 from repro.search.graph import ReachabilityGraph
+from repro.search.observers import TracingObserver
 from repro.search.witness import extract_witness
 
 __all__ = [
@@ -232,36 +236,48 @@ def analyze(
     (``extras["kernel"]`` records which one ran).
     """
     space = _marking_space(net, use_kernel)
-    # Consult the structural certificate before exploring: when it holds,
-    # UnsafeNetError is provably unreachable during the search below.
-    certified = net.static_analysis().safety_certificate.certified
-    with stopwatch() as elapsed:
-        outcome = _drive(
-            space, order="bfs", max_states=max_states, max_seconds=max_seconds
+    tracer = current_tracer()
+    with tracer.span(names.SPAN_ANALYZE, analyzer="full", net=net.name) as root:
+        # Consult the structural certificate before exploring: when it
+        # holds, UnsafeNetError is provably unreachable during the search.
+        with tracer.span(names.SPAN_CERTIFICATE):
+            certified = net.static_analysis().safety_certificate.certified
+        observers = (TracingObserver(tracer),) if tracer.enabled else ()
+        with stopwatch() as elapsed:
+            outcome = _drive(
+                space,
+                order="bfs",
+                max_states=max_states,
+                max_seconds=max_seconds,
+                observers=observers,
+            )
+        graph = outcome.graph
+        witness = None
+        if graph.deadlocks and want_witness:
+            decode = (
+                space.decode if isinstance(space, KernelMarkingSpace) else None
+            )
+            with tracer.span(names.SPAN_WITNESS):
+                witness = extract_witness(net, graph, decode=decode)
+        extras = outcome.stats.as_extras()
+        extras.update(space.instrumentation())
+        extras[names.SAFETY_CERTIFIED] = certified
+        note = abort_note(
+            outcome.stop_reason, max_states=max_states, max_seconds=max_seconds
         )
-    graph = outcome.graph
-    witness = None
-    if graph.deadlocks and want_witness:
-        decode = (
-            space.decode if isinstance(space, KernelMarkingSpace) else None
+        if note is not None:
+            extras[names.ABORTED] = note
+        result = AnalysisResult(
+            analyzer="full",
+            net_name=net.name,
+            states=graph.num_states,
+            edges=graph.num_edges,
+            deadlock=bool(graph.deadlocks),
+            time_seconds=elapsed[0],
+            witness=witness,
+            exhaustive=outcome.exhaustive,
+            extras=extras,
         )
-        witness = extract_witness(net, graph, decode=decode)
-    extras = outcome.stats.as_extras()
-    extras.update(space.instrumentation())
-    extras["safety_certified"] = certified
-    note = abort_note(
-        outcome.stop_reason, max_states=max_states, max_seconds=max_seconds
-    )
-    if note is not None:
-        extras["aborted"] = note
-    return AnalysisResult(
-        analyzer="full",
-        net_name=net.name,
-        states=graph.num_states,
-        edges=graph.num_edges,
-        deadlock=bool(graph.deadlocks),
-        time_seconds=elapsed[0],
-        witness=witness,
-        exhaustive=outcome.exhaustive,
-        extras=extras,
-    )
+        root.set(states=result.states, edges=result.edges)
+    record_result(result)
+    return result

@@ -5,8 +5,9 @@ Every explorer (full, stubborn, symbolic, GPO, timed) returns an
 state/edge counts, deadlock verdict with an optional witness trace, wall
 time, and analyzer-specific extras — which since the search-core refactor
 always include the uniform instrumentation counters (``expanded``,
-``peak_frontier``, ``mean_enabled``, ``states_per_second``; see
-:data:`repro.search.core.INSTRUMENTATION_FIELDS`).
+``peak_frontier``, ``mean_enabled``, ``states_per_second``; the
+canonical key strings live in :mod:`repro.obs.names`, re-exported via
+:data:`repro.obs.names.INSTRUMENTATION_FIELDS`).
 
 The budget types (:class:`Deadline`, the limit exceptions, ``stopwatch``)
 and :class:`DeadlockWitness` moved next to the generic exploration driver
@@ -18,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.obs import names
 from repro.search.limits import (
     Deadline,
     ExplorationLimitReached,
@@ -49,6 +51,24 @@ class AnalysisResult:
     witness: DeadlockWitness | None = None
     exhaustive: bool = True
     extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def expanded(self) -> int:
+        """Expanded-state count under the canonical key, falling back to
+        ``states`` for analyzers without an expansion notion (symbolic,
+        unfolding) — the number the ``states_expanded`` metric reports."""
+        return int(self.extras.get(names.EXPANDED, self.states))
+
+    @property
+    def peak_frontier(self) -> int:
+        """Peak frontier size (0 for frontier-free analyzers)."""
+        return int(self.extras.get(names.PEAK_FRONTIER, 0))
+
+    @property
+    def aborted(self) -> str | None:
+        """The budget-overrun note, if the run was cut short."""
+        note = self.extras.get(names.ABORTED)
+        return None if note is None else str(note)
 
     @property
     def verdict(self) -> str:

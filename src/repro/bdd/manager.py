@@ -51,6 +51,10 @@ class BddManager:
         self._unique: dict[tuple[int, int, int], int] = {}
         self._ite_cache: dict[tuple[int, int, int], int] = {}
         self._num_vars = 0
+        # Memo-cache statistics (only non-trivial ``ite`` calls count —
+        # the ones that reach the cache probe).
+        self.ite_calls = 0
+        self.ite_hits = 0
 
     # ------------------------------------------------------------------
     # Node plumbing
@@ -64,6 +68,23 @@ class BddManager:
     def num_vars(self) -> int:
         """Number of declared variable levels."""
         return self._num_vars
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Hit ratio of the memoized ``ite`` cache (0.0 before any call)."""
+        if not self.ite_calls:
+            return 0.0
+        return self.ite_hits / self.ite_calls
+
+    def stats(self) -> dict[str, float]:
+        """Manager counters for the observability layer."""
+        return {
+            "nodes": self.num_nodes,
+            "vars": self.num_vars,
+            "ite_calls": self.ite_calls,
+            "ite_hits": self.ite_hits,
+            "cache_hit_ratio": round(self.cache_hit_ratio, 4),
+        }
 
     def level(self, node: int) -> int:
         """Variable level of ``node`` (terminals report a huge sentinel)."""
@@ -125,8 +146,10 @@ class BddManager:
         if g == ONE and h == ZERO:
             return f
         key = (f, g, h)
+        self.ite_calls += 1
         cached = self._ite_cache.get(key)
         if cached is not None:
+            self.ite_hits += 1
             return cached
 
         top = min(self._var[f], self._var[g], self._var[h])

@@ -12,17 +12,25 @@ from __future__ import annotations
 
 import json
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, fields
 from pathlib import Path
-from typing import TextIO
+from typing import Any, TextIO
+
+from repro.obs.exporters import JsonlWriter
 
 __all__ = [
+    "EVENT_SCHEMA_VERSION",
     "JobEvent",
     "EventSink",
     "JsonlEventSink",
     "MemoryEventSink",
     "NullEventSink",
 ]
+
+#: Version stamped into every serialized event (the ``v`` key).  Bump on
+#: breaking schema changes; readers ignore keys they do not know, so
+#: adding fields does not require a bump.
+EVENT_SCHEMA_VERSION = 1
 
 #: Recognized event kinds, in the order a healthy job emits them.
 EVENT_KINDS = (
@@ -44,7 +52,7 @@ class JobEvent:
     events (finished/killed/cancelled/crashed); ``detail`` carries a short
     free-form note (abort reason, error message, cache key); ``stats``
     carries the search-core instrumentation counters of a finished run
-    (see :data:`repro.search.core.INSTRUMENTATION_FIELDS`).
+    (see :data:`repro.obs.names.INSTRUMENTATION_FIELDS`).
     """
 
     kind: str
@@ -58,10 +66,19 @@ class JobEvent:
     detail: str | None = None
     stats: dict | None = None
 
+    def payload(self) -> dict[str, Any]:
+        """JSON-ready dict: ``None`` fields omitted, schema version added."""
+        out: dict[str, Any] = {
+            k: v for k, v in asdict(self).items() if v is not None
+        }
+        out["v"] = EVENT_SCHEMA_VERSION
+        return out
+
     def to_json(self) -> str:
         """Render as one compact JSON line (no trailing newline)."""
-        payload = {k: v for k, v in asdict(self).items() if v is not None}
-        return json.dumps(payload, sort_keys=True)
+        return json.dumps(
+            self.payload(), sort_keys=True, separators=(",", ":")
+        )
 
 
 class EventSink:
@@ -138,10 +155,12 @@ class JsonlEventSink(EventSink):
         else:
             self._stream = target
             self._owns_stream = False
+        # One serialization code path for line-oriented JSON: the same
+        # writer the tracer's JSONL trace exporter uses.
+        self._writer = JsonlWriter(self._stream)
 
     def emit(self, event: JobEvent) -> None:
-        self._stream.write(event.to_json() + "\n")
-        self._stream.flush()
+        self._writer.write(event.payload())
 
     def close(self) -> None:
         if self._owns_stream and not self._stream.closed:
@@ -154,15 +173,28 @@ class JsonlEventSink(EventSink):
         self.close()
 
 
+_EVENT_FIELDS = frozenset(f.name for f in fields(JobEvent))
+
+
 def read_events(path: str | Path) -> list[JobEvent]:
-    """Parse a JSONL event log back into :class:`JobEvent` records."""
+    """Parse a JSONL event log back into :class:`JobEvent` records.
+
+    Unknown keys (the ``v`` schema-version stamp, fields added by newer
+    writers) are dropped, so old logs and new readers interoperate in
+    both directions.
+    """
     events: list[JobEvent] = []
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
             if not line:
                 continue
-            events.append(JobEvent(**json.loads(line)))
+            data = {
+                k: v
+                for k, v in json.loads(line).items()
+                if k in _EVENT_FIELDS
+            }
+            events.append(JobEvent(**data))
     return events
 
 

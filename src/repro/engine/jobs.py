@@ -28,7 +28,7 @@ from repro.analysis.stats import (
 )
 from repro.gpo import analyze as gpo_analyze
 from repro.net.petrinet import PetriNet
-from repro.search.core import INSTRUMENTATION_FIELDS
+from repro.obs.names import INSTRUMENTATION_FIELDS
 from repro.stubborn import analyze as stubborn_analyze
 from repro.symbolic import analyze as symbolic_analyze
 from repro.unfolding import analyze as unfolding_analyze
@@ -146,7 +146,7 @@ def instrumentation_of(result: AnalysisResult) -> dict[str, Any]:
     """The search-core instrumentation counters present in ``extras``.
 
     Every driver-based analyzer records the uniform counters
-    (:data:`repro.search.core.INSTRUMENTATION_FIELDS`); analyzers without
+    (:data:`repro.obs.names.INSTRUMENTATION_FIELDS`); analyzers without
     an explicit search (symbolic) contribute nothing.  Used to attach a
     ``stats`` payload to the ``finished`` JSONL event of each job.
     """

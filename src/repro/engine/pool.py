@@ -32,6 +32,9 @@ from repro.engine.jobs import (
     execute_job,
     instrumentation_of,
 )
+from repro.obs import names
+from repro.obs.memory import peak_rss_kb
+from repro.obs.tracer import current_tracer
 
 __all__ = ["WorkerPool", "run_jobs"]
 
@@ -43,20 +46,19 @@ DEFAULT_KILL_GRACE = 0.5
 DEFAULT_POLL_INTERVAL = 0.02
 
 
-def _peak_rss_kb() -> int | None:
-    """Peak resident set size of the calling process, in KiB (Linux)."""
-    try:
-        import resource
-    except ImportError:  # pragma: no cover - non-POSIX
-        return None
-    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
-
-
 def _worker_main(conn: Connection, job: VerificationJob) -> None:
-    """Worker-process entry: run the job, ship the result (or the error)."""
+    """Worker-process entry: run the job, ship the result (or the error).
+
+    When tracing is on, the forked worker inherits the ambient tracer;
+    its spans are drained and shipped alongside the result, so the
+    parent can merge them into the one trace (span ids embed the pid,
+    so there are no collisions).
+    """
+    tracer = current_tracer()
+    tracer.child_reset()
     try:
         result = execute_job(job)
-        conn.send(("ok", result, _peak_rss_kb()))
+        conn.send(("ok", result, peak_rss_kb(), tracer.drain()))
     except BaseException as exc:  # noqa: BLE001 - report, don't crash silent
         try:
             conn.send(("error", type(exc).__name__, str(exc)))
@@ -93,12 +95,26 @@ class WorkerHandle:
 
     def __init__(self, job: VerificationJob, context) -> None:
         self.job = job
+        self._tracer = current_tracer()
+        # Free (unstacked) span covering the job's whole process lifetime;
+        # opened before the fork so the worker's own spans are recorded
+        # with ids that cannot collide with it, closed by whichever of the
+        # four terminal paths reaps the worker.
+        self.span = self._tracer.start(
+            names.SPAN_JOB,
+            job=job.label,
+            method=job.method,
+            net=job.net.name,
+        )
         recv, send = context.Pipe(duplex=False)
         self._recv = recv
         self.process = context.Process(
             target=_worker_main, args=(send, job), daemon=True
         )
-        self.process.start()
+        # Fork with the job span attached as the innermost open span, so
+        # the worker's analyze span parents to it in the merged trace.
+        with self._tracer.attach(self.span):
+            self.process.start()
         # The parent's copy of the send end must be closed so EOF is
         # observable if the worker dies without sending.
         send.close()
@@ -137,7 +153,12 @@ class WorkerHandle:
         self.process.join()
         self._recv.close()
         if message[0] == "ok":
-            _, result, rss = message
+            _, result, rss, *rest = message
+            if rest:
+                # Spans the worker drained before exiting — merge them
+                # into the parent's trace.
+                self._tracer.adopt(rest[0])
+            self.span.end(status="ok", pid=pid, peak_rss_kb=rss)
             return JobResult(
                 job=self.job,
                 result=result,
@@ -148,6 +169,7 @@ class WorkerHandle:
             )
         _, error_type, error_msg = message
         error = f"{error_type}: {error_msg}"
+        self.span.end(status="error", pid=pid, error=error)
         return JobResult(
             job=self.job,
             result=_aborted_result(self.job, wall, "worker error", error=error),
@@ -163,6 +185,7 @@ class WorkerHandle:
         self.process.join()
         self._recv.close()
         error = f"worker died (exit code {self.process.exitcode})"
+        self.span.end(status="crashed", pid=pid, error=error)
         return JobResult(
             job=self.job,
             result=_aborted_result(self.job, wall, "worker crash", error=error),
@@ -190,6 +213,7 @@ class WorkerHandle:
             if status == "cancelled"
             else "terminated"
         )
+        self.span.end(status=status, pid=pid, detail=note)
         return JobResult(
             job=self.job,
             result=_aborted_result(self.job, wall, note, **{status: True}),

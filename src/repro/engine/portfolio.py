@@ -31,6 +31,8 @@ from repro.engine.jobs import (
 )
 from repro.engine.pool import WorkerHandle, WorkerPool, _mp_context
 from repro.net.petrinet import PetriNet
+from repro.obs import names
+from repro.obs.tracer import current_tracer
 
 __all__ = ["DEFAULT_PORTFOLIO", "RaceOutcome", "run_race"]
 
@@ -101,11 +103,19 @@ def run_race(
         VerificationJob(net=net, method=m, budget=budget) for m in methods
     ]
     started_at = time.perf_counter()
-    if jobs <= 1:
-        outcome = _race_sequential(job_specs, cache, sink)
-    else:
-        outcome = _race_parallel(job_specs, jobs, cache, sink)
-    winner, results = outcome
+    tracer = current_tracer()
+    with tracer.span(
+        names.SPAN_RACE, net=net.name, methods=",".join(methods), jobs=jobs
+    ) as race_span:
+        if jobs <= 1:
+            outcome = _race_sequential(job_specs, cache, sink)
+        else:
+            outcome = _race_parallel(job_specs, jobs, cache, sink)
+        winner, results = outcome
+        race_span.set(
+            winner=winner.job.method if winner is not None else None,
+            conclusive=winner is not None,
+        )
     return RaceOutcome(
         net_name=net.name,
         methods=tuple(methods),

@@ -40,6 +40,9 @@ from repro.gpo.semantics import (
     single_fire,
 )
 from repro.net.petrinet import PetriNet
+from repro.obs import names
+from repro.obs.record import record_result
+from repro.obs.tracer import current_tracer
 from repro.search.core import (
     SearchContext,
     SearchOutcome,
@@ -48,6 +51,7 @@ from repro.search.core import (
 )
 from repro.search.core import explore as _drive
 from repro.search.graph import ReachabilityGraph
+from repro.search.observers import TracingObserver
 
 __all__ = ["GpoOptions", "GpoResult", "GpnSpace", "explore_gpo", "analyze"]
 
@@ -143,6 +147,11 @@ class GpnSpace:
         self.scenario_max = 0
         self._memo_state: GpnState | None = None
         self._memo: tuple[dict, dict, SetFamily] | None = None
+        # Null instrument unless a tracer is active at construction time;
+        # observing on it is a no-op method call per expanded state.
+        self._scenario_sizes = current_tracer().metrics.histogram(
+            names.SCENARIO_SET_SIZE
+        )
 
     def initial(self) -> GpnState:
         return self.gpn.initial_state()
@@ -160,6 +169,7 @@ class GpnSpace:
         count = state.valid.count()
         self.scenario_states += 1
         self.scenario_total += count
+        self._scenario_sizes.observe(count)
         if count > self.scenario_max:
             self.scenario_max = count
         _, _, dead = self._families(state)
@@ -220,10 +230,10 @@ class GpnSpace:
         if not self.scenario_states:
             return {}
         return {
-            "mean_scenarios": round(
+            names.MEAN_SCENARIOS: round(
                 self.scenario_total / self.scenario_states, 3
             ),
-            "max_scenarios": self.scenario_max,
+            names.MAX_SCENARIOS: self.scenario_max,
         }
 
 
@@ -233,12 +243,15 @@ def _explore(
     """Drive the GPO space; shared by :func:`explore_gpo` and :func:`analyze`."""
     gpn = Gpn(net, backend=options.backend)
     space = GpnSpace(gpn, options)
+    tracer = current_tracer()
+    observers = (TracingObserver(tracer),) if tracer.enabled else ()
     outcome = _drive(
         space,
         order="dfs",
         max_states=options.max_states,
         max_seconds=options.max_seconds,
         stop_at_first_deadlock=options.on_deadlock == "stop-all",
+        observers=observers,
     )
     result = GpoResult(gpn, outcome.graph, space.deadlock_states)
     return result, outcome, space
@@ -383,33 +396,40 @@ def analyze(
         max_seconds=max_seconds,
         validate=validate,
     )
-    # Consult the structural certificate before exploring: when it holds,
-    # UnsafeNetError is provably unreachable during the search below.
-    certified = net.static_analysis().safety_certificate.certified
-    with stopwatch() as elapsed:
-        result, outcome, space = _explore(net, options)
-    witnesses = result.witnesses(limit=1) if want_witness else []
-    extras: dict[str, object] = {
-        "backend": backend,
-        "scenarios": result.gpn.r0.count(),
-        "deadlock_states": len(result.deadlock_states),
-    }
-    extras.update(outcome.stats.as_extras())
-    extras.update(space.instrumentation())
-    extras["safety_certified"] = certified
-    note = abort_note(
-        outcome.stop_reason, max_states=max_states, max_seconds=max_seconds
-    )
-    if note is not None:
-        extras["aborted"] = note
-    return AnalysisResult(
-        analyzer="gpo",
-        net_name=net.name,
-        states=result.graph.num_states,
-        edges=result.graph.num_edges,
-        deadlock=result.has_deadlock,
-        time_seconds=elapsed[0],
-        witness=witnesses[0] if witnesses else None,
-        exhaustive=outcome.exhaustive,
-        extras=extras,
-    )
+    tracer = current_tracer()
+    with tracer.span(names.SPAN_ANALYZE, analyzer="gpo", net=net.name) as root:
+        # Consult the structural certificate before exploring: when it
+        # holds, UnsafeNetError is provably unreachable during the search.
+        with tracer.span(names.SPAN_CERTIFICATE):
+            certified = net.static_analysis().safety_certificate.certified
+        with stopwatch() as elapsed:
+            result, outcome, space = _explore(net, options)
+        with tracer.span(names.SPAN_WITNESS):
+            witnesses = result.witnesses(limit=1) if want_witness else []
+        extras: dict[str, object] = {
+            "backend": backend,
+            "scenarios": result.gpn.r0.count(),
+            "deadlock_states": len(result.deadlock_states),
+        }
+        extras.update(outcome.stats.as_extras())
+        extras.update(space.instrumentation())
+        extras[names.SAFETY_CERTIFIED] = certified
+        note = abort_note(
+            outcome.stop_reason, max_states=max_states, max_seconds=max_seconds
+        )
+        if note is not None:
+            extras[names.ABORTED] = note
+        packaged = AnalysisResult(
+            analyzer="gpo",
+            net_name=net.name,
+            states=result.graph.num_states,
+            edges=result.graph.num_edges,
+            deadlock=result.has_deadlock,
+            time_seconds=elapsed[0],
+            witness=witnesses[0] if witnesses else None,
+            exhaustive=outcome.exhaustive,
+            extras=extras,
+        )
+        root.set(states=packaged.states, edges=packaged.edges)
+    record_result(packaged)
+    return packaged

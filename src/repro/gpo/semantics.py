@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from repro.families.base import SetFamily
 from repro.gpo.gpn import Gpn, GpnState
+from repro.obs import names
+from repro.obs.tracer import current_tracer
 
 __all__ = [
     "s_enabled",
@@ -77,6 +79,18 @@ def enabled_families(
     One pass computing both avoids re-intersecting input families; the
     explorer calls this once per state.
     """
+    tracer = current_tracer()
+    if tracer.enabled:
+        with tracer.span(names.SPAN_ENABLED_FAMILIES) as span:
+            single, multiple = _enabled_families(gpn, state)
+            span.set(single=len(single), multiple=len(multiple))
+            return single, multiple
+    return _enabled_families(gpn, state)
+
+
+def _enabled_families(
+    gpn: Gpn, state: GpnState
+) -> tuple[dict[int, SetFamily], dict[int, SetFamily]]:
     single: dict[int, SetFamily] = {}
     multiple: dict[int, SetFamily] = {}
     pre_index = gpn.kernel.pre_index
@@ -109,6 +123,19 @@ def multiple_fire(
     be multiple-enabled).  ``families`` may pass the precomputed result of
     :func:`enabled_families` for this state.
     """
+    tracer = current_tracer()
+    if tracer.enabled:
+        with tracer.span(names.SPAN_MULTIPLE_FIRE, fired=len(fired)):
+            return _multiple_fire(gpn, state, fired, families)
+    return _multiple_fire(gpn, state, fired, families)
+
+
+def _multiple_fire(
+    gpn: Gpn,
+    state: GpnState,
+    fired: frozenset[int],
+    families: tuple[dict[int, SetFamily], dict[int, SetFamily]] | None,
+) -> GpnState:
     net = gpn.net
     if families is None:
         families = enabled_families(gpn, state)

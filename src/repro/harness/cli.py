@@ -8,6 +8,9 @@ Subcommands::
     gpo race FILE [--methods gpo,symbolic] [--jobs N]  # portfolio race
     gpo table1 [--problems NSDP,RW] [--jobs N] [--portfolio] [--stats]
     gpo figures [--figure 1|2|3]
+    gpo profile FAMILY SIZE [--analyzer gpo|full|...|timed]
+                [--trace-out trace.json] [--metrics-out metrics.prom]
+                              # traced+metered in-process run, span tree
     gpo check FILE            # structural diagnostics + safety check
     gpo lint FILE [--json]    # full structural report (invariants, siphons,
                               # safety certificate, net class)
@@ -31,6 +34,11 @@ hard-preempted at their deadline, with an on-disk result cache (disable
 with ``--no-cache``; directory from ``--cache-dir`` or ``$GPO_CACHE_DIR``,
 default ``.gpo-cache``) and a JSONL lifecycle-event log (``--events PATH``,
 default ``<cache-dir>/events.jsonl`` when caching is on).
+
+``profile`` runs one analyzer in-process under the observability layer
+(:mod:`repro.obs`) and prints the span tree; ``check`` / ``table1`` /
+``bench-kernel`` accept ``--trace PATH`` / ``--metrics PATH`` to export a
+Chrome trace and Prometheus metrics from an otherwise normal run.
 """
 
 from __future__ import annotations
@@ -51,6 +59,9 @@ from repro.harness.figures import (
     figure3_walkthrough,
     format_series,
 )
+from repro.harness.profile import PROFILE_ANALYZERS, observed, run_profile
+from repro.obs import names
+from repro.obs.tracer import span as obs_span
 from repro.harness.runner import Budget
 from repro.harness.table1 import (
     DEFAULT_SIZES,
@@ -222,6 +233,13 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         )
         if refusal is not None:
             return refusal
+    with observed(trace_out=args.trace, metrics_out=args.metrics):
+        return _run_table1(args, problems, budget)
+
+
+def _run_table1(
+    args: argparse.Namespace, problems: list[str] | None, budget: Budget
+) -> int:
     cache, sink = _engine_setup(args)
     try:
         if args.portfolio:
@@ -292,6 +310,20 @@ def _cmd_race(args: argparse.Namespace) -> int:
     return 1 if outcome.winner.result.deadlock else 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    return run_profile(
+        args.family,
+        args.size,
+        analyzer=args.analyzer,
+        max_states=args.max_states,
+        max_seconds=args.max_seconds,
+        memory=args.memory,
+        trace_out=args.trace_out,
+        metrics_out=args.metrics_out,
+        jsonl_out=args.jsonl_out,
+    )
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     if args.figure in (None, "1"):
         print(format_series(figure1_series(), title="Figure 1: n concurrent transitions"))
@@ -303,19 +335,28 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
+    with observed(trace_out=args.trace, metrics_out=args.metrics):
+        return _run_check(args)
+
+
+def _run_check(args: argparse.Namespace) -> int:
     net = _load(args.file)
-    diagnostics = diagnose(net)
+    with obs_span(names.SPAN_DIAGNOSE, net=net.name):
+        diagnostics = diagnose(net)
     if diagnostics.clean:
         print("structure: ok")
     else:
         print(diagnostics.summary())
-    certificate = certify_safety(net)
+    with obs_span(names.SPAN_CERTIFICATE, net=net.name) as cert_span:
+        certificate = certify_safety(net)
+        cert_span.set(certified=certificate.certified)
     if certificate.certified:
         print("safety: 1-safe (structural certificate, 0 states explored)")
         return 0
-    verdict = check_safe(
-        net, max_states=args.max_states, use_kernel=not args.no_kernel
-    )
+    with obs_span(names.SPAN_BOUNDED_CHECK, net=net.name):
+        verdict = check_safe(
+            net, max_states=args.max_states, use_kernel=not args.no_kernel
+        )
     if verdict.status == "safe":
         print(f"safety: 1-safe (exhaustive, {verdict.states} states)")
         return 0
@@ -431,7 +472,8 @@ def _cmd_bench_kernel(args: argparse.Namespace) -> int:
                 print(f"unknown problem {problem!r}; choose from "
                       f"{', '.join(PROBLEMS)}", file=sys.stderr)
                 return 2
-    rows = run_bench(quick=args.quick, problems=problems)
+    with observed(trace_out=args.trace, metrics_out=args.metrics):
+        rows = run_bench(quick=args.quick, problems=problems)
     print(format_bench(rows))
     if args.out:
         write_bench(rows, args.out)
@@ -512,6 +554,21 @@ def build_parser() -> argparse.ArgumentParser:
             help="JSONL job-event log (default <cache-dir>/events.jsonl)",
         )
 
+    def add_obs_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace",
+            default=None,
+            metavar="PATH",
+            help="write a Chrome trace_event JSON of the run "
+            "(open in chrome://tracing or Perfetto)",
+        )
+        p.add_argument(
+            "--metrics",
+            default=None,
+            metavar="PATH",
+            help="write Prometheus text-exposition metrics of the run",
+        )
+
     p_race = sub.add_parser(
         "race", help="race a portfolio of analyzers on one net"
     )
@@ -547,7 +604,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="structurally lint every instance first; refuse broken models",
     )
     add_engine_flags(p_table, jobs=1)
+    add_obs_flags(p_table)
     p_table.set_defaults(fn=_cmd_table1)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="traced in-process run of one analyzer on one benchmark "
+        "instance: span tree, metrics, exportable trace",
+    )
+    p_profile.add_argument("family", help="NSDP | ASAT | OVER | RW "
+                           "(case-insensitive)")
+    p_profile.add_argument("size", type=int)
+    p_profile.add_argument(
+        "--analyzer", choices=PROFILE_ANALYZERS, default="gpo"
+    )
+    p_profile.add_argument("--max-states", type=int, default=200_000)
+    p_profile.add_argument("--max-seconds", type=float, default=120.0)
+    p_profile.add_argument(
+        "--memory",
+        action="store_true",
+        help="attribute tracemalloc/RSS memory figures to spans",
+    )
+    p_profile.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace_event JSON (chrome://tracing, Perfetto)",
+    )
+    p_profile.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write Prometheus text-exposition metrics",
+    )
+    p_profile.add_argument(
+        "--jsonl-out",
+        default=None,
+        metavar="PATH",
+        help="write the raw JSONL trace records",
+    )
+    p_profile.set_defaults(fn=_cmd_profile)
 
     p_fig = sub.add_parser("figures", help="regenerate the figure claims")
     p_fig.add_argument("--figure", choices=("1", "2", "3"))
@@ -562,6 +658,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the dynamic safety walk on the frozenset reference "
         "rules instead of the bitmask marking kernel",
     )
+    add_obs_flags(p_check)
     p_check.set_defaults(fn=_cmd_check)
 
     p_lint = sub.add_parser(
@@ -623,6 +720,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="JSON artifact path (default BENCH_kernel.json; '' disables)",
     )
+    add_obs_flags(p_kernel)
     p_kernel.set_defaults(fn=_cmd_bench_kernel)
 
     p_reach = sub.add_parser(

@@ -28,6 +28,7 @@ from repro.harness.report import format_number, format_table
 from repro.harness.runner import Budget, run_analyzer
 from repro.models import asat, nsdp, over, rw
 from repro.net.petrinet import PetriNet
+from repro.obs import names
 
 __all__ = [
     "PROBLEMS",
@@ -138,11 +139,11 @@ def _assemble_row(
     gpo = results.get("gpo")
     stats: dict = {}
     if full is not None:
-        stats["full_rate"] = full.extras.get("states_per_second")
+        stats["full_rate"] = full.extras.get(names.STATES_PER_SECOND)
     if spin is not None:
-        stats["po_ratio"] = spin.extras.get("stubborn_ratio")
+        stats["po_ratio"] = spin.extras.get(names.STUBBORN_RATIO)
     if gpo is not None:
-        stats["gpo_scen"] = gpo.extras.get("mean_scenarios")
+        stats["gpo_scen"] = gpo.extras.get(names.MEAN_SCENARIOS)
     return Table1Row(
         problem=problem,
         size=size,

@@ -103,6 +103,9 @@ class MarkingKernel:
         "pre_not_post_index",
         "post_not_pre_index",
         "initial",
+        "stat_fires",
+        "stat_full_scans",
+        "stat_incremental",
     )
 
     def __init__(self, net: PetriNet) -> None:
@@ -171,6 +174,13 @@ class MarkingKernel:
             for t in range(net.num_transitions)
         )
         self.initial: int = self.encode(net.initial_marking)
+        # Successor-pass counters for the observability layer: checked
+        # firings, full O(|T|) enabling scans, incremental O(affected)
+        # updates.  Plain int increments — the kernel is shared between
+        # explorers, so the numbers aggregate per net.
+        self.stat_fires: int = 0
+        self.stat_full_scans: int = 0
+        self.stat_incremental: int = 0
 
     # ------------------------------------------------------------------
     # Packing boundary
@@ -196,6 +206,7 @@ class MarkingKernel:
 
     def enabled_transitions(self, bits: int) -> List[int]:
         """All enabled transitions in index order (full scan)."""
+        self.stat_full_scans += 1
         return [
             t
             for t, pre in enumerate(self.pre_mask)
@@ -204,6 +215,7 @@ class MarkingKernel:
 
     def enabled_mask(self, bits: int) -> int:
         """The enabled set as a transition bitmask (full scan)."""
+        self.stat_full_scans += 1
         mask = 0
         for t, pre in enumerate(self.pre_mask):
             if bits & pre == pre:
@@ -217,6 +229,7 @@ class MarkingKernel:
         ``bits`` the marking obtained by firing ``fired`` from it; only
         the transitions in ``affected[fired]`` are re-tested.
         """
+        self.stat_incremental += 1
         for pre, bit, notbit in self._affected_tests[fired]:
             if bits & pre == pre:
                 enabled |= bit
@@ -241,6 +254,7 @@ class MarkingKernel:
         pre = self.pre_mask[transition]
         if bits & pre != pre:
             raise NotEnabledError(self.net.transitions[transition])
+        self.stat_fires += 1
         cleared = bits & self.clear_mask[transition]
         post = self.post_mask[transition]
         conflict = cleared & post
@@ -253,6 +267,7 @@ class MarkingKernel:
 
     def fire_enabled(self, transition: int, bits: int) -> int:
         """Firing for a transition already known enabled (1-safety checked)."""
+        self.stat_fires += 1
         cleared = bits & self.clear_mask[transition]
         post = self.post_mask[transition]
         conflict = cleared & post
@@ -284,7 +299,16 @@ class MarkingKernel:
                     self.net.transitions[t], self.net.places[place]
                 )
             out.append((t, cleared | post))
+        self.stat_fires += len(out)
         return out
+
+    def stats(self) -> dict[str, int]:
+        """Successor-pass counters (reset-free, aggregated per net)."""
+        return {
+            "fires": self.stat_fires,
+            "full_scans": self.stat_full_scans,
+            "incremental_updates": self.stat_incremental,
+        }
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,90 @@
+"""Unified observability layer: spans, metrics, memory, exporters.
+
+Zero third-party dependencies.  The moving parts:
+
+- :mod:`repro.obs.names` — canonical stat/metric/span names (a leaf
+  module every other layer imports; never re-type the strings).
+- :mod:`repro.obs.tracer` — span-based tracer with an ambient-tracer
+  pattern; :data:`NULL_TRACER` (the default) makes everything a no-op.
+- :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms.
+- :mod:`repro.obs.memory` — peak-RSS and tracemalloc helpers.
+- :mod:`repro.obs.exporters` — JSONL trace, Chrome ``trace_event``
+  JSON, Prometheus text exposition.
+- :mod:`repro.obs.summary` — terminal span-tree + hot-span digest.
+- :mod:`repro.obs.record` — the one choke point mapping an
+  ``AnalysisResult`` onto metric instruments.
+
+Typical use (this is what ``gpo profile`` does)::
+
+    from repro import obs
+
+    tracer = obs.Tracer(memory=True)
+    with obs.activate(tracer):
+        result = analyze(net, options)
+    print(obs.format_summary(tracer.records(), tracer.metrics))
+"""
+
+from repro.obs import names
+from repro.obs.exporters import (
+    JsonlWriter,
+    chrome_trace,
+    prometheus_text,
+    write_chrome_trace,
+    write_jsonl_trace,
+    write_prometheus,
+)
+from repro.obs.memory import peak_rss_kb, traced_memory_kb
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetrics,
+)
+from repro.obs.record import record_result
+from repro.obs.summary import build_summary, format_summary, hot_spans
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    activate,
+    current_tracer,
+    event,
+    set_tracer,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "JsonlWriter",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "activate",
+    "build_summary",
+    "chrome_trace",
+    "current_tracer",
+    "event",
+    "format_summary",
+    "hot_spans",
+    "names",
+    "peak_rss_kb",
+    "prometheus_text",
+    "record_result",
+    "set_tracer",
+    "span",
+    "traced_memory_kb",
+    "write_chrome_trace",
+    "write_jsonl_trace",
+    "write_prometheus",
+]

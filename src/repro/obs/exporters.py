@@ -1,0 +1,162 @@
+"""Trace/metric exporters: JSONL, Chrome ``trace_event``, Prometheus.
+
+All exporters consume the same inputs — the tracer's span *records*
+(plain dicts, see :meth:`repro.obs.tracer.Span.to_record`) and the
+:class:`~repro.obs.metrics.MetricsRegistry` — so adding a format never
+touches the instrumentation.
+
+:class:`JsonlWriter` is the single serialization code path for
+line-oriented JSON in the repo; the engine's event sink
+(:mod:`repro.engine.events`) writes through it too.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, IO, Iterable, Mapping
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "JsonlWriter",
+    "chrome_trace",
+    "prometheus_text",
+    "write_chrome_trace",
+    "write_jsonl_trace",
+    "write_prometheus",
+]
+
+
+class JsonlWriter:
+    """Append JSON objects to a text stream, one compact line each.
+
+    Keys are sorted (stable diffs, golden-file friendly) and every line
+    is flushed so a crashed run still leaves a readable prefix.
+    """
+
+    def __init__(self, stream: IO[str]) -> None:
+        self._stream = stream
+
+    def write(self, payload: Mapping[str, Any]) -> None:
+        json.dump(payload, self._stream, sort_keys=True, separators=(",", ":"))
+        self._stream.write("\n")
+        self._stream.flush()
+
+
+def write_jsonl_trace(path: str, records: Iterable[Mapping[str, Any]]) -> int:
+    """Write span records to ``path`` as JSONL; returns the line count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        writer = JsonlWriter(handle)
+        for record in records:
+            writer.write(record)
+            count += 1
+    return count
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event JSON (about:tracing / Perfetto)
+# ----------------------------------------------------------------------
+def chrome_trace(records: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
+    """Span records → Chrome ``trace_event`` JSON object.
+
+    Spans become complete (``"ph": "X"``) events with microsecond
+    timestamps; zero-duration records become instants (``"ph": "i"``).
+    Timestamps are rebased to the earliest span so traces start at ~0.
+    """
+    materialized = list(records)
+    base_ns = min(
+        (int(r["start_ns"]) for r in materialized if "start_ns" in r),
+        default=0,
+    )
+    events: list[dict[str, Any]] = []
+    for record in materialized:
+        if "start_ns" not in record:
+            continue
+        dur_ns = int(record.get("dur_ns", 0))
+        event: dict[str, Any] = {
+            "name": record.get("name", "?"),
+            "ts": (int(record["start_ns"]) - base_ns) / 1000.0,
+            "pid": record.get("pid", 0),
+            "tid": record.get("tid", 0),
+        }
+        if dur_ns > 0:
+            event["ph"] = "X"
+            event["dur"] = dur_ns / 1000.0
+        else:
+            event["ph"] = "i"
+            event["s"] = "t"
+        args = dict(record.get("attrs", {}))
+        if record.get("parent_id") is not None:
+            args["parent_id"] = record["parent_id"]
+        if record.get("span_id") is not None:
+            args["span_id"] = record["span_id"]
+        if args:
+            event["args"] = args
+        events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, records: Iterable[Mapping[str, Any]]) -> int:
+    """Write a Chrome-trace JSON file; returns the event count."""
+    payload = chrome_trace(records)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+    return len(payload["traceEvents"])
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition (version 0.0.4)
+# ----------------------------------------------------------------------
+def _format_value(value: float) -> str:
+    if value != value:  # pragma: no cover - NaN guard
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def prometheus_text(metrics: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    typed: set[str] = set()
+    for instrument in metrics.collect():
+        if instrument.name not in typed:
+            lines.append(f"# TYPE {instrument.name} {instrument.kind}")
+            typed.add(instrument.name)
+        if isinstance(instrument, Histogram):
+            for bound, running in instrument.cumulative():
+                le = _format_value(bound)
+                labels = _format_labels(instrument.labels, f'le="{le}"')
+                lines.append(f"{instrument.name}_bucket{labels} {running}")
+            labels = _format_labels(instrument.labels)
+            lines.append(
+                f"{instrument.name}_sum{labels} "
+                f"{_format_value(instrument.total)}"
+            )
+            lines.append(f"{instrument.name}_count{labels} {instrument.count}")
+        elif isinstance(instrument, (Counter, Gauge)):
+            labels = _format_labels(instrument.labels)
+            lines.append(
+                f"{instrument.name}{labels} {_format_value(instrument.value)}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(path: str, metrics: MetricsRegistry) -> int:
+    """Write the exposition text to ``path``; returns the line count."""
+    text = prometheus_text(metrics)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return text.count("\n")

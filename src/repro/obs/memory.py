@@ -1,0 +1,63 @@
+"""Memory-profiling hooks: peak RSS and tracemalloc helpers.
+
+Kept stdlib-only.  ``resource`` is POSIX; on platforms without it the
+RSS helpers degrade to ``None`` rather than failing, so callers must
+treat RSS as best-effort (the engine already did — this module absorbs
+its private ``_peak_rss_kb``).
+"""
+
+from __future__ import annotations
+
+import sys
+import tracemalloc
+
+__all__ = [
+    "peak_rss_kb",
+    "start_tracemalloc",
+    "stop_tracemalloc",
+    "traced_memory_kb",
+]
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None  # type: ignore[assignment]
+
+
+def peak_rss_kb() -> int | None:
+    """Peak resident set size of this process in KiB, if knowable.
+
+    ``ru_maxrss`` is KiB on Linux and bytes on macOS; normalise to KiB.
+    """
+    if resource is None:  # pragma: no cover - non-POSIX platforms
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        peak //= 1024
+    return int(peak)
+
+
+def start_tracemalloc() -> bool:
+    """Start tracemalloc if not already tracing; returns True if started."""
+    if tracemalloc.is_tracing():
+        return False
+    tracemalloc.start()
+    return True
+
+
+def stop_tracemalloc() -> None:
+    """Stop tracemalloc if tracing."""
+    if tracemalloc.is_tracing():
+        tracemalloc.stop()
+
+
+def traced_memory_kb() -> tuple[int, int]:
+    """(current, peak) traced Python allocations in KiB.
+
+    Returns ``(0, 0)`` when tracemalloc is off, so span-boundary hooks
+    can call it unconditionally.
+    """
+    if not tracemalloc.is_tracing():
+        return (0, 0)
+    current, peak = tracemalloc.get_traced_memory()
+    return (current // 1024, peak // 1024)

@@ -1,0 +1,270 @@
+"""Metric instruments: counters, gauges and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is the write side of the metrics pipeline:
+instruments are created on first use, keyed by ``(name, labels)``, and
+exported afterwards (Prometheus text exposition, the ``gpo profile``
+summary).  There is no background aggregation thread — instruments are
+plain objects mutated in-line, which is all a batch verification run
+needs.
+
+The ``Null*`` twins make metrics pay-for-what-you-use: a disabled tracer
+hands out null instruments whose mutators do nothing, so instrumented
+code never needs an ``if enabled`` around every observation (though hot
+paths may still use one to skip argument construction).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Iterator, Mapping, Union, cast
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NullMetrics",
+]
+
+#: Default histogram bucket upper bounds (a +Inf bucket is implicit).
+#: Tuned for the set-size distributions the analyzers observe.
+DEFAULT_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+
+Labels = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, object]) -> Labels:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing sum."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Labels = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can be set to anything at any time."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Labels = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge value."""
+        self.value = value
+
+    def set_max(self, value: float) -> None:
+        """Keep the maximum of the current and the observed value."""
+        if value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative buckets on export).
+
+    ``bounds`` are the inclusive upper edges of the finite buckets; one
+    overflow (+Inf) bucket is always appended.  An observation equal to
+    a bucket edge lands in that bucket — the edge tests in the test
+    suite pin this down.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "bounds", "counts", "total", "count")
+
+    def __init__(
+        self,
+        name: str,
+        labels: Labels = (),
+        bounds: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        if tuple(sorted(bounds)) != tuple(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(bounds) + 1)  # +1 for the +Inf bucket
+        self.total: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, +Inf last."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, self.counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + self.counts[-1]))
+        return out
+
+    @property
+    def mean(self) -> float:
+        """Mean of the observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Get-or-create registry of instruments keyed by name + labels.
+
+    A name is bound to one instrument kind on first use; asking for the
+    same name as a different kind is an error (that is how Prometheus
+    exposition stays well-formed).
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[tuple[str, Labels], Instrument] = {}
+        self._kinds: dict[str, str] = {}
+        self._lock = threading.Lock()
+
+    def _get(
+        self,
+        cls: type,
+        name: str,
+        labels: Mapping[str, object],
+        **kwargs: object,
+    ) -> Instrument:
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is not None:
+            if not isinstance(instrument, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {instrument.kind}"
+                )
+            return instrument
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                bound = self._kinds.setdefault(name, cls.kind)
+                if bound != cls.kind:
+                    raise ValueError(
+                        f"metric {name!r} already registered as {bound}"
+                    )
+                instrument = cast(Instrument, cls(name, key[1], **kwargs))
+                self._instruments[key] = instrument
+        return instrument
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        """The counter for ``name`` + ``labels`` (created on first use)."""
+        return self._get(Counter, name, labels)  # type: ignore[return-value]
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        """The gauge for ``name`` + ``labels`` (created on first use)."""
+        return self._get(Gauge, name, labels)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        buckets: tuple[float, ...] | None = None,
+        **labels: object,
+    ) -> Histogram:
+        """The histogram for ``name`` + ``labels`` (created on first use)."""
+        return self._get(  # type: ignore[return-value]
+            Histogram,
+            name,
+            labels,
+            bounds=buckets if buckets is not None else DEFAULT_BUCKETS,
+        )
+
+    def collect(self) -> Iterator[Instrument]:
+        """All instruments, sorted by (name, labels) for stable output."""
+        for key in sorted(self._instruments):
+            yield self._instruments[key]
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def value_of(self, name: str, **labels: object) -> float | None:
+        """Counter/gauge value lookup without creating the instrument."""
+        instrument = self._instruments.get((name, _label_key(labels)))
+        if instrument is None or isinstance(instrument, Histogram):
+            return None
+        return instrument.value
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_max(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter("null")
+_NULL_GAUGE = _NullGauge("null")
+_NULL_HISTOGRAM = _NullHistogram("null")
+
+
+class NullMetrics:
+    """Registry twin whose instruments discard every observation."""
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        buckets: tuple[float, ...] | None = None,
+        **labels: object,
+    ) -> Histogram:
+        return _NULL_HISTOGRAM
+
+    def collect(self) -> Iterator[Instrument]:
+        return iter(())
+
+    def __len__(self) -> int:
+        return 0
+
+    def value_of(self, name: str, **labels: object) -> float | None:
+        return None
+
+
+NULL_METRICS = NullMetrics()

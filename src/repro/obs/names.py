@@ -1,0 +1,145 @@
+"""Canonical names for everything the observability layer reports.
+
+Every stat key in ``AnalysisResult.extras``, every metric instrument and
+every span name used across the six analyzers is defined here **once**.
+Before this module existed, ``states_per_second`` / ``stubborn_ratio``
+etc. were bare string literals scattered over the search core, the
+explorer adapters and the Table 1 harness, and the spellings had started
+to drift.  Import the constants; never re-type the strings.
+
+The module is a leaf: it imports nothing from ``repro``, so every layer
+(including :mod:`repro.search.core`) can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ABORTED",
+    "ANALYSIS_EDGES",
+    "ANALYSIS_SECONDS",
+    "ANALYSIS_STATES",
+    "BDD_CACHE_HIT_RATIO",
+    "BDD_PEAK_NODES",
+    "DEADLOCKS",
+    "EXPANDED",
+    "INSTRUMENTATION_FIELDS",
+    "KERNEL",
+    "KERNEL_FIRES",
+    "KERNEL_FULL_SCANS",
+    "KERNEL_INCREMENTAL_UPDATES",
+    "MAX_SCENARIOS",
+    "MEAN_ENABLED",
+    "MEAN_SCENARIOS",
+    "PEAK_FRONTIER",
+    "SAFETY_CERTIFIED",
+    "SCENARIO_SET_SIZE",
+    "SPAN_ANALYZE",
+    "SPAN_BOUNDED_CHECK",
+    "SPAN_CERTIFICATE",
+    "SPAN_DIAGNOSE",
+    "SPAN_ENABLED_FAMILIES",
+    "SPAN_JOB",
+    "SPAN_MULTIPLE_FIRE",
+    "SPAN_RACE",
+    "SPAN_SEARCH",
+    "SPAN_STUBBORN_SET",
+    "SPAN_SYMBOLIC_ENCODE",
+    "SPAN_SYMBOLIC_ITERATION",
+    "SPAN_UNFOLD",
+    "SPAN_WITNESS",
+    "STATES_EXPANDED",
+    "STATES_PER_SECOND",
+    "STUBBORN_RATIO",
+    "STUBBORN_SET_SIZE",
+]
+
+# ----------------------------------------------------------------------
+# ``AnalysisResult.extras`` / JSONL-event stat keys.
+# ----------------------------------------------------------------------
+EXPANDED = "expanded"
+PEAK_FRONTIER = "peak_frontier"
+MEAN_ENABLED = "mean_enabled"
+STATES_PER_SECOND = "states_per_second"
+KERNEL = "kernel"
+STUBBORN_RATIO = "stubborn_ratio"
+MEAN_SCENARIOS = "mean_scenarios"
+MAX_SCENARIOS = "max_scenarios"
+SAFETY_CERTIFIED = "safety_certified"
+ABORTED = "aborted"
+
+#: The instrumentation counters the search layer produces (driver stats
+#: plus the adapter-specific counters of the stubborn and GPO spaces).
+#: Historically exported as ``repro.search.core.INSTRUMENTATION_FIELDS``.
+INSTRUMENTATION_FIELDS: tuple[str, ...] = (
+    EXPANDED,
+    PEAK_FRONTIER,
+    MEAN_ENABLED,
+    STATES_PER_SECOND,
+    KERNEL,
+    STUBBORN_RATIO,
+    MEAN_SCENARIOS,
+    MAX_SCENARIOS,
+    SAFETY_CERTIFIED,
+)
+
+# ----------------------------------------------------------------------
+# Metric instrument names (counters / gauges / histograms).
+# ----------------------------------------------------------------------
+#: Counter — states whose successors were generated (equals
+#: ``extras["expanded"]`` where the driver ran, the analyzer's ``states``
+#: field otherwise; the cross-analyzer tests hold this equality).
+STATES_EXPANDED = "states_expanded"
+#: Counter — stored states of the analysis (``AnalysisResult.states``).
+ANALYSIS_STATES = "analysis_states"
+#: Counter — edges of the analysis (``AnalysisResult.edges``).
+ANALYSIS_EDGES = "analysis_edges"
+#: Gauge — wall seconds of the analysis.
+ANALYSIS_SECONDS = "analysis_seconds"
+#: Counter — deadlock states recorded during the search.
+DEADLOCKS = "deadlocks"
+#: Histogram — enabled part of the chosen stubborn set, per marking.
+STUBBORN_SET_SIZE = "stubborn_set_size"
+#: Histogram — valid-scenario family size, per expanded GPN state.
+SCENARIO_SET_SIZE = "scenario_set_size"
+#: Gauge — hit ratio of the BDD manager's memoized ``ite`` cache.
+BDD_CACHE_HIT_RATIO = "bdd_cache_hit_ratio"
+#: Gauge — peak live BDD nodes of the symbolic fixpoint.
+BDD_PEAK_NODES = "bdd_peak_nodes"
+#: Counter — checked bitmask firings performed by the marking kernel.
+KERNEL_FIRES = "kernel_fires"
+#: Counter — full enabling scans (O(|T|)) performed by the kernel.
+KERNEL_FULL_SCANS = "kernel_full_scans"
+#: Counter — incremental enabled-mask updates (O(affected)).
+KERNEL_INCREMENTAL_UPDATES = "kernel_incremental_updates"
+
+# ----------------------------------------------------------------------
+# Span names (the span taxonomy; see DESIGN.md §8).
+# ----------------------------------------------------------------------
+#: Canonical root span every analyzer emits around one whole run.
+SPAN_ANALYZE = "analyze"
+#: Structural safety-certificate consultation before exploring.
+SPAN_CERTIFICATE = "certificate"
+#: One driven exploration (the generic search core).
+SPAN_SEARCH = "search"
+#: Witness extraction after a deadlock was found.
+SPAN_WITNESS = "witness"
+#: One stubborn-set computation (per expanded marking).
+SPAN_STUBBORN_SET = "stubborn/set"
+#: One ``enabled_families`` scenario-maintenance pass (per GPN state).
+SPAN_ENABLED_FAMILIES = "gpo/enabled_families"
+#: One Def. 3.6 multiple firing.
+SPAN_MULTIPLE_FIRE = "gpo/multiple_fire"
+#: Variable ordering + transition-relation construction.
+SPAN_SYMBOLIC_ENCODE = "symbolic/encode"
+#: One breadth-first image iteration of the symbolic fixpoint.
+SPAN_SYMBOLIC_ITERATION = "symbolic/iteration"
+#: Complete-finite-prefix construction.
+SPAN_UNFOLD = "unfolding/unfold"
+#: One engine job's lifetime (spawn to terminal event).
+SPAN_JOB = "engine/job"
+#: One portfolio race.
+SPAN_RACE = "engine/race"
+#: Structural diagnostics pass of ``gpo check``.
+SPAN_DIAGNOSE = "check/diagnose"
+#: Bounded exhaustive safety check of ``gpo check`` (certificate miss).
+SPAN_BOUNDED_CHECK = "check/bounded"

@@ -1,0 +1,142 @@
+"""Human-readable terminal summary of a trace.
+
+Folds the flat span records into a tree (sibling spans with the same
+name aggregate into one row — ten thousand ``stubborn/set`` spans
+become a single line with a count), computes per-row *self time*
+(duration minus the duration of direct children) and prints wall-time
+percentages relative to the root.  Because self time is defined as the
+exact remainder, a row's total always equals the sum of its children
+plus its self time — the property ``gpo profile`` is accepted against.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+__all__ = ["SummaryNode", "build_summary", "format_summary", "hot_spans"]
+
+
+class SummaryNode:
+    """Aggregate of all sibling spans sharing one name under one parent."""
+
+    __slots__ = ("name", "count", "total_ns", "child_ns", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total_ns = 0
+        self.child_ns = 0
+        self.children: dict[str, SummaryNode] = {}
+
+    @property
+    def self_ns(self) -> int:
+        """Time inside these spans not covered by their direct children."""
+        return max(self.total_ns - self.child_ns, 0)
+
+    def walk(self, depth: int = 0) -> Iterable[tuple[int, "SummaryNode"]]:
+        """Depth-first traversal, children sorted by total time."""
+        yield depth, self
+        ordered = sorted(
+            self.children.values(), key=lambda n: n.total_ns, reverse=True
+        )
+        for child in ordered:
+            yield from child.walk(depth + 1)
+
+
+def build_summary(records: Iterable[Mapping[str, Any]]) -> list[SummaryNode]:
+    """Span records → aggregated root nodes (usually exactly one)."""
+    materialized = [r for r in records if "span_id" in r]
+    by_id = {r["span_id"]: r for r in materialized}
+
+    # Resolve each record to its aggregate node, memoized by span id so
+    # siblings of one name share a node while distinct parents don't.
+    nodes: dict[str, SummaryNode] = {}
+    roots: dict[str, SummaryNode] = {}
+
+    def node_of(record: Mapping[str, Any]) -> SummaryNode:
+        span_id = record["span_id"]
+        found = nodes.get(span_id)
+        if found is not None:
+            return found
+        name = record.get("name", "?")
+        parent = by_id.get(record.get("parent_id"))
+        if parent is None:
+            made = roots.setdefault(name, SummaryNode(name))
+        else:
+            parent_node = node_of(parent)
+            made = parent_node.children.setdefault(name, SummaryNode(name))
+        nodes[span_id] = made
+        return made
+
+    for record in materialized:
+        node = node_of(record)
+        node.count += 1
+        node.total_ns += int(record.get("dur_ns", 0))
+        parent = by_id.get(record.get("parent_id"))
+        if parent is not None:
+            node_of(parent).child_ns += int(record.get("dur_ns", 0))
+
+    return sorted(roots.values(), key=lambda n: n.total_ns, reverse=True)
+
+
+def hot_spans(
+    roots: list[SummaryNode], top: int = 5
+) -> list[tuple[str, int, int]]:
+    """Top rows by self time: ``(name, self_ns, count)`` descending."""
+    flat: list[tuple[str, int, int]] = []
+    for root in roots:
+        for _, node in root.walk():
+            flat.append((node.name, node.self_ns, node.count))
+    flat.sort(key=lambda item: item[1], reverse=True)
+    return flat[:top]
+
+
+def _ms(ns: int) -> str:
+    return f"{ns / 1e6:10.2f}ms"
+
+
+def format_summary(
+    records: Iterable[Mapping[str, Any]],
+    metrics: MetricsRegistry | None = None,
+    top: int = 5,
+) -> str:
+    """Render the span tree (+ optional metrics digest) for the terminal."""
+    roots = build_summary(records)
+    lines: list[str] = []
+    if not roots:
+        lines.append("(no spans recorded)")
+    for root in roots:
+        scale = root.total_ns or 1
+        for depth, node in root.walk():
+            pct = 100.0 * node.total_ns / scale
+            indent = "  " * depth
+            count = f" x{node.count}" if node.count > 1 else ""
+            lines.append(
+                f"{_ms(node.total_ns)} {pct:5.1f}%  "
+                f"{indent}{node.name}{count}"
+                f"  (self {_ms(node.self_ns).strip()})"
+            )
+    hottest = hot_spans(roots, top=top)
+    if hottest:
+        lines.append("")
+        lines.append(f"hot spans (top {len(hottest)} by self time):")
+        for name, self_ns, count in hottest:
+            lines.append(f"  {_ms(self_ns)}  {name} x{count}")
+    if metrics is not None and len(metrics):
+        lines.append("")
+        lines.append("metrics:")
+        for instrument in metrics.collect():
+            labels = ",".join(f"{k}={v}" for k, v in instrument.labels)
+            label_part = f"{{{labels}}}" if labels else ""
+            if isinstance(instrument, Histogram):
+                lines.append(
+                    f"  {instrument.name}{label_part}  "
+                    f"count={instrument.count} mean={instrument.mean:.2f}"
+                )
+            else:
+                value = instrument.value
+                shown = int(value) if float(value).is_integer() else value
+                lines.append(f"  {instrument.name}{label_part}  {shown}")
+    return "\n".join(lines)

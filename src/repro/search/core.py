@@ -37,6 +37,8 @@ from typing import (
     runtime_checkable,
 )
 
+from repro.obs import names
+from repro.obs.names import INSTRUMENTATION_FIELDS
 from repro.search.graph import ReachabilityGraph
 from repro.search.limits import (
     Deadline,
@@ -56,21 +58,6 @@ __all__ = [
 ]
 
 S = TypeVar("S", bound=Hashable)
-
-#: ``AnalysisResult.extras`` / JSONL-event keys of the instrumentation
-#: counters the search layer produces (driver stats plus the
-#: adapter-specific counters of the stubborn and GPO spaces).
-INSTRUMENTATION_FIELDS = (
-    "expanded",
-    "peak_frontier",
-    "mean_enabled",
-    "states_per_second",
-    "kernel",
-    "stubborn_ratio",
-    "mean_scenarios",
-    "max_scenarios",
-    "safety_certified",
-)
 
 
 @runtime_checkable
@@ -165,11 +152,11 @@ class SearchStats:
     def as_extras(self) -> dict[str, Any]:
         """The driver-level instrumentation counters, JSON-ready."""
         return {
-            "expanded": self.expanded,
-            "peak_frontier": self.peak_frontier,
-            "mean_enabled": round(self.mean_enabled, 3),
-            "states_per_second": round(self.states_per_second, 1),
-            "kernel": self.kernel,
+            names.EXPANDED: self.expanded,
+            names.PEAK_FRONTIER: self.peak_frontier,
+            names.MEAN_ENABLED: round(self.mean_enabled, 3),
+            names.STATES_PER_SECOND: round(self.states_per_second, 1),
+            names.KERNEL: self.kernel,
         }
 
 
@@ -273,7 +260,13 @@ def explore(
     edge_lists = graph.raw_edges()
     insert_new = graph.insert_new
     frontier_append = frontier.append
-    has_observers = bool(observers)
+    # Passive observers (``observer.passive`` truthy, e.g. the tracing
+    # observer) only need the begin/end and deadlock hooks — skipping the
+    # per-successor dispatch for them keeps traced runs on the same hot
+    # loop as bare ones.
+    has_observers = any(
+        not getattr(observer, "passive", False) for observer in observers
+    )
     cap: float = max_states if max_states is not None else float("inf")
     num_states = 1
     expanded = 0

@@ -11,13 +11,21 @@ termination — the driver then stops with ``stop_reason="observer"``.
 the paper's verification setting: it terminates the search the moment a
 state satisfying the target predicate is stored, without building the
 rest of the graph.
+
+:class:`TracingObserver` wires a search into the observability layer
+(:mod:`repro.obs`).  It is *passive* — the driver skips the
+per-successor ``on_state``/``on_edge`` dispatch when only passive
+observers are attached, so tracing a run never changes the hot loop.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Generic, Hashable, TypeVar
 
-__all__ = ["MarkingQueryObserver", "SearchObserver"]
+from repro.obs import names
+from repro.obs.tracer import Span, TracerLike, current_tracer
+
+__all__ = ["MarkingQueryObserver", "SearchObserver", "TracingObserver"]
 
 S = TypeVar("S", bound=Hashable)
 
@@ -61,3 +69,43 @@ class MarkingQueryObserver(SearchObserver[S]):
             self.matched = state
             return True
         return False
+
+
+class TracingObserver(SearchObserver[S]):
+    """Emit one :data:`~repro.obs.names.SPAN_SEARCH` span per search.
+
+    The span opens on the driver's initial ``on_state`` call and closes
+    in ``on_done`` carrying the outcome's headline stats as attributes
+    (expanded states, peak frontier, deadlocks, stop reason).  Being
+    ``passive``, the observer sees no per-successor callbacks; all
+    counts come from the driver's own :class:`SearchStats`, so the trace
+    can never disagree with the result.
+    """
+
+    #: Driver contract: passive observers skip per-successor dispatch.
+    passive = True
+
+    def __init__(self, tracer: TracerLike | None = None, **attrs: Any) -> None:
+        self._tracer = tracer if tracer is not None else current_tracer()
+        self._attrs = attrs
+        self._span: Span | None = None
+
+    def on_state(self, state: S, ctx: Any) -> None:
+        if self._span is None and self._tracer.enabled:
+            opened = self._tracer.span(names.SPAN_SEARCH, **self._attrs)
+            self._span = opened if isinstance(opened, Span) else None
+        return None
+
+    def on_done(self, outcome: Any) -> None:
+        if self._span is None:
+            return
+        stats = outcome.stats
+        self._span.close(
+            states=stats.states,
+            expanded=stats.expanded,
+            deadlocks=stats.deadlocks,
+            peak_frontier=stats.peak_frontier,
+            exhaustive=outcome.exhaustive,
+            stop_reason=outcome.stop_reason,
+        )
+        self._span = None

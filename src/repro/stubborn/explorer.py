@@ -22,6 +22,9 @@ from typing import Iterable
 from repro.analysis.stats import AnalysisResult, stopwatch
 from repro.net.petrinet import Marking, PetriNet
 from repro.net.structure import StructuralInfo
+from repro.obs import names
+from repro.obs.record import record_result
+from repro.obs.tracer import current_tracer
 from repro.search.core import (
     SearchContext,
     SearchOutcome,
@@ -30,6 +33,7 @@ from repro.search.core import (
 )
 from repro.search.core import explore as _drive
 from repro.search.graph import ReachabilityGraph
+from repro.search.observers import TracingObserver
 from repro.search.witness import extract_witness
 from repro.stubborn.stubborn import (
     SeedStrategy,
@@ -71,6 +75,11 @@ class StubbornSpace:
         self.fired_total = 0
         self._memo_marking: Marking | None = None
         self._memo_fire: list[int] = []
+        # Null instrument unless a tracer is active at construction time;
+        # observing on it is a no-op method call per expanded state.
+        self._set_sizes = current_tracer().metrics.histogram(
+            names.STUBBORN_SET_SIZE
+        )
 
     def _to_fire(self, marking: Marking) -> list[int]:
         if marking is not self._memo_marking:
@@ -84,6 +93,7 @@ class StubbornSpace:
             )
             self.enabled_total += len(enabled)
             self.fired_total += len(to_fire)
+            self._set_sizes.observe(len(to_fire))
             self._memo_fire = to_fire
             self._memo_marking = marking
         return self._memo_fire
@@ -106,7 +116,7 @@ class StubbornSpace:
         if not self.enabled_total:
             return {}
         return {
-            "stubborn_ratio": round(
+            names.STUBBORN_RATIO: round(
                 self.fired_total / self.enabled_total, 3
             )
         }
@@ -143,6 +153,11 @@ class KernelStubbornSpace:
         }
         self._memo_bits: int | None = None
         self._memo_fire: list[int] = []
+        # Null instrument unless a tracer is active at construction time;
+        # observing on it is a no-op method call per expanded state.
+        self._set_sizes = current_tracer().metrics.histogram(
+            names.STUBBORN_SET_SIZE
+        )
 
     def decode(self, bits: int) -> Marking:
         """Frozenset view of a packed state (report boundary)."""
@@ -165,6 +180,7 @@ class KernelStubbornSpace:
             )
             self.enabled_total += len(enabled)
             self.fired_total += len(to_fire)
+            self._set_sizes.observe(len(to_fire))
             self._memo_fire = to_fire
             self._memo_bits = bits
         return self._memo_fire
@@ -197,7 +213,7 @@ class KernelStubbornSpace:
         if not self.enabled_total:
             return {}
         return {
-            "stubborn_ratio": round(
+            names.STUBBORN_RATIO: round(
                 self.fired_total / self.enabled_total, 3
             )
         }
@@ -274,40 +290,56 @@ def analyze(
     path (default) or the frozenset reference path; both report identical
     counts (``extras["kernel"]`` records which one ran).
     """
-    space = _stubborn_space(
-        net, strategy=strategy, info=None, use_kernel=use_kernel
-    )
-    # Consult the structural certificate before exploring: when it holds,
-    # UnsafeNetError is provably unreachable during the search below.
-    certified = net.static_analysis().safety_certificate.certified
-    with stopwatch() as elapsed:
-        outcome = _drive(
-            space, order="bfs", max_states=max_states, max_seconds=max_seconds
+    tracer = current_tracer()
+    with tracer.span(
+        names.SPAN_ANALYZE, analyzer="stubborn", net=net.name
+    ) as root:
+        space = _stubborn_space(
+            net, strategy=strategy, info=None, use_kernel=use_kernel
         )
-    graph = outcome.graph
-    witness = None
-    if graph.deadlocks and want_witness:
-        decode = (
-            space.decode if isinstance(space, KernelStubbornSpace) else None
+        # Consult the structural certificate before exploring: when it
+        # holds, UnsafeNetError is provably unreachable during the search.
+        with tracer.span(names.SPAN_CERTIFICATE):
+            certified = net.static_analysis().safety_certificate.certified
+        observers = (TracingObserver(tracer),) if tracer.enabled else ()
+        with stopwatch() as elapsed:
+            outcome = _drive(
+                space,
+                order="bfs",
+                max_states=max_states,
+                max_seconds=max_seconds,
+                observers=observers,
+            )
+        graph = outcome.graph
+        witness = None
+        if graph.deadlocks and want_witness:
+            decode = (
+                space.decode
+                if isinstance(space, KernelStubbornSpace)
+                else None
+            )
+            with tracer.span(names.SPAN_WITNESS):
+                witness = extract_witness(net, graph, decode=decode)
+        extras: dict[str, object] = {"strategy": strategy}
+        extras.update(outcome.stats.as_extras())
+        extras.update(space.instrumentation())
+        extras[names.SAFETY_CERTIFIED] = certified
+        note = abort_note(
+            outcome.stop_reason, max_states=max_states, max_seconds=max_seconds
         )
-        witness = extract_witness(net, graph, decode=decode)
-    extras: dict[str, object] = {"strategy": strategy}
-    extras.update(outcome.stats.as_extras())
-    extras.update(space.instrumentation())
-    extras["safety_certified"] = certified
-    note = abort_note(
-        outcome.stop_reason, max_states=max_states, max_seconds=max_seconds
-    )
-    if note is not None:
-        extras["aborted"] = note
-    return AnalysisResult(
-        analyzer="stubborn",
-        net_name=net.name,
-        states=graph.num_states,
-        edges=graph.num_edges,
-        deadlock=bool(graph.deadlocks),
-        time_seconds=elapsed[0],
-        witness=witness,
-        exhaustive=outcome.exhaustive,
-        extras=extras,
-    )
+        if note is not None:
+            extras[names.ABORTED] = note
+        result = AnalysisResult(
+            analyzer="stubborn",
+            net_name=net.name,
+            states=graph.num_states,
+            edges=graph.num_edges,
+            deadlock=bool(graph.deadlocks),
+            time_seconds=elapsed[0],
+            witness=witness,
+            exhaustive=outcome.exhaustive,
+            extras=extras,
+        )
+        root.set(states=result.states, edges=result.edges)
+    record_result(result)
+    return result

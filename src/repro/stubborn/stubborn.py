@@ -32,6 +32,8 @@ from __future__ import annotations
 from repro.net.kernel import MarkingKernel
 from repro.net.petrinet import Marking, PetriNet
 from repro.net.structure import StructuralInfo
+from repro.obs import names
+from repro.obs.tracer import current_tracer
 
 __all__ = [
     "stubborn_set",
@@ -180,6 +182,24 @@ def stubborn_enabled(
         enabled = net.enabled_transitions(marking)
     if not enabled:
         return []
+    tracer = current_tracer()
+    if tracer.enabled:
+        # Per-marking span; only taken when tracing is on, so the bare
+        # hot path costs one attribute check.
+        with tracer.span(names.SPAN_STUBBORN_SET, enabled=len(enabled)) as sp:
+            fired = _enabled_part(net, info, marking, strategy, enabled)
+            sp.set(fired=len(fired))
+            return fired
+    return _enabled_part(net, info, marking, strategy, enabled)
+
+
+def _enabled_part(
+    net: PetriNet,
+    info: StructuralInfo,
+    marking: Marking,
+    strategy: SeedStrategy,
+    enabled: list[int],
+) -> list[int]:
     if strategy == "first":
         chosen = stubborn_set(net, info, marking, enabled[0])
         return [t for t in enabled if t in chosen]
@@ -223,6 +243,24 @@ def stubborn_enabled_kernel(
         enabled = kernel.enabled_transitions(bits)
     if not enabled:
         return []
+    tracer = current_tracer()
+    if tracer.enabled:
+        # Per-marking span; only taken when tracing is on, so the bare
+        # hot path costs one attribute check.
+        with tracer.span(names.SPAN_STUBBORN_SET, enabled=len(enabled)) as sp:
+            fired = _enabled_part_kernel(kernel, info, bits, strategy, enabled)
+            sp.set(fired=len(fired))
+            return fired
+    return _enabled_part_kernel(kernel, info, bits, strategy, enabled)
+
+
+def _enabled_part_kernel(
+    kernel: MarkingKernel,
+    info: StructuralInfo,
+    bits: int,
+    strategy: SeedStrategy,
+    enabled: list[int],
+) -> list[int]:
     if strategy == "first":
         chosen = stubborn_set_kernel(kernel, info, bits, enabled[0])
         return [t for t in enabled if t in chosen]

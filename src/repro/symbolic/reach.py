@@ -20,6 +20,9 @@ from repro.analysis.stats import (
 from repro.bdd.manager import ZERO
 from repro.bdd.ops import any_model, relprod, rename, satcount
 from repro.net.petrinet import Marking, PetriNet
+from repro.obs import names
+from repro.obs.record import record_result
+from repro.obs.tracer import current_tracer
 from repro.symbolic.encoding import SymbolicNet
 
 __all__ = ["SymbolicResult", "reach", "analyze"]
@@ -91,16 +94,18 @@ def reach(
     ``max_seconds`` bounds wall time (checked between fixpoint
     iterations); exceeding it raises :class:`TimeLimitReached`.
     """
-    symnet = SymbolicNet(net, use_force_order=use_force_order)
-    mgr = symnet.mgr
-    current_levels = symnet.current_levels()
-    renaming = symnet.next_to_current()
+    tracer = current_tracer()
+    with tracer.span(names.SPAN_SYMBOLIC_ENCODE):
+        symnet = SymbolicNet(net, use_force_order=use_force_order)
+        mgr = symnet.mgr
+        current_levels = symnet.current_levels()
+        renaming = symnet.next_to_current()
 
-    relations = (
-        list(symnet.relations)
-        if partitioned
-        else [symnet.monolithic_relation()]
-    )
+        relations = (
+            list(symnet.relations)
+            if partitioned
+            else [symnet.monolithic_relation()]
+        )
     relation_nodes = mgr.count_nodes(*relations)
     reached = symnet.encode_marking(net.initial_marking)
     frontier = reached
@@ -114,15 +119,16 @@ def reach(
             # count to report at abort.
             raise TimeLimitReached(max_seconds, iterations)  # type: ignore[arg-type]
         iterations += 1
-        image = ZERO
-        for rel in relations:
-            product = relprod(mgr, frontier, rel, current_levels)
-            image = mgr.or_(image, rename(mgr, product, renaming))
-        frontier = mgr.diff(image, reached)
-        reached = mgr.or_(reached, frontier)
-        live = relation_nodes + mgr.count_nodes(reached, frontier)
-        if live > peak:
-            peak = live
+        with tracer.span(names.SPAN_SYMBOLIC_ITERATION, iteration=iterations):
+            image = ZERO
+            for rel in relations:
+                product = relprod(mgr, frontier, rel, current_levels)
+                image = mgr.or_(image, rename(mgr, product, renaming))
+            frontier = mgr.diff(image, reached)
+            reached = mgr.or_(reached, frontier)
+            live = relation_nodes + mgr.count_nodes(reached, frontier)
+            if live > peak:
+                peak = live
     return SymbolicResult(symnet, reached, iterations, peak)
 
 
@@ -143,31 +149,55 @@ def analyze(
     without a trace — recovering traces needs backward images, which the
     paper's comparison does not exercise.
     """
-    # Consult the structural certificate before the fixpoint: when it
-    # holds, the one-token-per-place BDD encoding is provably exact.
-    certified = net.static_analysis().safety_certificate.certified
-    with stopwatch() as elapsed:
-        result = reach(
-            net,
-            use_force_order=use_force_order,
-            partitioned=partitioned,
-            max_seconds=max_seconds,
+    tracer = current_tracer()
+    with tracer.span(
+        names.SPAN_ANALYZE, analyzer="symbolic", net=net.name
+    ) as root:
+        # Consult the structural certificate before the fixpoint: when it
+        # holds, the one-token-per-place BDD encoding is provably exact.
+        with tracer.span(names.SPAN_CERTIFICATE):
+            certified = net.static_analysis().safety_certificate.certified
+        with stopwatch() as elapsed:
+            result = reach(
+                net,
+                use_force_order=use_force_order,
+                partitioned=partitioned,
+                max_seconds=max_seconds,
+            )
+            dead = result.deadlock_marking()
+        witness = None
+        if dead is not None and want_witness:
+            with tracer.span(names.SPAN_WITNESS):
+                witness = DeadlockWitness(
+                    marking=net.marking_names(dead), trace=()
+                )
+        mgr = result.symnet.mgr
+        metrics = tracer.metrics
+        labels = {"analyzer": "symbolic", "net": net.name}
+        metrics.gauge(names.BDD_PEAK_NODES, **labels).set_max(
+            result.peak_nodes
         )
-        dead = result.deadlock_marking()
-    witness = None
-    if dead is not None and want_witness:
-        witness = DeadlockWitness(marking=net.marking_names(dead), trace=())
-    return AnalysisResult(
-        analyzer="symbolic",
-        net_name=net.name,
-        states=result.num_states,
-        edges=0,
-        deadlock=dead is not None,
-        time_seconds=elapsed[0],
-        witness=witness,
-        extras={
-            "peak_bdd_nodes": result.peak_nodes,
-            "iterations": result.iterations,
-            "safety_certified": certified,
-        },
-    )
+        metrics.gauge(names.BDD_CACHE_HIT_RATIO, **labels).set(
+            round(mgr.cache_hit_ratio, 4)
+        )
+        packaged = AnalysisResult(
+            analyzer="symbolic",
+            net_name=net.name,
+            states=result.num_states,
+            edges=0,
+            deadlock=dead is not None,
+            time_seconds=elapsed[0],
+            witness=witness,
+            extras={
+                "peak_bdd_nodes": result.peak_nodes,
+                "iterations": result.iterations,
+                names.SAFETY_CERTIFIED: certified,
+            },
+        )
+        root.set(
+            states=packaged.states,
+            iterations=result.iterations,
+            peak_bdd_nodes=result.peak_nodes,
+        )
+    record_result(packaged)
+    return packaged

@@ -17,9 +17,13 @@ from typing import Iterable
 
 from repro.analysis.stats import AnalysisResult, DeadlockWitness, stopwatch
 from repro.net.petrinet import Marking
+from repro.obs import names
+from repro.obs.record import record_result
+from repro.obs.tracer import current_tracer
 from repro.search.core import SearchContext, abort_note, raise_if_bounded
 from repro.search.core import explore as _drive
 from repro.search.graph import ReachabilityGraph
+from repro.search.observers import TracingObserver
 from repro.timed.stateclass import StateClass, fire_class, initial_class
 from repro.timed.tpn import TimedPetriNet
 
@@ -141,42 +145,53 @@ def analyze(
     frozenset reference rule; both build the same class graph.
     """
     space = StateClassSpace(tpn, use_kernel=use_kernel)
-    # Consult the structural certificate of the underlying untimed net
-    # before exploring (timing restricts, never extends, reachability).
-    certified = tpn.net.static_analysis().safety_certificate.certified
-    with stopwatch() as elapsed:
-        outcome = _drive(
-            space,
-            order="bfs",
-            max_states=max_classes,
-            max_seconds=max_seconds,
+    tracer = current_tracer()
+    with tracer.span(
+        names.SPAN_ANALYZE, analyzer="timed", net=tpn.net.name
+    ) as root:
+        # Consult the structural certificate of the underlying untimed net
+        # before exploring (timing restricts, never extends, reachability).
+        with tracer.span(names.SPAN_CERTIFICATE):
+            certified = tpn.net.static_analysis().safety_certificate.certified
+        observers = (TracingObserver(tracer),) if tracer.enabled else ()
+        with stopwatch() as elapsed:
+            outcome = _drive(
+                space,
+                order="bfs",
+                max_states=max_classes,
+                max_seconds=max_seconds,
+                observers=observers,
+            )
+        graph = outcome.graph
+        witness = None
+        if graph.deadlocks and want_witness:
+            target = next(iter(graph.deadlocks))
+            with tracer.span(names.SPAN_WITNESS):
+                path = graph.path_to(target) or []
+                witness = DeadlockWitness(
+                    marking=tpn.net.marking_names(target.marking),
+                    trace=tuple(label for label, _ in path),
+                )
+        markings = {cls.marking for cls in graph.states()}
+        extras: dict[str, object] = {"markings": len(markings)}
+        extras.update(outcome.stats.as_extras())
+        extras[names.SAFETY_CERTIFIED] = certified
+        note = abort_note(
+            outcome.stop_reason, max_states=max_classes, max_seconds=max_seconds
         )
-    graph = outcome.graph
-    witness = None
-    if graph.deadlocks and want_witness:
-        target = next(iter(graph.deadlocks))
-        path = graph.path_to(target) or []
-        witness = DeadlockWitness(
-            marking=tpn.net.marking_names(target.marking),
-            trace=tuple(label for label, _ in path),
+        if note is not None:
+            extras[names.ABORTED] = note
+        result = AnalysisResult(
+            analyzer="timed",
+            net_name=tpn.net.name,
+            states=graph.num_states,
+            edges=graph.num_edges,
+            deadlock=bool(graph.deadlocks),
+            time_seconds=elapsed[0],
+            witness=witness,
+            exhaustive=outcome.exhaustive,
+            extras=extras,
         )
-    markings = {cls.marking for cls in graph.states()}
-    extras: dict[str, object] = {"markings": len(markings)}
-    extras.update(outcome.stats.as_extras())
-    extras["safety_certified"] = certified
-    note = abort_note(
-        outcome.stop_reason, max_states=max_classes, max_seconds=max_seconds
-    )
-    if note is not None:
-        extras["aborted"] = note
-    return AnalysisResult(
-        analyzer="timed",
-        net_name=tpn.net.name,
-        states=graph.num_states,
-        edges=graph.num_edges,
-        deadlock=bool(graph.deadlocks),
-        time_seconds=elapsed[0],
-        witness=witness,
-        exhaustive=outcome.exhaustive,
-        extras=extras,
-    )
+        root.set(states=result.states, edges=result.edges)
+    record_result(result)
+    return result

@@ -18,6 +18,9 @@ from collections import deque
 
 from repro.analysis.stats import AnalysisResult, DeadlockWitness, stopwatch
 from repro.net.petrinet import Marking, PetriNet
+from repro.obs import names
+from repro.obs.record import record_result
+from repro.obs.tracer import current_tracer
 from repro.unfolding.prefix import Prefix, unfold
 
 __all__ = ["prefix_markings", "deadlock_via_prefix", "analyze"]
@@ -106,30 +109,45 @@ def analyze(
     want_witness: bool = True,
 ) -> AnalysisResult:
     """Unfold and report prefix sizes plus a deadlock verdict."""
-    # Consult the structural certificate before unfolding: when it holds,
-    # the occurrence-net construction never hits a safety violation.
-    certified = net.static_analysis().safety_certificate.certified
-    with stopwatch() as elapsed:
-        prefix = unfold(net, max_events=max_events, max_seconds=max_seconds)
-        exhaustive = (
-            max_events is None or prefix.num_events < max_events
+    tracer = current_tracer()
+    with tracer.span(
+        names.SPAN_ANALYZE, analyzer="unfolding", net=net.name
+    ) as root:
+        # Consult the structural certificate before unfolding: when it
+        # holds, the occurrence-net construction never hits a safety
+        # violation.
+        with tracer.span(names.SPAN_CERTIFICATE):
+            certified = net.static_analysis().safety_certificate.certified
+        with stopwatch() as elapsed:
+            with tracer.span(names.SPAN_UNFOLD):
+                prefix = unfold(
+                    net, max_events=max_events, max_seconds=max_seconds
+                )
+            exhaustive = (
+                max_events is None or prefix.num_events < max_events
+            )
+            with tracer.span(names.SPAN_WITNESS):
+                dead = deadlock_via_prefix(net, prefix) if exhaustive else None
+        witness = None
+        if dead is not None and want_witness:
+            witness = DeadlockWitness(
+                marking=net.marking_names(dead), trace=()
+            )
+        result = AnalysisResult(
+            analyzer="unfolding",
+            net_name=net.name,
+            states=prefix.num_events,
+            edges=prefix.num_conditions,
+            deadlock=dead is not None,
+            time_seconds=elapsed[0],
+            witness=witness,
+            exhaustive=exhaustive,
+            extras={
+                "conditions": prefix.num_conditions,
+                "cutoffs": prefix.num_cutoffs,
+                names.SAFETY_CERTIFIED: certified,
+            },
         )
-        dead = deadlock_via_prefix(net, prefix) if exhaustive else None
-    witness = None
-    if dead is not None and want_witness:
-        witness = DeadlockWitness(marking=net.marking_names(dead), trace=())
-    return AnalysisResult(
-        analyzer="unfolding",
-        net_name=net.name,
-        states=prefix.num_events,
-        edges=prefix.num_conditions,
-        deadlock=dead is not None,
-        time_seconds=elapsed[0],
-        witness=witness,
-        exhaustive=exhaustive,
-        extras={
-            "conditions": prefix.num_conditions,
-            "cutoffs": prefix.num_cutoffs,
-            "safety_certified": certified,
-        },
-    )
+        root.set(states=result.states, edges=result.edges)
+    record_result(result)
+    return result

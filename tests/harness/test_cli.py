@@ -7,6 +7,7 @@ import pytest
 from repro.harness.cli import main
 from repro.models import choice_net, figure3_net
 from repro.net import save_net, save_pnml
+from repro.obs import names
 
 
 @pytest.fixture
@@ -324,3 +325,92 @@ class TestTable1Engine:
         out = capsys.readouterr().out
         assert "race on rw_6" in out
         assert "deadlock-free" in out
+
+
+class TestProfile:
+    def test_span_tree_and_artifacts(self, tmp_path, capsys):
+        trace = str(tmp_path / "trace.json")
+        metrics = str(tmp_path / "metrics.prom")
+        code = main(
+            [
+                "profile",
+                "nsdp",
+                "4",
+                "--analyzer",
+                "gpo",
+                "--trace-out",
+                trace,
+                "--metrics-out",
+                metrics,
+            ]
+        )
+        assert code in (0, 1)
+        out = capsys.readouterr().out
+        assert "analyze" in out
+        assert "hot spans" in out
+        assert "metrics:" in out
+        import json as _json
+
+        with open(trace, encoding="utf-8") as handle:
+            payload = _json.load(handle)
+        assert payload["traceEvents"]
+        with open(metrics, encoding="utf-8") as handle:
+            text = handle.read()
+        assert "# TYPE states_expanded counter" in text
+
+    def test_family_is_case_insensitive(self, capsys):
+        assert main(["profile", "NSDP", "2"]) in (0, 1)
+
+    def test_timed_analyzer_uses_untimed_skeleton(self, capsys):
+        code = main(["profile", "nsdp", "2", "--analyzer", "timed"])
+        assert code in (0, 1)
+        assert "timed" in capsys.readouterr().out
+
+    def test_unknown_family_exits_two(self, capsys):
+        assert main(["profile", "nope", "2"]) == 2
+
+    def test_memory_flag_attributes_kb(self, capsys):
+        code = main(["profile", "nsdp", "2", "--memory"])
+        assert code in (0, 1)
+
+
+class TestObsFlags:
+    def test_check_trace_and_metrics(self, net_file, tmp_path, capsys):
+        trace = str(tmp_path / "t.json")
+        metrics = str(tmp_path / "m.prom")
+        code = main(
+            ["check", net_file, "--trace", trace, "--metrics", metrics]
+        )
+        assert code in (0, 1, 2)
+        import json as _json
+
+        with open(trace, encoding="utf-8") as handle:
+            payload = _json.load(handle)
+        # check always traces its structural phases, so the trace is
+        # never empty even on the certificate fast path.
+        spans = {e["name"] for e in payload["traceEvents"]}
+        assert names.SPAN_DIAGNOSE in spans
+        assert names.SPAN_CERTIFICATE in spans
+
+    def test_table1_trace_flag(self, tmp_path, capsys):
+        trace = str(tmp_path / "t.json")
+        code = main(
+            [
+                "table1",
+                "--problems",
+                "NSDP",
+                "--max-states",
+                "2000",
+                "--no-cache",
+                "--jobs",
+                "1",
+                "--trace",
+                trace,
+            ]
+        )
+        assert code == 0
+        import json as _json
+
+        with open(trace, encoding="utf-8") as handle:
+            payload = _json.load(handle)
+        assert isinstance(payload["traceEvents"], list)

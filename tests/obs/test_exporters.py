@@ -1,0 +1,172 @@
+"""Exporter golden files: JSONL, Chrome trace_event, Prometheus text."""
+
+import io
+import json
+
+from repro.obs.exporters import (
+    JsonlWriter,
+    chrome_trace,
+    prometheus_text,
+    write_chrome_trace,
+    write_jsonl_trace,
+    write_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+
+#: Deterministic synthetic span records (the tracer's record schema).
+RECORDS = [
+    {
+        "kind": "span",
+        "v": 1,
+        "name": "analyze",
+        "span_id": "aa-1",
+        "pid": 7,
+        "tid": 1,
+        "start_ns": 1_000_000,
+        "dur_ns": 3_000_000,
+        "attrs": {"analyzer": "gpo", "states": 12},
+    },
+    {
+        "kind": "span",
+        "v": 1,
+        "name": "search",
+        "span_id": "aa-2",
+        "parent_id": "aa-1",
+        "pid": 7,
+        "tid": 1,
+        "start_ns": 2_000_000,
+        "dur_ns": 1_500_000,
+    },
+    {
+        "kind": "span",
+        "v": 1,
+        "name": "marker",
+        "span_id": "aa-3",
+        "parent_id": "aa-1",
+        "pid": 7,
+        "tid": 1,
+        "start_ns": 2_500_000,
+        "dur_ns": 0,
+    },
+]
+
+
+def golden_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("states_expanded", analyzer="gpo").inc(12)
+    registry.gauge("peak_frontier", analyzer="gpo").set(3)
+    histogram = registry.histogram("set_size", buckets=(1, 2, 4))
+    for value in (1, 3, 100):
+        histogram.observe(value)
+    return registry
+
+
+class TestJsonl:
+    def test_writer_emits_sorted_compact_lines(self):
+        stream = io.StringIO()
+        JsonlWriter(stream).write({"b": 2, "a": 1})
+        assert stream.getvalue() == '{"a":1,"b":2}\n'
+
+    def test_round_trip_through_file(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        count = write_jsonl_trace(path, RECORDS)
+        assert count == len(RECORDS)
+        with open(path, encoding="utf-8") as handle:
+            back = [json.loads(line) for line in handle]
+        assert back == RECORDS
+
+
+class TestChromeTrace:
+    def test_golden_structure(self):
+        payload = chrome_trace(RECORDS)
+        assert payload == {
+            "traceEvents": [
+                {
+                    "name": "analyze",
+                    "ts": 0.0,
+                    "pid": 7,
+                    "tid": 1,
+                    "ph": "X",
+                    "dur": 3000.0,
+                    "args": {
+                        "analyzer": "gpo",
+                        "states": 12,
+                        "span_id": "aa-1",
+                    },
+                },
+                {
+                    "name": "search",
+                    "ts": 1000.0,
+                    "pid": 7,
+                    "tid": 1,
+                    "ph": "X",
+                    "dur": 1500.0,
+                    "args": {"parent_id": "aa-1", "span_id": "aa-2"},
+                },
+                {
+                    "name": "marker",
+                    "ts": 1500.0,
+                    "pid": 7,
+                    "tid": 1,
+                    "ph": "i",
+                    "s": "t",
+                    "args": {"parent_id": "aa-1", "span_id": "aa-3"},
+                },
+            ],
+            "displayTimeUnit": "ms",
+        }
+
+    def test_file_round_trips_through_json_load(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        count = write_chrome_trace(path, RECORDS)
+        assert count == 3
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload == chrome_trace(RECORDS)
+
+    def test_empty_records(self):
+        assert chrome_trace([]) == {
+            "traceEvents": [],
+            "displayTimeUnit": "ms",
+        }
+
+
+class TestPrometheus:
+    GOLDEN = (
+        "# TYPE peak_frontier gauge\n"
+        'peak_frontier{analyzer="gpo"} 3\n'
+        "# TYPE set_size histogram\n"
+        'set_size_bucket{le="1"} 1\n'
+        'set_size_bucket{le="2"} 1\n'
+        'set_size_bucket{le="4"} 2\n'
+        'set_size_bucket{le="+Inf"} 3\n'
+        "set_size_sum 104\n"
+        "set_size_count 3\n"
+        "# TYPE states_expanded counter\n"
+        'states_expanded{analyzer="gpo"} 12\n'
+    )
+
+    def test_golden_text(self):
+        assert prometheus_text(golden_registry()) == self.GOLDEN
+
+    def test_empty_registry_is_empty_text(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_write_returns_line_count(self, tmp_path):
+        path = str(tmp_path / "metrics.prom")
+        count = write_prometheus(path, golden_registry())
+        with open(path, encoding="utf-8") as handle:
+            assert handle.read() == self.GOLDEN
+        assert count == self.GOLDEN.count("\n")
+
+    def test_type_line_emitted_once_across_label_sets(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", analyzer="gpo").inc()
+        registry.counter("hits", analyzer="full").inc()
+        text = prometheus_text(registry)
+        assert text.count("# TYPE hits counter") == 1
+
+    def test_float_values_keep_precision(self):
+        registry = MetricsRegistry()
+        registry.gauge("ratio").set(0.8125)
+        assert "ratio 0.8125" in prometheus_text(registry)

@@ -1,0 +1,149 @@
+"""Instrument semantics, bucket edges, registry keying, null twins."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+)
+
+
+class TestCounter:
+    def test_increments_accumulate(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("hits")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_same_name_and_labels_is_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits", analyzer="gpo")
+        b = registry.counter("hits", analyzer="gpo")
+        assert a is b
+        assert len(registry) == 1
+
+    def test_different_labels_are_distinct(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", analyzer="gpo").inc()
+        registry.counter("hits", analyzer="full").inc(5)
+        assert registry.value_of("hits", analyzer="gpo") == 1
+        assert registry.value_of("hits", analyzer="full") == 5
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits", x="1", y="2")
+        b = registry.counter("hits", y="2", x="1")
+        assert a is b
+
+
+class TestGauge:
+    def test_set_replaces(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(7)
+        gauge.set(3)
+        assert gauge.value == 3
+
+    def test_set_max_keeps_maximum(self):
+        gauge = MetricsRegistry().gauge("peak")
+        gauge.set_max(5)
+        gauge.set_max(2)
+        gauge.set_max(9)
+        assert gauge.value == 9
+
+
+class TestHistogramBuckets:
+    def test_observation_equal_to_edge_lands_in_that_bucket(self):
+        h = Histogram("h", bounds=(1, 2, 4))
+        h.observe(2)
+        assert h.counts == [0, 1, 0, 0]
+
+    def test_observation_between_edges_lands_above(self):
+        h = Histogram("h", bounds=(1, 2, 4))
+        h.observe(3)
+        assert h.counts == [0, 0, 1, 0]
+
+    def test_overflow_goes_to_inf_bucket(self):
+        h = Histogram("h", bounds=(1, 2, 4))
+        h.observe(1000)
+        assert h.counts == [0, 0, 0, 1]
+
+    def test_cumulative_counts(self):
+        h = Histogram("h", bounds=(1, 2, 4))
+        for value in (1, 2, 2, 3, 100):
+            h.observe(value)
+        assert h.cumulative() == [
+            (1.0, 1),
+            (2.0, 3),
+            (4.0, 4),
+            (float("inf"), 5),
+        ]
+
+    def test_mean_and_empty_mean(self):
+        h = Histogram("h", bounds=(1, 2))
+        assert h.mean == 0.0
+        h.observe(2)
+        h.observe(4)
+        assert h.mean == 3.0
+
+    def test_non_increasing_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(1, 1, 2))
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(2, 1))
+
+    def test_default_buckets_are_strictly_increasing(self):
+        assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))
+
+    def test_custom_buckets_via_registry(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("sizes", buckets=(10, 20))
+        assert h.bounds == (10.0, 20.0)
+
+
+class TestRegistry:
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_collect_is_sorted_and_complete(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.counter("a", k="2")
+        registry.counter("a", k="1")
+        names = [(i.name, i.labels) for i in registry.collect()]
+        assert names == sorted(names)
+        assert len(names) == 3
+
+    def test_value_of_missing_is_none(self):
+        assert MetricsRegistry().value_of("nope") is None
+
+
+class TestNullMetrics:
+    def test_instruments_discard_everything(self):
+        counter = NULL_METRICS.counter("x")
+        counter.inc(100)
+        assert counter.value == 0
+        gauge = NULL_METRICS.gauge("y")
+        gauge.set(5)
+        gauge.set_max(9)
+        assert gauge.value == 0
+        histogram = NULL_METRICS.histogram("z")
+        histogram.observe(3)
+        assert histogram.count == 0
+
+    def test_collect_is_empty(self):
+        assert list(NULL_METRICS.collect()) == []
+        assert len(NULL_METRICS) == 0
+
+    def test_instruments_are_shared_singletons(self):
+        assert NULL_METRICS.counter("a") is NULL_METRICS.counter("b")

@@ -1,0 +1,138 @@
+"""Summary-tree invariants: aggregation, self time, the root identity."""
+
+from repro.obs.summary import build_summary, format_summary, hot_spans
+from repro.obs.tracer import Tracer
+
+
+def record(span_id, name, dur_ns, parent_id=None):
+    out = {
+        "kind": "span",
+        "v": 1,
+        "name": name,
+        "span_id": span_id,
+        "pid": 1,
+        "tid": 1,
+        "start_ns": 0,
+        "dur_ns": dur_ns,
+    }
+    if parent_id is not None:
+        out["parent_id"] = parent_id
+    return out
+
+
+class TestBuildSummary:
+    def test_siblings_with_same_name_aggregate(self):
+        records = [
+            record("r", "analyze", 100),
+            record("a", "step", 30, parent_id="r"),
+            record("b", "step", 20, parent_id="r"),
+        ]
+        (root,) = build_summary(records)
+        assert root.name == "analyze"
+        step = root.children["step"]
+        assert step.count == 2
+        assert step.total_ns == 50
+
+    def test_same_name_under_distinct_parents_stays_separate(self):
+        records = [
+            record("r", "analyze", 100),
+            record("x", "phase", 60, parent_id="r"),
+            record("y", "phase", 30, parent_id="r"),
+            record("x1", "work", 10, parent_id="x"),
+            record("y1", "work", 5, parent_id="y"),
+        ]
+        (root,) = build_summary(records)
+        phase = root.children["phase"]
+        # Both phases aggregate; their ``work`` children merge under the
+        # shared aggregate node.
+        assert phase.count == 2
+        assert phase.children["work"].count == 2
+        assert phase.children["work"].total_ns == 15
+
+    def test_root_total_equals_children_plus_self(self):
+        records = [
+            record("r", "analyze", 100),
+            record("a", "search", 60, parent_id="r"),
+            record("b", "certificate", 25, parent_id="r"),
+        ]
+        (root,) = build_summary(records)
+        children = sum(c.total_ns for c in root.children.values())
+        assert root.total_ns == children + root.self_ns
+        assert root.self_ns == 15
+
+    def test_self_time_clamped_at_zero(self):
+        # Overlapping children can sum past the parent (concurrent engine
+        # jobs); self time must not go negative.
+        records = [
+            record("r", "race", 100),
+            record("a", "job", 80, parent_id="r"),
+            record("b", "job", 80, parent_id="r"),
+        ]
+        (root,) = build_summary(records)
+        assert root.self_ns == 0
+
+    def test_orphan_parent_id_becomes_root(self):
+        records = [record("a", "lost", 10, parent_id="never-recorded")]
+        (root,) = build_summary(records)
+        assert root.name == "lost"
+
+    def test_real_tracer_satisfies_root_identity(self):
+        tracer = Tracer()
+        with tracer.span("analyze"):
+            with tracer.span("search"):
+                for _ in range(3):
+                    with tracer.span("step"):
+                        pass
+            with tracer.span("witness"):
+                pass
+        (root,) = build_summary(tracer.records())
+        children = sum(c.total_ns for c in root.children.values())
+        assert root.total_ns == children + root.self_ns
+
+
+class TestHotSpans:
+    def test_ordered_by_self_time(self):
+        records = [
+            record("r", "analyze", 100),
+            record("a", "search", 70, parent_id="r"),
+            record("a1", "inner", 10, parent_id="a"),
+        ]
+        roots = build_summary(records)
+        hot = hot_spans(roots, top=2)
+        assert hot[0] == ("search", 60, 1)
+        assert hot[1] == ("analyze", 30, 1)
+
+    def test_top_limits_rows(self):
+        records = [
+            record("r", "analyze", 100),
+            record("a", "x", 10, parent_id="r"),
+            record("b", "y", 10, parent_id="r"),
+        ]
+        assert len(hot_spans(build_summary(records), top=1)) == 1
+
+
+class TestFormatSummary:
+    def test_contains_tree_rows_and_counts(self):
+        records = [
+            record("r", "analyze", 2_000_000),
+            record("a", "step", 500_000, parent_id="r"),
+            record("b", "step", 500_000, parent_id="r"),
+        ]
+        text = format_summary(records)
+        assert "analyze" in text
+        assert "step x2" in text
+        assert "100.0%" in text
+
+    def test_empty_records(self):
+        assert "(no spans recorded)" in format_summary([])
+
+    def test_metrics_digest_appended(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("states_expanded", analyzer="gpo").inc(42)
+        text = format_summary(
+            [record("r", "analyze", 1_000_000)], metrics=registry
+        )
+        assert "metrics:" in text
+        assert "states_expanded{analyzer=gpo}  42" in text

@@ -1,0 +1,246 @@
+"""Span lifecycle: nesting, timing invariants, cross-process merging."""
+
+import threading
+
+from repro.obs.tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    activate,
+    current_tracer,
+    set_tracer,
+)
+
+
+def by_id(records):
+    return {r["span_id"]: r for r in records}
+
+
+class TestNesting:
+    def test_with_blocks_nest(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        records = by_id(tracer.records())
+        assert records[inner.span_id]["parent_id"] == outer.span_id
+        assert "parent_id" not in records[outer.span_id]
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        records = by_id(tracer.records())
+        assert records[a.span_id]["parent_id"] == root.span_id
+        assert records[b.span_id]["parent_id"] == root.span_id
+
+    def test_free_span_parents_but_does_not_stack(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            free = tracer.start("job")
+            with tracer.span("nested") as nested:
+                pass
+            free.end()
+        records = by_id(tracer.records())
+        assert records[free.span_id]["parent_id"] == root.span_id
+        # The free span was never the innermost: ``nested`` skips it.
+        assert records[nested.span_id]["parent_id"] == root.span_id
+
+    def test_attach_makes_free_span_innermost(self):
+        tracer = Tracer()
+        free = tracer.start("job")
+        with tracer.attach(free):
+            with tracer.span("child") as child:
+                pass
+        free.end()
+        records = by_id(tracer.records())
+        assert records[child.span_id]["parent_id"] == free.span_id
+
+    def test_close_tolerates_out_of_order_exit(self):
+        tracer = Tracer()
+        outer = tracer.span("outer")
+        tracer.span("inner")  # never closed explicitly
+        outer.close()
+        with tracer.span("after") as after:
+            pass
+        # The stack recovered: ``after`` is a root span, not a child of
+        # the leaked ``inner``.
+        assert "parent_id" not in by_id(tracer.records())[after.span_id]
+
+    def test_threads_have_independent_stacks(self):
+        tracer = Tracer()
+        spans = {}
+
+        def worker():
+            with tracer.span("thread-root") as s:
+                spans["thread"] = s
+
+        with tracer.span("main-root"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        record = by_id(tracer.records())[spans["thread"].span_id]
+        assert "parent_id" not in record
+
+
+class TestTiming:
+    def test_duration_nonnegative_and_contained(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.duration_ns >= 0
+        assert outer.start_ns <= inner.start_ns
+        assert inner.end_ns <= outer.end_ns
+        assert inner.duration_ns <= outer.duration_ns
+
+    def test_end_is_idempotent(self):
+        tracer = Tracer()
+        span = tracer.start("once")
+        span.end()
+        first = span.end_ns
+        span.end()
+        assert span.end_ns == first
+        assert len(tracer.records()) == 1
+
+    def test_open_span_reports_zero_duration(self):
+        tracer = Tracer()
+        span = tracer.start("open")
+        assert span.duration_ns == 0
+        span.end()
+
+
+class TestAttributes:
+    def test_set_and_close_attrs_merge(self):
+        tracer = Tracer()
+        with tracer.span("s", a=1) as span:
+            span.set(b=2)
+        record = tracer.records()[0]
+        assert record["attrs"] == {"a": 1, "b": 2}
+
+    def test_non_plain_values_stringified(self):
+        tracer = Tracer()
+        with tracer.span("s", obj=frozenset({1})):
+            pass
+        value = tracer.records()[0]["attrs"]["obj"]
+        assert isinstance(value, str)
+
+    def test_event_is_instant(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            tracer.event("marker", n=3)
+        records = tracer.records()
+        instant = next(r for r in records if r["name"] == "marker")
+        assert instant["dur_ns"] == 0
+        assert instant["parent_id"] == root.span_id
+
+
+class TestMerging:
+    def test_drain_then_adopt_round_trips(self):
+        child = Tracer()
+        with child.span("worker"):
+            pass
+        shipped = child.drain()
+        assert child.records() == []
+        parent = Tracer()
+        parent.adopt(shipped)
+        assert [r["name"] for r in parent.records()] == ["worker"]
+
+    def test_child_reset_drops_inherited_records(self):
+        tracer = Tracer()
+        with tracer.span("parent-era"):
+            pass
+        tracer.child_reset()
+        assert tracer.records() == []
+
+    def test_max_spans_overflow_is_counted_not_raised(self):
+        tracer = Tracer(max_spans=2)
+        for i in range(5):
+            tracer.start(f"s{i}").end()
+        assert len(tracer.records()) == 2
+        assert tracer.dropped == 3
+
+    def test_span_ids_embed_pid_and_are_unique(self):
+        tracer = Tracer()
+        ids = set()
+        import os
+
+        for _ in range(100):
+            span = tracer.start("x")
+            span.end()
+            assert span.span_id.startswith(f"{os.getpid():x}-")
+            ids.add(span.span_id)
+        assert len(ids) == 100
+
+
+class TestAmbient:
+    def test_default_is_null(self):
+        assert isinstance(current_tracer(), NullTracer)
+
+    def test_activate_restores_previous(self):
+        tracer = Tracer()
+        before = current_tracer()
+        with activate(tracer):
+            assert current_tracer() is tracer
+        assert current_tracer() is before
+
+    def test_set_tracer_returns_previous(self):
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            assert current_tracer() is tracer
+        finally:
+            set_tracer(previous)
+
+
+class TestNullTracer:
+    def test_span_returns_shared_null_span(self):
+        assert NULL_TRACER.span("anything", a=1) is NULL_SPAN
+        assert NULL_TRACER.start("anything") is NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        with NULL_TRACER.span("x") as span:
+            span.set(a=1)
+            span.end()
+            span.close(b=2)
+        assert NULL_TRACER.records() == []
+
+    def test_disabled_flag(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer().enabled is True
+
+    def test_noop_overhead_smoke(self):
+        # The disabled path must stay allocation-free and cheap: a very
+        # generous bound that still catches accidentally instantiating
+        # real spans on the null path.
+        import time
+
+        n = 50_000
+        start = time.perf_counter()
+        for _ in range(n):
+            with NULL_TRACER.span("hot"):
+                pass
+        per_call = (time.perf_counter() - start) / n
+        assert per_call < 20e-6
+
+    def test_records_are_json_plain(self):
+        tracer = Tracer()
+        with tracer.span("s", n=1, f=0.5, b=True, none=None, text="t"):
+            pass
+        record = tracer.records()[0]
+        assert isinstance(record["span_id"], str)
+        for value in record["attrs"].values():
+            assert isinstance(value, (str, int, float, bool, type(None)))
+
+    def test_span_repr_mentions_state(self):
+        tracer = Tracer()
+        span = tracer.start("named")
+        assert "open" in repr(span)
+        span.end()
+        assert "ns" in repr(span)
+        assert isinstance(span, Span)
