@@ -15,8 +15,10 @@ stored; killed/crashed outcomes are transient and must be re-run.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
+import threading
 from pathlib import Path
 from typing import Any
 
@@ -103,10 +105,15 @@ class ResultCache:
     True
     """
 
+    #: Process-wide sequence making concurrent writers' temp names unique
+    #: even when two threads store the same key at the same instant.
+    _tmp_seq = itertools.count()
+
     def __init__(self, root: str | Path | None = None) -> None:
         self.root = Path(root) if root is not None else default_cache_root()
         self.hits = 0
         self.misses = 0
+        self._stats_lock = threading.Lock()
 
     def key(self, job: VerificationJob) -> str:
         """Hex cache key of a job."""
@@ -116,8 +123,20 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def _count(self, *, hit: bool) -> None:
+        with self._stats_lock:
+            if hit:
+                self.hits += 1
+            else:
+                self.misses += 1
+
     def get(self, job: VerificationJob) -> AnalysisResult | None:
         """Look up a prior result; returns ``None`` on miss or corruption.
+
+        The read path is lock-free: entries only ever appear via an
+        atomic :func:`os.replace`, so a reader sees either no file or a
+        complete one — never a torn entry — and corrupt/foreign payloads
+        degrade to a miss rather than an exception.
 
         A hit patches ``net_name`` to the requesting net's name (the key
         is structural, so two identically-structured nets with different
@@ -127,20 +146,26 @@ class ResultCache:
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            self.misses += 1
+            if payload.get("version") != FORMAT_VERSION:
+                self._count(hit=False)
+                return None
+            result = result_from_dict(payload["result"])
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+            self._count(hit=False)
             return None
-        if payload.get("version") != FORMAT_VERSION:
-            self.misses += 1
-            return None
-        result = result_from_dict(payload["result"])
         result.net_name = job.net.name
         result.extras.setdefault("cache", "hit")
-        self.hits += 1
+        self._count(hit=True)
         return result
 
     def put(self, job: VerificationJob, result: AnalysisResult) -> None:
-        """Store a completed result (atomically, via rename)."""
+        """Store a completed result (atomically, via write-then-rename).
+
+        Safe under concurrent writers: the temp name embeds pid, thread
+        id and a process-wide sequence number, so simultaneous stores of
+        the same key never collide, and the last rename simply wins with
+        an equivalent entry.
+        """
         key = self.key(job)
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -150,10 +175,16 @@ class ResultCache:
             "job": job.label,
             "result": result_to_dict(result),
         }
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, sort_keys=True, default=str)
-        os.replace(tmp, path)
+        tmp = path.with_suffix(
+            f".tmp.{os.getpid()}.{threading.get_ident():x}"
+            f".{next(self._tmp_seq)}"
+        )
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True, default=str)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
 
     def clear(self) -> int:
         """Delete every entry; returns the number of files removed."""

@@ -246,6 +246,55 @@ class WorkerPool:
         self._context = _mp_context()
 
     # ------------------------------------------------------------------
+    # Re-entrant single-job API: long-lived callers (the ``repro.serve``
+    # daemon) interleave submissions, polls and cancellations of many
+    # jobs against one warm pool instead of batching through :meth:`run`.
+    # Every method takes an optional per-call ``events`` sink so each
+    # job's lifecycle can be routed to its own buffer (the pool-wide
+    # sink remains the default).
+    # ------------------------------------------------------------------
+    def try_cache(
+        self, job: VerificationJob, *, events: EventSink | None = None
+    ) -> JobResult | None:
+        """Serve ``job`` from the result cache, or ``None`` on a miss."""
+        if self.cache is None:
+            return None
+        result = self.cache.get(job)
+        if result is None:
+            return None
+        (events or self.events).record(
+            "cache_hit", job, detail=self.cache.key(job)[:16]
+        )
+        return JobResult(
+            job=job, result=result, status="cached", wall_seconds=0.0
+        )
+
+    def submit(
+        self, job: VerificationJob, *, events: EventSink | None = None
+    ) -> WorkerHandle:
+        """Start ``job`` in its own worker process without blocking.
+
+        The caller owns the returned handle: poll it until it yields a
+        :class:`JobResult`, then pass that through :meth:`finalize`.
+        Capacity is the caller's concern — the pool does not queue here.
+        """
+        handle = WorkerHandle(job, self._context)
+        (events or self.events).record("started", job, pid=handle.process.pid)
+        return handle
+
+    def cancel(
+        self, handle: WorkerHandle, *, events: EventSink | None = None
+    ) -> JobResult:
+        """Hard-preempt a running handle and record the cancellation."""
+        return self.finalize(handle.kill(status="cancelled"), events=events)
+
+    def finalize(
+        self, outcome: JobResult, *, events: EventSink | None = None
+    ) -> JobResult:
+        """Store a completed result in the cache and emit its terminal event."""
+        return self._finalize(outcome, events=events)
+
+    # ------------------------------------------------------------------
     def run_one(self, job: VerificationJob) -> JobResult:
         """Run a single job (convenience wrapper around :meth:`run`)."""
         return self.run([job])[0]
@@ -262,11 +311,11 @@ class WorkerPool:
                 while pending and len(running) < self.max_workers:
                     index = pending.pop(0)
                     job = jobs[index]
-                    cached = self._try_cache(job)
+                    cached = self.try_cache(job)
                     if cached is not None:
                         results[index] = cached
                         continue
-                    running[index] = self._spawn(job)
+                    running[index] = self.submit(job)
                 progressed = False
                 for index, handle in list(running.items()):
                     outcome = handle.poll()
@@ -285,30 +334,15 @@ class WorkerPool:
         return results  # type: ignore[return-value]  # every slot is filled
 
     # ------------------------------------------------------------------
-    def _spawn(self, job: VerificationJob) -> WorkerHandle:
-        handle = WorkerHandle(job, self._context)
-        self.events.record("started", job, pid=handle.process.pid)
-        return handle
-
-    def _try_cache(self, job: VerificationJob) -> JobResult | None:
-        if self.cache is None:
-            return None
-        result = self.cache.get(job)
-        if result is None:
-            return None
-        self.events.record(
-            "cache_hit", job, detail=self.cache.key(job)[:16]
-        )
-        return JobResult(
-            job=job, result=result, status="cached", wall_seconds=0.0
-        )
-
-    def _finalize(self, outcome: JobResult) -> JobResult:
+    def _finalize(
+        self, outcome: JobResult, *, events: EventSink | None = None
+    ) -> JobResult:
         job = outcome.job
+        sink = events or self.events
         if outcome.status == "ok":
             if self.cache is not None:
                 self.cache.put(job, outcome.result)
-            self.events.record(
+            sink.record(
                 "finished",
                 job,
                 wall_seconds=outcome.wall_seconds,
@@ -318,7 +352,7 @@ class WorkerPool:
                 stats=instrumentation_of(outcome.result) or None,
             )
         elif outcome.status == "error":
-            self.events.record(
+            sink.record(
                 "crashed",
                 job,
                 wall_seconds=outcome.wall_seconds,
@@ -326,7 +360,7 @@ class WorkerPool:
                 detail=outcome.error,
             )
         else:  # killed / cancelled
-            self.events.record(
+            sink.record(
                 outcome.status,
                 job,
                 wall_seconds=outcome.wall_seconds,

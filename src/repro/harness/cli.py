@@ -18,6 +18,10 @@ Subcommands::
     gpo bench-model NAME SIZE # run all analyzers on one benchmark instance
     gpo bench-kernel [--quick] [--out BENCH_kernel.json]
                               # bitmask kernel vs frozenset reference path
+    gpo serve [--port 8080] [--jobs N] [--queue-capacity N]
+                              # verification-as-a-service HTTP daemon
+    gpo loadtest [--quick] [--requests N] [--out BENCH_serve.json]
+                              # replay a mixed workload against gpo serve
 
 ``check`` decides 1-safeness with the structural certificate first (zero
 states explored) and falls back to the bounded dynamic check; exit status
@@ -39,6 +43,15 @@ default ``<cache-dir>/events.jsonl`` when caching is on).
 (:mod:`repro.obs`) and prints the span tree; ``check`` / ``table1`` /
 ``bench-kernel`` accept ``--trace PATH`` / ``--metrics PATH`` to export a
 Chrome trace and Prometheus metrics from an otherwise normal run.
+
+``serve`` runs the long-lived verification daemon (:mod:`repro.serve`):
+nets are submitted over HTTP (native format or PNML), queued with
+priorities and per-tenant quotas, dispatched onto one warm worker pool
+sharing one result cache, with per-job NDJSON event streams, live
+``/metrics`` and ``/healthz``.  ``loadtest`` replays a deterministic
+mixed workload against a running daemon and writes ``BENCH_serve.json``
+(p50/p99 latency, throughput, cache-hit rate, differential verdict
+checks); it exits 1 on any conclusive verdict mismatch.
 """
 
 from __future__ import annotations
@@ -487,6 +500,94 @@ def _cmd_bench_kernel(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ServeApp, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        queue_capacity=args.queue_capacity,
+        tenant_quota=args.tenant_quota,
+        max_body_bytes=args.max_body_kb * 1024,
+        default_max_seconds=args.max_seconds,
+        max_seconds_cap=max(args.max_seconds, ServeConfig.max_seconds_cap),
+    )
+    app = ServeApp(config, events_path=args.events)
+
+    async def _serve() -> None:
+        await app.start()
+        print(
+            f"[serve] listening on http://{config.host}:{app.port} "
+            f"(workers={config.workers}, queue={config.queue_capacity}, "
+            f"cache={'off' if args.no_cache else 'on'})",
+            flush=True,
+        )
+        await app.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("[serve] interrupted; shutting down")
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    import asyncio
+    from urllib.parse import urlsplit
+
+    from repro.serve import (
+        LoadtestConfig,
+        format_report,
+        mismatch_count,
+        quick_config,
+        run_loadtest,
+        write_report,
+    )
+
+    split = urlsplit(args.url if "//" in args.url else f"http://{args.url}")
+    host = split.hostname or "127.0.0.1"
+    port = split.port or 8080
+    overrides = dict(
+        seed=args.seed,
+        verify=not args.no_verify,
+        repeat=args.repeat,
+    )
+    for key in ("requests", "concurrency", "tenants", "skew"):
+        value = getattr(args, key)
+        if value is not None:
+            overrides[key] = value
+    if args.families:
+        overrides["families"] = tuple(args.families.split(","))
+    if args.methods:
+        overrides["methods"] = tuple(args.methods.split(","))
+    if args.quick:
+        config = quick_config(host, port, **overrides)
+    else:
+        config = LoadtestConfig(host=host, port=port, **overrides)
+    try:
+        report = asyncio.run(run_loadtest(config))
+    except (OSError, ConnectionError) as exc:
+        print(f"loadtest: cannot reach {host}:{port} — {exc}", file=sys.stderr)
+        return 2
+    print(format_report(report))
+    if args.out:
+        write_report(report, args.out)
+        print(f"[loadtest] wrote {args.out}")
+    if mismatch_count(report):
+        print(
+            f"[loadtest] {mismatch_count(report)} verdict mismatch(es) "
+            "against local runs",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser (exposed for the CLI tests)."""
     parser = argparse.ArgumentParser(
@@ -722,6 +823,109 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_obs_flags(p_kernel)
     p_kernel.set_defaults(fn=_cmd_bench_kernel)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="verification-as-a-service HTTP daemon (shared pool + cache)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080)
+    p_serve.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        help="concurrent verification worker processes (default 2)",
+    )
+    p_serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the shared on-disk result cache",
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (default $GPO_CACHE_DIR or .gpo-cache)",
+    )
+    p_serve.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH",
+        help="append every job lifecycle event to this JSONL file too",
+    )
+    p_serve.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=256,
+        help="total queued jobs before 429 (default 256)",
+    )
+    p_serve.add_argument(
+        "--tenant-quota",
+        type=int,
+        default=64,
+        help="queued jobs one tenant may hold before 429 (default 64)",
+    )
+    p_serve.add_argument(
+        "--max-body-kb",
+        type=int,
+        default=2048,
+        help="request-body size limit in KiB (default 2048)",
+    )
+    p_serve.add_argument(
+        "--max-seconds",
+        type=float,
+        default=30.0,
+        help="default per-job wall-clock budget (default 30)",
+    )
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_load = sub.add_parser(
+        "loadtest",
+        help="replay a mixed workload against a running gpo serve daemon",
+    )
+    p_load.add_argument(
+        "--url",
+        default="http://127.0.0.1:8080",
+        help="daemon base URL (default http://127.0.0.1:8080)",
+    )
+    p_load.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke preset: 24 requests over NSDP/RW at tiny sizes",
+    )
+    # Workload-shape flags default to None so --quick's preset is only
+    # overridden when a flag is given explicitly.
+    p_load.add_argument("--requests", type=int, default=None)
+    p_load.add_argument("--concurrency", type=int, default=None)
+    p_load.add_argument("--tenants", type=int, default=None)
+    p_load.add_argument(
+        "--skew",
+        type=float,
+        default=None,
+        help="fraction of requests pinned to tenant-0 (noisy neighbour)",
+    )
+    p_load.add_argument("--families", help="comma list, e.g. NSDP,RW")
+    p_load.add_argument(
+        "--methods", help="comma list, e.g. gpo,stubborn,symbolic,full"
+    )
+    p_load.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="replay the identical workload N times (2 = cold then warm)",
+    )
+    p_load.add_argument("--seed", type=int, default=1998)
+    p_load.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the differential check against local in-process runs",
+    )
+    p_load.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the JSON report (e.g. BENCH_serve.json)",
+    )
+    p_load.set_defaults(fn=_cmd_loadtest)
 
     p_reach = sub.add_parser(
         "reach",

@@ -1,0 +1,441 @@
+"""The verification daemon: routes, admission, dispatch, streaming.
+
+:class:`ServeApp` owns one warm :class:`~repro.engine.pool.WorkerPool`
+and one shared :class:`~repro.engine.cache.ResultCache` and multiplexes
+every concurrent HTTP client onto them:
+
+* ``POST /v1/jobs`` validates the body (:mod:`repro.serve.protocol`),
+  answers **synchronously** on a result-cache hit, otherwise admits the
+  job into the :class:`~repro.serve.queue.TenantQueue` (429 +
+  ``Retry-After`` when the queue or the tenant's slice is full);
+* a single dispatcher task drains the queue onto the pool — at most
+  ``config.workers`` verification processes run at once, polled
+  non-blockingly and hard-preempted at their deadlines by the engine's
+  own machinery;
+* ``GET /v1/jobs/{id}/events`` streams each job's JSONL lifecycle events
+  as chunked NDJSON while they happen (every line carries the ``v``
+  schema stamp);
+* ``DELETE /v1/jobs/{id}`` cancels — queued jobs leave the queue, running
+  jobs are killed through :meth:`WorkerPool.cancel`;
+* ``GET /metrics`` exposes the live :mod:`repro.obs` metrics registry in
+  Prometheus text exposition; ``GET /healthz`` reports build/schema
+  versions so clients can detect incompatible upgrades.
+
+The dispatcher and all handlers run on one event loop; shared state is
+mutated only between awaits, so no locks are needed anywhere.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import platform
+import time
+import uuid
+from typing import Any
+
+from repro import __version__
+from repro.engine.cache import ResultCache
+from repro.engine.events import EVENT_SCHEMA_VERSION, EventSink, JobEvent, JsonlEventSink
+from repro.engine.pool import WorkerPool
+from repro.obs.exporters import prometheus_text
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.config import ServeConfig
+from repro.serve.http import (
+    HttpRequest,
+    end_chunked,
+    read_request,
+    send_chunk,
+    send_json,
+    send_text,
+    start_chunked,
+)
+from repro.serve.jobs import JobRecord, JobStore
+from repro.serve.protocol import ApiError, parse_submit
+from repro.serve.queue import QueueFull, TenantQueue
+
+__all__ = ["ServeApp"]
+
+#: Latency histogram bucket bounds (seconds).
+_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class _TeeSink(EventSink):
+    """Fan one job's events out to its buffer and the global JSONL log."""
+
+    def __init__(self, sinks: list[EventSink]) -> None:
+        self._sinks = sinks
+
+    def emit(self, event: JobEvent) -> None:
+        for sink in self._sinks:
+            sink.emit(event)
+
+
+class ServeApp:
+    """One server instance: HTTP front end + dispatcher + shared engine."""
+
+    def __init__(
+        self, config: ServeConfig | None = None, *, events_path: str | None = None
+    ) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.started_at = time.time()
+        self.cache: ResultCache | None = (
+            ResultCache(self.config.cache_dir) if self.config.use_cache else None
+        )
+        self.pool = WorkerPool(self.config.workers, cache=self.cache)
+        self.queue = TenantQueue(
+            self.config.queue_capacity, self.config.tenant_quota
+        )
+        self.store = JobStore(self.config.max_finished_records)
+        self.metrics = MetricsRegistry()
+        self._global_sink: EventSink | None = (
+            JsonlEventSink(events_path) if events_path else None
+        )
+        self._running: dict[str, JobRecord] = {}
+        self._wake = asyncio.Event()
+        self._server: asyncio.Server | None = None
+        self._dispatcher: asyncio.Task[None] | None = None
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listening socket and start the dispatcher task."""
+        self._server = await asyncio.start_server(
+            self._handle_client, self.config.host, self.config.port
+        )
+        self._dispatcher = asyncio.get_running_loop().create_task(
+            self._dispatch_loop()
+        )
+
+    @property
+    def port(self) -> int:
+        """The bound port (meaningful after :meth:`start`; 0 before)."""
+        if self._server is None or not self._server.sockets:
+            return self.config.port
+        return int(self._server.sockets[0].getsockname()[1])
+
+    async def stop(self) -> None:
+        """Stop accepting, cancel running jobs, release resources."""
+        self._stopping = True
+        self._wake.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._dispatcher is not None:
+            await self._dispatcher
+        if self._global_sink is not None:
+            self._global_sink.close()
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the ``gpo serve`` foreground mode)."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self.stop()
+
+    # ------------------------------------------------------------------
+    # Dispatcher
+    # ------------------------------------------------------------------
+    def _sink_for(self, record: JobRecord) -> EventSink:
+        if self._global_sink is None:
+            return record.sink
+        return _TeeSink([record.sink, self._global_sink])
+
+    def _finish_record(self, record: JobRecord) -> None:
+        """Metrics bookkeeping common to every terminal transition."""
+        self.metrics.counter("serve_jobs_total", outcome=record.state).inc()
+        if record.outcome is not None:
+            self.metrics.histogram(
+                "serve_job_wall_seconds", buckets=_LATENCY_BUCKETS
+            ).observe(record.outcome.wall_seconds)
+
+    def _start_ready(self) -> None:
+        while len(self._running) < self.pool.max_workers:
+            job_id = self.queue.pop()
+            if job_id is None:
+                break
+            record = self.store.get(job_id)
+            if record is None:  # evicted while queued; nothing to run
+                continue
+            sink = self._sink_for(record)
+            if record.cancel_requested:
+                sink.record(
+                    "cancelled", record.job, detail="cancelled while queued"
+                )
+                record.mark_cancelled_queued()
+                self._finish_record(record)
+                continue
+            self.metrics.histogram(
+                "serve_queue_wait_seconds", buckets=_LATENCY_BUCKETS
+            ).observe(time.time() - record.submitted_at)
+            cached = self.pool.try_cache(record.job, events=sink)
+            if cached is not None:
+                self.metrics.counter("serve_cache_hits_total").inc()
+                record.finish(cached)
+                self._finish_record(record)
+                continue
+            handle = self.pool.submit(record.job, events=sink)
+            record.mark_running(handle)
+            self._running[record.id] = record
+
+    def _poll_running(self) -> None:
+        for job_id, record in list(self._running.items()):
+            sink = self._sink_for(record)
+            if record.cancel_requested:
+                outcome = self.pool.cancel(record.handle, events=sink)
+            else:
+                polled = record.handle.poll()
+                if polled is None:
+                    continue
+                outcome = self.pool.finalize(polled, events=sink)
+            del self._running[job_id]
+            record.finish(outcome)
+            self._finish_record(record)
+        self.store.evict_finished()
+
+    def _update_gauges(self) -> None:
+        self.metrics.gauge("serve_queue_depth").set(len(self.queue))
+        self.metrics.gauge("serve_running_jobs").set(len(self._running))
+
+    async def _dispatch_loop(self) -> None:
+        while not self._stopping:
+            # Clear *before* reading state: a wake set at either await
+            # below survives into the next iteration's checks, and the
+            # checks below read the actual queue/pool state, so a wake
+            # consumed here can never be lost.
+            self._wake.clear()
+            self._start_ready()
+            self._poll_running()
+            self._update_gauges()
+            if self._running:
+                with contextlib.suppress(asyncio.TimeoutError):
+                    await asyncio.wait_for(
+                        self._wake.wait(), self.config.poll_interval
+                    )
+            elif len(self.queue) == 0:
+                await self._wake.wait()
+            # else: capacity just freed with work still queued — loop
+            # around immediately and start it.
+        # Drain on shutdown: nothing may outlive the daemon.
+        for job_id, record in list(self._running.items()):
+            outcome = self.pool.cancel(record.handle, events=self._sink_for(record))
+            record.finish(outcome)
+            self._finish_record(record)
+            del self._running[job_id]
+        while True:
+            job_id = self.queue.pop()
+            if job_id is None:
+                break
+            record = self.store.get(job_id)
+            if record is not None:
+                record.mark_cancelled_queued()
+                self._finish_record(record)
+        self._update_gauges()
+
+    # ------------------------------------------------------------------
+    # HTTP front end
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        route = "?"
+        try:
+            request = await read_request(
+                reader,
+                max_header_bytes=self.config.max_header_bytes,
+                max_body_bytes=self.config.max_body_bytes,
+            )
+            if request is not None:
+                route = await self._route(request, writer)
+        except ApiError as exc:
+            self._count_http(route, exc.status)
+            headers = (
+                {"Retry-After": str(exc.retry_after)}
+                if exc.retry_after is not None
+                else None
+            )
+            with contextlib.suppress(OSError):
+                await send_json(writer, exc.status, exc.payload(), headers=headers)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception:  # noqa: BLE001 - never leak a traceback on the wire
+            self._count_http(route, 500)
+            with contextlib.suppress(OSError):
+                await send_json(
+                    writer,
+                    500,
+                    {"error": {"status": 500, "reason": "internal-error"}},
+                )
+        finally:
+            with contextlib.suppress(OSError):
+                writer.close()
+                await writer.wait_closed()
+
+    def _count_http(self, route: str, code: int) -> None:
+        self.metrics.counter(
+            "serve_http_requests_total", route=route, code=code
+        ).inc()
+
+    async def _route(self, request: HttpRequest, writer: asyncio.StreamWriter) -> str:
+        """Dispatch one request; returns the route label for metrics."""
+        path, method = request.path.rstrip("/") or "/", request.method
+        if path == "/healthz" and method in ("GET", "HEAD"):
+            await self._handle_healthz(writer)
+            return "/healthz"
+        if path == "/metrics" and method in ("GET", "HEAD"):
+            await self._handle_metrics(writer)
+            return "/metrics"
+        if path == "/v1/jobs" and method == "POST":
+            await self._handle_submit(request, writer)
+            return "/v1/jobs"
+        parts = path.split("/")
+        if len(parts) >= 4 and parts[1] == "v1" and parts[2] == "jobs":
+            job_id = parts[3]
+            if len(parts) == 4 and method == "GET":
+                await self._handle_status(job_id, writer)
+                return "/v1/jobs/{id}"
+            if len(parts) == 4 and method == "DELETE":
+                await self._handle_cancel(job_id, writer)
+                return "/v1/jobs/{id}"
+            if len(parts) == 5 and parts[4] == "events" and method == "GET":
+                await self._handle_events(job_id, writer)
+                return "/v1/jobs/{id}/events"
+        raise ApiError(404, "not-found", f"{method} {request.path}")
+
+    # ------------------------------------------------------------------
+    async def _handle_submit(
+        self, request: HttpRequest, writer: asyncio.StreamWriter
+    ) -> None:
+        submit = parse_submit(request.body, self.config)
+        job = submit.to_job()
+        job_id = uuid.uuid4().hex[:12]
+        record = JobRecord(
+            job_id, job, tenant=submit.tenant, priority=submit.priority
+        )
+        sink = self._sink_for(record)
+        sink.record("queued", job, detail=f"tenant={submit.tenant}")
+        self.metrics.counter("serve_submitted_total").inc()
+
+        # Cache fast path: identical (net, method, query, budget) answered
+        # synchronously, without consuming a queue slot or a worker.
+        cached = self.pool.try_cache(job, events=sink)
+        if cached is not None:
+            self.metrics.counter("serve_cache_hits_total").inc()
+            record.finish(cached)
+            self.store.add(record)
+            self._finish_record(record)
+            self._count_http("/v1/jobs", 200)
+            body = record.describe()
+            body["cached"] = True
+            await send_json(writer, 200, body)
+            return
+
+        # Backpressure: admission control happens before the record is
+        # visible, so a rejected submission leaves no state behind.
+        try:
+            self.queue.push(job_id, tenant=submit.tenant, priority=submit.priority)
+        except QueueFull as exc:
+            raise ApiError(
+                429,
+                f"{exc.scope}-full",
+                f"the {exc.scope} admission limit is reached",
+                retry_after=exc.retry_after,
+            ) from exc
+        self.store.add(record)
+        self._wake.set()
+        self._count_http("/v1/jobs", 202)
+        body = record.describe()
+        body["cached"] = False
+        await send_json(writer, 202, body)
+
+    def _record_or_404(self, job_id: str) -> JobRecord:
+        record = self.store.get(job_id)
+        if record is None:
+            raise ApiError(404, "unknown-job", job_id)
+        return record
+
+    async def _handle_status(
+        self, job_id: str, writer: asyncio.StreamWriter
+    ) -> None:
+        record = self._record_or_404(job_id)
+        self._count_http("/v1/jobs/{id}", 200)
+        await send_json(writer, 200, record.describe())
+
+    async def _handle_cancel(
+        self, job_id: str, writer: asyncio.StreamWriter
+    ) -> None:
+        record = self._record_or_404(job_id)
+        if not record.terminal:
+            if record.state == "queued" and self.queue.remove(job_id):
+                self._sink_for(record).record(
+                    "cancelled", record.job, detail="cancelled while queued"
+                )
+                record.mark_cancelled_queued()
+                self._finish_record(record)
+            else:
+                record.cancel_requested = True
+                self._wake.set()
+                await record.wait_terminal(self.config.cancel_wait_seconds)
+        status = 200 if record.terminal else 202
+        self._count_http("/v1/jobs/{id}", status)
+        await send_json(writer, status, record.describe())
+
+    async def _handle_events(
+        self, job_id: str, writer: asyncio.StreamWriter
+    ) -> None:
+        record = self._record_or_404(job_id)
+        self._count_http("/v1/jobs/{id}/events", 200)
+        await start_chunked(
+            writer,
+            headers={"X-Event-Schema-Version": str(EVENT_SCHEMA_VERSION)},
+        )
+        index = 0
+        while True:
+            version = record.version
+            while index < len(record.events):
+                line = json.dumps(record.events[index], sort_keys=True) + "\n"
+                await send_chunk(writer, line.encode("utf-8"))
+                index += 1
+            if record.terminal:
+                break
+            await record.wait_change(version)
+        await end_chunked(writer)
+
+    async def _handle_metrics(self, writer: asyncio.StreamWriter) -> None:
+        self._update_gauges()
+        self._count_http("/metrics", 200)
+        await send_text(writer, 200, prometheus_text(self.metrics))
+
+    async def _handle_healthz(self, writer: asyncio.StreamWriter) -> None:
+        payload: dict[str, Any] = {
+            "status": "ok",
+            "service": "gpo-serve",
+            "version": __version__,
+            "event_schema_version": EVENT_SCHEMA_VERSION,
+            "python": platform.python_version(),
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "workers": self.pool.max_workers,
+            "queue": {
+                "depth": len(self.queue),
+                "capacity": self.config.queue_capacity,
+                "tenant_quota": self.config.tenant_quota,
+            },
+            "jobs": self.store.counts(),
+            "cache": {
+                "enabled": self.cache is not None,
+                "hits": self.cache.hits if self.cache else 0,
+                "misses": self.cache.misses if self.cache else 0,
+            },
+        }
+        self._count_http("/healthz", 200)
+        await send_json(writer, 200, payload)

@@ -1,0 +1,57 @@
+"""Configuration of the ``gpo serve`` daemon.
+
+One frozen dataclass carries every tunable of the HTTP layer, the
+admission queue and the dispatch loop, so tests can build hermetic
+servers (port 0, tiny quotas, fast polls) without touching globals.
+The limits double as the untrusted-input hardening surface: request
+body, net text and parsed net sizes are all capped here, and client
+supplied budgets are clamped to the server's ceilings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ServeConfig"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of one server instance (see field comments)."""
+
+    #: Bind address; port 0 lets the OS pick (tests read it back).
+    host: str = "127.0.0.1"
+    port: int = 8080
+
+    #: Concurrent worker processes shared by all tenants.
+    workers: int = 2
+
+    #: Result-cache directory (``None`` = engine default); ``cache=False``
+    #: style disabling is expressed by ``use_cache``.
+    cache_dir: str | None = None
+    use_cache: bool = True
+
+    #: Total queued jobs the server admits before answering 429.
+    queue_capacity: int = 256
+    #: Queued jobs any single tenant may hold (its queue slice).
+    tenant_quota: int = 64
+
+    #: Hard caps on wire input (hardening against untrusted clients).
+    max_body_bytes: int = 2 * 1024 * 1024
+    max_net_bytes: int = 1024 * 1024
+    max_header_bytes: int = 16 * 1024
+    max_net_nodes: int = 20_000
+    max_net_arcs: int = 100_000
+
+    #: Server-side ceilings the requested budget is clamped to.
+    max_states_cap: int = 500_000
+    max_seconds_cap: float = 120.0
+    default_max_states: int = 200_000
+    default_max_seconds: float = 30.0
+
+    #: Dispatcher poll interval while workers are running (seconds).
+    poll_interval: float = 0.02
+    #: How long DELETE waits for a running job to die before returning.
+    cancel_wait_seconds: float = 5.0
+    #: Terminal job records retained for GET after completion.
+    max_finished_records: int = 4096

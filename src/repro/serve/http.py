@@ -1,0 +1,217 @@
+"""Minimal HTTP/1.1 plumbing over asyncio streams (stdlib only).
+
+Just enough of the protocol for the verification API: request-line +
+headers + Content-Length bodies on the way in, JSON and chunked
+streaming responses on the way out.  Deliberately simple-by-policy:
+
+* one request per connection (every response carries
+  ``Connection: close``) — no keep-alive state machine to get wrong;
+* hard limits on request-line, header block and body sizes, enforced
+  **before** any allocation proportional to client input;
+* malformed input maps to :class:`ApiError` (400/413/431/405), never a
+  traceback on the wire.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.serve.protocol import ApiError
+
+__all__ = [
+    "HttpRequest",
+    "read_request",
+    "send_chunk",
+    "send_json",
+    "send_text",
+    "start_chunked",
+    "end_chunked",
+]
+
+_MAX_REQUEST_LINE = 4096
+_SUPPORTED_METHODS = frozenset({"GET", "POST", "DELETE", "HEAD"})
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+}
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, split path, query and body."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    *,
+    max_header_bytes: int = 16 * 1024,
+    max_body_bytes: int = 2 * 1024 * 1024,
+) -> HttpRequest | None:
+    """Read and validate one request; ``None`` on a cleanly closed socket."""
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ApiError(400, "bad-request-line", "truncated request") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise ApiError(431, "request-line-too-long") from exc
+    if len(line) > _MAX_REQUEST_LINE:
+        raise ApiError(431, "request-line-too-long")
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ApiError(400, "bad-request-line", line.decode("latin-1").strip())
+    method, target = parts[0].upper(), parts[1]
+    if method not in _SUPPORTED_METHODS:
+        raise ApiError(405, "method-not-allowed", method)
+
+    headers: dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        try:
+            line = await reader.readuntil(b"\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError) as exc:
+            raise ApiError(400, "bad-headers", "truncated header block") from exc
+        header_bytes += len(line)
+        if header_bytes > max_header_bytes:
+            raise ApiError(431, "headers-too-large")
+        text = line.decode("latin-1").strip()
+        if not text:
+            break
+        name, sep, value = text.partition(":")
+        if not sep:
+            raise ApiError(400, "bad-headers", f"malformed header {text!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as exc:
+            raise ApiError(400, "bad-headers", "non-integer content-length") from exc
+        if length < 0:
+            raise ApiError(400, "bad-headers", "negative content-length")
+        if length > max_body_bytes:
+            raise ApiError(
+                413,
+                "body-too-large",
+                f"body is {length} bytes; limit {max_body_bytes}",
+            )
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise ApiError(400, "bad-request", "truncated body") from exc
+    elif headers.get("transfer-encoding"):
+        raise ApiError(
+            400, "bad-request", "chunked request bodies are not supported"
+        )
+
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+    return HttpRequest(
+        method=method,
+        path=split.path,
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def _head(
+    status: int,
+    content_type: str,
+    extra_headers: dict[str, str] | None,
+    *,
+    length: int | None,
+    chunked: bool = False,
+) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        "Connection: close",
+    ]
+    if chunked:
+        lines.append("Transfer-Encoding: chunked")
+    elif length is not None:
+        lines.append(f"Content-Length: {length}")
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def send_text(
+    writer: asyncio.StreamWriter,
+    status: int,
+    text: str,
+    *,
+    content_type: str = "text/plain; version=0.0.4; charset=utf-8",
+    headers: dict[str, str] | None = None,
+) -> None:
+    """Write a complete plain-text response."""
+    payload = text.encode("utf-8")
+    writer.write(
+        _head(status, content_type, headers, length=len(payload)) + payload
+    )
+    await writer.drain()
+
+
+async def send_json(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: dict[str, Any],
+    *,
+    headers: dict[str, str] | None = None,
+) -> None:
+    """Write a complete JSON response."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    writer.write(
+        _head(status, "application/json", headers, length=len(body)) + body
+    )
+    await writer.drain()
+
+
+async def start_chunked(
+    writer: asyncio.StreamWriter,
+    status: int = 200,
+    *,
+    content_type: str = "application/x-ndjson",
+    headers: dict[str, str] | None = None,
+) -> None:
+    """Begin a chunked response (the event-stream endpoint)."""
+    writer.write(_head(status, content_type, headers, length=None, chunked=True))
+    await writer.drain()
+
+
+async def send_chunk(writer: asyncio.StreamWriter, data: bytes) -> None:
+    """Write one chunk and flush it to the client immediately."""
+    if not data:
+        return
+    writer.write(f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n")
+    await writer.drain()
+
+
+async def end_chunked(writer: asyncio.StreamWriter) -> None:
+    """Terminate a chunked response."""
+    writer.write(b"0\r\n\r\n")
+    await writer.drain()

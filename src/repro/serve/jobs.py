@@ -1,0 +1,206 @@
+"""Server-side job records: states, event buffers, change notification.
+
+A :class:`JobRecord` is the daemon's view of one submitted
+:class:`~repro.engine.jobs.VerificationJob` — its serve-level state
+machine (``queued → running → done | cancelled | failed``), the buffered
+lifecycle events that back ``GET /v1/jobs/{id}/events``, and an
+asyncio-native change signal so streamers wake without polling.
+
+Engine events reach the record through :class:`JobEventBuffer`, an
+:class:`~repro.engine.events.EventSink` handed to the worker pool per
+call — the pool's own lifecycle machinery stays untouched, the serve
+layer just routes each job's stream to its own buffer and enriches every
+payload with the serve job id (the schema version ``v`` is stamped by
+:meth:`JobEvent.payload` itself).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict
+from typing import Any
+
+from repro.engine.cache import result_to_dict
+from repro.engine.events import EventSink, JobEvent
+from repro.engine.jobs import JobResult, VerificationJob
+
+__all__ = ["JobEventBuffer", "JobRecord", "JobStore", "TERMINAL_STATES"]
+
+#: Serve-level states a record can end in.
+TERMINAL_STATES = frozenset({"done", "cancelled", "failed"})
+
+#: Engine JobResult.status → serve-level terminal state.  A ``killed``
+#: job produced a legitimate (non-exhaustive) result at its deadline, so
+#: it completes as ``done``; only worker errors/crashes are ``failed``.
+_STATUS_TO_STATE = {
+    "ok": "done",
+    "cached": "done",
+    "killed": "done",
+    "cancelled": "cancelled",
+    "error": "failed",
+}
+
+
+class JobRecord:
+    """One submitted job: identity, state, outcome and event buffer."""
+
+    def __init__(
+        self,
+        job_id: str,
+        job: VerificationJob,
+        *,
+        tenant: str,
+        priority: int,
+    ) -> None:
+        self.id = job_id
+        self.job = job
+        self.tenant = tenant
+        self.priority = priority
+        self.state = "queued"
+        self.submitted_at = time.time()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.outcome: JobResult | None = None
+        self.cancel_requested = False
+        self.events: list[dict[str, Any]] = []
+        self.sink = JobEventBuffer(self)
+        # Running-state bookkeeping owned by the dispatcher: the live
+        # WorkerHandle (typed loosely to keep this module engine-agnostic).
+        self.handle: Any = None
+        self._version = 0
+        self._changed = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    @property
+    def version(self) -> int:
+        """Monotonic change counter; bumps on every event/state change."""
+        return self._version
+
+    def _touch(self) -> None:
+        self._version += 1
+        changed, self._changed = self._changed, asyncio.Event()
+        changed.set()
+
+    async def wait_change(self, seen_version: int) -> None:
+        """Block until the record changes past ``seen_version``."""
+        while self._version == seen_version:
+            await self._changed.wait()
+
+    async def wait_terminal(self, timeout: float | None = None) -> bool:
+        """Wait until the record is terminal; ``False`` on timeout."""
+
+        async def _wait() -> None:
+            while not self.terminal:
+                await self.wait_change(self._version)
+
+        try:
+            await asyncio.wait_for(_wait(), timeout)
+        except asyncio.TimeoutError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    def add_event(self, payload: dict[str, Any]) -> None:
+        """Append one event payload (already schema-stamped) and notify."""
+        payload.setdefault("job_id", self.id)
+        self.events.append(payload)
+        self._touch()
+
+    def mark_running(self, handle: Any) -> None:
+        self.state = "running"
+        self.started_at = time.time()
+        self.handle = handle
+        self._touch()
+
+    def finish(self, outcome: JobResult) -> None:
+        """Record the engine outcome and enter the matching terminal state."""
+        self.outcome = outcome
+        self.state = _STATUS_TO_STATE.get(outcome.status, "done")
+        self.finished_at = time.time()
+        self.handle = None
+        self._touch()
+
+    def mark_cancelled_queued(self) -> None:
+        """Cancel a job that never started (no engine outcome exists)."""
+        self.state = "cancelled"
+        self.finished_at = time.time()
+        self._touch()
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict[str, Any]:
+        """The JSON body of ``GET /v1/jobs/{id}``."""
+        out: dict[str, Any] = {
+            "id": self.id,
+            "state": self.state,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "net": self.job.net.name,
+            "method": self.job.method,
+            "query": self.job.query,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "events": len(self.events),
+            "cancel_requested": self.cancel_requested,
+        }
+        if self.outcome is not None:
+            out["engine_status"] = self.outcome.status
+            out["wall_seconds"] = self.outcome.wall_seconds
+            if self.outcome.error is not None:
+                out["error"] = self.outcome.error
+            if self.outcome.status != "error":
+                out["result"] = result_to_dict(self.outcome.result)
+                out["verdict"] = self.outcome.result.verdict
+        return out
+
+
+class JobEventBuffer(EventSink):
+    """Event sink routing one job's lifecycle events into its record."""
+
+    def __init__(self, record: JobRecord) -> None:
+        self._record = record
+
+    def emit(self, event: JobEvent) -> None:
+        self._record.add_event(event.payload())
+
+
+class JobStore:
+    """Id-keyed record store with bounded retention of terminal records.
+
+    Live (queued/running) records are never evicted; once the number of
+    terminal records exceeds ``max_finished``, the oldest-finished ones
+    are dropped so a long-lived daemon's memory stays bounded.
+    """
+
+    def __init__(self, max_finished: int = 4096) -> None:
+        self.max_finished = max_finished
+        self._records: OrderedDict[str, JobRecord] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def add(self, record: JobRecord) -> None:
+        self._records[record.id] = record
+
+    def get(self, job_id: str) -> JobRecord | None:
+        return self._records.get(job_id)
+
+    def counts(self) -> dict[str, int]:
+        """State → record count (the /healthz jobs summary)."""
+        out: dict[str, int] = {}
+        for record in self._records.values():
+            out[record.state] = out.get(record.state, 0) + 1
+        return out
+
+    def evict_finished(self) -> int:
+        """Drop oldest terminal records beyond the cap; returns #dropped."""
+        terminal = [r.id for r in self._records.values() if r.terminal]
+        excess = len(terminal) - self.max_finished
+        for job_id in terminal[:max(0, excess)]:
+            del self._records[job_id]
+        return max(0, excess)

@@ -1,0 +1,212 @@
+"""Wire protocol: request validation and hardened net ingestion.
+
+Everything arriving over HTTP is untrusted.  This module is the single
+choke point between raw request bodies and the engine: JSON shape,
+method/query names, budgets, priorities and tenant names are validated
+field by field, and net text (native format or PNML, auto-detected by a
+leading ``<``) is size-capped **before** parsing and structure-capped
+after it.  Every rejection raises :class:`ApiError` carrying an HTTP
+status plus a machine-readable ``reason`` slug, which the HTTP layer
+renders as a structured JSON error payload — clients never see a raw
+traceback.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.engine.jobs import ANALYZERS, Budget, VerificationJob
+from repro.net.exceptions import ParseError
+from repro.net.parser import parse_net
+from repro.net.petrinet import PetriNet
+from repro.net.pnml import parse_pnml
+from repro.serve.config import ServeConfig
+
+__all__ = ["ApiError", "SubmitRequest", "parse_submit", "parse_wire_net"]
+
+#: Client-visible priority range (clamped, not rejected).
+PRIORITY_MIN, PRIORITY_MAX = -100, 100
+
+#: Tenant identifiers: short, printable, no structural characters.
+_TENANT_MAX_LEN = 64
+
+
+class ApiError(Exception):
+    """An HTTP-mappable request failure with a structured payload."""
+
+    def __init__(
+        self,
+        status: int,
+        reason: str,
+        detail: str = "",
+        *,
+        retry_after: int | None = None,
+    ) -> None:
+        super().__init__(f"{status} {reason}: {detail}" if detail else reason)
+        self.status = status
+        self.reason = reason
+        self.detail = detail
+        self.retry_after = retry_after
+
+    def payload(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "error": {"status": self.status, "reason": self.reason}
+        }
+        if self.detail:
+            out["error"]["detail"] = self.detail
+        if self.retry_after is not None:
+            out["error"]["retry_after"] = self.retry_after
+        return out
+
+
+@dataclass(frozen=True)
+class SubmitRequest:
+    """A validated ``POST /v1/jobs`` body, ready to become a job."""
+
+    net: PetriNet
+    method: str
+    query: str
+    budget: Budget
+    tenant: str
+    priority: int
+
+    def to_job(self) -> VerificationJob:
+        return VerificationJob(
+            net=self.net,
+            method=self.method,
+            budget=self.budget,
+            query=self.query,
+        )
+
+
+def parse_wire_net(
+    text: str, fmt: str, config: ServeConfig
+) -> PetriNet:
+    """Parse untrusted net text under the server's size limits.
+
+    ``fmt`` is ``"native"``, ``"pnml"`` or ``"auto"`` (leading ``<``
+    selects PNML).  Raises :class:`ApiError` (400/413) with a reason of
+    ``net-too-large`` / ``parse-error`` / ``bad-format``.
+    """
+    encoded = len(text.encode("utf-8", errors="replace"))
+    if encoded > config.max_net_bytes:
+        raise ApiError(
+            413,
+            "net-too-large",
+            f"net text is {encoded} bytes; limit {config.max_net_bytes}",
+        )
+    # XML declarations must sit at the very start of the entity, so
+    # whitespace-padded PNML would fail deep in the XML parser; strip
+    # once here (harmless for the native format too).
+    text = text.strip()
+    if fmt == "auto":
+        fmt = "pnml" if text.startswith("<") else "native"
+    if fmt not in ("native", "pnml"):
+        raise ApiError(
+            400, "bad-format", f"unknown net format {fmt!r}"
+        )
+    try:
+        net = parse_pnml(text) if fmt == "pnml" else parse_net(text)
+    except ParseError as exc:
+        raise ApiError(400, "parse-error", str(exc)) from exc
+    nodes = net.num_places + net.num_transitions
+    if nodes > config.max_net_nodes:
+        raise ApiError(
+            413,
+            "net-too-large",
+            f"net has {nodes} nodes; limit {config.max_net_nodes}",
+        )
+    if net.num_arcs > config.max_net_arcs:
+        raise ApiError(
+            413,
+            "net-too-large",
+            f"net has {net.num_arcs} arcs; limit {config.max_net_arcs}",
+        )
+    return net
+
+
+def _clamped_number(
+    body: dict[str, Any],
+    key: str,
+    default: float,
+    cap: float,
+) -> float:
+    value = body.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ApiError(400, "bad-request", f"{key!r} must be a number")
+    if value <= 0:
+        raise ApiError(400, "bad-request", f"{key!r} must be positive")
+    return min(float(value), cap)
+
+
+def _tenant_of(body: dict[str, Any]) -> str:
+    tenant = body.get("tenant", "anonymous")
+    if not isinstance(tenant, str) or not tenant:
+        raise ApiError(400, "bad-request", "'tenant' must be a non-empty string")
+    if len(tenant) > _TENANT_MAX_LEN or not all(
+        c.isalnum() or c in "-_." for c in tenant
+    ):
+        raise ApiError(
+            400,
+            "bad-request",
+            "'tenant' must be <=64 chars of [alnum-_.]",
+        )
+    return tenant
+
+
+def parse_submit(raw_body: bytes, config: ServeConfig) -> SubmitRequest:
+    """Validate a ``POST /v1/jobs`` body into a :class:`SubmitRequest`."""
+    try:
+        body = json.loads(raw_body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ApiError(400, "bad-json", str(exc)) from exc
+    if not isinstance(body, dict):
+        raise ApiError(400, "bad-json", "body must be a JSON object")
+
+    net_text = body.get("net")
+    if not isinstance(net_text, str) or not net_text.strip():
+        raise ApiError(
+            400, "bad-request", "'net' (net text or PNML) is required"
+        )
+    fmt = body.get("format", "auto")
+    if not isinstance(fmt, str):
+        raise ApiError(400, "bad-format", "'format' must be a string")
+    net = parse_wire_net(net_text, fmt, config)
+
+    method = body.get("method", "gpo")
+    if method not in ANALYZERS:
+        raise ApiError(
+            400,
+            "unknown-method",
+            f"{method!r}; expected one of {sorted(ANALYZERS)}",
+        )
+    query = body.get("query", "deadlock")
+    if query != "deadlock":
+        raise ApiError(
+            400, "unknown-query", f"{query!r}; only 'deadlock' is supported"
+        )
+
+    max_states = int(
+        _clamped_number(
+            body, "max_states", config.default_max_states, config.max_states_cap
+        )
+    )
+    max_seconds = _clamped_number(
+        body, "max_seconds", config.default_max_seconds, config.max_seconds_cap
+    )
+
+    priority = body.get("priority", 0)
+    if isinstance(priority, bool) or not isinstance(priority, int):
+        raise ApiError(400, "bad-request", "'priority' must be an integer")
+    priority = max(PRIORITY_MIN, min(PRIORITY_MAX, priority))
+
+    return SubmitRequest(
+        net=net,
+        method=str(method),
+        query=str(query),
+        budget=Budget(max_states=max_states, max_seconds=max_seconds),
+        tenant=_tenant_of(body),
+        priority=priority,
+    )

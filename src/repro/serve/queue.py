@@ -1,0 +1,129 @@
+"""Admission queue: priorities, per-tenant quotas, tenant-fair dequeue.
+
+The daemon admits far more jobs than it can run at once, so ordering and
+fairness live here rather than in the worker pool.  The structure is a
+priority ladder of per-tenant FIFO lanes:
+
+* **push** appends to the submitting tenant's lane at the job's priority
+  level, refusing with :class:`QueueFull` when either the global capacity
+  or the tenant's quota slice is exhausted (the HTTP layer turns that
+  into ``429 Retry-After``);
+* **pop** takes from the highest non-empty priority level, round-robining
+  over the tenants present at that level — a tenant that floods the queue
+  gets throughput proportional to tenants, not to submissions;
+* **remove** supports cancelling a still-queued job by id.
+
+Everything is plain deques mutated from the single event-loop thread; no
+locks are needed and every operation is O(1) except ``remove`` (O(lane)).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["QueueFull", "TenantQueue"]
+
+
+class QueueFull(Exception):
+    """Raised by :meth:`TenantQueue.push` when admission is refused.
+
+    ``scope`` says which limit fired (``"queue"`` or ``"tenant"``);
+    ``retry_after`` is the server's backoff hint in whole seconds.
+    """
+
+    def __init__(self, scope: str, retry_after: int) -> None:
+        super().__init__(f"{scope} full; retry after {retry_after}s")
+        self.scope = scope
+        self.retry_after = retry_after
+
+
+@dataclass
+class _Level:
+    """One priority level: tenant lanes plus their round-robin order."""
+
+    lanes: dict[str, deque[str]] = field(default_factory=dict)
+    order: deque[str] = field(default_factory=deque)
+
+
+class TenantQueue:
+    """Priority queue of job ids with per-tenant quotas and fairness."""
+
+    def __init__(self, capacity: int = 256, tenant_quota: int = 64) -> None:
+        self.capacity = capacity
+        self.tenant_quota = tenant_quota
+        self._levels: dict[int, _Level] = {}
+        self._tenant_depth: dict[str, int] = {}
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def depth_of(self, tenant: str) -> int:
+        """Number of queued jobs held by ``tenant``."""
+        return self._tenant_depth.get(tenant, 0)
+
+    def retry_after(self) -> int:
+        """Backoff hint: scales with backlog, clamped to [1, 60] seconds."""
+        return max(1, min(60, self._size // max(1, self.capacity // 16)))
+
+    def push(self, job_id: str, *, tenant: str, priority: int = 0) -> None:
+        """Admit one job id, or raise :class:`QueueFull`."""
+        if self._size >= self.capacity:
+            raise QueueFull("queue", self.retry_after())
+        if self.depth_of(tenant) >= self.tenant_quota:
+            raise QueueFull("tenant", self.retry_after())
+        level = self._levels.setdefault(priority, _Level())
+        lane = level.lanes.get(tenant)
+        if lane is None:
+            lane = level.lanes[tenant] = deque()
+            level.order.append(tenant)
+        lane.append(job_id)
+        self._tenant_depth[tenant] = self.depth_of(tenant) + 1
+        self._size += 1
+
+    def pop(self) -> str | None:
+        """The next job id to run, or ``None`` when empty.
+
+        Highest priority first; within a level, tenants take strict
+        turns in arrival order of their lanes.
+        """
+        if self._size == 0:
+            return None
+        priority = max(p for p, lvl in self._levels.items() if lvl.order)
+        level = self._levels[priority]
+        tenant = level.order.popleft()
+        lane = level.lanes[tenant]
+        job_id = lane.popleft()
+        if lane:
+            level.order.append(tenant)
+        else:
+            del level.lanes[tenant]
+        if not level.order:
+            del self._levels[priority]
+        self._account_removal(tenant)
+        return job_id
+
+    def remove(self, job_id: str) -> bool:
+        """Cancel a queued job by id; ``True`` when it was found."""
+        for priority, level in list(self._levels.items()):
+            for tenant, lane in list(level.lanes.items()):
+                if job_id not in lane:
+                    continue
+                lane.remove(job_id)
+                if not lane:
+                    del level.lanes[tenant]
+                    level.order.remove(tenant)
+                if not level.order:
+                    del self._levels[priority]
+                self._account_removal(tenant)
+                return True
+        return False
+
+    def _account_removal(self, tenant: str) -> None:
+        self._size -= 1
+        depth = self._tenant_depth[tenant] - 1
+        if depth:
+            self._tenant_depth[tenant] = depth
+        else:
+            del self._tenant_depth[tenant]

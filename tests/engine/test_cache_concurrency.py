@@ -1,0 +1,127 @@
+"""ResultCache under concurrency and corruption: atomic puts, lock-free gets."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.engine.cache import FORMAT_VERSION, ResultCache
+from repro.engine.jobs import Budget, VerificationJob, execute_job
+from repro.models import nsdp
+
+
+def make_job(size: int = 2) -> VerificationJob:
+    return VerificationJob(net=nsdp(size), method="gpo", budget=Budget())
+
+
+class TestConcurrentAccess:
+    def test_parallel_put_get_never_torn(self, tmp_path):
+        """Hammer one entry from many threads; every read is miss or whole."""
+        cache = ResultCache(tmp_path)
+        job = make_job()
+        result = execute_job(job)
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(8)
+
+        def worker(writer: bool) -> None:
+            try:
+                barrier.wait()
+                for _ in range(50):
+                    if writer:
+                        cache.put(job, result)
+                    else:
+                        got = cache.get(job)
+                        if got is not None:
+                            # A complete entry, never a partial one.
+                            assert got.deadlock == result.deadlock
+                            assert got.states == result.states
+            except BaseException as exc:  # noqa: BLE001 - collect, assert later
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i % 2 == 0,))
+            for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert cache.get(job) is not None
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = make_job()
+        result = execute_job(job)
+        for _ in range(10):
+            cache.put(job, result)
+        leftovers = [p for p in tmp_path.rglob("*") if ".tmp." in p.name]
+        assert leftovers == []
+
+    def test_stats_counted_under_threads(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = make_job()
+        cache.put(job, execute_job(job))
+
+        def reader() -> None:
+            for _ in range(100):
+                assert cache.get(job) is not None
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert cache.hits == 400
+
+
+class TestCorruptionTolerance:
+    def entry_path(self, cache: ResultCache, job: VerificationJob):
+        return cache._path(cache.key(job))
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = make_job()
+        cache.put(job, execute_job(job))
+        path = self.entry_path(cache, job)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert cache.get(job) is None
+
+    def test_garbage_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = make_job()
+        path = self.entry_path(cache, job)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("not json at all {{{")
+        assert cache.get(job) is None
+
+    def test_wrong_schema_shape_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = make_job()
+        path = self.entry_path(cache, job)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps({"version": FORMAT_VERSION, "result": {"bogus": 1}})
+        )
+        assert cache.get(job) is None
+
+    def test_old_format_version_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = make_job()
+        cache.put(job, execute_job(job))
+        path = self.entry_path(cache, job)
+        payload = json.loads(path.read_text())
+        payload["version"] = FORMAT_VERSION - 1
+        path.write_text(json.dumps(payload))
+        assert cache.get(job) is None
+
+    def test_corruption_recovers_after_rewrite(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = make_job()
+        result = execute_job(job)
+        cache.put(job, result)
+        self.entry_path(cache, job).write_text("garbage")
+        assert cache.get(job) is None
+        cache.put(job, result)
+        got = cache.get(job)
+        assert got is not None and got.deadlock == result.deadlock

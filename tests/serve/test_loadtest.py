@@ -1,0 +1,109 @@
+"""Loadtest harness: deterministic workloads, differential verdicts, report shape."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.serve import ServeApp, ServeConfig
+from repro.serve.loadtest import (
+    LoadtestConfig,
+    _build_workload,
+    format_report,
+    mismatch_count,
+    quick_config,
+    run_loadtest,
+    write_report,
+)
+
+
+class TestWorkload:
+    def test_same_seed_same_workload(self):
+        config = quick_config("h", 1, requests=12)
+        first = _build_workload(config)
+        second = _build_workload(config)
+        assert [s.body for s in first] == [s.body for s in second]
+
+    def test_mixed_formats_and_methods(self):
+        config = quick_config("h", 1, requests=40)
+        specs = _build_workload(config)
+        assert {s.fmt for s in specs} == {"native", "pnml"}
+        assert len({s.method for s in specs}) > 1
+        assert all(s.tenant.startswith("tenant-") for s in specs)
+
+    def test_skew_pins_tenant_zero(self):
+        config = quick_config("h", 1, requests=50, skew=1.0)
+        assert {s.tenant for s in _build_workload(config)} == {"tenant-0"}
+
+
+class TestEndToEnd:
+    def test_loadtest_against_live_server(self, tmp_path):
+        async def main():
+            app = ServeApp(
+                ServeConfig(
+                    port=0,
+                    workers=2,
+                    cache_dir=str(tmp_path / "cache"),
+                    poll_interval=0.01,
+                )
+            )
+            await app.start()
+            try:
+                config = quick_config(
+                    "127.0.0.1",
+                    app.port,
+                    requests=10,
+                    concurrency=4,
+                    repeat=2,
+                    poll_interval=0.01,
+                )
+                return await run_loadtest(config)
+            finally:
+                await app.stop()
+
+        report = asyncio.run(asyncio.wait_for(main(), 120))
+        assert mismatch_count(report) == 0
+        cold, warm = report["phases"]
+        assert cold["phase"] == "cold" and warm["phase"] == "warm-1"
+        assert cold["completed"] == 10 and warm["completed"] == 10
+        # Identical replay: every warm request hits the shared cache.
+        assert warm["cache_hit_rate"] > 0.9
+        for phase in (cold, warm):
+            assert phase["latency_seconds"]["p99"] >= phase["latency_seconds"]["p50"]
+            assert phase["throughput_rps"] > 0
+
+        text = format_report(report)
+        assert "[cold]" in text and "[warm-1]" in text and "p99=" in text
+
+        out = tmp_path / "BENCH_serve.json"
+        write_report(report, str(out))
+        assert out.exists() and out.read_text().startswith("{")
+
+    def test_unverified_run_skips_ground_truth(self, tmp_path):
+        async def main():
+            app = ServeApp(
+                ServeConfig(
+                    port=0, workers=1,
+                    cache_dir=str(tmp_path / "cache"),
+                    poll_interval=0.01,
+                )
+            )
+            await app.start()
+            try:
+                config = LoadtestConfig(
+                    host="127.0.0.1",
+                    port=app.port,
+                    requests=4,
+                    concurrency=2,
+                    families=("NSDP",),
+                    methods=("gpo",),
+                    sizes={"NSDP": (2,)},
+                    verify=False,
+                    poll_interval=0.01,
+                )
+                return await run_loadtest(config)
+            finally:
+                await app.stop()
+
+        report = asyncio.run(asyncio.wait_for(main(), 60))
+        assert report["config"]["verified"] is False
+        assert mismatch_count(report) == 0

@@ -1,0 +1,141 @@
+"""Wire-protocol hardening: untrusted bodies become ApiError, never tracebacks."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.models import nsdp
+from repro.net.parser import to_text
+from repro.net.pnml import to_pnml
+from repro.serve.config import ServeConfig
+from repro.serve.protocol import ApiError, parse_submit, parse_wire_net
+
+CONFIG = ServeConfig()
+
+
+def submit_body(**overrides) -> bytes:
+    body = {"net": to_text(nsdp(2)), "method": "gpo"}
+    body.update(overrides)
+    return json.dumps(body).encode("utf-8")
+
+
+class TestParseWireNet:
+    def test_native_roundtrip(self):
+        net = parse_wire_net(to_text(nsdp(2)), "native", CONFIG)
+        assert net.num_places == nsdp(2).num_places
+
+    def test_pnml_roundtrip(self):
+        net = parse_wire_net(to_pnml(nsdp(2)), "pnml", CONFIG)
+        assert net.num_transitions == nsdp(2).num_transitions
+
+    def test_auto_detects_pnml_by_leading_angle(self):
+        net = parse_wire_net("  " + to_pnml(nsdp(2)), "auto", CONFIG)
+        assert net.num_places == nsdp(2).num_places
+
+    def test_auto_detects_native(self):
+        net = parse_wire_net(to_text(nsdp(2)), "auto", CONFIG)
+        assert net.num_places == nsdp(2).num_places
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ApiError) as excinfo:
+            parse_wire_net("net x", "yaml", CONFIG)
+        assert excinfo.value.status == 400
+        assert excinfo.value.reason == "bad-format"
+
+    def test_byte_cap_applies_before_parsing(self):
+        config = dataclasses.replace(CONFIG, max_net_bytes=16)
+        with pytest.raises(ApiError) as excinfo:
+            parse_wire_net(to_text(nsdp(4)), "native", config)
+        assert excinfo.value.status == 413
+        assert excinfo.value.reason == "net-too-large"
+
+    def test_node_cap_applies_after_parsing(self):
+        config = dataclasses.replace(CONFIG, max_net_nodes=3)
+        with pytest.raises(ApiError) as excinfo:
+            parse_wire_net(to_text(nsdp(4)), "native", config)
+        assert excinfo.value.status == 413
+
+    def test_garbage_is_a_structured_400(self):
+        with pytest.raises(ApiError) as excinfo:
+            parse_wire_net("%%% not a net %%%", "native", CONFIG)
+        err = excinfo.value
+        assert (err.status, err.reason) == (400, "parse-error")
+        payload = err.payload()["error"]
+        assert payload["status"] == 400
+        assert "Traceback" not in payload.get("detail", "")
+
+
+class TestParseSubmit:
+    def test_minimal_valid_body(self):
+        submit = parse_submit(submit_body(), CONFIG)
+        assert submit.method == "gpo"
+        assert submit.query == "deadlock"
+        assert submit.tenant == "anonymous"
+        assert submit.priority == 0
+        assert submit.budget.max_states == CONFIG.default_max_states
+        job = submit.to_job()
+        assert job.method == "gpo"
+
+    def test_not_json(self):
+        with pytest.raises(ApiError) as excinfo:
+            parse_submit(b"\xff\xfe{{{", CONFIG)
+        assert excinfo.value.reason == "bad-json"
+
+    def test_non_object_body(self):
+        with pytest.raises(ApiError) as excinfo:
+            parse_submit(b"[1, 2]", CONFIG)
+        assert excinfo.value.reason == "bad-json"
+
+    def test_missing_net(self):
+        with pytest.raises(ApiError) as excinfo:
+            parse_submit(b'{"method": "gpo"}', CONFIG)
+        assert (excinfo.value.status, excinfo.value.reason) == (
+            400, "bad-request",
+        )
+
+    def test_unknown_method(self):
+        with pytest.raises(ApiError) as excinfo:
+            parse_submit(submit_body(method="quantum"), CONFIG)
+        assert excinfo.value.reason == "unknown-method"
+
+    def test_unknown_query(self):
+        with pytest.raises(ApiError) as excinfo:
+            parse_submit(submit_body(query="liveness"), CONFIG)
+        assert excinfo.value.reason == "unknown-query"
+
+    def test_budget_clamped_to_server_caps(self):
+        submit = parse_submit(
+            submit_body(max_states=10**9, max_seconds=10**6), CONFIG
+        )
+        assert submit.budget.max_states == CONFIG.max_states_cap
+        assert submit.budget.max_seconds == CONFIG.max_seconds_cap
+
+    @pytest.mark.parametrize("value", [0, -3, "many", True, None])
+    def test_bad_budget_rejected(self, value):
+        with pytest.raises(ApiError) as excinfo:
+            parse_submit(submit_body(max_states=value), CONFIG)
+        assert excinfo.value.status == 400
+
+    def test_priority_clamped_not_rejected(self):
+        assert parse_submit(submit_body(priority=10**6), CONFIG).priority == 100
+        assert parse_submit(submit_body(priority=-(10**6)), CONFIG).priority == -100
+
+    def test_non_integer_priority_rejected(self):
+        with pytest.raises(ApiError):
+            parse_submit(submit_body(priority="urgent"), CONFIG)
+        with pytest.raises(ApiError):
+            parse_submit(submit_body(priority=True), CONFIG)
+
+    def test_tenant_validation(self):
+        assert parse_submit(submit_body(tenant="team-a.prod_1"), CONFIG).tenant \
+            == "team-a.prod_1"
+        for bad in ["", "a" * 65, "has space", "semi;colon", 42]:
+            with pytest.raises(ApiError):
+                parse_submit(submit_body(tenant=bad), CONFIG)
+
+    def test_retry_after_surfaces_in_payload(self):
+        err = ApiError(429, "queue-full", "busy", retry_after=7)
+        assert err.payload()["error"]["retry_after"] == 7

@@ -1,0 +1,141 @@
+"""TenantQueue: priority ordering, tenant fairness, quotas, removal."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.queue import QueueFull, TenantQueue
+
+
+def drain(queue: TenantQueue) -> list[str]:
+    out = []
+    while True:
+        job_id = queue.pop()
+        if job_id is None:
+            return out
+        out.append(job_id)
+
+
+class TestOrdering:
+    def test_fifo_within_one_tenant(self):
+        queue = TenantQueue()
+        for i in range(5):
+            queue.push(f"j{i}", tenant="t")
+        assert drain(queue) == [f"j{i}" for i in range(5)]
+
+    def test_higher_priority_first(self):
+        queue = TenantQueue()
+        queue.push("low", tenant="t", priority=-5)
+        queue.push("mid", tenant="t", priority=0)
+        queue.push("high", tenant="t", priority=7)
+        assert drain(queue) == ["high", "mid", "low"]
+
+    def test_priority_beats_arrival_order(self):
+        queue = TenantQueue()
+        queue.push("first", tenant="t")
+        queue.push("vip", tenant="u", priority=1)
+        assert queue.pop() == "vip"
+        assert queue.pop() == "first"
+
+    def test_pop_empty_returns_none(self):
+        assert TenantQueue().pop() is None
+        assert len(TenantQueue()) == 0
+
+
+class TestFairness:
+    def test_round_robin_between_tenants(self):
+        queue = TenantQueue()
+        for i in range(3):
+            queue.push(f"a{i}", tenant="a")
+            queue.push(f"b{i}", tenant="b")
+        assert drain(queue) == ["a0", "b0", "a1", "b1", "a2", "b2"]
+
+    def test_flooding_tenant_does_not_starve_others(self):
+        """A noisy neighbour with 10 queued jobs still takes strict turns."""
+        queue = TenantQueue()
+        for i in range(10):
+            queue.push(f"noisy{i}", tenant="noisy")
+        queue.push("quiet0", tenant="quiet")
+        order = drain(queue)
+        # The quiet tenant's single job runs second, not eleventh.
+        assert order.index("quiet0") == 1
+
+    def test_fairness_is_per_priority_level(self):
+        queue = TenantQueue()
+        queue.push("a-high", tenant="a", priority=1)
+        queue.push("b-low", tenant="b", priority=0)
+        queue.push("a-low", tenant="a", priority=0)
+        # Priority dominates fairness; within level 0 b arrived first.
+        assert drain(queue) == ["a-high", "b-low", "a-low"]
+
+
+class TestAdmission:
+    def test_global_capacity(self):
+        queue = TenantQueue(capacity=2, tenant_quota=10)
+        queue.push("a", tenant="t1")
+        queue.push("b", tenant="t2")
+        with pytest.raises(QueueFull) as excinfo:
+            queue.push("c", tenant="t3")
+        assert excinfo.value.scope == "queue"
+        assert 1 <= excinfo.value.retry_after <= 60
+
+    def test_tenant_quota(self):
+        queue = TenantQueue(capacity=100, tenant_quota=2)
+        queue.push("a", tenant="greedy")
+        queue.push("b", tenant="greedy")
+        with pytest.raises(QueueFull) as excinfo:
+            queue.push("c", tenant="greedy")
+        assert excinfo.value.scope == "tenant"
+        # Other tenants are unaffected by one tenant's full slice.
+        queue.push("d", tenant="polite")
+        assert queue.depth_of("greedy") == 2
+        assert queue.depth_of("polite") == 1
+
+    def test_pop_frees_quota(self):
+        queue = TenantQueue(capacity=100, tenant_quota=1)
+        queue.push("a", tenant="t")
+        with pytest.raises(QueueFull):
+            queue.push("b", tenant="t")
+        assert queue.pop() == "a"
+        queue.push("b", tenant="t")  # quota released by the pop
+        assert queue.depth_of("t") == 1
+
+    def test_retry_after_scales_with_backlog(self):
+        queue = TenantQueue(capacity=160, tenant_quota=160)
+        assert queue.retry_after() == 1
+        for i in range(100):
+            queue.push(f"j{i}", tenant="t")
+        assert 1 <= queue.retry_after() <= 60
+        assert queue.retry_after() >= 10
+
+
+class TestRemove:
+    def test_remove_queued_job(self):
+        queue = TenantQueue()
+        queue.push("a", tenant="t")
+        queue.push("b", tenant="t")
+        assert queue.remove("a") is True
+        assert len(queue) == 1
+        assert drain(queue) == ["b"]
+
+    def test_remove_unknown_is_false(self):
+        queue = TenantQueue()
+        queue.push("a", tenant="t")
+        assert queue.remove("nope") is False
+        assert len(queue) == 1
+
+    def test_remove_last_job_of_tenant_clears_lane(self):
+        queue = TenantQueue()
+        queue.push("a", tenant="a")
+        queue.push("b", tenant="b")
+        assert queue.remove("a") is True
+        # Tenant a's empty lane must not participate in round-robin.
+        assert drain(queue) == ["b"]
+        assert queue.depth_of("a") == 0
+
+    def test_remove_frees_quota(self):
+        queue = TenantQueue(capacity=10, tenant_quota=1)
+        queue.push("a", tenant="t")
+        assert queue.remove("a") is True
+        queue.push("b", tenant="t")
+        assert len(queue) == 1
