@@ -54,6 +54,7 @@ __all__ = [
     "analyze",
     "AnalysisResult",
     "DeadlockWitness",
+    "query",
     "verify",
     "__version__",
 ]
@@ -91,3 +92,21 @@ def verify(net: PetriNet, *, method: str = "gpo", **kwargs) -> AnalysisResult:
         f"unknown method {method!r}; expected one of "
         "'gpo', 'full', 'stubborn', 'symbolic', 'unfolding'"
     )
+
+
+def query(net: PetriNet, prop, **kwargs):
+    """One-call property decision — the planner behind ``gpo query``.
+
+    ``prop`` is a :mod:`repro.props` property (text or AST), e.g.
+    ``"deadlock"``, ``"reachable(cs0 & cs1)"`` or
+    ``"invariant(!(cs0 & cs1))"``.  Returns a
+    :class:`repro.props.decide.Decision` whose ``holds`` attribute is the
+    three-valued verdict (``True`` / ``False`` / ``None``).
+
+    >>> from repro.models.philosophers import nsdp
+    >>> query(nsdp(2), "deadlock").holds
+    True
+    """
+    from repro.props.decide import decide
+
+    return decide(net, prop, **kwargs)

@@ -32,6 +32,14 @@ from repro.net.petrinet import Marking, PetriNet
 from repro.obs import names
 from repro.obs.record import record_result
 from repro.obs.tracer import current_tracer
+from repro.props.ast import Property
+from repro.props.eval import (
+    engine_property,
+    needs_decomposition,
+    property_extras,
+    reject_safe,
+    run_property,
+)
 from repro.search.core import (
     SearchContext,
     SearchOutcome,
@@ -39,6 +47,7 @@ from repro.search.core import (
     raise_if_bounded,
 )
 from repro.search.core import explore as _drive
+from repro.search.goals import compile_goal
 from repro.search.graph import ReachabilityGraph
 from repro.search.observers import TracingObserver
 from repro.search.witness import extract_witness
@@ -225,6 +234,7 @@ def analyze(
     max_seconds: float | None = None,
     want_witness: bool = True,
     use_kernel: bool = True,
+    prop: "Property | str | None" = None,
 ) -> AnalysisResult:
     """Run full reachability analysis and package an :class:`AnalysisResult`.
 
@@ -234,15 +244,51 @@ def analyze(
     ``use_kernel`` selects the packed-integer fast path (default) or the
     frozenset reference path; both report identical counts and witnesses
     (``extras["kernel"]`` records which one ran).
+
+    ``prop`` asks a property question instead of the default deadlock
+    one: ``reachable(p)`` / ``invariant(p)`` compile to a goal observer
+    that terminates the search at the first deciding state; compound
+    properties decompose into per-leaf runs.  The verdict lands in
+    ``extras["property_holds"]``; ``prop=None`` (and the plain
+    ``deadlock`` property) keeps the historical output byte-identical.
     """
+    goal_prop = engine_property(prop)
+    if goal_prop is not None and needs_decomposition(goal_prop):
+        return run_property(
+            goal_prop,
+            lambda leaf: analyze(
+                net,
+                max_states=max_states,
+                max_seconds=max_seconds,
+                want_witness=want_witness,
+                use_kernel=use_kernel,
+                prop=leaf,
+            ),
+            analyzer="full",
+            net_name=net.name,
+        )
     space = _marking_space(net, use_kernel)
+    goal = None
+    if goal_prop is not None:
+        reject_safe("full", goal_prop)
+        goal = compile_goal(
+            net,
+            goal_prop,
+            marking_of=(
+                space.decode if isinstance(space, KernelMarkingSpace) else None
+            ),
+        )
     tracer = current_tracer()
     with tracer.span(names.SPAN_ANALYZE, analyzer="full", net=net.name) as root:
         # Consult the structural certificate before exploring: when it
         # holds, UnsafeNetError is provably unreachable during the search.
         with tracer.span(names.SPAN_CERTIFICATE):
             certified = net.static_analysis().safety_certificate.certified
-        observers = (TracingObserver(tracer),) if tracer.enabled else ()
+        observers: tuple[object, ...] = (
+            (TracingObserver(tracer),) if tracer.enabled else ()
+        )
+        if goal is not None:
+            observers = (goal.observer, *observers)
         with stopwatch() as elapsed:
             outcome = _drive(
                 space,
@@ -253,7 +299,11 @@ def analyze(
             )
         graph = outcome.graph
         witness = None
-        if graph.deadlocks and want_witness:
+        if goal is not None:
+            if goal.hit and want_witness:
+                with tracer.span(names.SPAN_WITNESS):
+                    witness = goal.witness(net, graph)
+        elif graph.deadlocks and want_witness:
             decode = (
                 space.decode if isinstance(space, KernelMarkingSpace) else None
             )
@@ -265,17 +315,23 @@ def analyze(
         note = abort_note(
             outcome.stop_reason, max_states=max_states, max_seconds=max_seconds
         )
-        if note is not None:
+        if note is not None and not (goal is not None and goal.hit):
             extras[names.ABORTED] = note
+        if goal is not None:
+            # A goal hit decides the question even though the search
+            # stopped early; report the verdict as the exhaustiveness of
+            # the *answer*, not of the state enumeration.
+            holds = goal.holds(outcome.exhaustive)
+            extras.update(property_extras(goal_prop, holds))
         result = AnalysisResult(
             analyzer="full",
             net_name=net.name,
             states=graph.num_states,
             edges=graph.num_edges,
-            deadlock=bool(graph.deadlocks),
+            deadlock=bool(graph.deadlocks) if goal is None else False,
             time_seconds=elapsed[0],
             witness=witness,
-            exhaustive=outcome.exhaustive,
+            exhaustive=outcome.exhaustive or (goal is not None and goal.hit),
             extras=extras,
         )
         root.set(states=result.states, edges=result.edges)

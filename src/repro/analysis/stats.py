@@ -71,8 +71,38 @@ class AnalysisResult:
         return None if note is None else str(note)
 
     @property
+    def property_text(self) -> str | None:
+        """Canonical text of the property this run answered, if any.
+
+        ``None`` for legacy deadlock runs — the property layer leaves
+        those byte-identical to the pre-layer output.
+        """
+        text = self.extras.get("property")
+        return None if text is None else str(text)
+
+    @property
+    def property_holds(self) -> bool | None:
+        """Three-valued property verdict (``None`` = inconclusive).
+
+        Only meaningful when :attr:`property_text` is set; legacy
+        deadlock runs express their verdict through ``deadlock`` /
+        ``exhaustive`` instead.
+        """
+        if "property" not in self.extras:
+            return None
+        holds = self.extras.get("property_holds")
+        return None if holds is None else bool(holds)
+
+    @property
     def verdict(self) -> str:
         """Short human-readable verdict string."""
+        if "property" in self.extras:
+            holds = self.property_holds
+            if holds is True:
+                return "property holds"
+            if holds is False:
+                return "property violated"
+            return "property undecided (bounded)"
         if self.deadlock:
             return "DEADLOCK"
         return "deadlock-free" if self.exhaustive else "no deadlock found (bounded)"

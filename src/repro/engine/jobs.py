@@ -29,6 +29,11 @@ from repro.analysis.stats import (
 from repro.gpo import analyze as gpo_analyze
 from repro.net.petrinet import PetriNet
 from repro.obs.names import INSTRUMENTATION_FIELDS
+from repro.props.ast import Deadlock, Property, UnsupportedPropertyError
+from repro.props.compat import unsupported_reason
+from repro.props.eval import HOLDS_KEY, PROPERTY_KEY, as_property
+from repro.props.normalize import property_hash
+from repro.props.parse import parse_property
 from repro.stubborn import analyze as stubborn_analyze
 from repro.symbolic import analyze as symbolic_analyze
 from repro.unfolding import analyze as unfolding_analyze
@@ -41,6 +46,7 @@ __all__ = [
     "execute_job",
     "instrumentation_of",
     "is_conclusive",
+    "query_token",
 ]
 
 #: Registered analyzers: name -> callable(net, **kwargs) -> AnalysisResult.
@@ -74,12 +80,27 @@ class Budget:
         return f"states={self.max_states};seconds={self.max_seconds};{extra}"
 
 
+def query_token(query: str) -> str:
+    """Stable cache token for a query string.
+
+    The canonical property hash, so semantically equal queries
+    (``reachable(a&b)`` vs ``reachable(b & a)``) share cache entries.
+    Unparseable text falls back to the raw string — the job will fail at
+    execution, but the key stays total.
+    """
+    try:
+        return property_hash(parse_property(query))
+    except ValueError:
+        return f"raw:{query}"
+
+
 @dataclass(frozen=True)
 class VerificationJob:
     """One unit of verification work: run ``method`` on ``net``.
 
-    Jobs are immutable and picklable; ``query`` names the property being
-    decided (only ``"deadlock"`` for now, the paper's Table 1 question).
+    Jobs are immutable and picklable; ``query`` is the property being
+    decided, in the :mod:`repro.props` query language (``"deadlock"``,
+    the paper's Table 1 question, is the default).
     """
 
     net: PetriNet
@@ -96,18 +117,21 @@ class VerificationJob:
         """The text whose hash keys the on-disk result cache.
 
         Built on the net's canonical structural hash, so declaration order
-        does not fragment the cache.  The structural safety certificate is
-        deliberately *not* part of the key: it is a deterministic function
-        of exactly the structure and initial marking the canonical hash
-        already covers, so equal hashes imply equal certificates and
-        adding it could only fragment the cache, never disambiguate it.
+        does not fragment the cache, and on the *canonical property hash*
+        of the query, so textual variants of one property share entries
+        while different properties on the same net never collide.  The
+        structural safety certificate is deliberately *not* part of the
+        key: it is a deterministic function of exactly the structure and
+        initial marking the canonical hash already covers, so equal
+        hashes imply equal certificates and adding it could only fragment
+        the cache, never disambiguate it.
         """
         return "\n".join(
             [
-                "v1",
+                "v2",
                 self.net.canonical_hash(),
                 f"method={self.method}",
-                f"query={self.query}",
+                f"property={query_token(self.query)}",
                 self.budget.cache_token(),
             ]
         )
@@ -158,12 +182,19 @@ def instrumentation_of(result: AnalysisResult) -> dict[str, Any]:
 
 
 def is_conclusive(result: AnalysisResult | None) -> bool:
-    """Does this result decide the deadlock question?
+    """Does this result decide the question it was asked?
 
-    A deadlock found in a bounded search is still a definite "yes"; a
-    deadlock-free verdict is only definite when the search was exhaustive.
+    Property runs carry a three-valued verdict in
+    ``extras["property_holds"]`` — conclusive iff it is not ``None``.
+    Legacy deadlock runs: a deadlock found in a bounded search is still a
+    definite "yes"; a deadlock-free verdict is only definite when the
+    search was exhaustive.
     """
-    return result is not None and (result.deadlock or result.exhaustive)
+    if result is None:
+        return False
+    if PROPERTY_KEY in result.extras:
+        return result.extras.get(HOLDS_KEY) is not None
+    return result.deadlock or result.exhaustive
 
 
 def execute_job(job: VerificationJob) -> AnalysisResult:
@@ -181,13 +212,22 @@ def execute_job(job: VerificationJob) -> AnalysisResult:
             f"unknown analyzer {job.method!r}; expected one of "
             f"{sorted(ANALYZERS)}"
         ) from None
-    if job.query != "deadlock":
-        raise ValueError(
-            f"unknown query {job.query!r}; only 'deadlock' is supported"
-        )
+    # PropertyError is a ValueError, so malformed queries reject the job
+    # the same way unknown analyzers do.
+    prop: Property | None = as_property(job.query)
+    if isinstance(prop, Deadlock):
+        # The native question: run the historical analyzer path unchanged
+        # (same extras, same Table 1 bytes).
+        prop = None
+    else:
+        reason = unsupported_reason(job.method, prop)
+        if reason is not None:
+            raise UnsupportedPropertyError(job.method, prop, reason)
 
     budget = job.budget
     kwargs: dict[str, Any] = dict(budget.extra)
+    if prop is not None:
+        kwargs["prop"] = prop
     if job.method == "symbolic":
         # No explicit state count to bound; wall clock only.
         if budget.max_seconds is not None:

@@ -33,6 +33,8 @@ from repro.engine.pool import WorkerHandle, WorkerPool, _mp_context
 from repro.net.petrinet import PetriNet
 from repro.obs import names
 from repro.obs.tracer import current_tracer
+from repro.props.compat import filter_methods
+from repro.props.eval import as_property
 
 __all__ = ["DEFAULT_PORTFOLIO", "RaceOutcome", "run_race"]
 
@@ -49,6 +51,10 @@ class RaceOutcome:
     winner: JobResult | None
     results: list[JobResult] = field(default_factory=list)
     wall_seconds: float = 0.0
+    query: str = "deadlock"
+    #: Methods removed before the race because their reduction does not
+    #: preserve the queried property, with the declared reason.
+    dropped: tuple[tuple[str, str], ...] = ()
 
     @property
     def conclusive(self) -> bool:
@@ -69,11 +75,14 @@ class RaceOutcome:
                 f"{outcome.result.verdict}  states={outcome.result.states}  "
                 f"time={outcome.wall_seconds:.3f}s"
             )
+        for method, reason in self.dropped:
+            lines.append(f"   {method:<9} [dropped] {reason}")
         verdict = (
             self.winner.result.verdict if self.winner else "INCONCLUSIVE"
         )
+        query_note = "" if self.query == "deadlock" else f" [{self.query}]"
         header = (
-            f"race on {self.net_name}: {verdict} "
+            f"race on {self.net_name}{query_note}: {verdict} "
             f"(wall={self.wall_seconds:.3f}s, methods={','.join(self.methods)})"
         )
         return "\n".join([header, *lines])
@@ -87,6 +96,7 @@ def run_race(
     jobs: int = 2,
     cache: ResultCache | None = None,
     events: EventSink | None = None,
+    query: str = "deadlock",
 ) -> RaceOutcome:
     """Race ``methods`` on ``net``; first conclusive verdict wins.
 
@@ -95,17 +105,29 @@ def run_race(
     started because the race was already decided are reported with
     ``status="skipped"`` entries omitted (only started/cached jobs appear
     in ``results``).
+
+    ``query`` is a :mod:`repro.props` property.  Methods whose reduction
+    does not preserve the queried fragments (per
+    :func:`repro.props.compat.filter_methods`) are dropped up front and
+    reported in ``RaceOutcome.dropped`` — e.g. stubborn never races a
+    ``reachable`` query.  Screen-only methods (GPO on reachability) stay
+    in: their hits are conclusive wins, their clean screens simply never
+    win the race.
     """
     if budget is None:
         budget = Budget()
+    prop = as_property(query)
+    canonical = prop.text()
+    kept, dropped = filter_methods(methods, prop)
     sink = events if events is not None else NullEventSink()
     job_specs = [
-        VerificationJob(net=net, method=m, budget=budget) for m in methods
+        VerificationJob(net=net, method=m, budget=budget, query=canonical)
+        for m in kept
     ]
     started_at = time.perf_counter()
     tracer = current_tracer()
     with tracer.span(
-        names.SPAN_RACE, net=net.name, methods=",".join(methods), jobs=jobs
+        names.SPAN_RACE, net=net.name, methods=",".join(kept), jobs=jobs
     ) as race_span:
         if jobs <= 1:
             outcome = _race_sequential(job_specs, cache, sink)
@@ -118,10 +140,12 @@ def run_race(
         )
     return RaceOutcome(
         net_name=net.name,
-        methods=tuple(methods),
+        methods=kept,
         winner=winner,
         results=results,
         wall_seconds=time.perf_counter() - started_at,
+        query=canonical,
+        dropped=dropped,
     )
 
 

@@ -43,6 +43,14 @@ from repro.net.petrinet import PetriNet
 from repro.obs import names
 from repro.obs.record import record_result
 from repro.obs.tracer import current_tracer
+from repro.props.ast import Property
+from repro.props.eval import (
+    engine_property,
+    needs_decomposition,
+    property_extras,
+    reject_safe,
+    run_property,
+)
 from repro.search.core import (
     SearchContext,
     SearchOutcome,
@@ -380,6 +388,7 @@ def analyze(
     max_seconds: float | None = None,
     validate: bool = False,
     want_witness: bool = True,
+    prop: "Property | str | None" = None,
 ) -> AnalysisResult:
     """Generalized partial-order deadlock analysis, packaged uniformly.
 
@@ -388,7 +397,56 @@ def analyze(
     classical choice resolutions each state tracks simultaneously.
     Budget overruns are absorbed into a bounded, non-exhaustive result
     carrying the real progress made.
+
+    ``prop`` runs the scenario *screen* over the explored GPN states:
+    every mapped marking of a GPN state is genuinely reachable, so a hit
+    (a ``reachable`` target found, an ``invariant`` violated) is a sound
+    conclusive verdict with a real trace — but a clean screen proves
+    nothing (the reduction may skip intermediate markings), so the
+    verdict stays ``None`` and the result is never exhaustive for these
+    fragments (``decides("gpo", ...)`` is ``False``; the portfolio runs
+    GPO only as a refutation fast path).
     """
+    goal_prop = engine_property(prop)
+    if goal_prop is not None and needs_decomposition(goal_prop):
+        return run_property(
+            goal_prop,
+            lambda leaf: analyze(
+                net,
+                backend=backend,
+                on_deadlock=on_deadlock,
+                max_states=max_states,
+                max_seconds=max_seconds,
+                validate=validate,
+                want_witness=want_witness,
+                prop=leaf,
+            ),
+            analyzer="gpo",
+            net_name=net.name,
+        )
+    goal_constraints = None
+    goal_hit_holds = True
+    goal_label = "goal"
+    goal_note: str | None = None
+    if goal_prop is not None:
+        reject_safe("gpo", goal_prop)
+        # Lazy import: repro.gpo.safety imports this module at top level.
+        from repro.gpo.safety import MarkingConstraint
+        from repro.props.ast import Invariant, Not
+        from repro.props.compile import dnf_literals
+
+        if isinstance(goal_prop, Invariant):
+            target = Not(goal_prop.pred)
+            goal_hit_holds, goal_label = False, "violation"
+        else:
+            target = goal_prop.pred
+        cubes = dnf_literals(target)
+        if cubes is None:
+            goal_note = "screen skipped: target predicate has no small DNF"
+        else:
+            goal_constraints = [
+                MarkingConstraint(marked=m, unmarked=u) for m, u in cubes
+            ]
     options = GpoOptions(
         backend=backend,
         on_deadlock=on_deadlock,
@@ -404,8 +462,37 @@ def analyze(
             certified = net.static_analysis().safety_certificate.certified
         with stopwatch() as elapsed:
             result, outcome, space = _explore(net, options)
-        with tracer.span(names.SPAN_WITNESS):
-            witnesses = result.witnesses(limit=1) if want_witness else []
+            found = None
+            if goal_constraints is not None:
+                from repro.gpo.safety import _violating_scenarios
+
+                for state in result.graph.states():
+                    for constraint in goal_constraints:
+                        violating = _violating_scenarios(
+                            result.gpn, state, constraint
+                        )
+                        if not violating.is_empty():
+                            found = (state, violating)
+                            break
+                    if found:
+                        break
+        witness = None
+        if goal_prop is None:
+            with tracer.span(names.SPAN_WITNESS):
+                witnesses = result.witnesses(limit=1) if want_witness else []
+                witness = witnesses[0] if witnesses else None
+        elif found is not None and want_witness:
+            state, violating = found
+            scenario = violating.any_set()
+            assert scenario is not None
+            marking = scenario_marking(result.gpn, state, scenario)
+            path = result.graph.path_to(state) or []
+            with tracer.span(names.SPAN_WITNESS):
+                witness = DeadlockWitness(
+                    marking=net.marking_names(marking),
+                    trace=tuple(label for label, _ in path),
+                    label=goal_label,
+                )
         extras: dict[str, object] = {
             "backend": backend,
             "scenarios": result.gpn.r0.count(),
@@ -417,17 +504,26 @@ def analyze(
         note = abort_note(
             outcome.stop_reason, max_states=max_states, max_seconds=max_seconds
         )
-        if note is not None:
+        if note is not None and not (goal_prop is not None and found):
             extras[names.ABORTED] = note
+        if goal_prop is not None:
+            holds = goal_hit_holds if found is not None else None
+            extras.update(property_extras(goal_prop, holds))
+            extras["screen"] = "hit" if found is not None else "clean"
+            if goal_note is not None:
+                extras["screen"] = "skipped"
+                extras["screen_note"] = goal_note
         packaged = AnalysisResult(
             analyzer="gpo",
             net_name=net.name,
             states=result.graph.num_states,
             edges=result.graph.num_edges,
-            deadlock=result.has_deadlock,
+            deadlock=result.has_deadlock if goal_prop is None else False,
             time_seconds=elapsed[0],
-            witness=witnesses[0] if witnesses else None,
-            exhaustive=outcome.exhaustive,
+            witness=witness,
+            exhaustive=(
+                outcome.exhaustive if goal_prop is None else found is not None
+            ),
             extras=extras,
         )
         root.set(states=packaged.states, edges=packaged.edges)

@@ -3,9 +3,12 @@
 Subcommands::
 
     gpo verify FILE [--method gpo|full|stubborn|symbolic] [--backend ...]
+                [--property PROP]    # decide PROP with one analyzer
+    gpo query FILE PROP       # decide a property: structural layer, then
+                              # a compat-filtered portfolio race
     gpo safety FILE --bad "cs0 & cs1 & !lock" [--bad ...]
     gpo reach FILE --target "a & b" [--method full|stubborn] [--order bfs|dfs]
-    gpo race FILE [--methods gpo,symbolic] [--jobs N]  # portfolio race
+    gpo race FILE [--methods gpo,symbolic] [--jobs N] [--property PROP]
     gpo table1 [--problems NSDP,RW] [--jobs N] [--portfolio] [--stats]
     gpo figures [--figure 1|2|3]
     gpo profile FAMILY SIZE [--analyzer gpo|full|...|timed]
@@ -31,6 +34,13 @@ before spending any exploration budget.
 
 ``FILE`` is a net in the textual format of :mod:`repro.net.parser` or PNML
 (detected by a leading ``<``).
+
+``PROP`` is a :mod:`repro.props` property: ``deadlock``,
+``reachable(<pred>)``, ``invariant(<pred>)``, ``safe``, or boolean
+combinations (``!``/``&``/``|``) of these; predicates are boolean
+combinations of place names plus bound comparisons (``p <= 1``).
+Property-taking commands share one exit convention: 0 = holds,
+1 = violated, 2 = undecided or refused.
 
 ``table1`` / ``bench-model`` / ``race`` run through the parallel execution
 engine (:mod:`repro.engine`): ``--jobs N`` analyzer processes at a time,
@@ -104,24 +114,50 @@ def _load(path: str):
     return parse_net(text)
 
 
-def _cmd_verify(args: argparse.Namespace) -> int:
-    if args.timed:
-        from repro.net import parse_timed_net
-        from repro.timed import analyze as timed_analyze
+def _verdict_exit(result) -> int:
+    """Map an :class:`AnalysisResult` to the CLI exit convention.
 
-        with open(args.file, "r", encoding="utf-8") as handle:
-            tpn = parse_timed_net(handle.read())
-        result = timed_analyze(tpn)
-    else:
-        net = _load(args.file)
-        kwargs = {}
-        if args.method == "gpo":
-            kwargs["backend"] = args.backend
-        result = verify(net, method=args.method, **kwargs)
+    Property runs: 0 = holds, 1 = violated, 2 = undecided.  Legacy
+    deadlock runs: 0 = no deadlock, 1 = deadlock.  Shared by ``verify``,
+    ``race`` and ``query`` so the convention cannot drift.
+    """
+    if result.property_text is not None:
+        holds = result.property_holds
+        if holds is None:
+            return 2
+        return 0 if holds else 1
+    return 1 if result.deadlock else 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.props.ast import PropertyError
+
+    try:
+        if args.timed:
+            from repro.net import parse_timed_net
+            from repro.timed import analyze as timed_analyze
+
+            with open(args.file, "r", encoding="utf-8") as handle:
+                tpn = parse_timed_net(handle.read())
+            kwargs = {}
+            if args.property:
+                kwargs["prop"] = args.property
+            result = timed_analyze(tpn, **kwargs)
+        else:
+            net = _load(args.file)
+            kwargs = {}
+            if args.method == "gpo":
+                kwargs["backend"] = args.backend
+            if args.property:
+                kwargs["prop"] = args.property
+            result = verify(net, method=args.method, **kwargs)
+    except PropertyError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     print(result.describe())
     if result.witness is not None:
         print(str(result.witness))
-    return 1 if result.deadlock else 0
+    return _verdict_exit(result)
 
 
 def _parse_constraint(text: str):
@@ -160,8 +196,21 @@ def _cmd_safety(args: argparse.Namespace) -> int:
     return 1 if not result.safe else 0
 
 
+def _reach_property(constraints):
+    """The :mod:`repro.props` property a ``reach`` query asks."""
+    from repro.props.ast import And, Marked, Not, Or, Reachable
+
+    cubes = []
+    for constraint in constraints:
+        literals = [Marked(place) for place in constraint.marked]
+        literals += [Not(Marked(place)) for place in constraint.unmarked]
+        cubes.append(And(tuple(literals)) if len(literals) > 1 else literals[0])
+    return Reachable(Or(tuple(cubes)) if len(cubes) > 1 else cubes[0])
+
+
 def _cmd_reach(args: argparse.Namespace) -> int:
     from repro.analysis.reachability import MarkingSpace
+    from repro.props.compat import unsupported_reason
     from repro.search.query import find_state
     from repro.stubborn.explorer import StubbornSpace
 
@@ -176,6 +225,18 @@ def _cmd_reach(args: argparse.Namespace) -> int:
             if place not in net.place_index:
                 print(f"unknown place {place!r}", file=sys.stderr)
                 return 2
+
+    # The preservation matrix is the single authority on which reduced
+    # searches may take which questions: a reach target is a
+    # ``reachable(...)`` property, which the stubborn-set reduction does
+    # not preserve — refuse up front instead of searching inconclusively.
+    reason = unsupported_reason(args.method, _reach_property(constraints))
+    if reason is not None:
+        print(
+            f"reach --method {args.method} refused: {reason}",
+            file=sys.stderr,
+        )
+        return 2
 
     space = (
         StubbornSpace(net) if args.method == "stubborn" else MarkingSpace(net)
@@ -291,6 +352,8 @@ def _run_table1(
 
 
 def _cmd_race(args: argparse.Namespace) -> int:
+    from repro.props.ast import PropertyError
+
     net = _load(args.file)
     methods = (
         args.methods.split(",") if args.methods else list(DEFAULT_PORTFOLIO)
@@ -313,14 +376,61 @@ def _cmd_race(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             cache=cache,
             events=sink,
+            query=args.property or "deadlock",
         )
+    except PropertyError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     finally:
         if sink is not None:
             sink.close()
     print(outcome.describe())
     if not outcome.conclusive:
         return 2
-    return 1 if outcome.winner.result.deadlock else 0
+    return _verdict_exit(outcome.winner.result)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.props.ast import PropertyError
+    from repro.props.decide import decide
+
+    net = _load(args.file)
+    methods = args.methods.split(",") if args.methods else None
+    for method in methods or ():
+        if method not in ANALYZERS:
+            print(
+                f"unknown analyzer {method!r}; choose from "
+                f"{', '.join(sorted(ANALYZERS))}",
+                file=sys.stderr,
+            )
+            return 2
+    budget = Budget(max_states=args.max_states, max_seconds=args.max_seconds)
+    cache, sink = _engine_setup(args)
+    try:
+        try:
+            decision = decide(
+                net,
+                args.property,
+                methods=methods,
+                budget=budget,
+                jobs=args.jobs,
+                cache=cache,
+                events=sink,
+                use_static=not args.no_static,
+            )
+        except PropertyError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    finally:
+        if sink is not None:
+            sink.close()
+    print(decision.describe())
+    # query speaks the property convention even for 'deadlock': 0 means
+    # the property holds (a deadlock exists), unlike verify's legacy
+    # 0-means-deadlock-free exit.
+    if decision.holds is None:
+        return 2
+    return 0 if decision.holds else 1
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -557,7 +667,7 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         verify=not args.no_verify,
         repeat=args.repeat,
     )
-    for key in ("requests", "concurrency", "tenants", "skew"):
+    for key in ("requests", "concurrency", "tenants", "skew", "property_mix"):
         value = getattr(args, key)
         if value is not None:
             overrides[key] = value
@@ -611,6 +721,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--timed",
         action="store_true",
         help="interpret @ [eft,lft] intervals: state-class analysis",
+    )
+    p_verify.add_argument(
+        "--property",
+        default=None,
+        metavar="PROP",
+        help="decide a repro.props property with the chosen analyzer "
+        "instead of the deadlock question, e.g. 'reachable(cs0 & cs1)'",
     )
     p_verify.set_defaults(fn=_cmd_verify)
 
@@ -680,8 +797,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_race.add_argument("--max-states", type=int, default=200_000)
     p_race.add_argument("--max-seconds", type=float, default=120.0)
+    p_race.add_argument(
+        "--property",
+        default=None,
+        metavar="PROP",
+        help="race on a repro.props property instead of the deadlock "
+        "question; incompatible methods are dropped with their reason",
+    )
     add_engine_flags(p_race, jobs=2)
     p_race.set_defaults(fn=_cmd_race)
+
+    p_query = sub.add_parser(
+        "query",
+        help="decide a property: structural layer first, then a "
+        "compat-filtered portfolio race (exit 0 holds / 1 violated / "
+        "2 undecided)",
+    )
+    p_query.add_argument("file")
+    p_query.add_argument(
+        "property",
+        help="repro.props property, e.g. 'deadlock', 'reachable(a & !b)', "
+        "'invariant(!(cs0 & cs1))', 'safe', 'reachable(a) | deadlock'",
+    )
+    p_query.add_argument(
+        "--methods",
+        help=f"comma list (default {','.join(DEFAULT_PORTFOLIO)}); "
+        "incompatible methods are dropped with the declared reason",
+    )
+    p_query.add_argument(
+        "--no-static",
+        action="store_true",
+        help="skip the structural (P-invariant / siphon-trap) fast path",
+    )
+    p_query.add_argument("--max-states", type=int, default=200_000)
+    p_query.add_argument("--max-seconds", type=float, default=120.0)
+    add_engine_flags(p_query, jobs=1)
+    p_query.set_defaults(fn=_cmd_query)
 
     p_table = sub.add_parser("table1", help="regenerate Table 1")
     p_table.add_argument("--problems", help="comma list, e.g. NSDP,RW")
@@ -906,6 +1057,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument("--families", help="comma list, e.g. NSDP,RW")
     p_load.add_argument(
         "--methods", help="comma list, e.g. gpo,stubborn,symbolic,full"
+    )
+    p_load.add_argument(
+        "--property-mix",
+        type=float,
+        default=None,
+        help="fraction of requests submitting a property query via the "
+        "v2 'property' field (default 0; --quick preset 0.25)",
     )
     p_load.add_argument(
         "--repeat",

@@ -1,0 +1,335 @@
+"""Property-language AST: predicates over markings, properties over nets.
+
+The language has two levels.  A *predicate* describes a single marking of
+a 1-safe net: place atoms (``eat0`` — the place holds a token), bound
+comparisons (``eat0 >= 1``, ``buf <= 0``), the ``safe`` atom (every place
+holds at most one token — decidable only by the safety checkers), the
+constants ``true`` / ``false`` and the boolean connectives ``!``, ``&``,
+``|``.  A *property* asks a question about the whole reachable behaviour:
+
+* ``deadlock`` — some reachable marking enables no transition;
+* ``reachable(<pred>)`` — some reachable marking satisfies the predicate;
+* ``invariant(<pred>)`` — every reachable marking satisfies it;
+* boolean combinations of the above with the same ``!``/``&``/``|``.
+
+Every node renders itself back to text via :meth:`text`; the parser and
+the printer round-trip exactly (property-tested), which is what makes the
+canonical form usable as a cache-key ingredient.  Nodes are frozen
+dataclasses, so structural equality and hashing come for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "And",
+    "Bottom",
+    "Bound",
+    "Deadlock",
+    "Invariant",
+    "Marked",
+    "Not",
+    "Or",
+    "Predicate",
+    "PropAnd",
+    "PropFalse",
+    "PropNot",
+    "PropOr",
+    "PropTrue",
+    "Property",
+    "PropertyError",
+    "Reachable",
+    "Safe",
+    "Top",
+    "UnsupportedPropertyError",
+    "atomic_properties",
+    "is_atomic",
+    "places_of",
+]
+
+
+class PropertyError(ValueError):
+    """A malformed, unparsable or unsupported property."""
+
+
+class UnsupportedPropertyError(PropertyError):
+    """An analyzer was asked a question outside its preserved fragment."""
+
+    def __init__(self, method: str, prop: "Property", reason: str) -> None:
+        super().__init__(
+            f"analyzer {method!r} cannot decide {prop.text()!r}: {reason}"
+        )
+        self.method = method
+        self.prop = prop
+        self.reason = reason
+
+
+# ---------------------------------------------------------------------------
+# Predicates (evaluated on one marking)
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """Base class for marking predicates."""
+
+    def text(self) -> str:
+        raise NotImplementedError
+
+    def _atom_text(self) -> str:
+        """Rendering inside a tighter-binding context (parenthesized
+        unless the node is atomic)."""
+        return self.text()
+
+
+@dataclass(frozen=True)
+class Top(Predicate):
+    """``true`` — satisfied by every marking."""
+
+    def text(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class Bottom(Predicate):
+    """``false`` — satisfied by no marking."""
+
+    def text(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class Marked(Predicate):
+    """``place`` — the named place holds a token."""
+
+    place: str
+
+    def text(self) -> str:
+        return self.place
+
+
+@dataclass(frozen=True)
+class Bound(Predicate):
+    """``place <op> k`` — a token-count comparison (``<=``, ``>=``, ``=``).
+
+    On the 1-safe nets this system analyzes every bound folds to a marked
+    /unmarked literal or a constant (see :mod:`repro.props.normalize`);
+    the surface form exists so queries can be written in the net-agnostic
+    style of the model-checking-contest formula languages.
+    """
+
+    place: str
+    op: str  # "<=", ">=" or "="
+    k: int
+
+    def text(self) -> str:
+        return f"{self.place} {self.op} {self.k}"
+
+    def _atom_text(self) -> str:
+        return f"({self.text()})"
+
+
+@dataclass(frozen=True)
+class Safe(Predicate):
+    """``safe`` — every place holds at most one token.
+
+    Only meaningful as the entire predicate of ``invariant(safe)`` (the
+    1-safety question ``gpo check`` answers); the parser rejects it
+    anywhere else.
+    """
+
+    def text(self) -> str:
+        return "safe"
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """``!p``."""
+
+    operand: Predicate
+
+    def text(self) -> str:
+        return f"!{self.operand._atom_text()}"
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """``p & q & ...`` (n-ary, always >= 2 operands)."""
+
+    operands: tuple[Predicate, ...]
+
+    def text(self) -> str:
+        return " & ".join(
+            f"({op.text()})" if isinstance(op, Or) else op._atom_text()
+            for op in self.operands
+        )
+
+    def _atom_text(self) -> str:
+        return f"({self.text()})"
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """``p | q | ...`` (n-ary, always >= 2 operands)."""
+
+    operands: tuple[Predicate, ...]
+
+    def text(self) -> str:
+        return " | ".join(op._atom_text() for op in self.operands)
+
+    def _atom_text(self) -> str:
+        return f"({self.text()})"
+
+
+# ---------------------------------------------------------------------------
+# Properties (evaluated on the reachable behaviour)
+
+
+@dataclass(frozen=True)
+class Property:
+    """Base class for net-level properties."""
+
+    def text(self) -> str:
+        raise NotImplementedError
+
+    def _atom_text(self) -> str:
+        return self.text()
+
+
+@dataclass(frozen=True)
+class PropTrue(Property):
+    """``true`` at the property level (normal-form constant)."""
+
+    def text(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class PropFalse(Property):
+    """``false`` at the property level (normal-form constant)."""
+
+    def text(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class Deadlock(Property):
+    """``deadlock`` — some reachable marking enables no transition.
+
+    This is the paper's Table 1 question; it *holds* when a deadlock
+    exists (matching ``AnalysisResult.deadlock``).
+    """
+
+    def text(self) -> str:
+        return "deadlock"
+
+
+@dataclass(frozen=True)
+class Reachable(Property):
+    """``reachable(p)`` — some reachable marking satisfies ``p``."""
+
+    pred: Predicate
+
+    def text(self) -> str:
+        return f"reachable({self.pred.text()})"
+
+
+@dataclass(frozen=True)
+class Invariant(Property):
+    """``invariant(p)`` — every reachable marking satisfies ``p``."""
+
+    pred: Predicate
+
+    def text(self) -> str:
+        return f"invariant({self.pred.text()})"
+
+
+@dataclass(frozen=True)
+class PropNot(Property):
+    """``!P``."""
+
+    operand: Property
+
+    def text(self) -> str:
+        return f"!{self.operand._atom_text()}"
+
+
+@dataclass(frozen=True)
+class PropAnd(Property):
+    """``P & Q & ...`` (n-ary, always >= 2 operands)."""
+
+    operands: tuple[Property, ...]
+
+    def text(self) -> str:
+        return " & ".join(
+            f"({op.text()})" if isinstance(op, PropOr) else op._atom_text()
+            for op in self.operands
+        )
+
+    def _atom_text(self) -> str:
+        return f"({self.text()})"
+
+
+@dataclass(frozen=True)
+class PropOr(Property):
+    """``P | Q | ...`` (n-ary, always >= 2 operands)."""
+
+    operands: tuple[Property, ...]
+
+    def text(self) -> str:
+        return " | ".join(op._atom_text() for op in self.operands)
+
+    def _atom_text(self) -> str:
+        return f"({self.text()})"
+
+
+# ---------------------------------------------------------------------------
+# Structural helpers
+
+
+def is_atomic(prop: Property) -> bool:
+    """True for the leaf questions an analyzer answers in one run."""
+    return isinstance(
+        prop, (Deadlock, Reachable, Invariant, PropTrue, PropFalse)
+    )
+
+
+def atomic_properties(prop: Property) -> tuple[Property, ...]:
+    """Every atomic leaf of a (possibly compound) property, in order."""
+    if is_atomic(prop):
+        return (prop,)
+    if isinstance(prop, PropNot):
+        return atomic_properties(prop.operand)
+    if isinstance(prop, (PropAnd, PropOr)):
+        out: list[Property] = []
+        for operand in prop.operands:
+            out.extend(atomic_properties(operand))
+        return tuple(out)
+    raise PropertyError(f"unknown property node {prop!r}")
+
+
+def _pred_places(pred: Predicate, out: list[str]) -> None:
+    if isinstance(pred, Marked):
+        out.append(pred.place)
+    elif isinstance(pred, Bound):
+        out.append(pred.place)
+    elif isinstance(pred, Not):
+        _pred_places(pred.operand, out)
+    elif isinstance(pred, (And, Or)):
+        for operand in pred.operands:
+            _pred_places(operand, out)
+
+
+def places_of(prop: Property) -> tuple[str, ...]:
+    """Every place name mentioned by the property, in first-use order."""
+    out: list[str] = []
+    for leaf in atomic_properties(prop):
+        if isinstance(leaf, (Reachable, Invariant)):
+            _pred_places(leaf.pred, out)
+    seen: set[str] = set()
+    unique: list[str] = []
+    for name in out:
+        if name not in seen:
+            seen.add(name)
+            unique.append(name)
+    return tuple(unique)

@@ -1,0 +1,148 @@
+"""Analyzer/property compatibility declarations — the preservation matrix.
+
+A reduced search answers fewer questions than it visits states for: the
+stubborn-set reduction preserves *deadlocks only* (Valmari), and the GPO
+exploration's scenario screen can *refute* an invariant (every mapped
+marking is genuinely reachable) but never prove one (the reduction may
+skip intermediate markings).  This module is the single place those
+facts are declared, so the portfolio, the serve protocol and the CLI all
+filter analyzer/property pairs the same way instead of silently
+answering the wrong question.
+
+Fragments: ``deadlock`` | ``reachable`` | ``invariant`` | ``safety``
+(the ``invariant(safe)`` 1-safety question, decided by the structural
+certificate and the bounded safety walk, not by any engine method) |
+``constant`` (``true``/``false``).  Compound properties require every
+atomic leaf to be supported.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.props.ast import (
+    Deadlock,
+    Invariant,
+    PropFalse,
+    Property,
+    PropertyError,
+    PropTrue,
+    Reachable,
+    Safe,
+    atomic_properties,
+)
+
+__all__ = [
+    "FRAGMENTS",
+    "decides",
+    "filter_methods",
+    "fragment_of",
+    "supports",
+    "unsupported_reason",
+]
+
+#: Per-analyzer supported fragments.  A listed fragment means the
+#: analyzer accepts the question and its conclusive answers are sound;
+#: it does not promise conclusiveness (see :data:`_SCREEN_ONLY`).
+FRAGMENTS: Mapping[str, frozenset[str]] = {
+    "full": frozenset({"deadlock", "reachable", "invariant", "constant"}),
+    "stubborn": frozenset({"deadlock", "constant"}),
+    "symbolic": frozenset({"deadlock", "reachable", "invariant", "constant"}),
+    "gpo": frozenset({"deadlock", "reachable", "invariant", "constant"}),
+    "unfolding": frozenset({"deadlock", "reachable", "invariant", "constant"}),
+    "timed": frozenset({"deadlock", "reachable", "invariant", "constant"}),
+}
+
+#: Fragments where the analyzer only *screens*: a hit (reachable
+#: witness / invariant violation) is sound and conclusive, but a clean
+#: run proves nothing — the portfolio must not stop on its negatives.
+_SCREEN_ONLY: Mapping[str, frozenset[str]] = {
+    "gpo": frozenset({"reachable", "invariant"}),
+}
+
+_REASONS: Mapping[str, str] = {
+    "stubborn": "the stubborn-set reduction preserves deadlocks only",
+}
+
+#: Contract assumed for analyzers registered at runtime (plugins, test
+#: doubles) that predate the property layer: they take the historical
+#: deadlock question and nothing else.
+_LEGACY_FRAGMENTS: frozenset[str] = frozenset({"deadlock", "constant"})
+
+
+def fragment_of(prop: Property) -> str:
+    """The fragment name of one *atomic* property."""
+    if isinstance(prop, Deadlock):
+        return "deadlock"
+    if isinstance(prop, Invariant):
+        return "safety" if isinstance(prop.pred, Safe) else "invariant"
+    if isinstance(prop, Reachable):
+        return "reachable"
+    if isinstance(prop, (PropTrue, PropFalse)):
+        return "constant"
+    raise PropertyError(f"not an atomic property: {prop.text()!r}")
+
+
+def _fragments_needed(prop: Property) -> frozenset[str]:
+    return frozenset(fragment_of(leaf) for leaf in atomic_properties(prop))
+
+
+def supports(method: str, prop: Property) -> bool:
+    """Can ``method`` soundly work on every atomic leaf of ``prop``?"""
+    allowed = FRAGMENTS.get(method, _LEGACY_FRAGMENTS)
+    return _fragments_needed(prop) <= allowed
+
+
+def decides(method: str, prop: Property) -> bool:
+    """Can ``method`` (budget permitting) produce a conclusive verdict
+    either way?  False for screen-only fragments (GPO on reachability:
+    a hit concludes, a clean screen does not)."""
+    if not supports(method, prop):
+        return False
+    screened = _SCREEN_ONLY.get(method, frozenset())
+    return not (_fragments_needed(prop) & screened)
+
+
+def unsupported_reason(method: str, prop: Property) -> str | None:
+    """Why ``method`` cannot take ``prop`` — or ``None`` when it can."""
+    allowed = FRAGMENTS.get(method)
+    if allowed is None:
+        missing = sorted(_fragments_needed(prop) - _LEGACY_FRAGMENTS)
+        if not missing:
+            return None
+        return (
+            f"analyzer {method!r} is not in the preservation matrix; "
+            "it is assumed to answer the deadlock question only"
+        )
+    missing = sorted(_fragments_needed(prop) - allowed)
+    if not missing:
+        return None
+    if "safety" in missing:
+        return (
+            "invariant(safe) is decided structurally (certificate + "
+            "bounded walk), not by an engine method"
+        )
+    return _REASONS.get(
+        method,
+        f"analyzer {method!r} does not preserve: {', '.join(missing)}",
+    )
+
+
+def filter_methods(
+    methods: Iterable[str], prop: Property
+) -> tuple[tuple[str, ...], tuple[tuple[str, str], ...]]:
+    """Split ``methods`` into (compatible, dropped-with-reason) for ``prop``.
+
+    Order is preserved; the dropped half carries the human-readable
+    reason the portfolio and the CLI report instead of silently running
+    an analyzer on a question it cannot answer.
+    """
+    kept: list[str] = []
+    dropped: list[tuple[str, str]] = []
+    for method in methods:
+        reason = unsupported_reason(method, prop)
+        if reason is None:
+            kept.append(method)
+        else:
+            dropped.append((method, reason))
+    return tuple(kept), tuple(dropped)

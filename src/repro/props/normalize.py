@@ -1,0 +1,252 @@
+"""Canonical form for properties: the cache-key and routing backbone.
+
+:func:`normalize` rewrites a property into a canonical normal form:
+
+* negations are pushed to the leaves (``!reachable(p)`` becomes
+  ``invariant(!p)`` and vice versa; ``!deadlock`` and ``!invariant(safe)``
+  stay, they have no dual here);
+* place-bound comparisons fold to marked/unmarked literals under the
+  1-safe contract every analyzer already enforces (``p >= 1`` is ``p``,
+  ``p <= 0`` is ``!p``, ``p <= 3`` is ``true``, ``p >= 2`` is ``false``);
+* ``&``/``|`` are flattened, deduplicated, constant-folded,
+  contradiction-checked and sorted by rendered text;
+* ``invariant(a) & invariant(b)`` merges into ``invariant(a & b)`` and
+  ``reachable(a) | reachable(b)`` into ``reachable(a | b)``, so the
+  portfolio answers one search instead of two.
+
+The rewrite is idempotent (property-tested) and meaning-preserving, so
+:func:`canonical_text` is a stable identity for "the same question" —
+:func:`property_hash` of it keys the result cache, meaning syntactic
+variants of one query warm each other's cache entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.props.ast import (
+    And,
+    Bottom,
+    Bound,
+    Invariant,
+    Marked,
+    Not,
+    Or,
+    Predicate,
+    PropAnd,
+    PropFalse,
+    PropNot,
+    PropOr,
+    Property,
+    PropertyError,
+    PropTrue,
+    Reachable,
+    Safe,
+    Top,
+)
+
+__all__ = [
+    "canonical_text",
+    "normalize",
+    "normalize_predicate",
+    "property_hash",
+]
+
+
+# ---------------------------------------------------------------------------
+# Predicate layer
+
+
+def _fold_bound(bound: Bound) -> Predicate:
+    """Interpret a token-count comparison on a 1-safe net."""
+    place, op, k = bound.place, bound.op, bound.k
+    if op == "<=":
+        return Top() if k >= 1 else Not(Marked(place))
+    if op == ">=":
+        if k == 0:
+            return Top()
+        return Marked(place) if k == 1 else Bottom()
+    if op == "=":
+        if k == 0:
+            return Not(Marked(place))
+        return Marked(place) if k == 1 else Bottom()
+    raise PropertyError(f"unknown bound operator {op!r}")
+
+
+def _nnf(pred: Predicate, negated: bool) -> Predicate:
+    if isinstance(pred, Top):
+        return Bottom() if negated else Top()
+    if isinstance(pred, Bottom):
+        return Top() if negated else Bottom()
+    if isinstance(pred, Bound):
+        return _nnf(_fold_bound(pred), negated)
+    if isinstance(pred, (Marked, Safe)):
+        return Not(pred) if negated else pred
+    if isinstance(pred, Not):
+        return _nnf(pred.operand, not negated)
+    if isinstance(pred, And):
+        parts = tuple(_nnf(op, negated) for op in pred.operands)
+        return _assemble(parts, is_and=not negated)
+    if isinstance(pred, Or):
+        parts = tuple(_nnf(op, negated) for op in pred.operands)
+        return _assemble(parts, is_and=negated)
+    raise PropertyError(f"unknown predicate node {pred!r}")
+
+
+def _assemble(parts: tuple[Predicate, ...], *, is_and: bool) -> Predicate:
+    """Flatten, constant-fold, dedupe, contradiction-check and sort."""
+    absorbing, neutral = (Bottom, Top) if is_and else (Top, Bottom)
+    flat: list[Predicate] = []
+    for part in parts:
+        if isinstance(part, And if is_and else Or):
+            flat.extend(part.operands)
+        else:
+            flat.append(part)
+    seen: set[str] = set()
+    kept: list[Predicate] = []
+    for part in flat:
+        if isinstance(part, absorbing):
+            return absorbing()
+        if isinstance(part, neutral):
+            continue
+        text = part.text()
+        if text not in seen:
+            seen.add(text)
+            kept.append(part)
+    # In NNF, negation wraps only atoms — a literal and its complement
+    # in the same conjunction (disjunction) collapse the whole node.
+    for part in kept:
+        complement = (
+            part.operand.text() if isinstance(part, Not) else f"!{part.text()}"
+        )
+        if complement in seen:
+            return absorbing()
+    if not kept:
+        return neutral()
+    if len(kept) == 1:
+        return kept[0]
+    kept.sort(key=lambda p: p.text())
+    return And(tuple(kept)) if is_and else Or(tuple(kept))
+
+
+def normalize_predicate(pred: Predicate) -> Predicate:
+    """Canonical negation normal form of a marking predicate."""
+    return _nnf(pred, False)
+
+
+# ---------------------------------------------------------------------------
+# Property layer
+
+
+def _norm_prop(prop: Property, negated: bool) -> Property:
+    if isinstance(prop, PropTrue):
+        return PropFalse() if negated else PropTrue()
+    if isinstance(prop, PropFalse):
+        return PropTrue() if negated else PropFalse()
+    if isinstance(prop, Invariant) and isinstance(prop.pred, Safe):
+        # invariant(safe) has no reachability dual; its negation stays
+        # an opaque literal for the planner to decide.
+        return PropNot(prop) if negated else prop
+    if isinstance(prop, Reachable):
+        pred = normalize_predicate(
+            Not(prop.pred) if negated else prop.pred
+        )
+        return _atom(Invariant(pred) if negated else Reachable(pred))
+    if isinstance(prop, Invariant):
+        pred = normalize_predicate(
+            Not(prop.pred) if negated else prop.pred
+        )
+        return _atom(Reachable(pred) if negated else Invariant(pred))
+    if isinstance(prop, PropNot):
+        return _norm_prop(prop.operand, not negated)
+    if isinstance(prop, PropAnd):
+        parts = tuple(_norm_prop(op, negated) for op in prop.operands)
+        return _assemble_prop(parts, is_and=not negated)
+    if isinstance(prop, PropOr):
+        parts = tuple(_norm_prop(op, negated) for op in prop.operands)
+        return _assemble_prop(parts, is_and=negated)
+    # Deadlock (and anything else atomic): irreducible.
+    return PropNot(prop) if negated else prop
+
+
+def _atom(prop: Property) -> Property:
+    """Constant-fold a reachability/invariant atom after normalization."""
+    if isinstance(prop, Reachable):
+        if isinstance(prop.pred, Bottom):
+            return PropFalse()
+        if isinstance(prop.pred, Top):
+            # The initial marking always exists, so `reachable(true)` holds.
+            return PropTrue()
+    if isinstance(prop, Invariant):
+        if isinstance(prop.pred, Top):
+            return PropTrue()
+        if isinstance(prop.pred, Bottom):
+            return PropFalse()
+    return prop
+
+
+def _assemble_prop(parts: tuple[Property, ...], *, is_and: bool) -> Property:
+    absorbing, neutral = (
+        (PropFalse, PropTrue) if is_and else (PropTrue, PropFalse)
+    )
+    flat: list[Property] = []
+    for part in parts:
+        if isinstance(part, PropAnd if is_and else PropOr):
+            flat.extend(part.operands)
+        else:
+            flat.append(part)
+    # invariant(a) & invariant(b) == invariant(a & b);
+    # reachable(a) | reachable(b) == reachable(a | b).
+    mergeable = Invariant if is_and else Reachable
+    merged_preds: list[Predicate] = []
+    rest: list[Property] = []
+    for part in flat:
+        if isinstance(part, mergeable) and not isinstance(part.pred, Safe):
+            merged_preds.append(part.pred)
+        else:
+            rest.append(part)
+    if len(merged_preds) > 1:
+        joined = And(tuple(merged_preds)) if is_and else Or(tuple(merged_preds))
+        rest.append(_atom(mergeable(normalize_predicate(joined))))
+    elif merged_preds:
+        rest.append(_atom(mergeable(merged_preds[0])))
+    seen: set[str] = set()
+    kept: list[Property] = []
+    for part in rest:
+        if isinstance(part, absorbing):
+            return absorbing()
+        if isinstance(part, neutral):
+            continue
+        text = part.text()
+        if text not in seen:
+            seen.add(text)
+            kept.append(part)
+    for part in kept:
+        complement = (
+            part.operand.text()
+            if isinstance(part, PropNot)
+            else f"!{part._atom_text()}"
+        )
+        if complement in seen:
+            return absorbing()
+    if not kept:
+        return neutral()
+    if len(kept) == 1:
+        return kept[0]
+    kept.sort(key=lambda p: p.text())
+    return PropAnd(tuple(kept)) if is_and else PropOr(tuple(kept))
+
+
+def normalize(prop: Property) -> Property:
+    """Canonical, meaning-preserving normal form of a property."""
+    return _norm_prop(prop, False)
+
+
+def canonical_text(prop: Property) -> str:
+    """The canonical rendering — the property's stable identity."""
+    return normalize(prop).text()
+
+
+def property_hash(prop: Property) -> str:
+    """SHA-256 of the canonical text (the cache-key ingredient)."""
+    return hashlib.sha256(canonical_text(prop).encode("utf-8")).hexdigest()

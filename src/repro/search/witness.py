@@ -17,7 +17,7 @@ from repro.search.graph import ReachabilityGraph
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.net.petrinet import Marking, PetriNet
 
-__all__ = ["DeadlockWitness", "extract_witness"]
+__all__ = ["DeadlockWitness", "extract_witness", "state_witness"]
 
 
 @dataclass(frozen=True)
@@ -78,4 +78,30 @@ def extract_witness(
     return DeadlockWitness(
         marking=net.marking_names(marking),
         trace=tuple(label for label, _ in path),
+    )
+
+
+def state_witness(
+    net: "PetriNet",
+    graph: "ReachabilityGraph[S]",
+    state: S,
+    *,
+    decode: "Callable[[S], Marking] | None" = None,
+    label: str = "goal",
+) -> DeadlockWitness | None:
+    """Shortest trace to one specific explored state.
+
+    The property layer's goal observers use this to turn the state that
+    decided a ``reachable``/``invariant`` question into a replayable
+    trace, with the same decode-at-the-boundary convention as
+    :func:`extract_witness`.
+    """
+    path = graph.path_to(state)
+    if path is None:
+        return None
+    marking = decode(state) if decode is not None else state
+    return DeadlockWitness(
+        marking=net.marking_names(marking),
+        trace=tuple(step for step, _ in path),
+        label=label,
     )

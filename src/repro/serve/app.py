@@ -52,7 +52,7 @@ from repro.serve.http import (
     start_chunked,
 )
 from repro.serve.jobs import JobRecord, JobStore
-from repro.serve.protocol import ApiError, parse_submit
+from repro.serve.protocol import API_VERSION, ApiError, parse_submit
 from repro.serve.queue import QueueFull, TenantQueue
 
 __all__ = ["ServeApp"]
@@ -421,6 +421,7 @@ class ServeApp:
             "status": "ok",
             "service": "gpo-serve",
             "version": __version__,
+            "protocol_version": API_VERSION,
             "event_schema_version": EVENT_SCHEMA_VERSION,
             "python": platform.python_version(),
             "uptime_seconds": round(time.time() - self.started_at, 3),

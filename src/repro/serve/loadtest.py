@@ -1,8 +1,9 @@
 """Async load generator for a running daemon (``gpo loadtest``).
 
 Replays a deterministic mixed workload — Table 1 families at several
-sizes, a mix of analyzer methods, native and PNML wire formats, tenants
-with configurable skew — against ``gpo serve`` at a given concurrency,
+sizes, a mix of analyzer methods and property queries
+(``property_mix``), native and PNML wire formats, tenants with
+configurable skew — against ``gpo serve`` at a given concurrency,
 then reports latency percentiles (p50/p90/p99), throughput, cache-hit
 rate and error counts.  With ``repeat > 1`` the *same* workload (same
 seed) is replayed again, so the second phase measures the warm shared
@@ -31,9 +32,12 @@ from repro.engine.jobs import Budget, VerificationJob, execute_job, is_conclusiv
 from repro.harness.table1 import PROBLEMS
 from repro.net.parser import to_text
 from repro.net.pnml import to_pnml
+from repro.props.compat import filter_methods
+from repro.props.eval import as_property
 from repro.serve.client import ServeClient
 
 __all__ = [
+    "FAMILY_PROPERTIES",
     "LoadtestConfig",
     "format_report",
     "quick_config",
@@ -48,6 +52,15 @@ DEFAULT_SIZES: Mapping[str, tuple[int, ...]] = {
     "ASAT": (2, 4),
     "OVER": (2, 3),
     "RW": (6, 9),
+}
+
+#: Per-family property pool for ``property_mix`` draws.  Place names use
+#: process index 0, which exists at every size the workload generates.
+FAMILY_PROPERTIES: Mapping[str, tuple[str, ...]] = {
+    "NSDP": ("reachable(eat0)", "invariant(!(eat0 & eat1))", "!deadlock"),
+    "ASAT": ("reachable(use0)", "invariant(!(use0 & use1))"),
+    "OVER": ("reachable(passing0)", "reachable(passing0 & passing1)"),
+    "RW": ("reachable(writing0)", "invariant(!(writing0 & reading0))"),
 }
 
 
@@ -73,6 +86,9 @@ class LoadtestConfig:
     verify: bool = True
     poll_interval: float = 0.02
     repeat: int = 1
+    #: Fraction of requests carrying a :data:`FAMILY_PROPERTIES` query in
+    #: the v2 ``property`` field (the rest ask the deadlock question).
+    property_mix: float = 0.0
 
 
 def quick_config(host: str, port: int, **overrides: Any) -> LoadtestConfig:
@@ -86,6 +102,7 @@ def quick_config(host: str, port: int, **overrides: Any) -> LoadtestConfig:
         families=("NSDP", "RW"),
         methods=("gpo", "stubborn", "symbolic"),
         sizes={"NSDP": (2, 4), "RW": (6,)},
+        property_mix=0.25,
     )
     defaults.update(overrides)
     return LoadtestConfig(**defaults)
@@ -99,7 +116,15 @@ class _RequestSpec:
     fmt: str
     tenant: str
     body: dict[str, Any]
-    key: tuple[str, int, str]
+    key: tuple[str, int, str, str]
+
+
+def _compatible_methods(
+    methods: tuple[str, ...], query: str
+) -> tuple[str, ...]:
+    """Methods the protocol layer would accept for ``query``."""
+    kept, _ = filter_methods(methods, as_property(query))
+    return kept
 
 
 def _build_workload(config: LoadtestConfig) -> list[_RequestSpec]:
@@ -109,7 +134,19 @@ def _build_workload(config: LoadtestConfig) -> list[_RequestSpec]:
     for _ in range(config.requests):
         family = rng.choice(config.families)
         size = rng.choice(config.sizes.get(family, DEFAULT_SIZES[family]))
-        method = rng.choice(config.methods)
+        query = "deadlock"
+        candidates = config.methods
+        pool = FAMILY_PROPERTIES.get(family, ())
+        if pool and rng.random() < config.property_mix:
+            drawn = rng.choice(pool)
+            # Draw the method from the pairs the protocol layer admits,
+            # so a property request never burns a slot on a sure 400;
+            # if no configured method can take it, keep the deadlock
+            # question instead.
+            kept = _compatible_methods(config.methods, drawn)
+            if kept:
+                query, candidates = drawn, kept
+        method = rng.choice(candidates)
         fmt = rng.choice(("native", "pnml"))
         if rng.random() < config.skew or config.tenants <= 1:
             tenant = "tenant-0"
@@ -119,6 +156,17 @@ def _build_workload(config: LoadtestConfig) -> list[_RequestSpec]:
         if text_key not in texts:
             net = PROBLEMS[family](size)
             texts[text_key] = to_pnml(net) if fmt == "pnml" else to_text(net)
+        body = {
+            "net": texts[text_key],
+            "format": fmt,
+            "method": method,
+            "max_states": config.max_states,
+            "max_seconds": config.max_seconds,
+            "tenant": tenant,
+            "priority": 0,
+        }
+        if query != "deadlock":
+            body["property"] = query
         specs.append(
             _RequestSpec(
                 family=family,
@@ -126,16 +174,8 @@ def _build_workload(config: LoadtestConfig) -> list[_RequestSpec]:
                 method=method,
                 fmt=fmt,
                 tenant=tenant,
-                body={
-                    "net": texts[text_key],
-                    "format": fmt,
-                    "method": method,
-                    "max_states": config.max_states,
-                    "max_seconds": config.max_seconds,
-                    "tenant": tenant,
-                    "priority": 0,
-                },
-                key=(family, size, method),
+                body=body,
+                key=(family, size, method, query),
             )
         )
     return specs
@@ -143,9 +183,10 @@ def _build_workload(config: LoadtestConfig) -> list[_RequestSpec]:
 
 def _expected_verdicts(
     config: LoadtestConfig, specs: list[_RequestSpec]
-) -> dict[tuple[str, int, str], dict[str, bool]]:
-    """Ground truth: run each unique (family, size, method) in-process."""
-    out: dict[tuple[str, int, str], dict[str, bool]] = {}
+) -> dict[tuple[str, int, str, str], dict[str, Any]]:
+    """Ground truth: run each unique (family, size, method, query)
+    in-process with the same budget."""
+    out: dict[tuple[str, int, str, str], dict[str, Any]] = {}
     budget = Budget(
         max_states=config.max_states, max_seconds=config.max_seconds
     )
@@ -156,11 +197,14 @@ def _expected_verdicts(
             net=PROBLEMS[spec.family](spec.size),
             method=spec.method,
             budget=budget,
+            query=spec.key[3],
         )
         result = execute_job(job)
         out[spec.key] = {
             "deadlock": result.deadlock,
             "conclusive": is_conclusive(result),
+            "property": result.property_text is not None,
+            "holds": result.property_holds,
         }
     return out
 
@@ -204,12 +248,16 @@ async def _drive_one(
             body = poll.json()
         latency = time.perf_counter() - started
         result = body.get("result") or {}
+        extras = result.get("extras", {})
         return {
             "outcome": body["state"],
-            "cached": cached or result.get("extras", {}).get("cache") == "hit",
+            "cached": cached or extras.get("cache") == "hit",
             "latency": latency,
             "deadlock": bool(result.get("deadlock", False)),
             "exhaustive": bool(result.get("exhaustive", False)),
+            "holds": extras.get("property_holds")
+            if "property" in extras
+            else None,
             "key": spec.key,
         }
 
@@ -227,7 +275,7 @@ def _summarize(
     name: str,
     rows: list[dict[str, Any]],
     wall_seconds: float,
-    expected: Mapping[tuple[str, int, str], Mapping[str, bool]],
+    expected: Mapping[tuple[str, int, str, str], Mapping[str, Any]],
 ) -> dict[str, Any]:
     latencies = sorted(
         row["latency"] for row in rows if "latency" in row
@@ -241,6 +289,20 @@ def _summarize(
     for row in completed:
         want = expected.get(tuple(row["key"]))
         if want is None:
+            continue
+        if want.get("property"):
+            # Property rows compare three-valued verdicts; only two
+            # conclusive-but-different answers disagree.
+            got_holds = row.get("holds")
+            if (
+                want["conclusive"]
+                and got_holds is not None
+                and got_holds != want["holds"]
+            ):
+                mismatches.append(
+                    {"key": list(row["key"]), "got": got_holds,
+                     "want": want["holds"]}
+                )
             continue
         got_conclusive = row["deadlock"] or row["exhaustive"]
         if want["conclusive"] and got_conclusive:
@@ -276,7 +338,7 @@ def _summarize(
 async def run_loadtest(config: LoadtestConfig) -> dict[str, Any]:
     """Run all phases of the workload; returns the full report dict."""
     specs = _build_workload(config)
-    expected: dict[tuple[str, int, str], dict[str, bool]] = (
+    expected: dict[tuple[str, int, str, str], dict[str, Any]] = (
         _expected_verdicts(config, specs) if config.verify else {}
     )
     client = ServeClient(config.host, config.port)
@@ -307,6 +369,7 @@ async def run_loadtest(config: LoadtestConfig) -> dict[str, Any]:
             "seed": config.seed,
             "verified": config.verify,
             "repeat": max(1, config.repeat),
+            "property_mix": config.property_mix,
         },
         "phases": phases,
     }

@@ -22,15 +22,33 @@ from repro.net.exceptions import ParseError
 from repro.net.parser import parse_net
 from repro.net.petrinet import PetriNet
 from repro.net.pnml import parse_pnml
+from repro.props.ast import PropertyError
+from repro.props.compat import unsupported_reason
+from repro.props.compile import check_places
+from repro.props.eval import as_property
 from repro.serve.config import ServeConfig
 
-__all__ = ["ApiError", "SubmitRequest", "parse_submit", "parse_wire_net"]
+__all__ = [
+    "API_VERSION",
+    "ApiError",
+    "SubmitRequest",
+    "parse_submit",
+    "parse_wire_net",
+]
+
+#: Wire-protocol version, surfaced in ``/healthz``.  Version 2 added the
+#: ``property`` submission field (the :mod:`repro.props` query language);
+#: version-1 bodies (method/query/budget only) remain valid.
+API_VERSION = 2
 
 #: Client-visible priority range (clamped, not rejected).
 PRIORITY_MIN, PRIORITY_MAX = -100, 100
 
 #: Tenant identifiers: short, printable, no structural characters.
 _TENANT_MAX_LEN = 64
+
+#: Property texts are tiny; anything huge is abuse, not a query.
+_PROPERTY_MAX_LEN = 4096
 
 
 class ApiError(Exception):
@@ -156,6 +174,45 @@ def _tenant_of(body: dict[str, Any]) -> str:
     return tenant
 
 
+def _property_of(
+    body: dict[str, Any], net: PetriNet, method: str, *, default: str
+) -> str:
+    """Validate the v2 ``property`` field into canonical query text.
+
+    Absent field → ``default`` (the legacy deadlock question).  The text
+    is parsed, normalized, place-checked against the submitted net, and
+    screened against the method's preservation declarations *before* the
+    job is admitted, so incompatible pairs fail fast at the protocol
+    layer instead of burning a worker slot.
+    """
+    text = body.get("property")
+    if text is None:
+        return default
+    if not isinstance(text, str) or not text.strip():
+        raise ApiError(
+            400, "bad-property", "'property' must be a non-empty string"
+        )
+    if len(text) > _PROPERTY_MAX_LEN:
+        raise ApiError(
+            400,
+            "bad-property",
+            f"property text is {len(text)} chars; limit {_PROPERTY_MAX_LEN}",
+        )
+    try:
+        prop = as_property(text)
+        check_places(net, prop)
+    except PropertyError as exc:
+        raise ApiError(400, "bad-property", str(exc)) from exc
+    reason = unsupported_reason(method, prop)
+    if reason is not None:
+        raise ApiError(
+            400,
+            "unsupported-property",
+            f"method {method!r} cannot take {prop.text()!r}: {reason}",
+        )
+    return prop.text()
+
+
 def parse_submit(raw_body: bytes, config: ServeConfig) -> SubmitRequest:
     """Validate a ``POST /v1/jobs`` body into a :class:`SubmitRequest`."""
     try:
@@ -185,8 +242,12 @@ def parse_submit(raw_body: bytes, config: ServeConfig) -> SubmitRequest:
     query = body.get("query", "deadlock")
     if query != "deadlock":
         raise ApiError(
-            400, "unknown-query", f"{query!r}; only 'deadlock' is supported"
+            400,
+            "unknown-query",
+            f"{query!r}; only 'deadlock' is supported — richer questions "
+            "go in the 'property' field",
         )
+    query = _property_of(body, net, str(method), default=str(query))
 
     max_states = int(
         _clamped_number(

@@ -25,6 +25,13 @@ from repro.net.structure import StructuralInfo
 from repro.obs import names
 from repro.obs.record import record_result
 from repro.obs.tracer import current_tracer
+from repro.props.ast import Property, UnsupportedPropertyError
+from repro.props.compat import unsupported_reason
+from repro.props.eval import (
+    engine_property,
+    needs_decomposition,
+    run_property,
+)
 from repro.search.core import (
     SearchContext,
     SearchOutcome,
@@ -279,6 +286,7 @@ def analyze(
     max_seconds: float | None = None,
     want_witness: bool = True,
     use_kernel: bool = True,
+    prop: "Property | str | None" = None,
 ) -> AnalysisResult:
     """Run stubborn-set reduced analysis, packaged uniformly.
 
@@ -289,7 +297,37 @@ def analyze(
     the other analyzers.  ``use_kernel`` selects the packed-integer fast
     path (default) or the frozenset reference path; both report identical
     counts (``extras["kernel"]`` records which one ran).
+
+    The stubborn-set reduction preserves *deadlocks only* (its compat
+    declaration in :mod:`repro.props.compat`): ``prop`` may be ``None``,
+    ``deadlock``, a constant, or a boolean combination of those; any
+    ``reachable``/``invariant`` leaf raises
+    :class:`~repro.props.ast.UnsupportedPropertyError` — the reduced
+    graph genuinely cannot answer the question.
     """
+    goal_prop = engine_property(prop)
+    if goal_prop is not None and needs_decomposition(goal_prop):
+        return run_property(
+            goal_prop,
+            lambda leaf: analyze(
+                net,
+                strategy=strategy,
+                max_states=max_states,
+                max_seconds=max_seconds,
+                want_witness=want_witness,
+                use_kernel=use_kernel,
+                prop=leaf,
+            ),
+            analyzer="stubborn",
+            net_name=net.name,
+        )
+    if goal_prop is not None:
+        raise UnsupportedPropertyError(
+            "stubborn",
+            goal_prop,
+            unsupported_reason("stubborn", goal_prop)
+            or "the stubborn-set reduction preserves deadlocks only",
+        )
     tracer = current_tracer()
     with tracer.span(
         names.SPAN_ANALYZE, analyzer="stubborn", net=net.name

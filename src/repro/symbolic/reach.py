@@ -17,15 +17,66 @@ from repro.analysis.stats import (
     TimeLimitReached,
     stopwatch,
 )
-from repro.bdd.manager import ZERO
+from repro.bdd.manager import ONE, ZERO
 from repro.bdd.ops import any_model, relprod, rename, satcount
 from repro.net.petrinet import Marking, PetriNet
 from repro.obs import names
 from repro.obs.record import record_result
 from repro.obs.tracer import current_tracer
+from repro.props.ast import (
+    And,
+    Bottom,
+    Invariant,
+    Marked,
+    Not,
+    Or,
+    Predicate,
+    Property,
+    PropertyError,
+    Reachable,
+    Top,
+)
+from repro.props.eval import (
+    engine_property,
+    needs_decomposition,
+    property_extras,
+    reject_safe,
+    run_property,
+)
 from repro.symbolic.encoding import SymbolicNet
 
-__all__ = ["SymbolicResult", "reach", "analyze"]
+__all__ = ["SymbolicResult", "predicate_bdd", "reach", "analyze"]
+
+
+def predicate_bdd(symnet: SymbolicNet, pred: Predicate) -> int:
+    """Characteristic BDD of a (normalized) predicate over current vars.
+
+    This is the symbolic engine's compile target for the property layer:
+    ``reachable(p)`` is an emptiness test of ``reached ∧ bdd(p)`` and
+    ``invariant(p)`` of ``reached ∧ ¬bdd(p)`` — both exact, like the
+    deadlock check.
+    """
+    mgr = symnet.mgr
+    net = symnet.net
+    if isinstance(pred, Top):
+        return ONE
+    if isinstance(pred, Bottom):
+        return ZERO
+    if isinstance(pred, Marked):
+        return mgr.var(symnet.current[net.place_id(pred.place)])
+    if isinstance(pred, Not):
+        return mgr.not_(predicate_bdd(symnet, pred.operand))
+    if isinstance(pred, And):
+        return mgr.and_all(
+            predicate_bdd(symnet, op) for op in pred.operands
+        )
+    if isinstance(pred, Or):
+        return mgr.or_all(
+            predicate_bdd(symnet, op) for op in pred.operands
+        )
+    raise PropertyError(
+        f"predicate atom {pred.text()!r} has no symbolic encoding"
+    )
 
 
 class SymbolicResult:
@@ -58,16 +109,19 @@ class SymbolicResult:
         mgr = self.symnet.mgr
         return mgr.diff(self.reached, self.symnet.enabled_any)
 
-    def deadlock_marking(self) -> Marking | None:
-        """Decode one deadlocked marking, if any."""
-        dead = self.deadlock_bdd()
-        if dead == ZERO:
+    def some_marking(self, node: int) -> Marking | None:
+        """Decode one marking from a characteristic function, if any."""
+        if node == ZERO:
             return None
         model = any_model(
-            self.symnet.mgr, dead, sorted(self.symnet.current_levels())
+            self.symnet.mgr, node, sorted(self.symnet.current_levels())
         )
         assert model is not None
         return self.symnet.decode_model(model)
+
+    def deadlock_marking(self) -> Marking | None:
+        """Decode one deadlocked marking, if any."""
+        return self.some_marking(self.deadlock_bdd())
 
     def contains(self, marking: Marking) -> bool:
         """Membership test for a concrete marking."""
@@ -139,6 +193,7 @@ def analyze(
     partitioned: bool = True,
     want_witness: bool = True,
     max_seconds: float | None = None,
+    prop: "Property | str | None" = None,
 ) -> AnalysisResult:
     """Symbolic deadlock analysis packaged uniformly.
 
@@ -148,7 +203,29 @@ def analyze(
     fixpoint depth.  The witness marking (when a deadlock exists) comes
     without a trace — recovering traces needs backward images, which the
     paper's comparison does not exercise.
+
+    ``prop`` asks a property question: ``reachable(p)`` /
+    ``invariant(p)`` become BDD emptiness tests against the reached set,
+    so the verdict is always exact (never screen-only).  Property
+    witnesses are markings without traces, like deadlock witnesses.
     """
+    goal_prop = engine_property(prop)
+    if goal_prop is not None and needs_decomposition(goal_prop):
+        return run_property(
+            goal_prop,
+            lambda leaf: analyze(
+                net,
+                use_force_order=use_force_order,
+                partitioned=partitioned,
+                want_witness=want_witness,
+                max_seconds=max_seconds,
+                prop=leaf,
+            ),
+            analyzer="symbolic",
+            net_name=net.name,
+        )
+    if goal_prop is not None:
+        reject_safe("symbolic", goal_prop)
     tracer = current_tracer()
     with tracer.span(
         names.SPAN_ANALYZE, analyzer="symbolic", net=net.name
@@ -164,14 +241,37 @@ def analyze(
                 partitioned=partitioned,
                 max_seconds=max_seconds,
             )
-            dead = result.deadlock_marking()
-        witness = None
-        if dead is not None and want_witness:
-            with tracer.span(names.SPAN_WITNESS):
-                witness = DeadlockWitness(
-                    marking=net.marking_names(dead), trace=()
+            mgr = result.symnet.mgr
+            dead = None
+            holds: bool | None = None
+            goal_marking: Marking | None = None
+            goal_label = "goal"
+            if goal_prop is None:
+                dead = result.deadlock_marking()
+            elif isinstance(goal_prop, Reachable):
+                hit = mgr.and_(
+                    result.reached, predicate_bdd(result.symnet, goal_prop.pred)
                 )
-        mgr = result.symnet.mgr
+                holds = hit != ZERO
+                goal_marking = result.some_marking(hit)
+            else:
+                assert isinstance(goal_prop, Invariant)
+                bad = mgr.diff(
+                    result.reached, predicate_bdd(result.symnet, goal_prop.pred)
+                )
+                holds = bad == ZERO
+                goal_marking = result.some_marking(bad)
+                goal_label = "violation"
+        witness = None
+        if want_witness:
+            marking = dead if goal_prop is None else goal_marking
+            if marking is not None:
+                with tracer.span(names.SPAN_WITNESS):
+                    witness = DeadlockWitness(
+                        marking=net.marking_names(marking),
+                        trace=(),
+                        label="deadlock" if goal_prop is None else goal_label,
+                    )
         metrics = tracer.metrics
         labels = {"analyzer": "symbolic", "net": net.name}
         metrics.gauge(names.BDD_PEAK_NODES, **labels).set_max(
@@ -180,6 +280,13 @@ def analyze(
         metrics.gauge(names.BDD_CACHE_HIT_RATIO, **labels).set(
             round(mgr.cache_hit_ratio, 4)
         )
+        extras: dict[str, object] = {
+            "peak_bdd_nodes": result.peak_nodes,
+            "iterations": result.iterations,
+            names.SAFETY_CERTIFIED: certified,
+        }
+        if goal_prop is not None:
+            extras.update(property_extras(goal_prop, holds))
         packaged = AnalysisResult(
             analyzer="symbolic",
             net_name=net.name,
@@ -188,11 +295,7 @@ def analyze(
             deadlock=dead is not None,
             time_seconds=elapsed[0],
             witness=witness,
-            extras={
-                "peak_bdd_nodes": result.peak_nodes,
-                "iterations": result.iterations,
-                names.SAFETY_CERTIFIED: certified,
-            },
+            extras=extras,
         )
         root.set(
             states=packaged.states,

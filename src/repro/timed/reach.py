@@ -20,8 +20,17 @@ from repro.net.petrinet import Marking
 from repro.obs import names
 from repro.obs.record import record_result
 from repro.obs.tracer import current_tracer
+from repro.props.ast import Property
+from repro.props.eval import (
+    engine_property,
+    needs_decomposition,
+    property_extras,
+    reject_safe,
+    run_property,
+)
 from repro.search.core import SearchContext, abort_note, raise_if_bounded
 from repro.search.core import explore as _drive
+from repro.search.goals import compile_goal
 from repro.search.graph import ReachabilityGraph
 from repro.search.observers import TracingObserver
 from repro.timed.stateclass import StateClass, fire_class, initial_class
@@ -134,6 +143,7 @@ def analyze(
     max_seconds: float | None = None,
     want_witness: bool = True,
     use_kernel: bool = True,
+    prop: "Property | str | None" = None,
 ) -> AnalysisResult:
     """Timed deadlock analysis packaged like the untimed analyzers.
 
@@ -143,8 +153,34 @@ def analyze(
     Budget overruns are absorbed into a bounded, non-exhaustive result.
     ``use_kernel`` selects the bitmask marking steps (default) or the
     frozenset reference rule; both build the same class graph.
+
+    ``prop`` asks a property question over *timed-reachable* markings: a
+    goal observer projects each state class onto its marking, so
+    ``reachable(p)`` means "some class whose marking satisfies ``p`` is
+    reachable under the timing constraints".
     """
+    goal_prop = engine_property(prop)
+    if goal_prop is not None and needs_decomposition(goal_prop):
+        return run_property(
+            goal_prop,
+            lambda leaf: analyze(
+                tpn,
+                max_classes=max_classes,
+                max_seconds=max_seconds,
+                want_witness=want_witness,
+                use_kernel=use_kernel,
+                prop=leaf,
+            ),
+            analyzer="timed",
+            net_name=tpn.net.name,
+        )
     space = StateClassSpace(tpn, use_kernel=use_kernel)
+    goal = None
+    if goal_prop is not None:
+        reject_safe("timed", goal_prop)
+        goal = compile_goal(
+            tpn.net, goal_prop, marking_of=lambda cls: cls.marking
+        )
     tracer = current_tracer()
     with tracer.span(
         names.SPAN_ANALYZE, analyzer="timed", net=tpn.net.name
@@ -153,7 +189,11 @@ def analyze(
         # before exploring (timing restricts, never extends, reachability).
         with tracer.span(names.SPAN_CERTIFICATE):
             certified = tpn.net.static_analysis().safety_certificate.certified
-        observers = (TracingObserver(tracer),) if tracer.enabled else ()
+        observers: tuple[object, ...] = (
+            (TracingObserver(tracer),) if tracer.enabled else ()
+        )
+        if goal is not None:
+            observers = (goal.observer, *observers)
         with stopwatch() as elapsed:
             outcome = _drive(
                 space,
@@ -164,7 +204,11 @@ def analyze(
             )
         graph = outcome.graph
         witness = None
-        if graph.deadlocks and want_witness:
+        if goal is not None:
+            if goal.hit and want_witness:
+                with tracer.span(names.SPAN_WITNESS):
+                    witness = goal.witness(tpn.net, graph)
+        elif graph.deadlocks and want_witness:
             target = next(iter(graph.deadlocks))
             with tracer.span(names.SPAN_WITNESS):
                 path = graph.path_to(target) or []
@@ -179,17 +223,21 @@ def analyze(
         note = abort_note(
             outcome.stop_reason, max_states=max_classes, max_seconds=max_seconds
         )
-        if note is not None:
+        if note is not None and not (goal is not None and goal.hit):
             extras[names.ABORTED] = note
+        if goal is not None:
+            extras.update(
+                property_extras(goal_prop, goal.holds(outcome.exhaustive))
+            )
         result = AnalysisResult(
             analyzer="timed",
             net_name=tpn.net.name,
             states=graph.num_states,
             edges=graph.num_edges,
-            deadlock=bool(graph.deadlocks),
+            deadlock=bool(graph.deadlocks) if goal is None else False,
             time_seconds=elapsed[0],
             witness=witness,
-            exhaustive=outcome.exhaustive,
+            exhaustive=outcome.exhaustive or (goal is not None and goal.hit),
             extras=extras,
         )
         root.set(states=result.states, edges=result.edges)

@@ -21,6 +21,15 @@ from repro.net.petrinet import Marking, PetriNet
 from repro.obs import names
 from repro.obs.record import record_result
 from repro.obs.tracer import current_tracer
+from repro.props.ast import Invariant, Not, Property
+from repro.props.compile import check_places, predicate_fn
+from repro.props.eval import (
+    engine_property,
+    needs_decomposition,
+    property_extras,
+    reject_safe,
+    run_property,
+)
 from repro.unfolding.prefix import Prefix, unfold
 
 __all__ = ["prefix_markings", "deadlock_via_prefix", "analyze"]
@@ -107,8 +116,41 @@ def analyze(
     max_events: int | None = 10_000,
     max_seconds: float | None = None,
     want_witness: bool = True,
+    prop: "Property | str | None" = None,
 ) -> AnalysisResult:
-    """Unfold and report prefix sizes plus a deadlock verdict."""
+    """Unfold and report prefix sizes plus a deadlock verdict.
+
+    ``prop`` evaluates a property over the markings the prefix
+    represents.  Every cut of a prefix — even a truncated one — is a
+    genuinely reachable marking, so a hit is conclusive regardless of
+    the event budget; a miss decides only when the prefix is complete.
+    """
+    goal_prop = engine_property(prop)
+    if goal_prop is not None and needs_decomposition(goal_prop):
+        return run_property(
+            goal_prop,
+            lambda leaf: analyze(
+                net,
+                max_events=max_events,
+                max_seconds=max_seconds,
+                want_witness=want_witness,
+                prop=leaf,
+            ),
+            analyzer="unfolding",
+            net_name=net.name,
+        )
+    goal_fn = None
+    goal_hit_holds = True
+    goal_label = "goal"
+    if goal_prop is not None:
+        reject_safe("unfolding", goal_prop)
+        check_places(net, goal_prop)
+        if isinstance(goal_prop, Invariant):
+            target = Not(goal_prop.pred)
+            goal_hit_holds, goal_label = False, "violation"
+        else:
+            target = goal_prop.pred
+        goal_fn = predicate_fn(net, target)
     tracer = current_tracer()
     with tracer.span(
         names.SPAN_ANALYZE, analyzer="unfolding", net=net.name
@@ -126,13 +168,47 @@ def analyze(
             exhaustive = (
                 max_events is None or prefix.num_events < max_events
             )
+            dead = None
+            found: Marking | None = None
+            enumerated = True
             with tracer.span(names.SPAN_WITNESS):
-                dead = deadlock_via_prefix(net, prefix) if exhaustive else None
+                if goal_fn is None:
+                    dead = (
+                        deadlock_via_prefix(net, prefix) if exhaustive else None
+                    )
+                else:
+                    try:
+                        for marking in prefix_markings(prefix):
+                            if goal_fn(net.marking_names(marking)):
+                                found = marking
+                                break
+                    except RuntimeError:
+                        enumerated = False
         witness = None
-        if dead is not None and want_witness:
+        if goal_fn is None:
+            if dead is not None and want_witness:
+                witness = DeadlockWitness(
+                    marking=net.marking_names(dead), trace=()
+                )
+        elif found is not None and want_witness:
             witness = DeadlockWitness(
-                marking=net.marking_names(dead), trace=()
+                marking=net.marking_names(found), trace=(), label=goal_label
             )
+        extras: dict[str, object] = {
+            "conditions": prefix.num_conditions,
+            "cutoffs": prefix.num_cutoffs,
+            names.SAFETY_CERTIFIED: certified,
+        }
+        if goal_fn is not None:
+            if found is not None:
+                holds: bool | None = goal_hit_holds
+            elif exhaustive and enumerated:
+                holds = not goal_hit_holds
+            else:
+                holds = None
+            extras.update(property_extras(goal_prop, holds))
+            if not enumerated:
+                extras["aborted"] = "prefix enumeration limit exceeded"
         result = AnalysisResult(
             analyzer="unfolding",
             net_name=net.name,
@@ -141,12 +217,8 @@ def analyze(
             deadlock=dead is not None,
             time_seconds=elapsed[0],
             witness=witness,
-            exhaustive=exhaustive,
-            extras={
-                "conditions": prefix.num_conditions,
-                "cutoffs": prefix.num_cutoffs,
-                names.SAFETY_CERTIFIED: certified,
-            },
+            exhaustive=exhaustive or (goal_fn is not None and found is not None),
+            extras=extras,
         )
         root.set(states=result.states, edges=result.edges)
     record_result(result)

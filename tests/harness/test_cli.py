@@ -414,3 +414,110 @@ class TestObsFlags:
         with open(trace, encoding="utf-8") as handle:
             payload = _json.load(handle)
         assert isinstance(payload["traceEvents"], list)
+
+
+class TestQuery:
+    """``gpo query`` and the --property flags thread one language through."""
+
+    @pytest.fixture
+    def nsdp_file(self, tmp_path):
+        from repro.models import nsdp
+
+        path = str(tmp_path / "nsdp3.net")
+        save_net(nsdp(3), path)
+        return path
+
+    def test_deadlock_holds(self, nsdp_file, capsys):
+        # query speaks the property convention: 0 == "the property holds",
+        # even when the property is the deadlock question itself.
+        assert main(["query", nsdp_file, "deadlock"]) == 0
+        assert "property: deadlock" in capsys.readouterr().out
+
+    def test_negated_deadlock_is_violated(self, nsdp_file, capsys):
+        assert main(["query", nsdp_file, "!deadlock"]) == 1
+
+    def test_mutex_reachability_refuted(self, nsdp_file, capsys):
+        assert main(["query", nsdp_file, "reachable(eat0 & eat1)"]) == 1
+        assert "property: reachable(eat0 & eat1)" in capsys.readouterr().out
+
+    def test_mutex_invariant_holds(self, nsdp_file, capsys):
+        assert main(["query", nsdp_file, "invariant(!(eat0 & eat1))"]) == 0
+
+    def test_safe_sugar(self, nsdp_file, capsys):
+        assert main(["query", nsdp_file, "safe"]) == 0
+
+    def test_parse_error_exits_two(self, nsdp_file, capsys):
+        assert main(["query", nsdp_file, "reachable("]) == 2
+        assert capsys.readouterr().err
+
+    def test_unknown_place_exits_two(self, nsdp_file, capsys):
+        assert main(["query", nsdp_file, "reachable(nope)"]) == 2
+        assert "nope" in capsys.readouterr().err
+
+    def test_bad_method_exits_two(self, nsdp_file, capsys):
+        assert main(
+            ["query", nsdp_file, "deadlock", "--methods", "psychic"]
+        ) == 2
+
+    def test_verify_property_flag(self, nsdp_file, capsys):
+        # gpo (the default) only screens reachability; full decides it.
+        code = main(
+            [
+                "verify",
+                nsdp_file,
+                "--method",
+                "full",
+                "--property",
+                "reachable(eat0)",
+            ]
+        )
+        assert code == 0  # reachable(eat0) holds -> exit 0
+        assert "property" in capsys.readouterr().out
+
+    def test_verify_property_gpo_screen_is_undecided(self, nsdp_file):
+        # A clean GPO screen is inconclusive, not a verdict.
+        code = main(
+            ["verify", nsdp_file, "--property", "reachable(eat0)"]
+        )
+        assert code == 2
+
+    def test_verify_property_incompatible_method(self, nsdp_file, capsys):
+        code = main(
+            [
+                "verify",
+                nsdp_file,
+                "--method",
+                "stubborn",
+                "--property",
+                "reachable(eat0)",
+            ]
+        )
+        assert code == 2
+        assert "deadlock" in capsys.readouterr().err
+
+    def test_race_property_flag(self, nsdp_file, capsys):
+        code = main(
+            [
+                "race",
+                nsdp_file,
+                "--property",
+                "reachable(eat0)",
+                "--methods",
+                "full,symbolic",
+            ]
+        )
+        assert code == 0
+
+    def test_reach_stubborn_refuses(self, nsdp_file, capsys):
+        code = main(
+            [
+                "reach",
+                nsdp_file,
+                "--target",
+                "eat0",
+                "--method",
+                "stubborn",
+            ]
+        )
+        assert code == 2
+        assert "deadlocks only" in capsys.readouterr().err

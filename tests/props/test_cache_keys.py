@@ -1,0 +1,90 @@
+"""Property-aware cache keys: variants share, questions never collide."""
+
+from __future__ import annotations
+
+from repro.engine.cache import ResultCache
+from repro.engine.jobs import Budget, VerificationJob, execute_job, query_token
+from repro.engine.portfolio import run_race
+from repro.models import nsdp
+
+BUDGET = Budget(max_states=30_000, max_seconds=30.0)
+
+
+def _job(query: str, method: str = "full") -> VerificationJob:
+    return VerificationJob(
+        net=nsdp(3), method=method, budget=BUDGET, query=query
+    )
+
+
+class TestKeyMaterial:
+    def test_distinct_properties_distinct_keys(self):
+        keys = {
+            _job(q).cache_key_material()
+            for q in (
+                "deadlock",
+                "reachable(eat0)",
+                "reachable(eat1)",
+                "invariant(!(eat0 & eat1))",
+            )
+        }
+        assert len(keys) == 4
+
+    def test_semantic_variants_share_a_key(self):
+        assert (
+            _job("reachable(eat0 & eat1)").cache_key_material()
+            == _job("reachable(eat1 & eat0)").cache_key_material()
+        )
+        assert (
+            _job("deadlock").cache_key_material()
+            == _job("!!deadlock").cache_key_material()
+        )
+
+    def test_key_is_versioned_and_property_stamped(self):
+        material = _job("reachable(eat0)").cache_key_material()
+        assert material.startswith("v2\n")
+        assert f"property={query_token('reachable(eat0)')}" in material
+
+    def test_unparseable_query_still_has_a_total_token(self):
+        assert query_token("reachable(").startswith("raw:")
+
+
+class TestCacheBehaviour:
+    def test_two_queries_two_entries_then_warm_hits(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        job_reach = _job("reachable(eat0)")
+        job_dead = _job("deadlock")
+
+        cache.put(job_reach, execute_job(job_reach))
+        assert cache.get(job_dead) is None  # different question, no entry
+        cache.put(job_dead, execute_job(job_dead))
+
+        reach_hit = cache.get(job_reach)
+        dead_hit = cache.get(job_dead)
+        assert reach_hit is not None and dead_hit is not None
+        assert reach_hit.property_holds is True
+        assert dead_hit.property_text is None and dead_hit.deadlock
+
+    def test_textual_variant_is_a_warm_hit(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        job = _job("reachable(eat0 & eat1)")
+        cache.put(job, execute_job(job))
+        assert cache.get(_job("reachable(eat1 & eat0)")) is not None
+
+    def test_race_repeat_serves_from_cache(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        kwargs = dict(
+            methods=("full",),
+            budget=BUDGET,
+            jobs=1,
+            cache=cache,
+            query="reachable(eat0)",
+        )
+        cold = run_race(nsdp(3), **kwargs)
+        warm = run_race(nsdp(3), **kwargs)
+        assert cold.winner is not None and cold.winner.status == "ok"
+        assert warm.winner is not None and warm.winner.status == "cached"
+        assert (
+            warm.winner.result.property_holds
+            == cold.winner.result.property_holds
+            is True
+        )

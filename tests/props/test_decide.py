@@ -1,0 +1,92 @@
+"""The planner: structural fast path, decomposition, compat drops."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.jobs import Budget
+from repro.models import nsdp
+from repro.props.ast import PropertyError
+from repro.props.decide import Decision, decide
+
+BUDGET = Budget(max_states=30_000, max_seconds=30.0)
+
+
+class TestStructuralFastPath:
+    def test_mutex_refuted_without_exploration(self):
+        decision = decide(nsdp(3), "reachable(eat0 & eat1)", budget=BUDGET)
+        assert decision.holds is False
+        assert decision.result.analyzer == "static"
+        assert decision.result.states == 0
+
+    def test_mutex_invariant_proved_without_exploration(self):
+        decision = decide(nsdp(3), "invariant(!(eat0 & eat1))", budget=BUDGET)
+        assert decision.holds is True
+        assert decision.result.states == 0
+
+    def test_safety_by_certificate(self):
+        decision = decide(nsdp(3), "safe", budget=BUDGET)
+        assert decision.holds is True
+        assert decision.result.analyzer in ("static", "safety-walk")
+
+    def test_no_static_forces_the_engine(self):
+        decision = decide(
+            nsdp(3), "reachable(eat0)", budget=BUDGET, use_static=False
+        )
+        assert decision.holds is True
+        assert decision.result.analyzer != "static"
+        assert decision.result.states > 0
+
+
+class TestPlanner:
+    def test_deadlock_question(self):
+        decision = decide(nsdp(3), "deadlock", budget=BUDGET)
+        assert decision.holds is True
+        assert decision.conclusive
+
+    def test_compound_short_circuits(self):
+        # reachable(eat0) is true, so the conjunction reduces to deadlock.
+        decision = decide(
+            nsdp(3), "reachable(eat0) & !deadlock", budget=BUDGET
+        )
+        assert decision.holds is False
+
+    def test_incompatible_methods_are_dropped_with_reason(self):
+        decision = decide(
+            nsdp(3),
+            "reachable(eat0)",
+            methods=("stubborn", "symbolic"),
+            budget=BUDGET,
+            use_static=False,
+        )
+        assert decision.holds is True
+        dropped = dict(decision.dropped)
+        assert "stubborn" in dropped
+        assert "deadlock" in dropped["stubborn"]
+
+    def test_describe_mentions_property_and_drops(self):
+        decision = decide(
+            nsdp(3),
+            "reachable(eat0)",
+            methods=("stubborn", "symbolic"),
+            budget=BUDGET,
+            use_static=False,
+        )
+        text = decision.describe()
+        assert "property: reachable(eat0)" in text
+        assert "[compat] stubborn dropped" in text
+
+    def test_unknown_place_raises(self):
+        with pytest.raises(PropertyError):
+            decide(nsdp(3), "reachable(nope)", budget=BUDGET)
+
+    def test_malformed_raises(self):
+        with pytest.raises(PropertyError):
+            decide(nsdp(3), "reachable(", budget=BUDGET)
+
+    def test_decision_is_a_dataclass_with_three_valued_holds(self):
+        decision = decide(nsdp(2), "true", budget=BUDGET)
+        assert isinstance(decision, Decision)
+        assert decision.holds is True
+        decision = decide(nsdp(2), "false", budget=BUDGET)
+        assert decision.holds is False

@@ -355,3 +355,89 @@ class TestHttpSurface:
                 assert "serve_job_wall_seconds" in text
 
         run(main())
+
+
+class TestPropertySubmissions:
+    def test_property_submit_to_verdict(self, tmp_path):
+        async def main():
+            async with serve_app(tmp_path) as (_, client):
+                response = await client.request(
+                    "POST",
+                    "/v1/jobs",
+                    submit_body(
+                        property="reachable(eat0 & eat1)", method="symbolic"
+                    ),
+                )
+                assert response.status == 202
+                body = response.json()
+                assert body["query"] == "reachable(eat0 & eat1)"
+                record = await wait_done(client, body["id"])
+                assert record["verdict"] == "property violated"
+                extras = record["result"]["extras"]
+                assert extras["property"] == "reachable(eat0 & eat1)"
+                assert extras["property_holds"] is False
+
+        run(main())
+
+    def test_property_cache_fast_path_distinct_from_deadlock(self, tmp_path):
+        async def main():
+            async with serve_app(tmp_path, workers=1) as (_, client):
+                prop_body = submit_body(
+                    property="reachable(eat0)", method="full"
+                )
+                first = await client.request("POST", "/v1/jobs", prop_body)
+                await wait_done(client, first.json()["id"])
+
+                # Same (net, method, budget) but the deadlock question:
+                # must NOT hit the property run's cache entry.
+                dead = await client.request(
+                    "POST", "/v1/jobs", submit_body(method="full")
+                )
+                assert dead.json()["cached"] is False
+                await wait_done(client, dead.json()["id"])
+
+                # Textual variant of the property: synchronous warm hit.
+                warm = await client.request(
+                    "POST",
+                    "/v1/jobs",
+                    submit_body(property="reachable(eat0)", method="full"),
+                )
+                assert warm.status == 200
+                body = warm.json()
+                assert body["cached"] is True
+                assert body["result"]["extras"]["property_holds"] is True
+
+        run(main())
+
+    def test_incompatible_property_rejected_on_the_wire(self, tmp_path):
+        async def main():
+            async with serve_app(tmp_path) as (_, client):
+                response = await client.request(
+                    "POST",
+                    "/v1/jobs",
+                    submit_body(property="reachable(eat0)", method="stubborn"),
+                )
+                assert response.status == 400
+                assert (
+                    response.json()["error"]["reason"]
+                    == "unsupported-property"
+                )
+
+        run(main())
+
+    def test_healthz_reports_protocol_version(self, tmp_path):
+        async def main():
+            async with serve_app(tmp_path) as (_, client):
+                response = await client.request("GET", "/healthz")
+                assert response.json()["protocol_version"] == 2
+
+        run(main())
+
+
+async def wait_done(client: ServeClient, job_id: str) -> dict[str, Any]:
+    while True:
+        response = await client.request("GET", f"/v1/jobs/{job_id}")
+        body = response.json()
+        if body["state"] in ("done", "cancelled", "failed"):
+            return body
+        await asyncio.sleep(0.01)

@@ -107,3 +107,62 @@ class TestEndToEnd:
         report = asyncio.run(asyncio.wait_for(main(), 60))
         assert report["config"]["verified"] is False
         assert mismatch_count(report) == 0
+
+
+class TestPropertyWorkload:
+    def test_property_mix_draws_compatible_pairs(self):
+        config = quick_config("h", 1, requests=60, property_mix=0.6)
+        specs = _build_workload(config)
+        with_prop = [s for s in specs if "property" in s.body]
+        assert with_prop, "0.6 mix over 60 requests must draw properties"
+        # Key carries the query; methods are pre-filtered by the
+        # preservation matrix before drawing.
+        from repro.props.compat import filter_methods
+        from repro.props.eval import as_property
+
+        for spec in with_prop:
+            assert spec.key[3] == spec.body["property"]
+            kept, _ = filter_methods(
+                config.methods, as_property(spec.body["property"])
+            )
+            assert spec.method in kept
+        for spec in specs:
+            if "property" not in spec.body:
+                assert spec.key[3] == "deadlock"
+
+    def test_zero_mix_is_pure_deadlock(self):
+        config = quick_config("h", 1, requests=30, property_mix=0.0)
+        assert all(
+            s.key[3] == "deadlock" and "property" not in s.body
+            for s in _build_workload(config)
+        )
+
+    def test_live_property_loadtest_no_mismatches(self, tmp_path):
+        async def main():
+            app = ServeApp(
+                ServeConfig(
+                    port=0,
+                    workers=2,
+                    cache_dir=str(tmp_path / "cache"),
+                    poll_interval=0.01,
+                )
+            )
+            await app.start()
+            try:
+                config = quick_config(
+                    "127.0.0.1",
+                    app.port,
+                    requests=12,
+                    concurrency=4,
+                    property_mix=0.5,
+                    poll_interval=0.01,
+                )
+                return await run_loadtest(config)
+            finally:
+                await app.stop()
+
+        report = asyncio.run(asyncio.wait_for(main(), 120))
+        assert report["config"]["property_mix"] == 0.5
+        assert mismatch_count(report) == 0
+        (phase,) = report["phases"]
+        assert phase["completed"] == 12

@@ -139,3 +139,57 @@ class TestParseSubmit:
     def test_retry_after_surfaces_in_payload(self):
         err = ApiError(429, "queue-full", "busy", retry_after=7)
         assert err.payload()["error"]["retry_after"] == 7
+
+
+class TestPropertyField:
+    """The v2 ``property`` field: canonicalized, place-checked, screened."""
+
+    def test_property_canonicalized_into_query(self):
+        submit = parse_submit(
+            submit_body(property="reachable(eat1 & eat0)", method="full"),
+            CONFIG,
+        )
+        assert submit.query == "reachable(eat0 & eat1)"
+        assert submit.to_job().query == "reachable(eat0 & eat1)"
+
+    def test_absent_property_keeps_the_deadlock_question(self):
+        assert parse_submit(submit_body(), CONFIG).query == "deadlock"
+
+    @pytest.mark.parametrize(
+        "value", ["", "   ", "reachable(", "reachable(nope)", 7, ["x"]]
+    )
+    def test_bad_property_rejected(self, value):
+        with pytest.raises(ApiError) as excinfo:
+            parse_submit(
+                submit_body(property=value, method="full"), CONFIG
+            )
+        assert excinfo.value.status == 400
+        assert excinfo.value.reason == "bad-property"
+
+    def test_oversized_property_rejected(self):
+        with pytest.raises(ApiError) as excinfo:
+            parse_submit(
+                submit_body(property="reachable(" + "a & " * 4096 + "b)"),
+                CONFIG,
+            )
+        assert excinfo.value.reason == "bad-property"
+
+    def test_incompatible_method_screened_at_admission(self):
+        with pytest.raises(ApiError) as excinfo:
+            parse_submit(
+                submit_body(property="reachable(eat0)", method="stubborn"),
+                CONFIG,
+            )
+        assert excinfo.value.status == 400
+        assert excinfo.value.reason == "unsupported-property"
+        assert "deadlocks only" in excinfo.value.detail
+
+    def test_safety_question_is_not_an_engine_job(self):
+        with pytest.raises(ApiError) as excinfo:
+            parse_submit(submit_body(property="safe", method="full"), CONFIG)
+        assert excinfo.value.reason == "unsupported-property"
+
+    def test_api_version_exported(self):
+        from repro.serve.protocol import API_VERSION
+
+        assert API_VERSION == 2
