@@ -94,6 +94,18 @@ class AnalysisResult:
         return None if holds is None else bool(holds)
 
     @property
+    def reduction(self) -> dict[str, Any] | None:
+        """The structural-reduction provenance, when the run was reduced.
+
+        The ``extras["reduce"]`` payload attached by the engine:
+        ``pre``/``post`` net sizes (places, transitions, arcs), per-rule
+        application counts, the preservation level/mode, and the full
+        replayable trace.  ``None`` for unreduced runs.
+        """
+        payload = self.extras.get("reduce")
+        return payload if isinstance(payload, dict) else None
+
+    @property
     def verdict(self) -> str:
         """Short human-readable verdict string."""
         if "property" in self.extras:
@@ -116,5 +128,11 @@ class AnalysisResult:
             f"time={self.time_seconds:.3f}s",
         ]
         for key, value in sorted(self.extras.items()):
+            if key == "reduce" and isinstance(value, dict):
+                # The payload carries the full trace; summarize it.
+                pre = "/".join(str(n) for n in value.get("pre", ()))
+                post = "/".join(str(n) for n in value.get("post", ()))
+                parts.append(f"reduce={pre}->{post}@{value.get('level')}")
+                continue
             parts.append(f"{key}={value}")
         return "  ".join(parts)

@@ -29,11 +29,14 @@ from repro.analysis.stats import (
 from repro.gpo import analyze as gpo_analyze
 from repro.net.petrinet import PetriNet
 from repro.obs.names import INSTRUMENTATION_FIELDS
-from repro.props.ast import Deadlock, Property, UnsupportedPropertyError
-from repro.props.compat import unsupported_reason
+from repro.props.ast import Deadlock, Property, UnsupportedPropertyError, places_of
+from repro.props.compat import reduction_level, unsupported_reason
 from repro.props.eval import HOLDS_KEY, PROPERTY_KEY, as_property
 from repro.props.normalize import property_hash
 from repro.props.parse import parse_property
+from repro.reduce.engine import MODES as REDUCE_MODES
+from repro.reduce.engine import Reduction, reduce_net
+from repro.reduce.trace import BackMapError, back_map_witness
 from repro.stubborn import analyze as stubborn_analyze
 from repro.symbolic import analyze as symbolic_analyze
 from repro.unfolding import analyze as unfolding_analyze
@@ -107,11 +110,34 @@ class VerificationJob:
     method: str = "gpo"
     budget: Budget = field(default_factory=Budget)
     query: str = "deadlock"
+    reduce: str = "off"
 
     @property
     def label(self) -> str:
         """Short human-readable identifier used in logs and events."""
         return f"{self.net.name}/{self.method}"
+
+    def reduction(self) -> Reduction | None:
+        """The structural reduction this job runs under, or ``None``.
+
+        Memoized on the net instance, so the cache-key computation and
+        the execution (and every method racing on the same net) share
+        one fixpoint run.  ``None`` when reduction is off or the query
+        does not parse — the job then runs (and fails) on the original
+        net, keeping the key total.
+        """
+        if self.reduce == "off":
+            return None
+        try:
+            prop = as_property(self.query)
+        except ValueError:
+            return None
+        return reduce_net(
+            self.net,
+            level=reduction_level(prop),
+            mode=self.reduce,
+            protect=places_of(prop),
+        )
 
     def cache_key_material(self) -> str:
         """The text whose hash keys the on-disk result cache.
@@ -125,16 +151,30 @@ class VerificationJob:
         initial marking the canonical hash already covers, so equal
         hashes imply equal certificates and adding it could only fragment
         the cache, never disambiguate it.
+
+        Reduced jobs use ``v3`` material stamping the reduce mode, the
+        reduced net's canonical hash and the trace hash: results that
+        rode different reductions never share an entry, and unreduced
+        keys stay byte-identical to v2 (no cache invalidation for the
+        default path).
         """
-        return "\n".join(
-            [
-                "v2",
-                self.net.canonical_hash(),
-                f"method={self.method}",
-                f"property={query_token(self.query)}",
-                self.budget.cache_token(),
-            ]
-        )
+        lines = [
+            "v2",
+            self.net.canonical_hash(),
+            f"method={self.method}",
+            f"property={query_token(self.query)}",
+            self.budget.cache_token(),
+        ]
+        if self.reduce != "off":
+            lines[0] = "v3"
+            lines.append(f"reduce={self.reduce}")
+            reduction = self.reduction()
+            if reduction is None:
+                lines.append("reduced=unparsed")
+            else:
+                lines.append(f"reduced={reduction.net.canonical_hash()}")
+                lines.append(f"trace={reduction.trace.trace_hash()}")
+        return "\n".join(lines)
 
 
 @dataclass
@@ -212,6 +252,11 @@ def execute_job(job: VerificationJob) -> AnalysisResult:
             f"unknown analyzer {job.method!r}; expected one of "
             f"{sorted(ANALYZERS)}"
         ) from None
+    if job.reduce not in REDUCE_MODES:
+        raise ValueError(
+            f"unknown reduce mode {job.reduce!r}; expected one of "
+            f"{REDUCE_MODES}"
+        )
     # PropertyError is a ValueError, so malformed queries reject the job
     # the same way unknown analyzers do.
     prop: Property | None = as_property(job.query)
@@ -223,6 +268,10 @@ def execute_job(job: VerificationJob) -> AnalysisResult:
         reason = unsupported_reason(job.method, prop)
         if reason is not None:
             raise UnsupportedPropertyError(job.method, prop, reason)
+    # Structural reduction pre-pass: the analyzer explores the reduced
+    # net, and the answer is mapped back below before anyone sees it.
+    reduction = job.reduction()
+    net = job.net if reduction is None else reduction.net
 
     budget = job.budget
     kwargs: dict[str, Any] = dict(budget.extra)
@@ -243,14 +292,14 @@ def execute_job(job: VerificationJob) -> AnalysisResult:
 
     with stopwatch() as elapsed:
         try:
-            result = fn(job.net, **kwargs)
+            result = fn(net, **kwargs)
             if not result.exhaustive:
                 # Some analyzers absorb the budget internally (the full
                 # explorer returns a bounded graph); normalize the marker.
                 result.extras.setdefault(
                     "aborted", f"> {budget.max_states} states"
                 )
-            return result
+            return _attach_reduction(job, reduction, result)
         except ExplorationLimitReached as overrun:
             aborted: dict[str, Any] = {"aborted": f"> {overrun.limit} states"}
             states = (
@@ -261,13 +310,45 @@ def execute_job(job: VerificationJob) -> AnalysisResult:
         except TimeLimitReached as overrun:
             aborted = {"aborted": f"> {overrun.seconds:.0f}s"}
             states = overrun.states_explored or 0
-    return AnalysisResult(
-        analyzer=job.method,
-        net_name=job.net.name,
-        states=states,
-        edges=0,
-        deadlock=False,
-        time_seconds=elapsed[0],
-        exhaustive=False,
-        extras=aborted,
+    return _attach_reduction(
+        job,
+        reduction,
+        AnalysisResult(
+            analyzer=job.method,
+            net_name=job.net.name,
+            states=states,
+            edges=0,
+            deadlock=False,
+            time_seconds=elapsed[0],
+            exhaustive=False,
+            extras=aborted,
+        ),
     )
+
+
+def _attach_reduction(
+    job: VerificationJob,
+    reduction: Reduction | None,
+    result: AnalysisResult,
+) -> AnalysisResult:
+    """Stamp reduction provenance and map the witness back, if any.
+
+    Every reduced result carries ``extras["reduce"]`` (sizes, rule
+    counts, the full trace) so the cache, the JSONL event stream and the
+    serve wire format all return original-net provenance.  A witness
+    found on the reduced net is translated — and replay- or
+    dead-verified — on the original; a mapping failure is recorded
+    rather than silently shipping a reduced-net witness as original.
+    """
+    if reduction is None:
+        return result
+    extras = reduction.stats_extras()
+    if result.witness is not None and reduction.reduced:
+        try:
+            result.witness = back_map_witness(
+                job.net, reduction.trace, result.witness
+            )
+        except BackMapError as exc:
+            extras["replay_error"] = str(exc)
+    result.extras["reduce"] = extras
+    return result

@@ -97,6 +97,7 @@ def run_race(
     cache: ResultCache | None = None,
     events: EventSink | None = None,
     query: str = "deadlock",
+    reduce: str = "off",
 ) -> RaceOutcome:
     """Race ``methods`` on ``net``; first conclusive verdict wins.
 
@@ -113,6 +114,12 @@ def run_race(
     ``reachable`` query.  Screen-only methods (GPO on reachability) stay
     in: their hits are conclusive wins, their clean screens simply never
     win the race.
+
+    ``reduce`` (``"off"`` | ``"auto"`` | ``"aggressive"``) runs the
+    structural reduction pre-pass once, up front, so every raced method
+    explores the same reduced net; each job's result carries the trace
+    and maps its witness back to the original (see
+    :mod:`repro.reduce`).
     """
     if budget is None:
         budget = Budget()
@@ -121,9 +128,16 @@ def run_race(
     kept, dropped = filter_methods(methods, prop)
     sink = events if events is not None else NullEventSink()
     job_specs = [
-        VerificationJob(net=net, method=m, budget=budget, query=canonical)
+        VerificationJob(
+            net=net, method=m, budget=budget, query=canonical, reduce=reduce
+        )
         for m in kept
     ]
+    if reduce != "off" and job_specs:
+        # Warm the memoized fixpoint in-process: the parallel path pickles
+        # jobs to workers (each would redo the reduction), but cache-key
+        # computation and the sequential path reuse this one run.
+        job_specs[0].reduction()
     started_at = time.perf_counter()
     tracer = current_tracer()
     with tracer.span(

@@ -15,8 +15,14 @@ Subcommands::
                 [--trace-out trace.json] [--metrics-out metrics.prom]
                               # traced+metered in-process run, span tree
     gpo check FILE            # structural diagnostics + safety check
-    gpo lint FILE [--json]    # full structural report (invariants, siphons,
-                              # safety certificate, net class)
+    gpo lint FILE [--format human|json|sarif]
+                              # full structural report (invariants, siphons,
+                              # safety certificate, net class, reduction
+                              # opportunities)
+    gpo reduce FILE [--level count|reachability|deadlock] [--explain]
+                [--diff] [--out PATH] [--trace-out PATH]
+                              # structural reduction: emit the shrunk net
+                              # and its replayable back-mapping trace
     gpo dot FILE [--rg]       # DOT export of the net (or its full RG)
     gpo bench-model NAME SIZE # run all analyzers on one benchmark instance
     gpo bench-kernel [--quick] [--out BENCH_kernel.json]
@@ -53,6 +59,12 @@ default ``<cache-dir>/events.jsonl`` when caching is on).
 (:mod:`repro.obs`) and prints the span tree; ``check`` / ``table1`` /
 ``bench-kernel`` accept ``--trace PATH`` / ``--metrics PATH`` to export a
 Chrome trace and Prometheus metrics from an otherwise normal run.
+
+``check`` / ``race`` / ``query`` / ``table1`` / ``bench-model`` /
+``reach`` accept ``--reduce[=auto|aggressive]``: the :mod:`repro.reduce`
+structural pre-pass shrinks the net with property-preserving rules before
+any exploration, and every verdict, witness and trace is mapped back to
+the original net (``gpo reduce`` shows what the pre-pass would do).
 
 ``serve`` runs the long-lived verification daemon (:mod:`repro.serve`):
 nets are submitted over HTTP (native format or PNML), queued with
@@ -238,12 +250,40 @@ def _cmd_reach(args: argparse.Namespace) -> int:
         )
         return 2
 
+    reduction = None
+    search_net = net
+    if args.reduce != "off":
+        # Reachability-preserving rules only, with every place the target
+        # predicates mention protected, so the hit test still sees them.
+        from repro.reduce import reduce_net
+
+        protect = sorted(
+            {
+                place
+                for constraint in constraints
+                for place in constraint.marked + constraint.unmarked
+            }
+        )
+        reduction = reduce_net(
+            net, level="reachability", mode=args.reduce, protect=protect
+        )
+        if reduction.reduced:
+            search_net = reduction.net
+            (pre_p, pre_t, pre_a), (post_p, post_t, post_a) = reduction.sizes()
+            print(
+                f"[reduce] reachability-preserving pre-pass: "
+                f"{pre_p}/{pre_t}/{pre_a} -> {post_p}/{post_t}/{post_a} "
+                "places/transitions/arcs"
+            )
+
     space = (
-        StubbornSpace(net) if args.method == "stubborn" else MarkingSpace(net)
+        StubbornSpace(search_net)
+        if args.method == "stubborn"
+        else MarkingSpace(search_net)
     )
 
     def hit(marking) -> bool:
-        names = net.marking_names(marking)
+        names = search_net.marking_names(marking)
         return any(c.holds_in(names) for c in constraints)
 
     result = find_state(
@@ -260,8 +300,23 @@ def _cmd_reach(args: argparse.Namespace) -> int:
     )
     if result.reached:
         print(f"REACHED  {searched}")
-        if result.trace is not None:
-            print("trace: " + (" ; ".join(result.trace) or "<initial>"))
+        trace = result.trace
+        if (
+            trace is not None
+            and reduction is not None
+            and reduction.reduced
+        ):
+            from repro.reduce import BackMapError, replay
+
+            mapped = reduction.trace.map_sequence(trace)
+            try:
+                replay(net, mapped)
+            except BackMapError as exc:
+                print(f"[reduce] trace replay failed: {exc}", file=sys.stderr)
+                return 2
+            trace = mapped
+        if trace is not None:
+            print("trace: " + (" ; ".join(trace) or "<initial>"))
         return 0
     # A stubborn-set search only preserves deadlocks, not general
     # reachability: a miss is inconclusive even when exhaustive.
@@ -325,6 +380,7 @@ def _run_table1(
                         jobs=args.jobs,
                         cache=cache,
                         events=sink,
+                        reduce=args.reduce,
                     )
                     print(outcome.describe())
             return 0
@@ -334,6 +390,7 @@ def _run_table1(
             jobs=args.jobs,
             cache=cache,
             events=sink,
+            reduce=args.reduce,
         )
         print(
             format_table1(
@@ -377,6 +434,7 @@ def _cmd_race(args: argparse.Namespace) -> int:
             cache=cache,
             events=sink,
             query=args.property or "deadlock",
+            reduce=args.reduce,
         )
     except PropertyError as exc:
         print(str(exc), file=sys.stderr)
@@ -417,6 +475,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 cache=cache,
                 events=sink,
                 use_static=not args.no_static,
+                reduce=args.reduce,
             )
         except PropertyError as exc:
             print(str(exc), file=sys.stderr)
@@ -476,9 +535,25 @@ def _run_check(args: argparse.Namespace) -> int:
     if certificate.certified:
         print("safety: 1-safe (structural certificate, 0 states explored)")
         return 0
+    walk_net = net
+    if args.reduce != "off":
+        # Only the count-preserving rules are sound here: they keep a
+        # marking bijection, so a violation on the reduced net is a
+        # violation on the original and vice versa.
+        from repro.reduce import reduce_net
+
+        reduction = reduce_net(net, level="count", mode=args.reduce)
+        if reduction.reduced:
+            walk_net = reduction.net
+            (pre_p, pre_t, pre_a), (post_p, post_t, post_a) = reduction.sizes()
+            print(
+                f"[reduce] count-preserving pre-pass: "
+                f"{pre_p}/{pre_t}/{pre_a} -> {post_p}/{post_t}/{post_a} "
+                "places/transitions/arcs"
+            )
     with obs_span(names.SPAN_BOUNDED_CHECK, net=net.name):
         verdict = check_safe(
-            net, max_states=args.max_states, use_kernel=not args.no_kernel
+            walk_net, max_states=args.max_states, use_kernel=not args.no_kernel
         )
     if verdict.status == "safe":
         print(f"safety: 1-safe (exhaustive, {verdict.states} states)")
@@ -495,12 +570,76 @@ def _run_check(args: argparse.Namespace) -> int:
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     net = _load(args.file)
-    report = run_lint(net)
-    if args.json:
+    fmt = "json" if args.json else args.format
+    report = run_lint(net, reduce=not args.no_reduce)
+    if fmt == "json":
         print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    elif fmt == "sarif":
+        print(json.dumps(report.to_sarif(), indent=2, sort_keys=True))
     else:
         print(report.summary())
     return 1 if report.broken else 0
+
+
+def _cmd_reduce(args: argparse.Namespace) -> int:
+    from repro.net.parser import to_text
+    from repro.reduce import ReductionLevelError, explain, reduce_net
+
+    net = _load(args.file)
+    for place in args.protect or ():
+        if place not in net.place_index:
+            print(f"unknown place {place!r}", file=sys.stderr)
+            return 2
+    try:
+        reduction = reduce_net(
+            net,
+            level=args.level,
+            mode=args.mode,
+            protect=tuple(args.protect or ()),
+        )
+    except ReductionLevelError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.explain:
+        print(explain(reduction))
+    elif args.diff:
+        print(_reduce_diff(net, reduction))
+    else:
+        print(to_text(reduction.net), end="")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(to_text(reduction.net))
+        print(f"[reduce] wrote {args.out}", file=sys.stderr)
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            json.dump(reduction.trace.to_json(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"[reduce] wrote {args.trace_out}", file=sys.stderr)
+    return 0
+
+
+def _reduce_diff(net, reduction) -> str:
+    """Unified-diff-flavoured summary: what the reduction removed/added."""
+    pre, post = reduction.sizes()
+    lines = [
+        f"--- {net.name} ({pre[0]}P/{pre[1]}T/{pre[2]}A)",
+        f"+++ {net.name} reduced ({post[0]}P/{post[1]}T/{post[2]}A)",
+    ]
+    kept_places = set(reduction.net.places)
+    kept_transitions = set(reduction.net.transitions)
+    for place in net.places:
+        if place not in kept_places:
+            lines.append(f"-place {place}")
+    for name in net.transitions:
+        if name not in kept_transitions:
+            lines.append(f"-transition {name}")
+    for name in reduction.net.transitions:
+        if name not in set(net.transitions):
+            lines.append(f"+transition {name}")
+    if not reduction.reduced:
+        lines.append(" (irreducible: no rule applied)")
+    return "\n".join(lines)
 
 
 def _lint_refusal(instances) -> int | None:
@@ -561,6 +700,7 @@ def _cmd_bench_model(args: argparse.Namespace) -> int:
                 jobs=args.jobs,
                 cache=cache,
                 events=sink,
+                reduce=args.reduce,
             )
             print(outcome.describe())
             return 0
@@ -571,6 +711,7 @@ def _cmd_bench_model(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             cache=cache,
             events=sink,
+            reduce=args.reduce,
         )
         print(
             format_table1(rows, with_paper=True, with_stats=args.stats)
@@ -772,6 +913,19 @@ def build_parser() -> argparse.ArgumentParser:
             help="JSONL job-event log (default <cache-dir>/events.jsonl)",
         )
 
+    def add_reduce_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--reduce",
+            nargs="?",
+            const="auto",
+            default="off",
+            choices=("off", "auto", "aggressive"),
+            help="structural reduction pre-pass (bare --reduce = auto); "
+            "the rule subset is chosen from what the question must "
+            "preserve, and verdicts/witnesses are mapped back to the "
+            "original net",
+        )
+
     def add_obs_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--trace",
@@ -805,6 +959,7 @@ def build_parser() -> argparse.ArgumentParser:
         "question; incompatible methods are dropped with their reason",
     )
     add_engine_flags(p_race, jobs=2)
+    add_reduce_flag(p_race)
     p_race.set_defaults(fn=_cmd_race)
 
     p_query = sub.add_parser(
@@ -832,6 +987,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--max-states", type=int, default=200_000)
     p_query.add_argument("--max-seconds", type=float, default=120.0)
     add_engine_flags(p_query, jobs=1)
+    add_reduce_flag(p_query)
     p_query.set_defaults(fn=_cmd_query)
 
     p_table = sub.add_parser("table1", help="regenerate Table 1")
@@ -857,6 +1013,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_engine_flags(p_table, jobs=1)
     add_obs_flags(p_table)
+    add_reduce_flag(p_table)
     p_table.set_defaults(fn=_cmd_table1)
 
     p_profile = sub.add_parser(
@@ -911,6 +1068,7 @@ def build_parser() -> argparse.ArgumentParser:
         "rules instead of the bitmask marking kernel",
     )
     add_obs_flags(p_check)
+    add_reduce_flag(p_check)
     p_check.set_defaults(fn=_cmd_check)
 
     p_lint = sub.add_parser(
@@ -920,9 +1078,74 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.add_argument("file")
     p_lint.add_argument(
-        "--json", action="store_true", help="machine-readable output"
+        "--json",
+        action="store_true",
+        help="shorthand for --format json (kept for compatibility)",
+    )
+    p_lint.add_argument(
+        "--format",
+        choices=("human", "json", "sarif"),
+        default="human",
+        help="output format (sarif = SARIF 2.1.0 for editors/CI "
+        "annotators)",
+    )
+    p_lint.add_argument(
+        "--no-reduce",
+        action="store_true",
+        help="skip the structural-reduction opportunity findings",
     )
     p_lint.set_defaults(fn=_cmd_lint)
+
+    p_reduce = sub.add_parser(
+        "reduce",
+        help="structurally reduce a net: emit the shrunk net (default), "
+        "an --explain report or a --diff, plus the replayable trace",
+    )
+    p_reduce.add_argument("file")
+    p_reduce.add_argument(
+        "--level",
+        choices=("count", "reachability", "deadlock"),
+        default="deadlock",
+        help="what the reduction must preserve (default deadlock; count "
+        "= exact state/edge counts, the strictest subset)",
+    )
+    p_reduce.add_argument(
+        "--mode",
+        choices=("auto", "aggressive"),
+        default="auto",
+        help="fixpoint effort (aggressive = more passes, no siphon cap)",
+    )
+    p_reduce.add_argument(
+        "--protect",
+        action="append",
+        default=None,
+        metavar="PLACE",
+        help="never remove this place (repeatable); e.g. places a "
+        "property observes",
+    )
+    p_reduce.add_argument(
+        "--explain",
+        action="store_true",
+        help="print one finding per rule application instead of the net",
+    )
+    p_reduce.add_argument(
+        "--diff",
+        action="store_true",
+        help="print removed/added nodes instead of the net",
+    )
+    p_reduce.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also write the reduced net (textual format) to PATH",
+    )
+    p_reduce.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the replayable back-mapping trace JSON to PATH",
+    )
+    p_reduce.set_defaults(fn=_cmd_reduce)
 
     p_dot = sub.add_parser("dot", help="export DOT for a net (or its RG)")
     p_dot.add_argument("file")
@@ -953,6 +1176,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="structurally lint the instance first; refuse a broken model",
     )
     add_engine_flags(p_bench, jobs=1)
+    add_reduce_flag(p_bench)
     p_bench.set_defaults(fn=_cmd_bench_model)
 
     p_kernel = sub.add_parser(
@@ -1107,6 +1331,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_reach.add_argument("--order", choices=("bfs", "dfs"), default="bfs")
     p_reach.add_argument("--max-states", type=int, default=200_000)
     p_reach.add_argument("--max-seconds", type=float, default=120.0)
+    add_reduce_flag(p_reach)
     p_reach.set_defaults(fn=_cmd_reach)
     return parser
 

@@ -24,7 +24,7 @@ __all__ = ["ANALYZERS", "Budget", "run_analyzer", "run_analyzer_isolated"]
 
 
 def run_analyzer(
-    name: str, net: PetriNet, budget: Budget | None = None
+    name: str, net: PetriNet, budget: Budget | None = None, *, reduce: str = "off"
 ) -> AnalysisResult:
     """Run one analyzer under a budget; never raises on budget overruns.
 
@@ -32,11 +32,17 @@ def run_analyzer(
     equal to the progress actually made at abort, and an
     ``extras["aborted"]`` note.  Time budgets are enforced cooperatively
     inside every exploration loop; use :func:`run_analyzer_isolated` when
-    hard preemption is required.
+    hard preemption is required.  ``reduce`` (``"off"`` | ``"auto"`` |
+    ``"aggressive"``) applies the :mod:`repro.reduce` structural pre-pass;
+    the result then carries ``extras["reduce"]`` and any witness is
+    mapped back to the original net.
     """
     return execute_job(
         VerificationJob(
-            net=net, method=name, budget=budget if budget is not None else Budget()
+            net=net,
+            method=name,
+            budget=budget if budget is not None else Budget(),
+            reduce=reduce,
         )
     )
 

@@ -101,6 +101,17 @@ class Table1Row:
     deadlock: bool
     stats: dict = field(default_factory=dict)
 
+    def net_size_cell(self) -> str:
+        """``P/T/A`` sizes; ``pre->post`` when a reduction ran."""
+        pre = self.stats.get("net_pre")
+        post = self.stats.get("net_post")
+        if not pre:
+            return "-"
+        pre_text = "/".join(str(n) for n in pre)
+        if not post or list(post) == list(pre):
+            return pre_text
+        return pre_text + "->" + "/".join(str(n) for n in post)
+
     def cells(self, *, with_stats: bool = False) -> list[str]:
         out = [
             f"{self.problem}({self.size})",
@@ -118,6 +129,7 @@ class Table1Row:
                 format_number(self.stats.get(key))
                 for key in ("full_rate", "po_ratio", "gpo_scen")
             )
+            out.append(self.net_size_cell())
         return out
 
 
@@ -144,6 +156,12 @@ def _assemble_row(
         stats["po_ratio"] = spin.extras.get(names.STUBBORN_RATIO)
     if gpo is not None:
         stats["gpo_scen"] = gpo.extras.get(names.MEAN_SCENARIOS)
+    for result in results.values():
+        reduction = result.reduction
+        if reduction is not None:
+            stats["net_pre"] = reduction.get("pre")
+            stats["net_post"] = reduction.get("post")
+            break
     return Table1Row(
         problem=problem,
         size=size,
@@ -167,12 +185,13 @@ def run_instance(
     *,
     budget: Budget | None = None,
     analyzers: Iterable[str] = _ANALYZER_ORDER,
+    reduce: str = "off",
 ) -> Table1Row:
     """Run the selected analyzers on one instance and collect a row."""
     net = PROBLEMS[problem](size)
     wanted = set(analyzers)
     results = {
-        name: run_analyzer(name, net, budget)
+        name: run_analyzer(name, net, budget, reduce=reduce)
         for name in _ANALYZER_ORDER
         if name in wanted
     }
@@ -203,6 +222,7 @@ def run_table1(
     jobs: int = 1,
     cache: ResultCache | None = None,
     events: EventSink | None = None,
+    reduce: str = "off",
 ) -> list[Table1Row]:
     """Run the whole table (or a selection) and return measured rows.
 
@@ -216,7 +236,9 @@ def run_table1(
     specs = _instance_specs(problems, sizes)
     if jobs <= 1 and cache is None and events is None:
         return [
-            run_instance(problem, size, budget=budget, analyzers=analyzers)
+            run_instance(
+                problem, size, budget=budget, analyzers=analyzers, reduce=reduce
+            )
             for problem, size in specs
         ]
 
@@ -228,7 +250,9 @@ def run_table1(
         net = PROBLEMS[problem](size)
         for name in wanted:
             job_list.append(
-                VerificationJob(net=net, method=name, budget=job_budget)
+                VerificationJob(
+                    net=net, method=name, budget=job_budget, reduce=reduce
+                )
             )
             keys.append((problem, size, name))
     pool = WorkerPool(max_workers=jobs, cache=cache, events=events)
@@ -251,8 +275,9 @@ def format_table1(
     """Render measured rows, optionally side by side with the 1998 values.
 
     ``with_stats`` appends the instrumentation columns (full states/sec,
-    stubborn reduction ratio, mean GPO scenario-family size) to the
-    measured table only — the paper published none of these.
+    stubborn reduction ratio, mean GPO scenario-family size, and the net's
+    P/T/A sizes — shown as ``pre->post`` when a structural reduction ran)
+    to the measured table only — the paper published none of these.
     """
     rows = list(rows)
     headers = [
@@ -267,7 +292,7 @@ def format_table1(
         "dead",
     ]
     measured_headers = headers + (
-        ["full-St/s", "PO-ratio", "GPO-scen"] if with_stats else []
+        ["full-St/s", "PO-ratio", "GPO-scen", "net P/T/A"] if with_stats else []
     )
     out = format_table(
         measured_headers,

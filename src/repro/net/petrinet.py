@@ -87,6 +87,7 @@ class PetriNet:
         "_static",
         "_kernel",
         "_num_arcs",
+        "_reductions",
     )
 
     def __init__(
@@ -130,6 +131,7 @@ class PetriNet:
         self._static: object | None = None
         self._kernel: object | None = None
         self._num_arcs: int | None = None
+        self._reductions: dict[object, object] | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -341,13 +343,13 @@ class PetriNet:
         return self._kernel  # type: ignore[return-value]
 
     def __getstate__(self) -> dict[str, object]:
-        # Worker processes receive pickled nets; the static-analysis and
-        # kernel caches (back-reference cycles) are recomputable and
-        # deliberately not shipped.
+        # Worker processes receive pickled nets; the static-analysis,
+        # kernel and reduction caches (back-reference cycles) are
+        # recomputable and deliberately not shipped.
         return {
             slot: getattr(self, slot)
             for slot in self.__slots__
-            if slot not in ("_static", "_kernel")
+            if slot not in ("_static", "_kernel", "_reductions")
         }
 
     def __setstate__(self, state: dict[str, object]) -> None:
@@ -355,6 +357,7 @@ class PetriNet:
             setattr(self, slot, value)
         self._static = None
         self._kernel = None
+        self._reductions = None
 
     # ------------------------------------------------------------------
     # Equality / hashing / repr

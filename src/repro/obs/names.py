@@ -31,6 +31,9 @@ __all__ = [
     "MEAN_ENABLED",
     "MEAN_SCENARIOS",
     "PEAK_FRONTIER",
+    "REDUCE_PLACES_REMOVED",
+    "REDUCE_RULES_APPLIED",
+    "REDUCE_TRANSITIONS_REMOVED",
     "SAFETY_CERTIFIED",
     "SCENARIO_SET_SIZE",
     "SPAN_ANALYZE",
@@ -41,6 +44,7 @@ __all__ = [
     "SPAN_JOB",
     "SPAN_MULTIPLE_FIRE",
     "SPAN_RACE",
+    "SPAN_REDUCE",
     "SPAN_SEARCH",
     "SPAN_STUBBORN_SET",
     "SPAN_SYMBOLIC_ENCODE",
@@ -111,6 +115,12 @@ KERNEL_FIRES = "kernel_fires"
 KERNEL_FULL_SCANS = "kernel_full_scans"
 #: Counter — incremental enabled-mask updates (O(affected)).
 KERNEL_INCREMENTAL_UPDATES = "kernel_incremental_updates"
+#: Counter — structural reduction rule applications, labeled per rule.
+REDUCE_RULES_APPLIED = "reduce_rules_applied"
+#: Counter — places removed by the structural reduction pre-pass.
+REDUCE_PLACES_REMOVED = "reduce_places_removed"
+#: Counter — transitions removed by the structural reduction pre-pass.
+REDUCE_TRANSITIONS_REMOVED = "reduce_transitions_removed"
 
 # ----------------------------------------------------------------------
 # Span names (the span taxonomy; see DESIGN.md §8).
@@ -143,3 +153,5 @@ SPAN_RACE = "engine/race"
 SPAN_DIAGNOSE = "check/diagnose"
 #: Bounded exhaustive safety check of ``gpo check`` (certificate miss).
 SPAN_BOUNDED_CHECK = "check/bounded"
+#: One structural-reduction fixpoint (the ``--reduce`` pre-pass).
+SPAN_REDUCE = "reduce"

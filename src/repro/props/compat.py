@@ -34,9 +34,11 @@ from repro.props.ast import (
 
 __all__ = [
     "FRAGMENTS",
+    "REDUCTION_LEVELS",
     "decides",
     "filter_methods",
     "fragment_of",
+    "reduction_level",
     "supports",
     "unsupported_reason",
 ]
@@ -126,6 +128,43 @@ def unsupported_reason(method: str, prop: Property) -> str | None:
         method,
         f"analyzer {method!r} does not preserve: {', '.join(missing)}",
     )
+
+
+#: Structural-reduction preservation levels, weakest guarantee last.
+#: The rule subsets of :mod:`repro.reduce` nest in this order
+#: (``count`` ⊂ ``reachability`` ⊂ ``deadlock``): a level further right
+#: admits more rules but preserves less of the original behaviour.
+REDUCTION_LEVELS: tuple[str, ...] = ("count", "reachability", "deadlock")
+
+#: Fragment → strongest reduction level whose rules still answer it.
+#: Deadlock questions tolerate the agglomerations; reachability and
+#: invariant questions need every surviving marking's projection intact
+#: (no internal-sequence contraction); the 1-safety question compares
+#: token counts place by place, so only marking-bijective rules apply.
+_FRAGMENT_REDUCTION: Mapping[str, str] = {
+    "deadlock": "deadlock",
+    "constant": "deadlock",
+    "reachable": "reachability",
+    "invariant": "reachability",
+    "safety": "count",
+}
+
+
+def reduction_level(prop: Property) -> str:
+    """The strongest reduction level sound for every leaf of ``prop``.
+
+    Compound properties take the most restrictive level any leaf
+    demands — the reduction runs once for the whole property, so the
+    rule subset must be sound for all of it.
+    """
+    levels = {
+        _FRAGMENT_REDUCTION[fragment_of(leaf)]
+        for leaf in atomic_properties(prop)
+    }
+    for level in REDUCTION_LEVELS:
+        if level in levels:
+            return level
+    return "deadlock"
 
 
 def filter_methods(

@@ -132,12 +132,19 @@ def decide(
     cache: ResultCache | None = None,
     events: EventSink | None = None,
     use_static: bool = True,
+    reduce: str = "off",
 ) -> Decision:
     """Decide ``prop`` on ``net`` as cheaply as possible.
 
     Raises :class:`~repro.props.ast.PropertyError` on parse errors and
     unknown places; never raises on inconclusiveness — the returned
     :class:`Decision` carries ``holds=None`` instead.
+
+    ``reduce`` applies the :mod:`repro.reduce` structural pre-pass to
+    every engine race; the rule subset is chosen per-leaf from the
+    property's preservation needs, and places the property observes are
+    never removed.  The structural layer and the safety walk always see
+    the original net — their exact arithmetic is already cheap.
     """
     normalized = as_property(prop)
     check_places(net, normalized)
@@ -166,6 +173,7 @@ def decide(
             cache=cache,
             events=events,
             query=leaf.text(),
+            reduce=reduce,
         )
         dropped.update(dict(outcome.dropped))
         if outcome.winner is not None:

@@ -1,0 +1,58 @@
+"""Structural reduction: shrink the net before any analyzer runs.
+
+The paper's GPO analysis shrinks the *explored* state space; this
+package shrinks the *net itself* first, in the style of polyhedral /
+structural reductions (Berthelot's agglomerations, Murata's
+simplifications), specialized to 1-safe set-marking semantics.  Sound
+rule subsets are keyed by what the property under check needs —
+``count`` ⊂ ``reachability`` ⊂ ``deadlock`` — and every application is
+recorded in a replayable :class:`~repro.reduce.trace.ReductionTrace`
+so verdicts and witnesses map back to the original net.
+
+Entry points
+------------
+:func:`reduce_net`
+    The fixpoint engine; returns a :class:`Reduction`.
+:func:`back_map_witness`
+    Translate (and replay-verify) a reduced-net witness.
+:func:`explain` / :func:`findings_of`
+    Linter-style per-rule diagnostics for ``gpo reduce`` / ``gpo lint``.
+"""
+
+from repro.reduce.engine import MODES, Reduction, reduce_net
+from repro.reduce.explain import ReductionFinding, explain, findings_of
+from repro.reduce.rules import (
+    RULES,
+    RULES_BY_LEVEL,
+    ReductionLevelError,
+    RuleContext,
+    ScratchNet,
+)
+from repro.reduce.trace import (
+    BackMapError,
+    ReductionStep,
+    ReductionTrace,
+    back_map_witness,
+    flatten_trace,
+    replay,
+)
+
+__all__ = [
+    "MODES",
+    "RULES",
+    "RULES_BY_LEVEL",
+    "BackMapError",
+    "Reduction",
+    "ReductionFinding",
+    "ReductionLevelError",
+    "ReductionStep",
+    "ReductionTrace",
+    "RuleContext",
+    "ScratchNet",
+    "back_map_witness",
+    "explain",
+    "findings_of",
+    "flatten_trace",
+    "reduce_net",
+    "replay",
+]

@@ -1,0 +1,194 @@
+"""The reduction fixpoint: apply the rule catalog until nothing moves.
+
+:func:`reduce_net` is the single entry point every caller uses — the
+``gpo reduce`` command, the engine's per-job pre-pass, the portfolio and
+the bounded safety walk.  It copies the net into a
+:class:`~repro.reduce.rules.ScratchNet`, builds the guard context from
+the **original** net's static analysis once, and cycles through the
+level's rule subset until a full pass applies nothing (bounded by a
+pass budget).  The result is a :class:`Reduction`: original net, reduced
+net (same name — it answers *for* the original), the replayable
+:class:`~repro.reduce.trace.ReductionTrace` and the level/mode that
+produced it, plus the ``extras`` payload results carry.
+
+Reductions are memoized on the net (keyed by level, mode and protected
+places), so a portfolio racing four analyzers on one net reduces once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.net.petrinet import PetriNet
+from repro.obs.names import (
+    REDUCE_PLACES_REMOVED,
+    REDUCE_RULES_APPLIED,
+    REDUCE_TRANSITIONS_REMOVED,
+    SPAN_REDUCE,
+)
+from repro.obs.tracer import current_tracer
+from repro.reduce.rules import (
+    ReductionLevelError,
+    ScratchNet,
+    context_for,
+    rules_for,
+)
+from repro.reduce.trace import ReductionStep, ReductionTrace
+
+__all__ = ["MODES", "Reduction", "reduce_net"]
+
+#: Recognized reduction modes.  ``off`` never reaches this module (the
+#: callers skip the pre-pass entirely); it is listed for validation.
+MODES: tuple[str, ...] = ("off", "auto", "aggressive")
+
+#: Fixpoint pass budgets.  Each pass tries every rule once; ``auto``
+#: converges on all shipped models in ≤ 3 passes, the cap is headroom.
+_PASS_BUDGET = {"auto": 4, "aggressive": 16}
+
+#: Rules whose applications are marking-for-marking bijections; a trace
+#: containing only these keeps state/edge counts comparable.
+_COUNT_RULES = frozenset(
+    {"dead-transition", "constant-place", "duplicate-place", "isolated-place"}
+)
+
+
+@dataclass(frozen=True)
+class Reduction:
+    """One net's reduction outcome, with everything needed to report it."""
+
+    original: PetriNet
+    net: PetriNet
+    trace: ReductionTrace
+    level: str
+    mode: str
+
+    @property
+    def reduced(self) -> bool:
+        """Did any rule fire?  ``False`` means ``net is original``."""
+        return bool(self.trace)
+
+    @property
+    def counts_preserved(self) -> bool:
+        """True when every applied rule was a marking bijection — state
+        and edge counts of the reduced exploration equal the original's."""
+        return all(step.rule in _COUNT_RULES for step in self.trace.steps)
+
+    def rule_counts(self) -> dict[str, int]:
+        return self.trace.rule_counts()
+
+    def sizes(self) -> tuple[tuple[int, int, int], tuple[int, int, int]]:
+        """``((P, T, A) before, (P, T, A) after)``."""
+        return (
+            (
+                self.original.num_places,
+                self.original.num_transitions,
+                self.original.num_arcs,
+            ),
+            (self.net.num_places, self.net.num_transitions, self.net.num_arcs),
+        )
+
+    def stats_extras(self) -> dict[str, Any]:
+        """The ``extras["reduce"]`` payload attached to results.
+
+        JSON-safe: it travels through the result cache, the JSONL event
+        stream and the serve wire format unchanged.  The full trace rides
+        along so clients (and the cache) can re-map witnesses without the
+        engine's help.
+        """
+        pre, post = self.sizes()
+        return {
+            "level": self.level,
+            "mode": self.mode,
+            "rules": self.rule_counts(),
+            "pre": list(pre),
+            "post": list(post),
+            "counts_preserved": self.counts_preserved,
+            "net_hash": self.net.canonical_hash(),
+            "trace_hash": self.trace.trace_hash(),
+            "trace": self.trace.to_json(),
+        }
+
+
+def _unreduced(net: PetriNet, level: str, mode: str) -> Reduction:
+    return Reduction(
+        original=net,
+        net=net,
+        trace=ReductionTrace(net_name=net.name),
+        level=level,
+        mode=mode,
+    )
+
+
+def reduce_net(
+    net: PetriNet,
+    *,
+    level: str = "deadlock",
+    mode: str = "auto",
+    protect: Iterable[str] = (),
+) -> Reduction:
+    """Reduce ``net`` under the given preservation level and mode.
+
+    ``level`` selects the sound rule subset (see
+    :data:`repro.props.compat.REDUCTION_LEVELS`); ``protect`` lists place
+    names the property under check observes — they are never removed or
+    merged, so property evaluation on the reduced net reads the same
+    tokens.  ``mode="aggressive"`` raises the pass budget and always runs
+    the siphon enumeration; ``mode="off"`` returns the net unchanged with
+    an empty trace.  Results are memoized per ``(level, mode, protect)``
+    on the net instance.
+    """
+    if mode not in MODES:
+        raise ReductionLevelError(
+            f"unknown reduction mode {mode!r}; expected one of {MODES}"
+        )
+    rules = rules_for(level)  # validates the level even when mode is off
+    if mode == "off":
+        return _unreduced(net, level, mode)
+    protected = frozenset(protect)
+    memo_key = (level, mode, protected)
+    memo = net._reductions
+    if memo is None:
+        memo = {}
+        net._reductions = memo
+    cached = memo.get(memo_key)
+    if cached is not None:
+        return cached  # type: ignore[return-value]
+
+    tracer = current_tracer()
+    with tracer.span(SPAN_REDUCE, net=net.name, level=level, mode=mode) as span:
+        scratch = ScratchNet(net)
+        ctx = context_for(net, protect=protected, aggressive=mode == "aggressive")
+        steps: list[ReductionStep] = []
+        for _ in range(_PASS_BUDGET[mode]):
+            applied_this_pass = 0
+            for rule in rules:
+                for step in rule.fn(scratch, ctx):
+                    steps.append(step)
+                    applied_this_pass += 1
+                    tracer.metrics.counter(
+                        REDUCE_RULES_APPLIED, rule=step.rule
+                    ).inc()
+            if not applied_this_pass:
+                break
+        trace = ReductionTrace(net_name=net.name, steps=tuple(steps))
+        if steps:
+            reduced = scratch.build()
+        else:
+            reduced = net  # identity: callers can test ``net is original``
+        result = Reduction(
+            original=net, net=reduced, trace=trace, level=level, mode=mode
+        )
+        places_removed = net.num_places - reduced.num_places
+        transitions_removed = net.num_transitions - reduced.num_transitions
+        tracer.metrics.counter(REDUCE_PLACES_REMOVED).inc(places_removed)
+        tracer.metrics.counter(REDUCE_TRANSITIONS_REMOVED).inc(
+            transitions_removed
+        )
+        span.set(
+            steps=len(steps),
+            places_removed=places_removed,
+            transitions_removed=transitions_removed,
+        )
+    memo[memo_key] = result
+    return result

@@ -1,0 +1,88 @@
+"""Linter-style diagnostics for reduction results.
+
+``gpo reduce --explain`` and ``gpo lint`` render reductions as findings:
+one line per rule application (what was removed and why it was sound),
+plus per-rule opportunity summaries.  The data form feeds the lint
+report's JSON and SARIF serializations; the text form is for terminals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.reduce.engine import Reduction
+
+__all__ = ["ReductionFinding", "explain", "findings_of"]
+
+#: Stable finding identifiers, one per rule, for machine consumers
+#: (SARIF ``ruleId`` values).
+_RULE_IDS = {
+    "dead-transition": "reduce/dead-transition",
+    "constant-place": "reduce/constant-place",
+    "duplicate-place": "reduce/duplicate-place",
+    "isolated-place": "reduce/isolated-place",
+    "sink-place": "reduce/sink-place",
+    "fuse-series": "reduce/fuse-series",
+    "pre-agglomerate": "reduce/pre-agglomerate",
+}
+
+
+@dataclass(frozen=True)
+class ReductionFinding:
+    """One structural finding: a rule application, linter-shaped."""
+
+    rule_id: str
+    message: str
+    places: tuple[str, ...] = ()
+    transitions: tuple[str, ...] = ()
+
+    def to_json(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"rule": self.rule_id, "message": self.message}
+        if self.places:
+            out["places"] = list(self.places)
+        if self.transitions:
+            out["transitions"] = list(self.transitions)
+        return out
+
+
+def findings_of(reduction: Reduction) -> tuple[ReductionFinding, ...]:
+    """One finding per applied reduction step."""
+    findings = []
+    for step in reduction.trace.steps:
+        findings.append(
+            ReductionFinding(
+                rule_id=_RULE_IDS.get(step.rule, f"reduce/{step.rule}"),
+                message=step.describe(),
+                places=step.removed_places,
+                transitions=step.removed_transitions,
+            )
+        )
+    return tuple(findings)
+
+
+def explain(reduction: Reduction) -> str:
+    """Human-readable ``--explain`` report for one reduction."""
+    pre, post = reduction.sizes()
+    lines = [
+        f"net {reduction.original.name!r}: "
+        f"{pre[0]}P/{pre[1]}T/{pre[2]}A -> {post[0]}P/{post[1]}T/{post[2]}A "
+        f"(level={reduction.level}, mode={reduction.mode})"
+    ]
+    if not reduction.reduced:
+        lines.append("  no rule applied; the net is already irreducible")
+        return "\n".join(lines)
+    for name, count in reduction.rule_counts().items():
+        lines.append(f"  {name}: {count} application(s)")
+    for finding in findings_of(reduction):
+        lines.append(f"  [{finding.rule_id}] {finding.message}")
+    if reduction.counts_preserved:
+        lines.append(
+            "  counts preserved: state/edge counts map back 1:1"
+        )
+    else:
+        lines.append(
+            "  counts NOT preserved: verdicts and witnesses map back, "
+            "state counts do not"
+        )
+    return "\n".join(lines)

@@ -38,7 +38,10 @@ class DeadlockWitness:
     def __str__(self) -> str:
         marking = "{" + ", ".join(sorted(self.marking)) + "}"
         if not self.trace:
-            return f"{self.label} at initial marking {marking}"
+            # An empty trace does not imply the initial marking: symbolic
+            # analysis and reduction back-mapping report trace-less
+            # witnesses for arbitrary reachable markings.
+            return f"{self.label} at marking {marking}"
         return f"{self.label} at {marking} via " + " ; ".join(self.trace)
 
 

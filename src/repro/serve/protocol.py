@@ -38,8 +38,10 @@ __all__ = [
 
 #: Wire-protocol version, surfaced in ``/healthz``.  Version 2 added the
 #: ``property`` submission field (the :mod:`repro.props` query language);
-#: version-1 bodies (method/query/budget only) remain valid.
-API_VERSION = 2
+#: version 3 added the ``reduce`` option (structural reduction pre-pass,
+#: ``"off"`` | ``"auto"`` | ``"aggressive"``).  Version-1/2 bodies remain
+#: valid — both new fields default off.
+API_VERSION = 3
 
 #: Client-visible priority range (clamped, not rejected).
 PRIORITY_MIN, PRIORITY_MAX = -100, 100
@@ -89,6 +91,7 @@ class SubmitRequest:
     budget: Budget
     tenant: str
     priority: int
+    reduce: str = "off"
 
     def to_job(self) -> VerificationJob:
         return VerificationJob(
@@ -96,6 +99,7 @@ class SubmitRequest:
             method=self.method,
             budget=self.budget,
             query=self.query,
+            reduce=self.reduce,
         )
 
 
@@ -263,6 +267,14 @@ def parse_submit(raw_body: bytes, config: ServeConfig) -> SubmitRequest:
         raise ApiError(400, "bad-request", "'priority' must be an integer")
     priority = max(PRIORITY_MIN, min(PRIORITY_MAX, priority))
 
+    reduce = body.get("reduce", "off")
+    if reduce not in ("off", "auto", "aggressive"):
+        raise ApiError(
+            400,
+            "bad-reduce",
+            f"{reduce!r}; expected 'off', 'auto' or 'aggressive'",
+        )
+
     return SubmitRequest(
         net=net,
         method=str(method),
@@ -270,4 +282,5 @@ def parse_submit(raw_body: bytes, config: ServeConfig) -> SubmitRequest:
         budget=Budget(max_states=max_states, max_seconds=max_seconds),
         tenant=_tenant_of(body),
         priority=priority,
+        reduce=str(reduce),
     )

@@ -4,10 +4,14 @@ One entry point, :func:`lint`, producing a :class:`LintReport` that joins
 the advisory diagnostics of :func:`repro.net.validation.diagnose` with
 everything the static subsystem can say without exploring a single state:
 net class, invariant bases, siphons/traps, the 1-safeness certificate and
-the siphon–trap deadlock-freedom pre-check.  The CLI's ``gpo lint``
-renders it (human-readable or ``--json``); ``table1 --lint`` and
+the siphon–trap deadlock-freedom pre-check.  With ``reduce=True`` the
+report also folds in the :mod:`repro.reduce` opportunity findings — one
+per structural-reduction rule application the deadlock-preserving preset
+would perform.  The CLI's ``gpo lint`` renders it (human-readable,
+``--format json`` or ``--format sarif``); ``table1 --lint`` and
 ``bench-model --lint`` use :attr:`LintReport.broken` as a refusal gate
-before spending any exploration budget.
+before spending any exploration budget (reduction findings are advisory
+and never mark a model broken).
 """
 
 from __future__ import annotations
@@ -39,6 +43,9 @@ class LintReport:
     certificate: SafetyCertificate
     deadlock_precheck: str
     mcs_issues: tuple[str, ...]
+    #: Structural-reduction opportunities (``lint(..., reduce=True)``):
+    #: pre/post sizes, per-rule counts and one finding per application.
+    reduction: "dict[str, Any] | None" = None
 
     @property
     def broken(self) -> bool:
@@ -90,6 +97,104 @@ class LintReport:
             },
             "deadlock_precheck": self.deadlock_precheck,
             "mcs_issues": list(self.mcs_issues),
+            "reduction": self.reduction,
+        }
+
+    def to_sarif(self) -> dict[str, Any]:
+        """SARIF 2.1.0 log (used by ``gpo lint --format sarif``).
+
+        Advisory diagnostics surface as ``warning`` results, MCS
+        inconsistencies as ``error``, reduction opportunities as ``note``
+        — so editors and CI annotators can consume one stream.
+        """
+        results: list[dict[str, Any]] = []
+        rules: dict[str, str] = {}
+
+        def add(
+            rule_id: str,
+            level: str,
+            message: str,
+            description: str,
+            *,
+            places: tuple[str, ...] = (),
+            transitions: tuple[str, ...] = (),
+        ) -> None:
+            rules.setdefault(rule_id, description)
+            locations = [
+                {"logicalLocations": [{"name": name, "kind": "member"}]}
+                for name in (*places, *transitions)
+            ]
+            result: dict[str, Any] = {
+                "ruleId": rule_id,
+                "level": level,
+                "message": {"text": message},
+            }
+            if locations:
+                result["locations"] = locations
+            results.append(result)
+
+        diag = self.diagnostics
+        for place in diag.isolated_places:
+            add("lint/isolated-place", "warning",
+                f"place {place!r} has no arcs",
+                "a place connected to no transition", places=(place,))
+        for name in diag.sink_transitions:
+            add("lint/sink-transition", "warning",
+                f"transition {name!r} has no output places",
+                "a transition that only consumes tokens",
+                transitions=(name,))
+        for name in diag.structurally_dead_transitions:
+            add("lint/dead-transition", "warning",
+                f"transition {name!r} can never fire",
+                "a transition with an unmarkable input place",
+                transitions=(name,))
+        for place in diag.unmarked_source_places:
+            add("lint/unmarked-source", "warning",
+                f"place {place!r} is an unmarked source",
+                "an initially empty place no transition ever marks",
+                places=(place,))
+        for issue in self.mcs_issues:
+            add("lint/mcs-inconsistency", "error", issue,
+                "marked-circuit-structure cross-check inconsistency")
+        if not self.certificate.certified:
+            uncovered = tuple(
+                self.net.places[index] for index in self.certificate.uncovered
+            )
+            add("lint/uncertified-safety", "note",
+                "no structural 1-safeness certificate; the dynamic check "
+                "must run", "places not covered by any 1-bounded P-invariant",
+                places=uncovered)
+        for finding in (self.reduction or {}).get("findings", ()):
+            add(str(finding["rule"]), "note", str(finding["message"]),
+                "structural reduction opportunity (deadlock-preserving)",
+                places=tuple(finding.get("places", ())),
+                transitions=tuple(finding.get("transitions", ())))
+        return {
+            "$schema": (
+                "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json"
+            ),
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "gpo-lint",
+                            "informationUri": (
+                                "https://doi.org/10.1109/DATE.1998.655889"
+                            ),
+                            "rules": [
+                                {
+                                    "id": rule_id,
+                                    "shortDescription": {"text": text},
+                                }
+                                for rule_id, text in sorted(rules.items())
+                            ],
+                        }
+                    },
+                    "results": results,
+                }
+            ],
         }
 
     def summary(self) -> str:
@@ -111,6 +216,21 @@ class LintReport:
         )
         lines.append(f"  1-safeness: {self.certificate.explain(self.net)}")
         lines.append(f"  deadlock pre-check: {self.deadlock_precheck}")
+        if self.reduction is not None:
+            pre = "/".join(str(n) for n in self.reduction["pre"])
+            post = "/".join(str(n) for n in self.reduction["post"])
+            count = len(self.reduction["findings"])
+            if count:
+                lines.append(
+                    f"  reduction: {pre} -> {post} P/T/A "
+                    f"({count} deadlock-preserving rule application(s))"
+                )
+                for finding in self.reduction["findings"]:
+                    lines.append(
+                        f"    [{finding['rule']}] {finding['message']}"
+                    )
+            else:
+                lines.append("  reduction: irreducible at deadlock level")
         diag = self.diagnostics.summary()
         if diag:
             lines.append("  diagnostics:")
@@ -124,11 +244,36 @@ class LintReport:
 
 
 def lint(
-    net: PetriNet, *, analysis: StaticAnalysis | None = None
+    net: PetriNet,
+    *,
+    analysis: StaticAnalysis | None = None,
+    reduce: bool = False,
 ) -> LintReport:
-    """Run every structural check on ``net`` and collect the report."""
+    """Run every structural check on ``net`` and collect the report.
+
+    ``reduce=True`` additionally runs the deadlock-preserving structural
+    reduction preset and folds one advisory finding per rule application
+    into the report (``gpo lint`` does; the benchmark refusal gates skip
+    it — reduction findings never affect :attr:`LintReport.broken`).
+    """
     if analysis is None:
         analysis = net.static_analysis()
+    reduction: dict[str, Any] | None = None
+    if reduce:
+        # Imported lazily: the reduce engine consumes this package's
+        # static analysis, so a module-level import would be circular.
+        from repro.reduce import findings_of, reduce_net
+
+        shrunk = reduce_net(net, level="deadlock", mode="auto")
+        pre, post = shrunk.sizes()
+        reduction = {
+            "level": shrunk.level,
+            "mode": shrunk.mode,
+            "pre": list(pre),
+            "post": list(post),
+            "rules": shrunk.rule_counts(),
+            "findings": [f.to_json() for f in findings_of(shrunk)],
+        }
     siphons = analysis.siphons
     traps = analysis.traps
     p_basis = analysis.p_invariants
@@ -146,4 +291,5 @@ def lint(
         certificate=analysis.safety_certificate,
         deadlock_precheck=analysis.deadlock_freedom(),
         mcs_issues=tuple(analysis.mcs_issues()),
+        reduction=reduction,
     )

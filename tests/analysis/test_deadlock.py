@@ -49,7 +49,7 @@ class TestFindDeadlock:
         witness = find_deadlock(builder.build())
         assert witness is not None
         assert witness.trace == ()
-        assert "initial marking" in str(witness)
+        assert "at marking" in str(witness)
 
 
 class TestGraphQueries:

@@ -12,9 +12,10 @@ class TestDeadlockWitness:
         assert "{p1, p2}" in rendered
         assert "a ; {b,c}" in rendered
 
-    def test_str_initial(self):
+    def test_str_without_trace(self):
         witness = DeadlockWitness(marking=frozenset({"p"}), trace=())
-        assert "initial marking" in str(witness)
+        assert "at marking {p}" in str(witness)
+        assert "via" not in str(witness)
 
     def test_frozen(self):
         witness = DeadlockWitness(marking=frozenset(), trace=())

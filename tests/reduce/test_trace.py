@@ -1,0 +1,116 @@
+"""Trace serialization, back-mapping and witness replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import analyze as full_analyze
+from repro.models import nsdp
+from repro.net import NetBuilder
+from repro.reduce import (
+    BackMapError,
+    ReductionTrace,
+    back_map_witness,
+    flatten_trace,
+    reduce_net,
+    replay,
+)
+from repro.search.witness import DeadlockWitness
+
+
+def _sequence_net():
+    builder = NetBuilder("sequence")
+    builder.place("p0", marked=True)
+    builder.place("p1")
+    builder.place("p2")
+    builder.transition("t1", inputs=["p0"], outputs=["p1"])
+    builder.transition("t2", inputs=["p1"], outputs=["p2"])
+    return builder.build()
+
+
+class TestSerialization:
+    def test_round_trip_preserves_hash_and_steps(self):
+        trace = reduce_net(nsdp(3), level="deadlock").trace
+        assert trace  # NSDP reduces via fuse-series
+        clone = ReductionTrace.from_json(trace.to_json())
+        assert clone.trace_hash() == trace.trace_hash()
+        assert clone.steps == trace.steps
+        assert clone.net_name == trace.net_name
+
+    def test_trace_hash_distinguishes_levels(self):
+        net = _sequence_net()
+        dead = reduce_net(net, level="deadlock").trace
+        count = reduce_net(net, level="count").trace
+        assert dead.trace_hash() != count.trace_hash()
+
+    def test_empty_trace_is_falsy(self):
+        trace = ReductionTrace(net_name="x", steps=())
+        assert not trace
+        assert len(trace) == 0
+
+
+class TestSequenceMapping:
+    def test_fused_transition_expands_in_order(self):
+        net = _sequence_net()
+        reduction = reduce_net(net, level="deadlock")
+        mapped = reduction.trace.map_sequence(("t1",))
+        assert mapped == ("t1", "t2")
+        final = replay(net, mapped)
+        assert net.is_deadlocked(final)
+
+    def test_unfused_names_pass_through(self):
+        trace = reduce_net(nsdp(3), level="deadlock").trace
+        assert trace.map_sequence(()) == ()
+
+    def test_flatten_trace_splits_multisteps(self):
+        assert flatten_trace(("a", "{b,c}", "d")) == ("a", "b", "c", "d")
+
+    def test_replay_rejects_disabled_transition(self):
+        net = _sequence_net()
+        with pytest.raises(BackMapError):
+            replay(net, ("t2",))
+
+    def test_replay_rejects_unknown_transition(self):
+        net = _sequence_net()
+        with pytest.raises(BackMapError):
+            replay(net, ("nope",))
+
+
+class TestWitnessBackMapping:
+    def test_reduced_witness_replays_on_original(self):
+        net = _sequence_net()
+        reduction = reduce_net(net, level="deadlock")
+        shrunk = full_analyze(reduction.net)
+        assert shrunk.deadlock and shrunk.witness is not None
+        witness = back_map_witness(net, reduction.trace, shrunk.witness)
+        final = replay(net, witness.trace)
+        assert net.is_deadlocked(final)
+        assert witness.marking == net.marking_names(final)
+
+    def test_marking_only_witness_restored_via_directives(self):
+        net = nsdp(2)
+        reduction = reduce_net(net, level="deadlock")
+        assert reduction.reduced
+        # A symbolic-style witness: deadlock marking, no trace.
+        shrunk = full_analyze(reduction.net)
+        assert shrunk.deadlock and shrunk.witness.marking
+        bare = DeadlockWitness(
+            marking=shrunk.witness.marking, trace=(), label=shrunk.witness.label
+        )
+        witness = back_map_witness(net, reduction.trace, bare)
+        marking = net.marking_from_names(witness.marking)
+        assert net.is_deadlocked(marking)
+
+    def test_unmappable_witness_raises(self):
+        net = _sequence_net()
+        reduction = reduce_net(net, level="deadlock")
+        bogus = DeadlockWitness(marking=frozenset(), trace=("t2", "t1"))
+        with pytest.raises(BackMapError):
+            back_map_witness(net, reduction.trace, bogus)
+
+    def test_identity_trace_verifies_and_passes_through(self):
+        net = _sequence_net()
+        result = full_analyze(net)
+        trace = ReductionTrace(net_name=net.name, steps=())
+        witness = back_map_witness(net, trace, result.witness)
+        assert witness.trace == result.witness.trace

@@ -429,7 +429,7 @@ class TestPropertySubmissions:
         async def main():
             async with serve_app(tmp_path) as (_, client):
                 response = await client.request("GET", "/healthz")
-                assert response.json()["protocol_version"] == 2
+                assert response.json()["protocol_version"] == 3
 
         run(main())
 

@@ -192,4 +192,22 @@ class TestPropertyField:
     def test_api_version_exported(self):
         from repro.serve.protocol import API_VERSION
 
-        assert API_VERSION == 2
+        assert API_VERSION == 3
+
+    def test_reduce_defaults_off(self):
+        submit = parse_submit(submit_body(), CONFIG)
+        assert submit.reduce == "off"
+        assert submit.to_job().reduce == "off"
+
+    @pytest.mark.parametrize("mode", ["auto", "aggressive"])
+    def test_reduce_accepted_and_threaded_to_job(self, mode):
+        submit = parse_submit(submit_body(reduce=mode), CONFIG)
+        assert submit.reduce == mode
+        assert submit.to_job().reduce == mode
+
+    @pytest.mark.parametrize("value", ["yes", "", 1, True, ["auto"]])
+    def test_bad_reduce_rejected(self, value):
+        with pytest.raises(ApiError) as excinfo:
+            parse_submit(submit_body(reduce=value), CONFIG)
+        assert excinfo.value.status == 400
+        assert excinfo.value.reason == "bad-reduce"
