@@ -37,6 +37,7 @@ from repro.props.parse import parse_property
 from repro.reduce.engine import MODES as REDUCE_MODES
 from repro.reduce.engine import Reduction, reduce_net
 from repro.reduce.trace import BackMapError, back_map_witness
+from repro.search.parallel import analyze_parallel
 from repro.stubborn import analyze as stubborn_analyze
 from repro.symbolic import analyze as symbolic_analyze
 from repro.unfolding import analyze as unfolding_analyze
@@ -59,6 +60,9 @@ ANALYZERS: dict[str, Callable[..., AnalysisResult]] = {
     "symbolic": symbolic_analyze,
     "gpo": gpo_analyze,
     "unfolding": unfolding_analyze,
+    # Sharded level-synchronized BFS; shard count / inner semantics ride
+    # ``Budget.extra`` (e.g. ``{"shards": 4, "inner": "stubborn"}``).
+    "parallel": analyze_parallel,
 }
 
 

@@ -98,6 +98,7 @@ def run_race(
     events: EventSink | None = None,
     query: str = "deadlock",
     reduce: str = "off",
+    shards: int | None = None,
 ) -> RaceOutcome:
     """Race ``methods`` on ``net``; first conclusive verdict wins.
 
@@ -120,16 +121,37 @@ def run_race(
     explores the same reduced net; each job's result carries the trace
     and maps its witness back to the original (see
     :mod:`repro.reduce`).
+
+    ``shards`` (``gpo race --shards N``) enters the sharded parallel
+    explorer (:mod:`repro.search.parallel`) in the race as an extra
+    ``"parallel"`` entry — it answers the deadlock question only, so
+    the compat filter drops it from property races with a reason like
+    any other method.  The shard count rides the job's budget extras,
+    keeping cache keys distinct per shard count.
     """
     if budget is None:
         budget = Budget()
     prop = as_property(query)
     canonical = prop.text()
-    kept, dropped = filter_methods(methods, prop)
+    method_list = list(methods)
+    if shards is not None and shards > 1 and "parallel" not in method_list:
+        method_list.append("parallel")
+    kept, dropped = filter_methods(method_list, prop)
     sink = events if events is not None else NullEventSink()
+    parallel_budget = budget
+    if shards is not None and shards > 1:
+        parallel_budget = Budget(
+            max_states=budget.max_states,
+            max_seconds=budget.max_seconds,
+            extra={**budget.extra, "shards": shards},
+        )
     job_specs = [
         VerificationJob(
-            net=net, method=m, budget=budget, query=canonical, reduce=reduce
+            net=net,
+            method=m,
+            budget=parallel_budget if m == "parallel" else budget,
+            query=canonical,
+            reduce=reduce,
         )
         for m in kept
     ]

@@ -28,6 +28,7 @@ import repro.stubborn.explorer as _stubborn
 from repro.analysis.stats import AnalysisResult
 from repro.harness.table1 import PROBLEMS
 from repro.net.petrinet import PetriNet
+from repro.obs import names
 
 __all__ = [
     "BENCH_SIZES",
@@ -78,6 +79,11 @@ class BenchRow:
     kernel_states_per_second: float
     speedup: float
     counts_match: bool
+    #: Stubborn-phase breakdown of the kernelized run (``None`` for the
+    #: full explorer): wall seconds inside stubborn-set construction and
+    #: total closure-loop iterations — where the kernel-native tables pay.
+    set_seconds: float | None = None
+    closure_iterations: int | None = None
 
 
 def _best_time(
@@ -118,6 +124,10 @@ def _bench_instance(
             and reference.edges == kernelized.edges
             and reference.deadlock == kernelized.deadlock
         )
+        set_seconds = kernelized.extras.get(names.STUBBORN_SET_SECONDS)
+        closure_iterations = kernelized.extras.get(
+            names.STUBBORN_CLOSURE_ITERATIONS
+        )
         rows.append(
             BenchRow(
                 problem=problem,
@@ -136,6 +146,10 @@ def _bench_instance(
                 ),
                 speedup=round(ref_seconds / kernel_seconds, 2),
                 counts_match=counts_match,
+                set_seconds=(
+                    round(set_seconds, 6) if set_seconds is not None else None
+                ),
+                closure_iterations=closure_iterations,
             )
         )
     return rows
@@ -164,20 +178,37 @@ def run_bench(
 
 
 def format_bench(rows: list[BenchRow]) -> str:
-    """Human-readable table of the measurements."""
+    """Human-readable table of the measurements.
+
+    Stubborn rows carry two extra columns — the fraction of the
+    kernelized run spent building stubborn sets, and the closure-loop
+    iteration count — blank for the full explorer, which has no
+    stubborn phase.
+    """
     header = (
         f"{'instance':12s} {'analyzer':9s} {'states':>8s} "
-        f"{'ref/s':>10s} {'kernel/s':>10s} {'speedup':>8s} {'counts':>7s}"
+        f"{'ref/s':>10s} {'kernel/s':>10s} {'speedup':>8s} {'counts':>7s} "
+        f"{'set%':>6s} {'clos-it':>9s}"
     )
     lines = [header, "-" * len(header)]
     for row in rows:
+        if row.set_seconds is not None and row.kernel_seconds > 0:
+            set_pct = f"{100 * row.set_seconds / row.kernel_seconds:5.1f}%"
+        else:
+            set_pct = "-"
+        closure = (
+            str(row.closure_iterations)
+            if row.closure_iterations is not None
+            else "-"
+        )
         lines.append(
             f"{row.problem + '(' + str(row.size) + ')':12s} "
             f"{row.analyzer:9s} {row.states:8d} "
             f"{row.ref_states_per_second:10.0f} "
             f"{row.kernel_states_per_second:10.0f} "
             f"{row.speedup:7.2f}x "
-            f"{'ok' if row.counts_match else 'MISMATCH':>7s}"
+            f"{'ok' if row.counts_match else 'MISMATCH':>7s} "
+            f"{set_pct:>6s} {closure:>9s}"
         )
     return "\n".join(lines)
 

@@ -1,0 +1,220 @@
+"""The ``gpo bench-kernel --shards`` sweep: sharded-explorer benchmark.
+
+For one Table 1 instance the sweep runs the sequential kernelized full
+explorer once as the **baseline**, then the sharded level-synchronized
+BFS (:func:`repro.search.parallel.explore_parallel`) at every requested
+shard count — a scalar row per count, plus a numpy-batched row when the
+``[fast]`` extra is installed.  Every row must reproduce the baseline's
+state/edge/deadlock counts exactly (sharding and batching regroup the
+work; they never change it), and any disagreement fails the benchmark —
+the CI smoke job keys on that, like ``bench-kernel`` itself.
+
+The measurements are persisted to ``BENCH_parallel.json``.  The artifact
+records ``cpu_count`` and each row's resolved ``workers`` mode because
+the wall-clock story is honest only in context: on a single-CPU host the
+fork runner degenerates to inline level-stepping, so multi-shard rows
+show the batching win (one vectorized op per transition per level)
+rather than true core-parallel speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Sequence
+
+import repro.analysis.reachability as _full
+from repro.analysis.stats import AnalysisResult
+from repro.harness.table1 import PROBLEMS
+from repro.net.batch import HAVE_NUMPY
+from repro.search.parallel import ParallelOutcome, explore_parallel
+
+__all__ = [
+    "DEFAULT_SHARD_SWEEP",
+    "PARALLEL_SIZES",
+    "QUICK_PARALLEL_SIZES",
+    "ParallelRow",
+    "run_bench_parallel",
+    "format_bench_parallel",
+    "write_bench_parallel",
+]
+
+#: Shard counts the sweep measures by default.
+DEFAULT_SHARD_SWEEP: tuple[int, ...] = (1, 2, 4)
+
+#: Default instance: the acceptance target of the sharded explorer.
+PARALLEL_SIZES: dict[str, int] = {"NSDP": 8}
+
+#: ``--quick`` instance (CI smoke): count equality only, rates are noise.
+QUICK_PARALLEL_SIZES: dict[str, int] = {"NSDP": 4}
+
+
+@dataclass(frozen=True)
+class ParallelRow:
+    """One (instance, shard count, batch mode) measurement."""
+
+    problem: str
+    size: int
+    shards: int
+    inner: str
+    batch: bool
+    workers: str
+    states: int
+    edges: int
+    deadlocks: int
+    levels: int
+    peak_frontier: int
+    exchange_volume: int
+    seconds: float
+    states_per_second: float
+    counts_match: bool
+
+
+def _best_outcome(
+    run: Callable[[], ParallelOutcome], repetitions: int
+) -> tuple[ParallelOutcome, float]:
+    """Best-of-N wall time (minimum filters scheduler noise)."""
+    best = float("inf")
+    outcome: ParallelOutcome | None = None
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        candidate = run()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+            outcome = candidate
+    assert outcome is not None
+    return outcome, best
+
+
+def run_bench_parallel(
+    *,
+    shards: Sequence[int] = DEFAULT_SHARD_SWEEP,
+    quick: bool = False,
+    problems: Sequence[str] | None = None,
+    repetitions: int | None = None,
+) -> tuple[list[ParallelRow], AnalysisResult]:
+    """Measure the shard sweep; returns ``(rows, sequential baseline)``.
+
+    Each shard count contributes a scalar (``batch=False``) row and, when
+    numpy is available, a batched row.  ``counts_match`` compares every
+    row against the sequential full explorer's exact counts.
+    """
+    if problems:
+        # Reuse the kernel benchmark's per-family sizes for non-default
+        # instances, so the two artifacts describe the same state spaces.
+        from repro.harness.benchkernel import BENCH_SIZES, QUICK_SIZES
+
+        problem = problems[0]
+        size = (QUICK_SIZES if quick else BENCH_SIZES)[problem]
+    else:
+        sizes = QUICK_PARALLEL_SIZES if quick else PARALLEL_SIZES
+        problem, size = next(iter(sizes.items()))
+    if repetitions is None:
+        repetitions = 1 if quick else 3
+    net = PROBLEMS[problem](size)
+    net.kernel()
+    net.static_analysis()
+    baseline = _full.analyze(net, use_kernel=True, want_witness=False)
+    rows: list[ParallelRow] = []
+    modes = [False, True] if HAVE_NUMPY else [False]
+    for count in shards:
+        for batch in modes:
+            outcome, seconds = _best_outcome(
+                lambda c=count, b=batch: explore_parallel(
+                    net, shards=c, inner="full", batch=b
+                ),
+                repetitions,
+            )
+            counts_match = (
+                outcome.states == baseline.states
+                and outcome.edges == baseline.edges
+                and (outcome.deadlocks > 0) == baseline.deadlock
+            )
+            rows.append(
+                ParallelRow(
+                    problem=problem,
+                    size=size,
+                    shards=count,
+                    inner="full",
+                    batch=batch,
+                    workers=outcome.workers,
+                    states=outcome.states,
+                    edges=outcome.edges,
+                    deadlocks=outcome.deadlocks,
+                    levels=outcome.levels,
+                    peak_frontier=outcome.peak_frontier,
+                    exchange_volume=outcome.exchange_volume,
+                    seconds=round(seconds, 6),
+                    states_per_second=round(outcome.states / seconds, 1)
+                    if seconds > 0
+                    else float(outcome.states),
+                    counts_match=counts_match,
+                )
+            )
+    return rows, baseline
+
+
+def format_bench_parallel(
+    rows: Sequence[ParallelRow], baseline: AnalysisResult
+) -> str:
+    """Human-readable sweep table, baseline first."""
+    header = (
+        f"{'instance':12s} {'shards':>6s} {'batch':>6s} {'workers':>7s} "
+        f"{'states':>8s} {'states/s':>10s} {'vs-seq':>7s} {'counts':>7s}"
+    )
+    base_rate = (
+        baseline.states / baseline.time_seconds
+        if baseline.time_seconds > 0
+        else float(baseline.states)
+    )
+    lines = [
+        header,
+        "-" * len(header),
+        f"{baseline.net_name:12s} {'seq':>6s} {'-':>6s} {'-':>7s} "
+        f"{baseline.states:8d} {base_rate:10.0f} {'1.00x':>7s} {'ok':>7s}",
+    ]
+    for row in rows:
+        speedup = (
+            base_rate and (row.states_per_second / base_rate) or 0.0
+        )
+        lines.append(
+            f"{row.problem + '(' + str(row.size) + ')':12s} "
+            f"{row.shards:6d} {'yes' if row.batch else 'no':>6s} "
+            f"{row.workers:>7s} {row.states:8d} "
+            f"{row.states_per_second:10.0f} {speedup:6.2f}x "
+            f"{'ok' if row.counts_match else 'MISMATCH':>7s}"
+        )
+    return "\n".join(lines)
+
+
+def write_bench_parallel(
+    rows: Sequence[ParallelRow],
+    baseline: AnalysisResult,
+    path: str | Path,
+) -> None:
+    """Persist the sweep as the ``BENCH_parallel.json`` artifact."""
+    payload = {
+        "benchmark": "parallel-shards",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "have_numpy": HAVE_NUMPY,
+        "baseline": {
+            "analyzer": "full",
+            "net": baseline.net_name,
+            "states": baseline.states,
+            "edges": baseline.edges,
+            "deadlock": baseline.deadlock,
+            "seconds": round(baseline.time_seconds, 6),
+        },
+        "rows": [asdict(row) for row in rows],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )

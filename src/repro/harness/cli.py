@@ -9,12 +9,16 @@ Subcommands::
     gpo safety FILE --bad "cs0 & cs1 & !lock" [--bad ...]
     gpo reach FILE --target "a & b" [--method full|stubborn] [--order bfs|dfs]
     gpo race FILE [--methods gpo,symbolic] [--jobs N] [--property PROP]
+                [--shards N]  # N > 1 adds the sharded parallel explorer
     gpo table1 [--problems NSDP,RW] [--jobs N] [--portfolio] [--stats]
     gpo figures [--figure 1|2|3]
     gpo profile FAMILY SIZE [--analyzer gpo|full|...|timed]
                 [--trace-out trace.json] [--metrics-out metrics.prom]
                               # traced+metered in-process run, span tree
-    gpo check FILE            # structural diagnostics + safety check
+    gpo check FILE [--shards N]
+                              # structural diagnostics + safety check;
+                              # --shards N > 1 runs the bounded walk on
+                              # the sharded parallel explorer
     gpo lint FILE [--format human|json|sarif]
                               # full structural report (invariants, siphons,
                               # safety certificate, net class, reduction
@@ -26,7 +30,10 @@ Subcommands::
     gpo dot FILE [--rg]       # DOT export of the net (or its full RG)
     gpo bench-model NAME SIZE # run all analyzers on one benchmark instance
     gpo bench-kernel [--quick] [--out BENCH_kernel.json]
-                              # bitmask kernel vs frozenset reference path
+                [--shards 1,2,4] [--parallel-out BENCH_parallel.json]
+                              # bitmask kernel vs frozenset reference
+                              # path; --shards sweeps the sharded
+                              # parallel explorer too
     gpo serve [--port 8080] [--jobs N] [--queue-capacity N]
                               # verification-as-a-service HTTP daemon
     gpo loadtest [--quick] [--requests N] [--out BENCH_serve.json]
@@ -435,6 +442,7 @@ def _cmd_race(args: argparse.Namespace) -> int:
             events=sink,
             query=args.property or "deadlock",
             reduce=args.reduce,
+            shards=args.shards,
         )
     except PropertyError as exc:
         print(str(exc), file=sys.stderr)
@@ -551,6 +559,8 @@ def _run_check(args: argparse.Namespace) -> int:
                 f"{pre_p}/{pre_t}/{pre_a} -> {post_p}/{post_t}/{post_a} "
                 "places/transitions/arcs"
             )
+    if args.shards > 1:
+        return _check_sharded(walk_net, args)
     with obs_span(names.SPAN_BOUNDED_CHECK, net=net.name):
         verdict = check_safe(
             walk_net, max_states=args.max_states, use_kernel=not args.no_kernel
@@ -564,6 +574,39 @@ def _run_check(args: argparse.Namespace) -> int:
     print(
         f"safety: unknown — no certificate and the {args.max_states}-state "
         "bound was exhausted without a verdict"
+    )
+    return 2
+
+
+def _check_sharded(walk_net, args: argparse.Namespace) -> int:
+    """The ``--shards N`` bounded safety walk: sharded parallel BFS.
+
+    The sharded explorer fires through the same 1-safety-checking kernel
+    rules, so an :class:`UnsafeNetError` surfaces exactly where the
+    sequential walk's violation would; an exhaustive clean run proves
+    1-safety over the same state space.
+    """
+    from repro.net.exceptions import UnsafeNetError
+    from repro.search.parallel import explore_parallel
+
+    with obs_span(names.SPAN_BOUNDED_CHECK, net=walk_net.name):
+        try:
+            outcome = explore_parallel(
+                walk_net, shards=args.shards, max_states=args.max_states
+            )
+        except UnsafeNetError as exc:
+            print(f"safety: VIOLATION — {exc}")
+            return 1
+    if outcome.exhaustive:
+        print(
+            f"safety: 1-safe (exhaustive, {outcome.states} states, "
+            f"{args.shards} shards, {outcome.workers})"
+        )
+        return 0
+    print(
+        f"safety: unknown — no certificate and the {args.max_states}-state "
+        "bound was exhausted without a verdict "
+        f"({args.shards} shards, {outcome.levels} levels)"
     )
     return 2
 
@@ -701,6 +744,7 @@ def _cmd_bench_model(args: argparse.Namespace) -> int:
                 cache=cache,
                 events=sink,
                 reduce=args.reduce,
+                shards=args.shards,
             )
             print(outcome.describe())
             return 0
@@ -716,6 +760,24 @@ def _cmd_bench_model(args: argparse.Namespace) -> int:
         print(
             format_table1(rows, with_paper=True, with_stats=args.stats)
         )
+        if args.shards > 1:
+            # The sharded explorer is not a Table 1 column (the paper
+            # has none); report its run as a trailer line instead.
+            from repro.search.parallel import analyze_parallel
+
+            result = analyze_parallel(
+                PROBLEMS[args.name](args.size),
+                shards=args.shards,
+                max_states=budget.max_states,
+                max_seconds=budget.max_seconds,
+            )
+            print(
+                f"parallel({args.shards} shards, "
+                f"{result.extras.get('workers', 'inline')}): "
+                f"states={result.states} edges={result.edges} "
+                f"deadlock={'yes' if result.deadlock else 'no'} "
+                f"time={result.time_seconds:.3f}s"
+            )
         return 0
     finally:
         if sink is not None:
@@ -736,13 +798,49 @@ def _cmd_bench_kernel(args: argparse.Namespace) -> int:
                 print(f"unknown problem {problem!r}; choose from "
                       f"{', '.join(PROBLEMS)}", file=sys.stderr)
                 return 2
+    shard_sweep: list[int] | None = None
+    if args.shards:
+        try:
+            shard_sweep = [int(part) for part in args.shards.split(",")]
+        except ValueError:
+            print(
+                f"--shards expects a comma list of counts, got {args.shards!r}",
+                file=sys.stderr,
+            )
+            return 2
+        if any(count < 1 for count in shard_sweep):
+            print("--shards counts must be >= 1", file=sys.stderr)
+            return 2
     with observed(trace_out=args.trace, metrics_out=args.metrics):
         rows = run_bench(quick=args.quick, problems=problems)
+        parallel_rows = None
+        baseline = None
+        if shard_sweep:
+            from repro.harness.benchparallel import (
+                format_bench_parallel,
+                run_bench_parallel,
+                write_bench_parallel,
+            )
+
+            parallel_rows, baseline = run_bench_parallel(
+                shards=shard_sweep, quick=args.quick, problems=problems
+            )
     print(format_bench(rows))
     if args.out:
         write_bench(rows, args.out)
         print(f"[bench] wrote {args.out}")
-    if not all(row.counts_match for row in rows):
+    if parallel_rows is not None and baseline is not None:
+        print()
+        print(format_bench_parallel(parallel_rows, baseline))
+        if args.parallel_out:
+            write_bench_parallel(parallel_rows, baseline, args.parallel_out)
+            print(f"[bench] wrote {args.parallel_out}")
+    mismatched = not all(row.counts_match for row in rows)
+    if parallel_rows is not None:
+        mismatched = mismatched or not all(
+            row.counts_match for row in parallel_rows
+        )
+    if mismatched:
         print(
             "[bench] kernel/reference state or edge counts disagree",
             file=sys.stderr,
@@ -958,6 +1056,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="race on a repro.props property instead of the deadlock "
         "question; incompatible methods are dropped with their reason",
     )
+    p_race.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="also enter the sharded parallel explorer with N shards "
+        "(deadlock races only; the compat filter drops it otherwise)",
+    )
     add_engine_flags(p_race, jobs=2)
     add_reduce_flag(p_race)
     p_race.set_defaults(fn=_cmd_race)
@@ -1067,6 +1173,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the dynamic safety walk on the frozenset reference "
         "rules instead of the bitmask marking kernel",
     )
+    p_check.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run the bounded safety walk on the sharded parallel "
+        "explorer with N shards (N > 1; same verdict, level-granular "
+        "bound)",
+    )
     add_obs_flags(p_check)
     add_reduce_flag(p_check)
     p_check.set_defaults(fn=_cmd_check)
@@ -1175,6 +1290,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="structurally lint the instance first; refuse a broken model",
     )
+    p_bench.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="also run (or, with --portfolio, race) the sharded parallel "
+        "explorer with N shards (N > 1)",
+    )
     add_engine_flags(p_bench, jobs=1)
     add_reduce_flag(p_bench)
     p_bench.set_defaults(fn=_cmd_bench_model)
@@ -1195,6 +1318,20 @@ def build_parser() -> argparse.ArgumentParser:
         default="BENCH_kernel.json",
         metavar="PATH",
         help="JSON artifact path (default BENCH_kernel.json; '' disables)",
+    )
+    p_kernel.add_argument(
+        "--shards",
+        default=None,
+        metavar="LIST",
+        help="also sweep the sharded parallel explorer over these shard "
+        "counts (comma list, e.g. 1,2,4) on the default instance",
+    )
+    p_kernel.add_argument(
+        "--parallel-out",
+        default="BENCH_parallel.json",
+        metavar="PATH",
+        help="JSON artifact for the --shards sweep "
+        "(default BENCH_parallel.json; '' disables)",
     )
     add_obs_flags(p_kernel)
     p_kernel.set_defaults(fn=_cmd_bench_kernel)

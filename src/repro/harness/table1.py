@@ -127,7 +127,7 @@ class Table1Row:
         if with_stats:
             out.extend(
                 format_number(self.stats.get(key))
-                for key in ("full_rate", "po_ratio", "gpo_scen")
+                for key in ("full_rate", "po_ratio", "po_iter", "gpo_scen")
             )
             out.append(self.net_size_cell())
         return out
@@ -154,6 +154,9 @@ def _assemble_row(
         stats["full_rate"] = full.extras.get(names.STATES_PER_SECOND)
     if spin is not None:
         stats["po_ratio"] = spin.extras.get(names.STUBBORN_RATIO)
+        stats["po_iter"] = spin.extras.get(
+            names.STUBBORN_CLOSURE_ITERATIONS
+        )
     if gpo is not None:
         stats["gpo_scen"] = gpo.extras.get(names.MEAN_SCENARIOS)
     for result in results.values():
@@ -275,9 +278,10 @@ def format_table1(
     """Render measured rows, optionally side by side with the 1998 values.
 
     ``with_stats`` appends the instrumentation columns (full states/sec,
-    stubborn reduction ratio, mean GPO scenario-family size, and the net's
-    P/T/A sizes — shown as ``pre->post`` when a structural reduction ran)
-    to the measured table only — the paper published none of these.
+    stubborn reduction ratio, stubborn closure-loop iterations, mean GPO
+    scenario-family size, and the net's P/T/A sizes — shown as
+    ``pre->post`` when a structural reduction ran) to the measured table
+    only — the paper published none of these.
     """
     rows = list(rows)
     headers = [
@@ -292,7 +296,9 @@ def format_table1(
         "dead",
     ]
     measured_headers = headers + (
-        ["full-St/s", "PO-ratio", "GPO-scen", "net P/T/A"] if with_stats else []
+        ["full-St/s", "PO-ratio", "PO-iter", "GPO-scen", "net P/T/A"]
+        if with_stats
+        else []
     )
     out = format_table(
         measured_headers,

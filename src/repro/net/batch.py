@@ -1,0 +1,228 @@
+"""Optional numpy-backed batched marking operations.
+
+The scalar :class:`~repro.net.kernel.MarkingKernel` packs one marking
+into one Python ``int`` and pays one interpreter round-trip per state
+per transition.  This module lifts the same tables into a uint64
+bit-matrix — rows are frontier states, columns are 64-place words — so
+a whole BFS level is enabled-checked and fired with **one vectorized op
+per transition per level** instead of a Python loop per state:
+
+* **enabling** — ``(rows & pre[t] == pre[t]).all(axis=1)``;
+* **firing** — ``(rows[src] & clear[t]) | post[t]``;
+* **1-safety** — ``rows[src] & clear[t] & post[t]`` nonzero is exactly
+  the scalar kernel's conflict check, surfaced as the same
+  :class:`~repro.net.exceptions.UnsafeNetError`.
+
+The semantics are the scalar kernel's, bit for bit: a batched level
+produces exactly the successor multiset the scalar loop produces for
+the same frontier, so state/edge/deadlock counts are byte-identical.
+Only the *grouping* differs (per transition instead of per state) —
+callers that need the scalar edge order keep using the scalar kernel.
+
+numpy is an optional extra (``pip install .[fast]``): import this
+module freely and check :data:`HAVE_NUMPY` (or catch the
+:class:`RuntimeError` from :class:`BatchedKernel`) before constructing;
+the scalar path remains the behavioural reference and the fallback.
+
+The module also defines the canonical **shard key** of a packed
+marking — a splitmix64 fold over its 64-bit words — in one scalar and
+one vectorized form that agree exactly.  The sharded explorer
+(:mod:`repro.search.parallel`) routes states by ``state_key % shards``,
+so the two forms agreeing is what lets batched and scalar shards
+partition the state space identically.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable, List, Sequence, Tuple
+
+from repro.net.exceptions import UnsafeNetError
+
+if TYPE_CHECKING:
+    from repro.net.kernel import MarkingKernel
+
+try:  # pragma: no cover - exercised via the [fast] extra matrix leg
+    import numpy as _np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    _np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+__all__ = [
+    "HAVE_NUMPY",
+    "BatchedKernel",
+    "mix64",
+    "state_key",
+    "words_of",
+]
+
+_MASK64 = (1 << 64) - 1
+#: splitmix64 increment, doubling as the fold seed.
+_SEED = 0x9E3779B97F4A7C15
+_MULT1 = 0xBF58476D1CE4E5B9
+_MULT2 = 0x94D049BB133111EB
+
+
+def mix64(x: int) -> int:
+    """The splitmix64 finalizer: a cheap, well-mixed 64-bit permutation."""
+    x &= _MASK64
+    x = ((x ^ (x >> 30)) * _MULT1) & _MASK64
+    x = ((x ^ (x >> 27)) * _MULT2) & _MASK64
+    return x ^ (x >> 31)
+
+
+def words_of(num_places: int) -> int:
+    """64-bit words needed to hold a packed marking of ``num_places``."""
+    return max(1, (num_places + 63) // 64)
+
+
+def state_key(bits: int, words: int) -> int:
+    """Canonical 64-bit key of a packed marking (scalar form).
+
+    A splitmix64 fold over the marking's ``words`` little-endian 64-bit
+    words.  :meth:`BatchedKernel.state_keys` is the vectorized twin; the
+    differential tests hold the two equal, which is what makes shard
+    ownership (``state_key % shards``) independent of whether a shard
+    expands with numpy or with the scalar kernel.
+    """
+    h = _SEED
+    for _ in range(words):
+        h = mix64(h ^ (bits & _MASK64))
+        bits >>= 64
+    return h
+
+
+class BatchedKernel:
+    """Vectorized (frontier × word-column) view of a scalar kernel.
+
+    Raises :class:`RuntimeError` when numpy is unavailable — callers
+    select the scalar fallback via :data:`HAVE_NUMPY` instead of
+    catching it on the hot path.
+    """
+
+    def __init__(self, kernel: "MarkingKernel") -> None:
+        if not HAVE_NUMPY:
+            raise RuntimeError(
+                "numpy is not installed; install the [fast] extra or use "
+                "the scalar kernel"
+            )
+        self.kernel = kernel
+        self.num_places = kernel.num_places
+        self.num_transitions = kernel.num_transitions
+        self.words = words_of(kernel.num_places)
+        self.pre = self._table(kernel.pre_mask)
+        self.post = self._table(kernel.post_mask)
+        # ``~pre`` per word: complementing the uint64 word equals the
+        # scalar ``clear_mask`` restricted to that word.
+        self.clear = ~self.pre
+
+    def _table(self, masks: Sequence[int]) -> Any:
+        rows = [self._words(mask) for mask in masks]
+        return _np.array(rows, dtype=_np.uint64)
+
+    def _words(self, bits: int) -> List[int]:
+        return [
+            (bits >> (64 * w)) & _MASK64 for w in range(self.words)
+        ]
+
+    # -- marking matrix conversions ------------------------------------
+    def encode_rows(self, states: Iterable[int]) -> Any:
+        """Pack an iterable of scalar markings into an ``(N, W)`` matrix."""
+        rows = [self._words(bits) for bits in states]
+        if not rows:
+            return _np.empty((0, self.words), dtype=_np.uint64)
+        return _np.array(rows, dtype=_np.uint64)
+
+    def decode_rows(self, rows: Any) -> List[int]:
+        """Scalar markings of an ``(N, W)`` matrix, row order preserved."""
+        out: List[int] = []
+        shifts = [64 * w for w in range(self.words)]
+        for row in rows.tolist():
+            bits = 0
+            for word, shift in zip(row, shifts):
+                bits |= word << shift
+            out.append(bits)
+        return out
+
+    # -- vectorized level operations -----------------------------------
+    def enabled_any(self, rows: Any) -> Any:
+        """Boolean vector: row has at least one enabled transition.
+
+        The batched deadlock test — ``~enabled_any`` rows are exactly
+        the states the scalar explorer records as deadlocks.
+        """
+        n = rows.shape[0]
+        out = _np.zeros(n, dtype=bool)
+        for t in range(self.num_transitions):
+            pre = self.pre[t]
+            out |= (rows & pre == pre).all(axis=1)
+        return out
+
+    def expand(self, rows: Any) -> Tuple[Any, Any, Any, Any]:
+        """One batched successor pass over a frontier matrix.
+
+        Returns ``(srcs, fired, succ, enabled_any)``: for every enabled
+        (row, transition) pair — grouped by transition in ascending
+        index order, rows ascending within each group — the source row
+        index, the fired transition index and the successor marking row,
+        plus the per-row any-enabled vector.  ``len(srcs)`` is exactly
+        the scalar edge count of the frontier.  Raises
+        :class:`UnsafeNetError` (same transition/place attribution as
+        the scalar kernel) on a 1-safety violation.
+        """
+        n = rows.shape[0]
+        any_enabled = _np.zeros(n, dtype=bool)
+        src_parts: List[Any] = []
+        fired_parts: List[Any] = []
+        succ_parts: List[Any] = []
+        for t in range(self.num_transitions):
+            pre = self.pre[t]
+            enabled = (rows & pre == pre).all(axis=1)
+            srcs = enabled.nonzero()[0]
+            if not srcs.size:
+                continue
+            any_enabled |= enabled
+            cleared = rows[srcs] & self.clear[t]
+            conflict = cleared & self.post[t]
+            if conflict.any():
+                self._raise_unsafe(t, conflict)
+            src_parts.append(srcs)
+            fired_parts.append(_np.full(srcs.shape, t, dtype=_np.int64))
+            succ_parts.append(cleared | self.post[t])
+        if not src_parts:
+            empty = _np.empty(0, dtype=_np.int64)
+            return (
+                empty,
+                empty,
+                _np.empty((0, self.words), dtype=_np.uint64),
+                any_enabled,
+            )
+        return (
+            _np.concatenate(src_parts),
+            _np.concatenate(fired_parts),
+            _np.concatenate(succ_parts),
+            any_enabled,
+        )
+
+    def _raise_unsafe(self, t: int, conflict: Any) -> None:
+        net = self.kernel.net
+        bad_rows, bad_words = conflict.nonzero()
+        word = int(conflict[bad_rows[0], bad_words[0]])
+        place = 64 * int(bad_words[0]) + ((word & -word).bit_length() - 1)
+        raise UnsafeNetError(net.transitions[t], net.places[place])
+
+    # -- canonical shard keys ------------------------------------------
+    def state_keys(self, rows: Any) -> Any:
+        """Vectorized :func:`state_key` of every row (uint64 vector)."""
+        with _np.errstate(over="ignore"):
+            h = _np.full(rows.shape[0], _SEED, dtype=_np.uint64)
+            for w in range(self.words):
+                h = self._mix64(h ^ rows[:, w])
+        return h
+
+    @staticmethod
+    def _mix64(x: Any) -> Any:
+        x = (x ^ (x >> _np.uint64(30))) * _np.uint64(_MULT1)
+        x = (x ^ (x >> _np.uint64(27))) * _np.uint64(_MULT2)
+        return x ^ (x >> _np.uint64(31))

@@ -18,6 +18,7 @@ __all__ = [
     "ANALYSIS_EDGES",
     "ANALYSIS_SECONDS",
     "ANALYSIS_STATES",
+    "BATCH_LEVEL_WIDTH",
     "BDD_CACHE_HIT_RATIO",
     "BDD_PEAK_NODES",
     "DEADLOCKS",
@@ -36,6 +37,9 @@ __all__ = [
     "REDUCE_TRANSITIONS_REMOVED",
     "SAFETY_CERTIFIED",
     "SCENARIO_SET_SIZE",
+    "SHARDS",
+    "SHARD_EXCHANGE_STALLS",
+    "SHARD_EXCHANGE_VOLUME",
     "SPAN_ANALYZE",
     "SPAN_BOUNDED_CHECK",
     "SPAN_CERTIFICATE",
@@ -43,6 +47,7 @@ __all__ = [
     "SPAN_ENABLED_FAMILIES",
     "SPAN_JOB",
     "SPAN_MULTIPLE_FIRE",
+    "SPAN_PARALLEL_LEVEL",
     "SPAN_RACE",
     "SPAN_REDUCE",
     "SPAN_SEARCH",
@@ -53,7 +58,9 @@ __all__ = [
     "SPAN_WITNESS",
     "STATES_EXPANDED",
     "STATES_PER_SECOND",
+    "STUBBORN_CLOSURE_ITERATIONS",
     "STUBBORN_RATIO",
+    "STUBBORN_SET_SECONDS",
     "STUBBORN_SET_SIZE",
 ]
 
@@ -70,6 +77,20 @@ MEAN_SCENARIOS = "mean_scenarios"
 MAX_SCENARIOS = "max_scenarios"
 SAFETY_CERTIFIED = "safety_certified"
 ABORTED = "aborted"
+#: Transitions processed by the stubborn-closure fixpoint (extras key and
+#: metric counter; the bench-kernel stubborn-phase breakdown keys on it).
+STUBBORN_CLOSURE_ITERATIONS = "stubborn_closure_iterations"
+#: Wall seconds spent choosing stubborn sets (vs expanding successors).
+STUBBORN_SET_SECONDS = "stubborn_set_seconds"
+#: Mean frontier rows per batched BFS level (extras key; the histogram
+#: instrument of the same name records the per-level widths).
+BATCH_LEVEL_WIDTH = "batch_level_width"
+#: Shard count of a parallel exploration (extras key).
+SHARDS = "shards"
+#: Cross-shard candidate states exchanged at level barriers.
+SHARD_EXCHANGE_VOLUME = "shard_exchange_volume"
+#: Level barriers a shard sat out with an empty frontier.
+SHARD_EXCHANGE_STALLS = "shard_exchange_stalls"
 
 #: The instrumentation counters the search layer produces (driver stats
 #: plus the adapter-specific counters of the stubborn and GPO spaces).
@@ -84,6 +105,12 @@ INSTRUMENTATION_FIELDS: tuple[str, ...] = (
     MEAN_SCENARIOS,
     MAX_SCENARIOS,
     SAFETY_CERTIFIED,
+    STUBBORN_CLOSURE_ITERATIONS,
+    STUBBORN_SET_SECONDS,
+    BATCH_LEVEL_WIDTH,
+    SHARDS,
+    SHARD_EXCHANGE_VOLUME,
+    SHARD_EXCHANGE_STALLS,
 )
 
 # ----------------------------------------------------------------------
@@ -155,3 +182,5 @@ SPAN_DIAGNOSE = "check/diagnose"
 SPAN_BOUNDED_CHECK = "check/bounded"
 #: One structural-reduction fixpoint (the ``--reduce`` pre-pass).
 SPAN_REDUCE = "reduce"
+#: One level barrier of the sharded parallel BFS.
+SPAN_PARALLEL_LEVEL = "parallel/level"

@@ -53,6 +53,7 @@ FRAGMENTS: Mapping[str, frozenset[str]] = {
     "gpo": frozenset({"deadlock", "reachable", "invariant", "constant"}),
     "unfolding": frozenset({"deadlock", "reachable", "invariant", "constant"}),
     "timed": frozenset({"deadlock", "reachable", "invariant", "constant"}),
+    "parallel": frozenset({"deadlock", "constant"}),
 }
 
 #: Fragments where the analyzer only *screens*: a hit (reachable
@@ -64,6 +65,10 @@ _SCREEN_ONLY: Mapping[str, frozenset[str]] = {
 
 _REASONS: Mapping[str, str] = {
     "stubborn": "the stubborn-set reduction preserves deadlocks only",
+    "parallel": (
+        "the sharded explorer keeps visited sets, not the edge structure "
+        "reachability witnesses need; it answers the deadlock question only"
+    ),
 }
 
 #: Contract assumed for analyzers registered at runtime (plugins, test

@@ -17,6 +17,7 @@ reduced graphs.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Iterable
 
 from repro.analysis.stats import AnalysisResult, stopwatch
@@ -44,8 +45,9 @@ from repro.search.observers import TracingObserver
 from repro.search.witness import extract_witness
 from repro.stubborn.stubborn import (
     SeedStrategy,
+    _enabled_part,
     stubborn_enabled,
-    stubborn_enabled_kernel,
+    stubborn_enabled_mask,
 )
 
 __all__ = [
@@ -76,10 +78,15 @@ class StubbornSpace:
         info: StructuralInfo | None = None,
     ) -> None:
         self.net = net
+        self.kernel = net.kernel()
         self.strategy = strategy
-        self.info = StructuralInfo(net) if info is None else info
+        # Retained for API compatibility; the conflict relation now lives
+        # in the kernel's precompiled closure tables.
+        self.info = info
         self.enabled_total = 0
         self.fired_total = 0
+        self.set_seconds = 0.0
+        self._closure_base = self.kernel.stat_closure_iterations
         self._memo_marking: Marking | None = None
         self._memo_fire: list[int] = []
         # Null instrument unless a tracer is active at construction time;
@@ -91,6 +98,7 @@ class StubbornSpace:
     def _to_fire(self, marking: Marking) -> list[int]:
         if marking is not self._memo_marking:
             enabled = self.net.enabled_transitions(marking)
+            begin = perf_counter()
             to_fire = stubborn_enabled(
                 self.net,
                 self.info,
@@ -98,6 +106,7 @@ class StubbornSpace:
                 strategy=self.strategy,
                 enabled=enabled,
             )
+            self.set_seconds += perf_counter() - begin
             self.enabled_total += len(enabled)
             self.fired_total += len(to_fire)
             self._set_sizes.observe(len(to_fire))
@@ -119,13 +128,23 @@ class StubbornSpace:
             yield net.transitions[t], net._fire_enabled(t, marking)
 
     def instrumentation(self) -> dict[str, object]:
-        """Reduction ratio achieved so far (1.0 means no reduction)."""
+        """Reduction ratio plus stubborn-phase counters.
+
+        ``stubborn_closure_iterations`` counts transitions processed by
+        the closure fixpoint (the bench-kernel breakdown divides it by
+        wall time); ``stubborn_set_seconds`` is the time spent choosing
+        sets, so expansion time is the search total minus it.
+        """
         if not self.enabled_total:
             return {}
         return {
             names.STUBBORN_RATIO: round(
                 self.fired_total / self.enabled_total, 3
-            )
+            ),
+            names.STUBBORN_CLOSURE_ITERATIONS: (
+                self.kernel.stat_closure_iterations - self._closure_base
+            ),
+            names.STUBBORN_SET_SECONDS: round(self.set_seconds, 6),
         }
 
 
@@ -152,9 +171,13 @@ class KernelStubbornSpace:
         self.net = net
         self.kernel = net.kernel()
         self.strategy = strategy
-        self.info = StructuralInfo(net) if info is None else info
+        # Retained for API compatibility; the conflict relation now lives
+        # in the kernel's precompiled closure tables.
+        self.info = info
         self.enabled_total = 0
         self.fired_total = 0
+        self.set_seconds = 0.0
+        self._closure_base = self.kernel.stat_closure_iterations
         self._enabled_masks: dict[int, int] = {
             self.kernel.initial: self.kernel.enabled_mask(self.kernel.initial)
         }
@@ -162,9 +185,12 @@ class KernelStubbornSpace:
         self._memo_fire: list[int] = []
         # Null instrument unless a tracer is active at construction time;
         # observing on it is a no-op method call per expanded state.
-        self._set_sizes = current_tracer().metrics.histogram(
-            names.STUBBORN_SET_SIZE
-        )
+        tracer = current_tracer()
+        self._set_sizes = tracer.metrics.histogram(names.STUBBORN_SET_SIZE)
+        # When no tracer is active at construction, skip the span wrapper
+        # per marking and call the seed loop directly (same fired lists;
+        # the wrapper only adds the ``stubborn/set`` span).
+        self._spans = tracer.enabled
 
     def decode(self, bits: int) -> Marking:
         """Frozenset view of a packed state (report boundary)."""
@@ -173,21 +199,18 @@ class KernelStubbornSpace:
     def _to_fire(self, bits: int) -> list[int]:
         if bits != self._memo_bits:
             mask = self._enabled_masks[bits]
-            enabled = []
-            while mask:
-                low = mask & -mask
-                enabled.append(low.bit_length() - 1)
-                mask ^= low
-            to_fire = stubborn_enabled_kernel(
-                self.kernel,
-                self.info,
-                bits,
-                strategy=self.strategy,
-                enabled=enabled,
-            )
-            self.enabled_total += len(enabled)
+            begin = perf_counter()
+            if self._spans or not mask:
+                to_fire = stubborn_enabled_mask(
+                    self.kernel, bits, mask, strategy=self.strategy
+                )
+            else:
+                to_fire = _enabled_part(self.kernel, bits, self.strategy, mask)
+            self.set_seconds += perf_counter() - begin
+            self.enabled_total += mask.bit_count()
             self.fired_total += len(to_fire)
-            self._set_sizes.observe(len(to_fire))
+            if self._spans:
+                self._set_sizes.observe(len(to_fire))
             self._memo_fire = to_fire
             self._memo_bits = bits
         return self._memo_fire
@@ -202,27 +225,38 @@ class KernelStubbornSpace:
         self, bits: int, ctx: SearchContext[int]
     ) -> list[tuple[str, int]]:
         kernel = self.kernel
+        fire = kernel.fire_enabled
+        update = kernel.update_enabled_mask
         labels = self.net.transitions
         masks = self._enabled_masks
         enabled = masks[bits]
         out: list[tuple[str, int]] = []
+        append = out.append
         for t in self._to_fire(bits):
-            successor = kernel.fire_enabled(t, bits)
+            successor = fire(t, bits)
             if successor not in masks:
-                masks[successor] = kernel.update_enabled_mask(
-                    enabled, t, successor
-                )
-            out.append((labels[t], successor))
+                masks[successor] = update(enabled, t, successor)
+            append((labels[t], successor))
         return out
 
     def instrumentation(self) -> dict[str, object]:
-        """Reduction ratio achieved so far (1.0 means no reduction)."""
+        """Reduction ratio plus stubborn-phase counters.
+
+        ``stubborn_closure_iterations`` counts transitions processed by
+        the closure fixpoint (the bench-kernel breakdown divides it by
+        wall time); ``stubborn_set_seconds`` is the time spent choosing
+        sets, so expansion time is the search total minus it.
+        """
         if not self.enabled_total:
             return {}
         return {
             names.STUBBORN_RATIO: round(
                 self.fired_total / self.enabled_total, 3
-            )
+            ),
+            names.STUBBORN_CLOSURE_ITERATIONS: (
+                self.kernel.stat_closure_iterations - self._closure_base
+            ),
+            names.STUBBORN_SET_SECONDS: round(self.set_seconds, 6),
         }
 
 

@@ -18,18 +18,30 @@ A set ``S`` of transitions is (deadlock-preserving) stubborn in marking
   with ``t`` (its *conflicters*, Def. 2.2) can disable it;
 * **key** — ``S`` contains at least one enabled transition.
 
-The closure below establishes D1/D2 by construction, and any enabled seed
+The closure establishes D1/D2 by construction, and any enabled seed
 provides the key transition.  Because every conflicter of an enabled member
 is inside ``S``, the enabled part of ``S`` is exactly the "maximal set of
 conflicting transitions" the paper's Section 2.3 fires — when no disabled
 transition sneaks into the closure.  When one does, its producers get pulled
 in, possibly growing the set up to all of ``T`` (no reduction), which is
 precisely the degenerate behaviour the paper reports for the RW benchmark.
+
+There is exactly **one** closure implementation:
+:meth:`~repro.net.kernel.MarkingKernel.stubborn_closure`, a bitmask
+fixpoint over the kernel's precompiled ``conflicters_mask`` /
+``scapegoat_plan`` tables.  The historical frozenset-marking entry points
+(``stubborn_set`` / ``stubborn_enabled``) are thin adapters that pack the
+marking and run the same masks — the twins that used to duplicate the
+worklist logic are gone, and with them the drift risk their docstrings
+warned about.  The closure is a least fixpoint whose result *set* does not
+depend on worklist order (the scapegoat choice is deterministic per
+marking), so the fired lists — and therefore the reduced graph — are
+byte-identical to the historical path.
 """
 
 from __future__ import annotations
 
-from repro.net.kernel import MarkingKernel
+from repro.net.kernel import MarkingKernel, iter_bits
 from repro.net.petrinet import Marking, PetriNet
 from repro.net.structure import StructuralInfo
 from repro.obs import names
@@ -40,6 +52,7 @@ __all__ = [
     "stubborn_enabled",
     "stubborn_set_kernel",
     "stubborn_enabled_kernel",
+    "stubborn_enabled_mask",
     "SeedStrategy",
 ]
 
@@ -49,114 +62,37 @@ SeedStrategy = str  # "first" | "best"
 
 def stubborn_set(
     net: PetriNet,
-    info: StructuralInfo,
+    info: StructuralInfo | None,
     marking: Marking,
     seed: int,
 ) -> set[int]:
     """Close ``{seed}`` under rules D1/D2; ``seed`` must be enabled.
 
-    Reference (frozenset-marking) implementation;
-    :func:`stubborn_set_kernel` is the bitmask twin and must stay
-    step-for-step equivalent to it.
+    Frozenset-marking adapter over the kernel closure.  ``info`` is
+    accepted for API compatibility but unused: the conflict relation now
+    lives in the kernel's precompiled ``conflicters_mask`` table (built
+    from the same per-place consumer sets ``StructuralInfo`` uses).
     """
-    assert net.is_enabled(seed, marking), "stubborn seed must be enabled"
-    stubborn: set[int] = set()
-    worklist: list[int] = [seed]
-    while worklist:
-        t = worklist.pop()
-        if t in stubborn:
-            continue
-        stubborn.add(t)
-        if net.is_enabled(t, marking):
-            # D2: pull in everything that can disable t.
-            for u in info.conflicters(t):
-                if u not in stubborn:
-                    worklist.append(u)
-        else:
-            # D1: pick a scapegoat place and pull in its producers.
-            scapegoat = _choose_scapegoat(net, marking, t)
-            for u in net.pre_transitions[scapegoat]:
-                if u not in stubborn:
-                    worklist.append(u)
-    return stubborn
-
-
-def _choose_scapegoat(net: PetriNet, marking: Marking, t: int) -> int:
-    """Unmarked input place of a disabled ``t`` with fewest producers.
-
-    Any unmarked input place is sound; fewer producers keeps the closure
-    (and hence the fired set) small.
-    """
-    best: int | None = None
-    best_producers = -1
-    for p in net.pre_places[t]:
-        if p in marking:
-            continue
-        producers = len(net.pre_transitions[p])
-        if best is None or producers < best_producers:
-            best = p
-            best_producers = producers
-    assert best is not None, "disabled transition must have an unmarked input"
-    return best
+    kernel = net.kernel()
+    bits = kernel.encode(marking)
+    assert kernel.is_enabled(seed, bits), "stubborn seed must be enabled"
+    return set(iter_bits(kernel.stubborn_closure(bits, 1 << seed)))
 
 
 def stubborn_set_kernel(
     kernel: MarkingKernel,
-    info: StructuralInfo,
+    info: StructuralInfo | None,
     bits: int,
     seed: int,
 ) -> set[int]:
-    """Bitmask twin of :func:`stubborn_set` over a packed marking.
-
-    Identical closure, identical worklist order, identical scapegoat
-    tie-breaks (the scapegoat scan iterates the *same* ``pre_places``
-    frozenset), so the resulting set — and therefore the reduced graph —
-    matches the reference path exactly.
-    """
-    net = kernel.net
-    pre_mask = kernel.pre_mask
-    assert bits & pre_mask[seed] == pre_mask[seed], (
-        "stubborn seed must be enabled"
-    )
-    stubborn: set[int] = set()
-    worklist: list[int] = [seed]
-    while worklist:
-        t = worklist.pop()
-        if t in stubborn:
-            continue
-        stubborn.add(t)
-        if bits & pre_mask[t] == pre_mask[t]:
-            # D2: pull in everything that can disable t.
-            for u in info.conflicters(t):
-                if u not in stubborn:
-                    worklist.append(u)
-        else:
-            # D1: pick a scapegoat place and pull in its producers.
-            scapegoat = _choose_scapegoat_kernel(net, bits, t)
-            for u in net.pre_transitions[scapegoat]:
-                if u not in stubborn:
-                    worklist.append(u)
-    return stubborn
-
-
-def _choose_scapegoat_kernel(net: PetriNet, bits: int, t: int) -> int:
-    """Bitmask twin of :func:`_choose_scapegoat` (same iteration order)."""
-    best: int | None = None
-    best_producers = -1
-    for p in net.pre_places[t]:
-        if (bits >> p) & 1:
-            continue
-        producers = len(net.pre_transitions[p])
-        if best is None or producers < best_producers:
-            best = p
-            best_producers = producers
-    assert best is not None, "disabled transition must have an unmarked input"
-    return best
+    """Packed-marking adapter over the kernel closure (same set)."""
+    assert kernel.is_enabled(seed, bits), "stubborn seed must be enabled"
+    return set(iter_bits(kernel.stubborn_closure(bits, 1 << seed)))
 
 
 def stubborn_enabled(
     net: PetriNet,
-    info: StructuralInfo,
+    info: StructuralInfo | None,
     marking: Marking,
     *,
     strategy: SeedStrategy = "best",
@@ -164,8 +100,8 @@ def stubborn_enabled(
 ) -> list[int]:
     """The enabled part of a chosen stubborn set in ``marking``.
 
-    Reference (frozenset-marking) implementation;
-    :func:`stubborn_enabled_kernel` is the packed-marking fast path.
+    Frozenset-marking adapter: packs the marking once and runs the same
+    mask fixpoint as :func:`stubborn_enabled_kernel`.
 
     Returns the transitions to fire from this state.  Empty iff the marking
     is a deadlock.  Pass ``enabled`` when the caller already computed
@@ -182,105 +118,112 @@ def stubborn_enabled(
         enabled = net.enabled_transitions(marking)
     if not enabled:
         return []
-    tracer = current_tracer()
-    if tracer.enabled:
-        # Per-marking span; only taken when tracing is on, so the bare
-        # hot path costs one attribute check.
-        with tracer.span(names.SPAN_STUBBORN_SET, enabled=len(enabled)) as sp:
-            fired = _enabled_part(net, info, marking, strategy, enabled)
-            sp.set(fired=len(fired))
-            return fired
-    return _enabled_part(net, info, marking, strategy, enabled)
-
-
-def _enabled_part(
-    net: PetriNet,
-    info: StructuralInfo,
-    marking: Marking,
-    strategy: SeedStrategy,
-    enabled: list[int],
-) -> list[int]:
-    if strategy == "first":
-        chosen = stubborn_set(net, info, marking, enabled[0])
-        return [t for t in enabled if t in chosen]
-    if strategy != "best":
-        raise ValueError(f"unknown seed strategy {strategy!r}")
-
-    best: list[int] | None = None
-    enabled_set = set(enabled)
-    seen_seeds: set[int] = set()
-    for seed in enabled:
-        if seed in seen_seeds:
-            continue
-        chosen = stubborn_set(net, info, marking, seed)
-        fired = [t for t in enabled if t in chosen]
-        # Seeds inside an already-computed set yield the same closure or a
-        # subset; skipping them is a cheap but effective dedup.
-        seen_seeds |= chosen & enabled_set
-        if best is None or len(fired) < len(best):
-            best = fired
-            if len(best) == 1:
-                break
-    assert best is not None
-    return best
+    kernel = net.kernel()
+    enabled_mask = 0
+    for t in enabled:
+        enabled_mask |= 1 << t
+    return stubborn_enabled_mask(
+        kernel, kernel.encode(marking), enabled_mask, strategy=strategy
+    )
 
 
 def stubborn_enabled_kernel(
     kernel: MarkingKernel,
-    info: StructuralInfo,
+    info: StructuralInfo | None,
     bits: int,
     *,
     strategy: SeedStrategy = "best",
     enabled: list[int] | None = None,
+    enabled_mask: int | None = None,
 ) -> list[int]:
-    """Packed-marking twin of :func:`stubborn_enabled`.
+    """Packed-marking twin of :func:`stubborn_enabled` (same core).
 
-    Same seed order, same closures, same best-set tie-breaks — the
-    differential test-suite asserts the fired lists are identical to the
-    reference path on every explored marking.
+    ``enabled_mask`` is the full enabled set of ``bits`` as a transition
+    bitmask, when the caller maintains it anyway (the kernel explorer
+    does, incrementally); it only unlocks the precomputed closure fast
+    path and never changes the fired list.
     """
     if enabled is None:
         enabled = kernel.enabled_transitions(bits)
     if not enabled:
         return []
+    if enabled_mask is None:
+        enabled_mask = 0
+        for t in enabled:
+            enabled_mask |= 1 << t
+    return stubborn_enabled_mask(kernel, bits, enabled_mask, strategy=strategy)
+
+
+def stubborn_enabled_mask(
+    kernel: MarkingKernel,
+    bits: int,
+    enabled_mask: int,
+    *,
+    strategy: SeedStrategy = "best",
+) -> list[int]:
+    """Mask-native entry point: fired list straight from bitmasks.
+
+    ``enabled_mask`` must be the exact enabled set of ``bits``.  This is
+    the hot-path form the kernel explorer calls per expanded marking;
+    the list/frozenset entry points above funnel into it.
+    """
+    if not enabled_mask:
+        return []
     tracer = current_tracer()
     if tracer.enabled:
         # Per-marking span; only taken when tracing is on, so the bare
         # hot path costs one attribute check.
-        with tracer.span(names.SPAN_STUBBORN_SET, enabled=len(enabled)) as sp:
-            fired = _enabled_part_kernel(kernel, info, bits, strategy, enabled)
+        with tracer.span(
+            names.SPAN_STUBBORN_SET, enabled=enabled_mask.bit_count()
+        ) as sp:
+            fired = _enabled_part(kernel, bits, strategy, enabled_mask)
             sp.set(fired=len(fired))
             return fired
-    return _enabled_part_kernel(kernel, info, bits, strategy, enabled)
+    return _enabled_part(kernel, bits, strategy, enabled_mask)
 
 
-def _enabled_part_kernel(
+def _enabled_part(
     kernel: MarkingKernel,
-    info: StructuralInfo,
     bits: int,
     strategy: SeedStrategy,
-    enabled: list[int],
+    enabled_mask: int,
 ) -> list[int]:
+    """Seed-strategy loop shared by both marking views.
+
+    Seeds are tried in ascending transition order, exactly as the
+    historical list loop did.  The ``"best"`` dedup is the historical one
+    in mask form: seeds inside an already-computed closure yield the same
+    closure or a subset, so stripping each computed closure from the
+    remaining seed pool (``todo &= ~chosen``) skips precisely the seeds
+    the old ``seen``-set test skipped.  The fired list of a closure is
+    the ascending bits of ``closure & enabled_mask``; sizes are compared
+    as popcounts and only the winner is materialized.
+    """
+    closure = kernel.stubborn_closure
     if strategy == "first":
-        chosen = stubborn_set_kernel(kernel, info, bits, enabled[0])
-        return [t for t in enabled if t in chosen]
+        chosen = closure(bits, enabled_mask & -enabled_mask, enabled_mask)
+        return list(iter_bits(chosen & enabled_mask))
     if strategy != "best":
         raise ValueError(f"unknown seed strategy {strategy!r}")
 
-    best: list[int] | None = None
-    enabled_set = set(enabled)
-    seen_seeds: set[int] = set()
-    for seed in enabled:
-        if seed in seen_seeds:
-            continue
-        chosen = stubborn_set_kernel(kernel, info, bits, seed)
-        fired = [t for t in enabled if t in chosen]
-        # Same dedup as the reference path: seeds inside an
-        # already-computed set yield the same closure or a subset.
-        seen_seeds |= chosen & enabled_set
-        if best is None or len(fired) < len(best):
-            best = fired
-            if len(best) == 1:
+    best_mask = 0
+    best_count = 0
+    todo = enabled_mask
+    while todo:
+        seed_bit = todo & -todo
+        chosen = closure(bits, seed_bit, enabled_mask)
+        todo &= ~chosen
+        fired_mask = chosen & enabled_mask
+        count = fired_mask.bit_count()
+        if not best_count or count < best_count:
+            best_mask = fired_mask
+            best_count = count
+            if count == 1:
                 break
-    assert best is not None
-    return best
+    assert best_count
+    fired = []
+    while best_mask:
+        low = best_mask & -best_mask
+        fired.append(low.bit_length() - 1)
+        best_mask ^= low
+    return fired

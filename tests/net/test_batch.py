@@ -1,0 +1,157 @@
+"""Batched numpy frontier expansion vs the scalar kernel.
+
+The bit-matrix path (:mod:`repro.net.batch`) is an alternative encoding
+of exactly the same successor relation: for any frontier it must produce
+the scalar kernel's edges — same sources, same transitions, same
+successor markings — raise the same 1-safety violations, and hash states
+to the same shard keys.  These tests pin that equivalence on the Table 1
+families, on a net wider than one 64-bit word, and on the splitmix64
+fold itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import asat, nsdp, over, rw
+from repro.net import NetBuilder
+from repro.net.batch import HAVE_NUMPY, mix64, state_key, words_of
+from repro.net.exceptions import UnsafeNetError
+
+requires_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="numpy not installed (the [fast] extra)"
+)
+
+FAMILIES = [nsdp(4), asat(2), over(3), rw(6)]
+
+
+def wide_pipeline(places: int = 70):
+    """A chain net wider than one uint64 word (words_of > 1)."""
+    builder = NetBuilder(f"pipeline_{places}")
+    for i in range(places):
+        builder.place(f"p{i}", marked=(i == 0))
+    for i in range(places - 1):
+        builder.transition(f"t{i}", inputs=[f"p{i}"], outputs=[f"p{i + 1}"])
+    return builder.build()
+
+
+def unsafe_net():
+    """Firing ``t0`` drops a token on the already-marked place ``b``."""
+    builder = NetBuilder("unsafe")
+    builder.place("a", marked=True)
+    builder.place("b", marked=True)
+    builder.transition("t0", inputs=["a"], outputs=["b"])
+    return builder.build()
+
+
+def bfs_states(kernel, limit: int = 5000):
+    """Deterministic BFS state list on the scalar kernel."""
+    seen = {kernel.initial}
+    order = [kernel.initial]
+    i = 0
+    while i < len(order) and len(order) < limit:
+        for _, succ in kernel.successors(order[i]):
+            if succ not in seen:
+                seen.add(succ)
+                order.append(succ)
+        i += 1
+    return order
+
+
+class TestScalarKeys:
+    def test_mix64_is_a_permutation_prefix(self):
+        outputs = {mix64(x) for x in range(4096)}
+        assert len(outputs) == 4096
+        assert all(0 <= y < 1 << 64 for y in outputs)
+
+    def test_words_of(self):
+        assert words_of(1) == 1
+        assert words_of(64) == 1
+        assert words_of(65) == 2
+        assert words_of(128) == 2
+        assert words_of(129) == 3
+
+    def test_state_key_depends_on_every_word(self):
+        wide = (1 << 100) | 1
+        assert state_key(wide, 2) != state_key(1, 2)
+        assert state_key(wide, 2) != state_key(1 << 100, 2)
+
+
+@requires_numpy
+class TestBatchedEquivalence:
+    @pytest.mark.parametrize("net", FAMILIES, ids=lambda n: n.name)
+    def test_expand_matches_scalar_successors(self, net):
+        from repro.net.batch import BatchedKernel
+
+        kernel = net.kernel()
+        batched = BatchedKernel(kernel)
+        frontier = bfs_states(kernel)
+        rows = batched.encode_rows(frontier)
+        srcs, fired, succ, enabled_any = batched.expand(rows)
+        decoded = batched.decode_rows(succ)
+        # Regroup the batched edges per source row and compare with the
+        # scalar kernel's per-state successor lists (as sets: the batch
+        # groups by transition, the scalar loop by state).
+        batched_edges = {}
+        for s, t, bits in zip(srcs.tolist(), fired.tolist(), decoded):
+            batched_edges.setdefault(int(s), set()).add((int(t), bits))
+        for i, bits in enumerate(frontier):
+            scalar = set(kernel.successors(bits))
+            assert batched_edges.get(i, set()) == scalar
+            assert bool(enabled_any[i]) == bool(scalar)
+
+    def test_encode_decode_roundtrip_wide_net(self):
+        from repro.net.batch import BatchedKernel
+
+        net = wide_pipeline()
+        kernel = net.kernel()
+        assert words_of(kernel.num_places) > 1
+        batched = BatchedKernel(kernel)
+        frontier = bfs_states(kernel)
+        assert len(frontier) == 70  # one state per token position
+        assert batched.decode_rows(batched.encode_rows(frontier)) == frontier
+
+    def test_expand_matches_scalar_on_wide_net(self):
+        from repro.net.batch import BatchedKernel
+
+        net = wide_pipeline()
+        kernel = net.kernel()
+        batched = BatchedKernel(kernel)
+        frontier = bfs_states(kernel)
+        srcs, fired, succ, _ = batched.expand(batched.encode_rows(frontier))
+        decoded = batched.decode_rows(succ)
+        got = sorted(
+            (int(s), int(t), bits)
+            for s, t, bits in zip(srcs.tolist(), fired.tolist(), decoded)
+        )
+        want = sorted(
+            (i, t, bits)
+            for i, state in enumerate(frontier)
+            for t, bits in kernel.successors(state)
+        )
+        assert got == want
+
+    def test_unsafe_parity_with_scalar(self):
+        from repro.net.batch import BatchedKernel
+
+        net = unsafe_net()
+        kernel = net.kernel()
+        batched = BatchedKernel(kernel)
+        with pytest.raises(UnsafeNetError) as scalar_exc:
+            kernel.fire(0, kernel.initial)
+        with pytest.raises(UnsafeNetError) as batch_exc:
+            batched.expand(batched.encode_rows([kernel.initial]))
+        assert str(batch_exc.value) == str(scalar_exc.value)
+
+    @pytest.mark.parametrize(
+        "net", FAMILIES + [wide_pipeline()], ids=lambda n: n.name
+    )
+    def test_vectorized_state_keys_match_scalar(self, net):
+        from repro.net.batch import BatchedKernel
+
+        kernel = net.kernel()
+        batched = BatchedKernel(kernel)
+        frontier = bfs_states(kernel)
+        words = words_of(kernel.num_places)
+        keys = batched.state_keys(batched.encode_rows(frontier))
+        assert keys.tolist() == [state_key(s, words) for s in frontier]

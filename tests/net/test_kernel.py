@@ -268,3 +268,83 @@ class TestAnalyzerEquivalence:
         assert str(reference.witness) == str(kernelized.witness)
         assert reference.extras["kernel"] is False
         assert kernelized.extras["kernel"] is True
+
+
+class TestClosureMemo:
+    """The validated replay memo must be invisible except in speed."""
+
+    def test_memo_hits_replay_identical_closures(self):
+        from collections import deque
+
+        from repro.models import nsdp
+
+        net = nsdp(5)
+        warm = net.kernel()
+        cold_net = nsdp(5)
+        # Walk every reachable marking twice on the memoized kernel; the
+        # second pass is all hits and must reproduce the closures a
+        # fresh (cold) kernel computes from scratch.
+        frontier = deque([warm.initial])
+        seen = {warm.initial}
+        states = []
+        while frontier:
+            bits = frontier.popleft()
+            states.append(bits)
+            for _, succ in warm.successors(bits):
+                if succ not in seen:
+                    seen.add(succ)
+                    frontier.append(succ)
+        for _ in range(2):
+            cold = type(warm)(cold_net)
+            for bits in states:
+                mask = warm.enabled_mask(bits)
+                todo = mask
+                while todo:
+                    seed = todo & -todo
+                    a = warm.stubborn_closure(bits, seed, mask)
+                    b = cold.stubborn_closure(bits, seed, mask)
+                    assert a == b
+                    todo &= ~seed
+        assert warm.stat_closure_memo_hits > 0
+
+    def test_iteration_counter_is_cache_blind(self):
+        import repro.stubborn.explorer as stubborn
+        from repro.models import nsdp
+        from repro.obs import names
+
+        net = nsdp(4)
+        first = stubborn.analyze(net, use_kernel=True, want_witness=False)
+        second = stubborn.analyze(net, use_kernel=True, want_witness=False)
+        key = names.STUBBORN_CLOSURE_ITERATIONS
+        assert first.extras[key] == second.extras[key]
+        assert first.states == second.states
+        assert first.edges == second.edges
+
+    def test_memo_cap_stops_insertions(self):
+        import repro.net.kernel as kernel_mod
+        from repro.models import nsdp
+
+        net = nsdp(4)
+        k = net.kernel()
+        original = kernel_mod.CLOSURE_MEMO_CAP
+        kernel_mod.CLOSURE_MEMO_CAP = 0
+        try:
+            # Drive every seed of every reachable state through the
+            # closure so the dynamic (memoizable) branch is exercised.
+            frontier = [k.initial]
+            seen = {k.initial}
+            while frontier:
+                bits = frontier.pop()
+                mask = k.enabled_mask(bits)
+                todo = mask
+                while todo:
+                    seed = todo & -todo
+                    k.stubborn_closure(bits, seed, mask)
+                    todo ^= seed
+                for _, succ in k.successors(bits):
+                    if succ not in seen:
+                        seen.add(succ)
+                        frontier.append(succ)
+            assert len(k._closure_memo) == 0
+        finally:
+            kernel_mod.CLOSURE_MEMO_CAP = original
