@@ -16,7 +16,9 @@ from dataclasses import asdict, dataclass, fields
 from pathlib import Path
 from typing import Any, TextIO
 
+from repro.obs.context import current_context
 from repro.obs.exporters import JsonlWriter
+from repro.obs.flight import FLIGHT
 
 __all__ = [
     "EVENT_SCHEMA_VERSION",
@@ -29,8 +31,12 @@ __all__ = [
 
 #: Version stamped into every serialized event (the ``v`` key).  Bump on
 #: breaking schema changes; readers ignore keys they do not know, so
-#: adding fields does not require a bump.
-EVENT_SCHEMA_VERSION = 1
+#: adding fields does not require a bump.  History: **v2** stamps the
+#: ``trace_id`` of the ambient :class:`repro.obs.context.TraceContext`
+#: into every event, so JSONL event streams join the span timeline of
+#: the same request on one key (bumped because the key is load-bearing
+#: for correlation, not because old readers break).
+EVENT_SCHEMA_VERSION = 2
 
 #: Recognized event kinds, in the order a healthy job emits them.
 EVENT_KINDS = (
@@ -52,7 +58,9 @@ class JobEvent:
     events (finished/killed/cancelled/crashed); ``detail`` carries a short
     free-form note (abort reason, error message, cache key); ``stats``
     carries the search-core instrumentation counters of a finished run
-    (see :data:`repro.obs.names.INSTRUMENTATION_FIELDS`).
+    (see :data:`repro.obs.names.INSTRUMENTATION_FIELDS`); ``trace_id``
+    (schema v2) is the request correlation key shared with the span
+    timeline, present whenever a trace context was active.
     """
 
     kind: str
@@ -65,6 +73,7 @@ class JobEvent:
     pid: int | None = None
     detail: str | None = None
     stats: dict | None = None
+    trace_id: str | None = None
 
     def payload(self) -> dict[str, Any]:
         """JSON-ready dict: ``None`` fields omitted, schema version added."""
@@ -97,22 +106,34 @@ class EventSink:
         pid: int | None = None,
         detail: str | None = None,
         stats: dict | None = None,
+        trace_id: str | None = None,
     ) -> None:
-        """Convenience: build a :class:`JobEvent` from a VerificationJob."""
-        self.emit(
-            JobEvent(
-                kind=kind,
-                job=job.label,  # type: ignore[attr-defined]
-                method=job.method,  # type: ignore[attr-defined]
-                net=job.net.name,  # type: ignore[attr-defined]
-                timestamp=time.time(),
-                wall_seconds=wall_seconds,
-                peak_rss_kb=peak_rss_kb,
-                pid=pid,
-                detail=detail,
-                stats=stats,
-            )
+        """Convenience: build a :class:`JobEvent` from a VerificationJob.
+
+        ``trace_id`` defaults to the ambient trace context's, so every
+        event recorded while a request is in scope joins its trace; the
+        built event is also fed to the always-on flight recorder
+        regardless of which sink it lands in (even the null sink), which
+        is what makes crash dumps useful with observability off.
+        """
+        if trace_id is None:
+            ctx = current_context()
+            trace_id = ctx.trace_id if ctx is not None else None
+        event = JobEvent(
+            kind=kind,
+            job=job.label,  # type: ignore[attr-defined]
+            method=job.method,  # type: ignore[attr-defined]
+            net=job.net.name,  # type: ignore[attr-defined]
+            timestamp=time.time(),
+            wall_seconds=wall_seconds,
+            peak_rss_kb=peak_rss_kb,
+            pid=pid,
+            detail=detail,
+            stats=stats,
+            trace_id=trace_id,
         )
+        FLIGHT.record(event.payload())
+        self.emit(event)
 
     def close(self) -> None:
         """Release any underlying resource (default: nothing)."""

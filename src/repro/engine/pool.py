@@ -33,6 +33,7 @@ from repro.engine.jobs import (
     instrumentation_of,
 )
 from repro.obs import names
+from repro.obs.flight import FLIGHT
 from repro.obs.memory import peak_rss_kb
 from repro.obs.tracer import current_tracer
 
@@ -44,6 +45,23 @@ DEFAULT_KILL_GRACE = 0.5
 
 #: Scheduler poll interval in seconds.
 DEFAULT_POLL_INTERVAL = 0.02
+
+#: Most recent flight-recorder records attached to an aborted result.
+_FLIGHT_DUMP_LIMIT = 64
+
+
+def _flight_dump(worker_records: list[dict] | None = None) -> list[dict]:
+    """Recent diagnostics for a dead worker's ``extras["flight"]``.
+
+    The worker's own ring (when it died politely enough to ship it)
+    topped up with the parent's recent records, newest last, capped so a
+    crash report stays a report and not a log.
+    """
+    records = list(worker_records or [])
+    if len(records) < _FLIGHT_DUMP_LIMIT:
+        parent = FLIGHT.snapshot(_FLIGHT_DUMP_LIMIT - len(records))
+        records = parent + records
+    return records[-_FLIGHT_DUMP_LIMIT:]
 
 
 def _worker_main(conn: Connection, job: VerificationJob) -> None:
@@ -61,7 +79,11 @@ def _worker_main(conn: Connection, job: VerificationJob) -> None:
         conn.send(("ok", result, peak_rss_kb(), tracer.drain()))
     except BaseException as exc:  # noqa: BLE001 - report, don't crash silent
         try:
-            conn.send(("error", type(exc).__name__, str(exc)))
+            # Ship the worker's flight-recorder ring alongside the error:
+            # the moments *before* the failure are the diagnosis.
+            conn.send(
+                ("error", type(exc).__name__, str(exc), FLIGHT.snapshot())
+            )
         except Exception:  # pragma: no cover - result not picklable
             pass
     finally:
@@ -167,12 +189,21 @@ class WorkerHandle:
                 peak_rss_kb=rss,
                 worker_pid=pid,
             )
-        _, error_type, error_msg = message
+        _, error_type, error_msg, *rest = message
         error = f"{error_type}: {error_msg}"
         self.span.end(status="error", pid=pid, error=error)
+        FLIGHT.note(
+            "worker_error", job=self.job.label, pid=pid, error=error
+        )
         return JobResult(
             job=self.job,
-            result=_aborted_result(self.job, wall, "worker error", error=error),
+            result=_aborted_result(
+                self.job,
+                wall,
+                "worker error",
+                error=error,
+                flight=_flight_dump(rest[0] if rest else None),
+            ),
             status="error",
             wall_seconds=wall,
             worker_pid=pid,
@@ -186,9 +217,15 @@ class WorkerHandle:
         self._recv.close()
         error = f"worker died (exit code {self.process.exitcode})"
         self.span.end(status="crashed", pid=pid, error=error)
+        FLIGHT.note(
+            "worker_crash", job=self.job.label, pid=pid, error=error
+        )
         return JobResult(
             job=self.job,
-            result=_aborted_result(self.job, wall, "worker crash", error=error),
+            result=_aborted_result(
+                self.job, wall, "worker crash", error=error,
+                flight=_flight_dump(),
+            ),
             status="error",
             wall_seconds=wall,
             worker_pid=pid,
@@ -214,9 +251,16 @@ class WorkerHandle:
             else "terminated"
         )
         self.span.end(status=status, pid=pid, detail=note)
+        FLIGHT.note(
+            "worker_" + status, job=self.job.label, pid=pid, detail=note
+        )
         return JobResult(
             job=self.job,
-            result=_aborted_result(self.job, wall, note, **{status: True}),
+            result=_aborted_result(
+                self.job, wall, note,
+                flight=_flight_dump(),
+                **{status: True},
+            ),
             status=status,
             wall_seconds=wall,
             worker_pid=pid,

@@ -32,6 +32,7 @@ from repro.engine.jobs import (
 from repro.engine.pool import WorkerHandle, WorkerPool, _mp_context
 from repro.net.petrinet import PetriNet
 from repro.obs import names
+from repro.obs.context import current_context, new_trace_context, use_context
 from repro.obs.tracer import current_tracer
 from repro.props.compat import filter_methods
 from repro.props.eval import as_property
@@ -162,18 +163,25 @@ def run_race(
         job_specs[0].reduction()
     started_at = time.perf_counter()
     tracer = current_tracer()
-    with tracer.span(
-        names.SPAN_RACE, net=net.name, methods=",".join(kept), jobs=jobs
-    ) as race_span:
-        if jobs <= 1:
-            outcome = _race_sequential(job_specs, cache, sink)
-        else:
-            outcome = _race_parallel(job_specs, jobs, cache, sink)
-        winner, results = outcome
-        race_span.set(
-            winner=winner.job.method if winner is not None else None,
-            conclusive=winner is not None,
-        )
+    # A race is one logical request: mint a trace context when the caller
+    # (the serve daemon, a profiled run) did not already install one, so
+    # the race's spans and lifecycle events share one trace_id.
+    ctx = current_context()
+    if ctx is None and tracer.enabled:
+        ctx = new_trace_context()
+    with use_context(ctx):
+        with tracer.span(
+            names.SPAN_RACE, net=net.name, methods=",".join(kept), jobs=jobs
+        ) as race_span:
+            if jobs <= 1:
+                outcome = _race_sequential(job_specs, cache, sink)
+            else:
+                outcome = _race_parallel(job_specs, jobs, cache, sink)
+            winner, results = outcome
+            race_span.set(
+                winner=winner.job.method if winner is not None else None,
+                conclusive=winner is not None,
+            )
     return RaceOutcome(
         net_name=net.name,
         methods=kept,

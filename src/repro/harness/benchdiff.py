@@ -1,0 +1,320 @@
+"""The ``gpo bench-diff`` regression gate: compare two BENCH artifacts.
+
+Any two artifacts written by the repo's bench writers — ``gpo
+bench-kernel`` (``marking-kernel``), the ``--shards`` sweep
+(``parallel-shards``) or ``gpo loadtest --report`` (``serve-loadtest``)
+— can be diffed row by row.  Rows are matched on a kind-specific key
+(instance + analyzer, instance + shard/batch mode, or phase name), each
+matched pair yields one comparable metric per direction (states/sec and
+throughput are higher-better, latency p99 is lower-better), and a pair
+counts as a **regression** when the new side is worse than the old by
+more than ``fail_threshold`` percent.
+
+Micro-benchmark noise is handled by a duration floor rather than by
+statistics: rows whose measured wall time (on either side) is below
+``min_seconds`` are *reported* but never *gated* — a 30 ms quick-mode
+run can swing 2x on scheduler jitter alone, and failing CI on that
+teaches people to ignore the gate.  ``--min-seconds 0`` restores strict
+mode for synthetic tests.
+
+Shape problems (unreadable file, missing/mismatched ``benchmark`` kind)
+raise :class:`BenchDiffError`, which the CLI maps to exit code 2 so a
+broken artifact is distinguishable from a real regression (exit 1).
+Zero comparable rows is *not* an error — the default kernel sizes and
+the ``--quick`` sizes are disjoint, so diffing a quick run against the
+committed full artifact legitimately matches nothing — but it is loud:
+the report says so in capitals rather than printing an empty table that
+reads as "no regressions".
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "DEFAULT_FAIL_THRESHOLD",
+    "DEFAULT_MIN_SECONDS",
+    "BenchDiff",
+    "BenchDiffError",
+    "DiffRow",
+    "diff_bench",
+    "diff_files",
+    "format_diff",
+    "load_bench",
+]
+
+#: Percent-worse ceiling before a matched row counts as a regression.
+DEFAULT_FAIL_THRESHOLD = 25.0
+
+#: Noise floor: rows measured in less wall time than this (either side)
+#: are shown but never gated.
+DEFAULT_MIN_SECONDS = 0.5
+
+
+class BenchDiffError(Exception):
+    """The artifacts cannot be compared (shape, not performance)."""
+
+
+@dataclass(frozen=True)
+class DiffRow:
+    """One matched metric: ``worse_pct`` > 0 means the new side is worse."""
+
+    key: str
+    metric: str
+    old: float
+    new: float
+    worse_pct: float
+    higher_better: bool
+    gated: bool
+    regressed: bool
+    skip_reason: str | None = None
+
+
+@dataclass
+class BenchDiff:
+    """The full comparison of two same-kind artifacts."""
+
+    kind: str
+    fail_threshold: float
+    min_seconds: float
+    rows: list[DiffRow] = field(default_factory=list)
+    #: Keys present in exactly one artifact (reported, never gated).
+    only_old: list[str] = field(default_factory=list)
+    only_new: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[DiffRow]:
+        return [row for row in self.rows if row.regressed]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.regressions else 0
+
+
+def load_bench(path: str | Path) -> dict[str, Any]:
+    """Read one BENCH_*.json artifact; shape errors become our own."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise BenchDiffError(f"cannot read {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BenchDiffError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "benchmark" not in payload:
+        raise BenchDiffError(
+            f"{path} has no 'benchmark' kind — not a bench artifact"
+        )
+    return payload
+
+
+def _metrics_kernel(
+    payload: dict[str, Any],
+) -> dict[tuple[str, str], tuple[float, float, bool]]:
+    """``marking-kernel`` rows → {(key, metric): (value, duration, hi)}."""
+    out: dict[tuple[str, str], tuple[float, float, bool]] = {}
+    for row in payload.get("rows", []):
+        key = f"{row['problem']}({row['size']})/{row['analyzer']}"
+        duration = float(row.get("kernel_seconds", 0.0))
+        out[(key, "kernel_states_per_sec")] = (
+            float(row["kernel_states_per_second"]),
+            duration,
+            True,
+        )
+    return out
+
+
+def _metrics_parallel(
+    payload: dict[str, Any],
+) -> dict[tuple[str, str], tuple[float, float, bool]]:
+    """``parallel-shards`` rows, keyed by instance + shards + batch."""
+    out: dict[tuple[str, str], tuple[float, float, bool]] = {}
+    for row in payload.get("rows", []):
+        batch = "batch" if row.get("batch") else "scalar"
+        key = f"{row['problem']}({row['size']})/shards={row['shards']}/{batch}"
+        out[(key, "states_per_sec")] = (
+            float(row["states_per_second"]),
+            float(row.get("seconds", 0.0)),
+            True,
+        )
+    return out
+
+
+def _metrics_serve(
+    payload: dict[str, Any],
+) -> dict[tuple[str, str], tuple[float, float, bool]]:
+    """``serve-loadtest`` phases: throughput up, p99 latency down."""
+    out: dict[tuple[str, str], tuple[float, float, bool]] = {}
+    for phase in payload.get("phases", []):
+        key = f"phase/{phase['phase']}"
+        duration = float(phase.get("wall_seconds", 0.0))
+        out[(key, "throughput_rps")] = (
+            float(phase["throughput_rps"]),
+            duration,
+            True,
+        )
+        p99 = phase.get("latency_seconds", {}).get("p99")
+        if p99 is not None:
+            out[(key, "latency_p99_seconds")] = (float(p99), duration, False)
+    return out
+
+
+_EXTRACTORS = {
+    "marking-kernel": _metrics_kernel,
+    "parallel-shards": _metrics_parallel,
+    "serve-loadtest": _metrics_serve,
+}
+
+
+def diff_bench(
+    old: dict[str, Any],
+    new: dict[str, Any],
+    *,
+    fail_threshold: float = DEFAULT_FAIL_THRESHOLD,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> BenchDiff:
+    """Compare two loaded artifacts of the same ``benchmark`` kind."""
+    old_kind, new_kind = old.get("benchmark"), new.get("benchmark")
+    if old_kind != new_kind:
+        raise BenchDiffError(
+            f"benchmark kinds differ: old={old_kind!r} new={new_kind!r}"
+        )
+    extractor = _EXTRACTORS.get(str(old_kind))
+    if extractor is None:
+        raise BenchDiffError(
+            f"unknown benchmark kind {old_kind!r}; "
+            f"expected one of {sorted(_EXTRACTORS)}"
+        )
+    try:
+        old_metrics = extractor(old)
+        new_metrics = extractor(new)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise BenchDiffError(f"malformed {old_kind} rows: {exc}") from exc
+
+    diff = BenchDiff(
+        kind=str(old_kind),
+        fail_threshold=fail_threshold,
+        min_seconds=min_seconds,
+    )
+    diff.only_old = sorted(
+        {k for k, _ in old_metrics} - {k for k, _ in new_metrics}
+    )
+    diff.only_new = sorted(
+        {k for k, _ in new_metrics} - {k for k, _ in old_metrics}
+    )
+    for (key, metric), (old_value, old_dur, higher) in sorted(
+        old_metrics.items()
+    ):
+        match = new_metrics.get((key, metric))
+        if match is None:
+            continue
+        new_value, new_dur, _ = match
+        if higher:
+            worse_pct = (
+                100.0 * (old_value - new_value) / old_value
+                if old_value > 0
+                else 0.0
+            )
+        else:
+            worse_pct = (
+                100.0 * (new_value - old_value) / old_value
+                if old_value > 0
+                else 0.0
+            )
+        skip_reason = None
+        if min(old_dur, new_dur) < min_seconds:
+            skip_reason = (
+                f"measured in {min(old_dur, new_dur):.3f}s "
+                f"< noise floor {min_seconds:g}s"
+            )
+        gated = skip_reason is None
+        diff.rows.append(
+            DiffRow(
+                key=key,
+                metric=metric,
+                old=old_value,
+                new=new_value,
+                worse_pct=round(worse_pct, 2),
+                higher_better=higher,
+                gated=gated,
+                regressed=gated and worse_pct > fail_threshold,
+                skip_reason=skip_reason,
+            )
+        )
+    return diff
+
+
+def diff_files(
+    old_path: str | Path,
+    new_path: str | Path,
+    *,
+    fail_threshold: float = DEFAULT_FAIL_THRESHOLD,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> BenchDiff:
+    """Load and compare two artifact files."""
+    return diff_bench(
+        load_bench(old_path),
+        load_bench(new_path),
+        fail_threshold=fail_threshold,
+        min_seconds=min_seconds,
+    )
+
+
+def _meta_line(payload: dict[str, Any]) -> str:
+    meta = payload.get("meta", {})
+    if not isinstance(meta, dict) or not meta:
+        return "unstamped (no meta block)"
+    return (
+        f"host={meta.get('host', '?')} commit={meta.get('commit', '?')} "
+        f"python={meta.get('python', '?')}"
+    )
+
+
+def format_diff(
+    diff: BenchDiff,
+    old: dict[str, Any] | None = None,
+    new: dict[str, Any] | None = None,
+) -> str:
+    """Human-readable comparison table plus the verdict line."""
+    lines = [f"bench-diff: {diff.kind} (fail above {diff.fail_threshold:g}%)"]
+    if old is not None:
+        lines.append(f"  old: {_meta_line(old)}")
+    if new is not None:
+        lines.append(f"  new: {_meta_line(new)}")
+    header = (
+        f"{'row':44s} {'metric':>22s} {'old':>12s} {'new':>12s} "
+        f"{'worse%':>8s} {'gate':>8s}"
+    )
+    lines += [header, "-" * len(header)]
+    for row in diff.rows:
+        if row.regressed:
+            gate = "REGRESS"
+        elif not row.gated:
+            gate = "noise"
+        else:
+            gate = "ok"
+        lines.append(
+            f"{row.key:44s} {row.metric:>22s} {row.old:12.4g} "
+            f"{row.new:12.4g} {row.worse_pct:8.1f} {gate:>8s}"
+        )
+    for key in diff.only_old:
+        lines.append(f"{key:44s} {'(only in old artifact)':>22s}")
+    for key in diff.only_new:
+        lines.append(f"{key:44s} {'(only in new artifact)':>22s}")
+    if not diff.rows:
+        lines.append(
+            "NO COMPARABLE ROWS — the artifacts share no (row, metric) keys "
+            "(e.g. --quick sizes vs the committed full-size artifact); "
+            "nothing was gated."
+        )
+    elif diff.regressions:
+        lines.append(
+            f"FAIL: {len(diff.regressions)} metric(s) regressed more than "
+            f"{diff.fail_threshold:g}%"
+        )
+    else:
+        ungated = sum(1 for row in diff.rows if not row.gated)
+        note = f" ({ungated} below the noise floor)" if ungated else ""
+        lines.append(f"ok: no regression above {diff.fail_threshold:g}%{note}")
+    return "\n".join(lines)

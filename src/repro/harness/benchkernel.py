@@ -29,6 +29,7 @@ from repro.analysis.stats import AnalysisResult
 from repro.harness.table1 import PROBLEMS
 from repro.net.petrinet import PetriNet
 from repro.obs import names
+from repro.obs.benchmeta import stamp_bench
 
 __all__ = [
     "BENCH_SIZES",
@@ -214,7 +215,13 @@ def format_bench(rows: list[BenchRow]) -> str:
 
 
 def write_bench(rows: list[BenchRow], path: str | Path) -> None:
-    """Persist the measurements as the ``BENCH_kernel.json`` artifact."""
+    """Persist the measurements as the ``BENCH_kernel.json`` artifact.
+
+    The payload carries the shared ``meta`` stamp (host, commit, python,
+    cpu count — see :func:`repro.obs.benchmeta.stamp_bench`) so any two
+    artifacts can be compared by ``gpo bench-diff`` with provenance; the
+    legacy top-level ``python``/``machine`` keys stay for old readers.
+    """
     payload = {
         "benchmark": "marking-kernel",
         "python": platform.python_version(),
@@ -222,6 +229,6 @@ def write_bench(rows: list[BenchRow], path: str | Path) -> None:
         "rows": [asdict(row) for row in rows],
     }
     Path(path).write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        json.dumps(stamp_bench(payload), indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
     )

@@ -31,6 +31,7 @@ import repro.analysis.reachability as _full
 from repro.analysis.stats import AnalysisResult
 from repro.harness.table1 import PROBLEMS
 from repro.net.batch import HAVE_NUMPY
+from repro.obs.benchmeta import stamp_bench
 from repro.search.parallel import ParallelOutcome, explore_parallel
 
 __all__ = [
@@ -215,6 +216,6 @@ def write_bench_parallel(
         "rows": [asdict(row) for row in rows],
     }
     Path(path).write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        json.dumps(stamp_bench(payload), indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
     )

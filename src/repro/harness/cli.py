@@ -38,6 +38,14 @@ Subcommands::
                               # verification-as-a-service HTTP daemon
     gpo loadtest [--quick] [--requests N] [--out BENCH_serve.json]
                               # replay a mixed workload against gpo serve
+    gpo bench-diff OLD NEW [--fail-threshold 25] [--min-seconds 0.5]
+                              # compare two BENCH_*.json artifacts;
+                              # exit 1 on regression, 2 on shape error
+    gpo slo [--url URL | --file metrics.prom]
+                              # per-phase serve SLO report (queue wait,
+                              # reduce, search, serialize) from /metrics
+    gpo debug flight [--url URL] [--limit N] [--json]
+                              # dump the daemon's flight-recorder ring
 
 ``check`` decides 1-safeness with the structural certificate first (zero
 states explored) and falls back to the bounded dynamic check; exit status
@@ -95,6 +103,7 @@ from repro.engine.cache import ResultCache
 from repro.engine.events import EventSink, JsonlEventSink
 from repro.engine.jobs import ANALYZERS
 from repro.engine.portfolio import DEFAULT_PORTFOLIO, run_race
+from repro.harness import benchdiff as benchdiff_defaults
 from repro.harness.figures import (
     figure1_series,
     figure2_series,
@@ -937,6 +946,93 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_diff(args: argparse.Namespace) -> int:
+    from repro.harness.benchdiff import (
+        BenchDiffError,
+        diff_bench,
+        format_diff,
+        load_bench,
+    )
+
+    try:
+        old = load_bench(args.old)
+        new = load_bench(args.new)
+        diff = diff_bench(
+            old,
+            new,
+            fail_threshold=args.fail_threshold,
+            min_seconds=args.min_seconds,
+        )
+    except BenchDiffError as exc:
+        print(f"bench-diff: {exc}", file=sys.stderr)
+        return 2
+    print(format_diff(diff, old, new))
+    return diff.exit_code
+
+
+def _fetch_url(url: str, timeout: float = 10.0) -> bytes:
+    """GET one daemon URL (stdlib only); raises OSError on failure."""
+    from urllib.request import urlopen
+
+    with urlopen(url, timeout=timeout) as response:  # noqa: S310
+        return response.read()  # type: ignore[no-any-return]
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    from repro.obs.slo import format_slo
+
+    if args.file:
+        try:
+            with open(args.file, encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            print(f"slo: cannot read {args.file}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        url = args.url.rstrip("/") + "/metrics"
+        try:
+            text = _fetch_url(url).decode("utf-8", errors="replace")
+        except (OSError, ValueError) as exc:
+            print(f"slo: cannot fetch {url} — {exc}", file=sys.stderr)
+            return 2
+    print(format_slo(text))
+    return 0
+
+
+def _cmd_debug_flight(args: argparse.Namespace) -> int:
+    url = args.url.rstrip("/") + "/v1/debug/flight"
+    try:
+        payload = json.loads(_fetch_url(url))
+    except (OSError, ValueError) as exc:
+        print(f"debug flight: cannot fetch {url} — {exc}", file=sys.stderr)
+        return 2
+    records = payload.get("records", [])
+    if args.limit is not None:
+        records = records[-args.limit :]
+    if args.json:
+        print(
+            json.dumps(
+                {**payload, "records": records}, indent=2, sort_keys=True
+            )
+        )
+        return 0
+    print(
+        f"flight recorder: {len(records)} shown / "
+        f"{payload.get('recorded', '?')} recorded "
+        f"(capacity {payload.get('capacity', '?')})"
+    )
+    for record in records:
+        kind = record.get("kind", record.get("name", "?"))
+        rest = {
+            k: v
+            for k, v in record.items()
+            if k not in ("kind", "name", "ts", "ts_ns")
+        }
+        stamp = record.get("ts") or record.get("ts_ns") or ""
+        print(f"  {stamp} {kind} {json.dumps(rest, sort_keys=True)}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser (exposed for the CLI tests)."""
     parser = argparse.ArgumentParser(
@@ -1445,6 +1541,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the JSON report (e.g. BENCH_serve.json)",
     )
     p_load.set_defaults(fn=_cmd_loadtest)
+
+    p_diff = sub.add_parser(
+        "bench-diff",
+        help="compare two BENCH_*.json artifacts; exit 1 on regression",
+    )
+    p_diff.add_argument("old", help="baseline artifact (e.g. committed)")
+    p_diff.add_argument("new", help="candidate artifact (e.g. fresh run)")
+    p_diff.add_argument(
+        "--fail-threshold",
+        type=float,
+        default=benchdiff_defaults.DEFAULT_FAIL_THRESHOLD,
+        metavar="PCT",
+        help="percent-worse ceiling before a row fails the diff "
+        f"(default {benchdiff_defaults.DEFAULT_FAIL_THRESHOLD:g})",
+    )
+    p_diff.add_argument(
+        "--min-seconds",
+        type=float,
+        default=benchdiff_defaults.DEFAULT_MIN_SECONDS,
+        metavar="S",
+        help="noise floor: rows measured faster than this (either side) "
+        "are shown but never gated "
+        f"(default {benchdiff_defaults.DEFAULT_MIN_SECONDS:g}; 0 = strict)",
+    )
+    p_diff.set_defaults(fn=_cmd_bench_diff)
+
+    p_slo = sub.add_parser(
+        "slo",
+        help="per-phase SLO report (queue/reduce/search/serialize) from a "
+        "daemon's /metrics",
+    )
+    p_slo.add_argument(
+        "--url",
+        default="http://127.0.0.1:8080",
+        help="daemon base URL (default http://127.0.0.1:8080)",
+    )
+    p_slo.add_argument(
+        "--file",
+        default=None,
+        metavar="PATH",
+        help="read a saved Prometheus exposition instead of fetching --url",
+    )
+    p_slo.set_defaults(fn=_cmd_slo)
+
+    p_debug = sub.add_parser(
+        "debug", help="introspection of a running gpo serve daemon"
+    )
+    debug_sub = p_debug.add_subparsers(dest="what", required=True)
+    p_flight = debug_sub.add_parser(
+        "flight",
+        help="dump the daemon's always-on flight-recorder ring",
+    )
+    p_flight.add_argument(
+        "--url",
+        default="http://127.0.0.1:8080",
+        help="daemon base URL (default http://127.0.0.1:8080)",
+    )
+    p_flight.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="show only the newest N records",
+    )
+    p_flight.add_argument(
+        "--json",
+        action="store_true",
+        help="raw JSON instead of the one-line-per-record view",
+    )
+    p_flight.set_defaults(fn=_cmd_debug_flight)
 
     p_reach = sub.add_parser(
         "reach",

@@ -28,6 +28,7 @@ from repro.obs.exporters import (
     write_jsonl_trace,
     write_prometheus,
 )
+from repro.obs.context import new_trace_context, use_context
 from repro.obs.summary import format_summary
 from repro.obs.tracer import Tracer, activate
 
@@ -88,7 +89,9 @@ def observed(
         return
     out = stream if stream is not None else sys.stdout
     tracer = Tracer(memory=memory)
-    with activate(tracer):
+    # One observed command is one logical request: its exported trace and
+    # JSONL events carry one freshly minted trace_id.
+    with activate(tracer), use_context(new_trace_context()):
         yield tracer
     if summary:
         print(format_summary(tracer.records(), tracer.metrics), file=out)
@@ -137,7 +140,7 @@ def run_profile(
         return 2
     net = PROBLEMS[key](size)
     tracer = Tracer(memory=memory)
-    with activate(tracer):
+    with activate(tracer), use_context(new_trace_context()):
         if analyzer == "timed":
             from repro.timed import analyze as timed_analyze
             from repro.timed.tpn import TimedPetriNet

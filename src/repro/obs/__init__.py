@@ -13,6 +13,14 @@ Zero third-party dependencies.  The moving parts:
 - :mod:`repro.obs.summary` — terminal span-tree + hot-span digest.
 - :mod:`repro.obs.record` — the one choke point mapping an
   ``AnalysisResult`` onto metric instruments.
+- :mod:`repro.obs.context` — per-request :class:`TraceContext`
+  (trace_id + cross-process parent span) propagation.
+- :mod:`repro.obs.flight` — always-on bounded ring of recent
+  diagnostics, dumped on crash/timeout/cancel.
+- :mod:`repro.obs.benchmeta` — shared provenance stamp for every
+  ``BENCH_*.json`` writer.
+- :mod:`repro.obs.slo` — Prometheus exposition parser + the
+  ``gpo slo`` per-phase latency report.
 
 Typical use (this is what ``gpo profile`` does)::
 
@@ -25,6 +33,15 @@ Typical use (this is what ``gpo profile`` does)::
 """
 
 from repro.obs import names
+from repro.obs.benchmeta import bench_metadata, stamp_bench
+from repro.obs.context import (
+    TraceContext,
+    current_context,
+    new_trace_context,
+    new_trace_id,
+    set_context,
+    use_context,
+)
 from repro.obs.exporters import (
     JsonlWriter,
     chrome_trace,
@@ -32,6 +49,12 @@ from repro.obs.exporters import (
     write_chrome_trace,
     write_jsonl_trace,
     write_prometheus,
+)
+from repro.obs.flight import (
+    FLIGHT,
+    FlightRecorder,
+    flight_note,
+    flight_snapshot,
 )
 from repro.obs.memory import peak_rss_kb, traced_memory_kb
 from repro.obs.metrics import (
@@ -44,6 +67,7 @@ from repro.obs.metrics import (
     NullMetrics,
 )
 from repro.obs.record import record_result
+from repro.obs.slo import format_slo, parse_histograms
 from repro.obs.summary import build_summary, format_summary, hot_spans
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -60,6 +84,8 @@ from repro.obs.tracer import (
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "FLIGHT",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "JsonlWriter",
@@ -69,21 +95,33 @@ __all__ = [
     "NullMetrics",
     "NullTracer",
     "Span",
+    "TraceContext",
     "Tracer",
     "activate",
+    "bench_metadata",
     "build_summary",
     "chrome_trace",
+    "current_context",
     "current_tracer",
     "event",
+    "flight_note",
+    "flight_snapshot",
+    "format_slo",
     "format_summary",
     "hot_spans",
     "names",
+    "new_trace_context",
+    "new_trace_id",
+    "parse_histograms",
     "peak_rss_kb",
     "prometheus_text",
     "record_result",
+    "set_context",
     "set_tracer",
     "span",
+    "stamp_bench",
     "traced_memory_kb",
+    "use_context",
     "write_chrome_trace",
     "write_jsonl_trace",
     "write_prometheus",

@@ -1,0 +1,69 @@
+"""Shared provenance stamp for every BENCH_*.json writer.
+
+Benchmark trajectories are only comparable when each file says *where*
+it came from: the same kernel benchmark differs 3x between a laptop and
+a CI runner, and a regression is only a regression against the same
+commit lineage.  Historically the three writers disagreed —
+``BENCH_kernel.json`` recorded python+machine, ``BENCH_parallel.json``
+added cpu_count, and ``BENCH_serve.json`` recorded nothing — so
+``gpo bench-diff`` could not warn about cross-host comparisons.
+
+:func:`stamp_bench` is the one helper all writers now route through: it
+adds a ``"meta"`` mapping (host, platform, cpu_count, git commit,
+timestamp) while leaving each writer's legacy top-level keys untouched,
+so existing consumers keep working.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import time
+from typing import Any
+
+__all__ = ["BENCH_META_SCHEMA_VERSION", "bench_metadata", "stamp_bench"]
+
+#: Version of the ``meta`` mapping layout stamped into BENCH files.
+BENCH_META_SCHEMA_VERSION = 1
+
+
+def _git_commit() -> str | None:
+    """The current short commit hash, or ``None`` outside a checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    commit = proc.stdout.strip()
+    return commit if proc.returncode == 0 and commit else None
+
+
+def bench_metadata() -> dict[str, Any]:
+    """The provenance mapping stamped into every benchmark file."""
+    return {
+        "schema": BENCH_META_SCHEMA_VERSION,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "host": platform.node(),
+        "cpu_count": os.cpu_count(),
+        "commit": _git_commit(),
+        "generated_at": round(time.time(), 3),
+    }
+
+
+def stamp_bench(payload: dict[str, Any]) -> dict[str, Any]:
+    """Return ``payload`` with the shared ``meta`` mapping added.
+
+    The input is not mutated; legacy top-level keys (``python``,
+    ``machine``, ...) are preserved for existing consumers.
+    """
+    stamped = dict(payload)
+    stamped["meta"] = bench_metadata()
+    return stamped

@@ -92,6 +92,8 @@ def chrome_trace(records: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
             args["parent_id"] = record["parent_id"]
         if record.get("span_id") is not None:
             args["span_id"] = record["span_id"]
+        if record.get("trace_id") is not None:
+            args["trace_id"] = record["trace_id"]
         if args:
             event["args"] = args
         events.append(event)

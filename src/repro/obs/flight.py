@@ -1,0 +1,110 @@
+"""Always-on flight recorder: a bounded ring of recent diagnostics.
+
+Crash reports are only useful if the moments *before* the crash were
+recorded — but full tracing is opt-in.  The flight recorder squares
+that: a per-process ring buffer (``collections.deque(maxlen=...)``)
+that is always on and holds the most recent span/metric/event records,
+at a cost of one dict and one deque append per *lifecycle-grade* event
+(job queued/started/finished, root spans, admission decisions) — never
+per state, so the <3 % disabled-observability budget is untouched.
+
+Feeds (all unconditional):
+
+- every engine lifecycle event (:meth:`repro.engine.events.EventSink.record`);
+- every *root* span a live tracer finishes (one per analysis);
+- explicit :func:`flight_note` calls at serve admission/dispatch and
+  pool kill/crash sites.
+
+Drains:
+
+- on worker kill/crash/cancel the engine dumps a snapshot into
+  ``AnalysisResult.extras["flight"]`` (the worker's own ring is shipped
+  over the result pipe when it died politely enough to send);
+- ``gpo debug flight`` prints the local ring, ``GET /v1/debug/flight``
+  the daemon's.
+
+The ring is process-local; forked children inherit the parent's recent
+history (useful context in a crash dump) and append their own records
+from there.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from typing import Any, Mapping
+
+__all__ = [
+    "DEFAULT_FLIGHT_CAPACITY",
+    "FLIGHT",
+    "FlightRecorder",
+    "flight_note",
+    "flight_snapshot",
+]
+
+#: Default ring capacity: big enough for the tail of a busy daemon's
+#: last few seconds, small enough to be memory-irrelevant (~100 KiB).
+DEFAULT_FLIGHT_CAPACITY = 256
+
+
+class FlightRecorder:
+    """Bounded, thread-safe ring buffer of recent diagnostic records."""
+
+    def __init__(self, capacity: int = DEFAULT_FLIGHT_CAPACITY) -> None:
+        self._lock = threading.Lock()
+        self._ring: deque[dict[str, Any]] = deque(maxlen=max(1, capacity))
+        self.recorded = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._ring.maxlen or 0
+
+    def configure(self, capacity: int) -> None:
+        """Resize the ring in place, keeping the newest records."""
+        with self._lock:
+            self._ring = deque(self._ring, maxlen=max(1, capacity))
+
+    def record(self, payload: Mapping[str, Any]) -> None:
+        """Append one record (copied, so later mutation cannot race)."""
+        entry = dict(payload)
+        with self._lock:
+            self._ring.append(entry)
+            self.recorded += 1
+
+    def note(self, kind: str, **fields: Any) -> None:
+        """Append a free-form note stamped with time and pid."""
+        self.record(
+            {"kind": kind, "ts": round(time.time(), 6), "pid": os.getpid(), **fields}
+        )
+
+    def snapshot(self, limit: int | None = None) -> list[dict[str, Any]]:
+        """The newest records, oldest first (all, or the last ``limit``)."""
+        with self._lock:
+            records = list(self._ring)
+        if limit is not None and limit >= 0:
+            records = records[-limit:]
+        return [dict(record) for record in records]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+
+#: The process-wide recorder every feed writes to.
+FLIGHT = FlightRecorder()
+
+
+def flight_note(kind: str, **fields: Any) -> None:
+    """Append a note to the process-wide recorder."""
+    FLIGHT.note(kind, **fields)
+
+
+def flight_snapshot(limit: int | None = None) -> list[dict[str, Any]]:
+    """Snapshot the process-wide recorder (newest ``limit`` records)."""
+    return FLIGHT.snapshot(limit)

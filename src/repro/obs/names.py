@@ -48,14 +48,21 @@ __all__ = [
     "SPAN_JOB",
     "SPAN_MULTIPLE_FIRE",
     "SPAN_PARALLEL_LEVEL",
+    "SPAN_PARALLEL_SHARD",
     "SPAN_RACE",
     "SPAN_REDUCE",
     "SPAN_SEARCH",
+    "SPAN_SERVE_QUEUE",
+    "SPAN_SERVE_REQUEST",
     "SPAN_STUBBORN_SET",
     "SPAN_SYMBOLIC_ENCODE",
     "SPAN_SYMBOLIC_ITERATION",
     "SPAN_UNFOLD",
     "SPAN_WITNESS",
+    "SERVE_QUEUE_WAIT_SECONDS",
+    "SERVE_REDUCE_SECONDS",
+    "SERVE_SEARCH_SECONDS",
+    "SERVE_SERIALIZE_SECONDS",
     "STATES_EXPANDED",
     "STATES_PER_SECOND",
     "STUBBORN_CLOSURE_ITERATIONS",
@@ -148,6 +155,16 @@ REDUCE_RULES_APPLIED = "reduce_rules_applied"
 REDUCE_PLACES_REMOVED = "reduce_places_removed"
 #: Counter — transitions removed by the structural reduction pre-pass.
 REDUCE_TRANSITIONS_REMOVED = "reduce_transitions_removed"
+# SLO decomposition histograms of the serve layer, labeled by analysis
+# ``method`` and net ``family`` (see DESIGN.md §13).
+#: Histogram — seconds a job sat in the tenant queue before dispatch.
+SERVE_QUEUE_WAIT_SECONDS = "serve_queue_wait_seconds"
+#: Histogram — seconds of the structural-reduction pre-pass per job.
+SERVE_REDUCE_SECONDS = "serve_reduce_seconds"
+#: Histogram — seconds of the search/analysis itself per job.
+SERVE_SEARCH_SECONDS = "serve_search_seconds"
+#: Histogram — seconds serializing the job's response payload.
+SERVE_SERIALIZE_SECONDS = "serve_serialize_seconds"
 
 # ----------------------------------------------------------------------
 # Span names (the span taxonomy; see DESIGN.md §8).
@@ -184,3 +201,9 @@ SPAN_BOUNDED_CHECK = "check/bounded"
 SPAN_REDUCE = "reduce"
 #: One level barrier of the sharded parallel BFS.
 SPAN_PARALLEL_LEVEL = "parallel/level"
+#: One shard's slice of one BFS level (emitted inline and in workers).
+SPAN_PARALLEL_SHARD = "parallel/shard"
+#: One served request, admission to terminal state (serve daemon root).
+SPAN_SERVE_REQUEST = "serve/request"
+#: The queued phase of a served request (push to dispatch).
+SPAN_SERVE_QUEUE = "serve/queue"

@@ -1,0 +1,188 @@
+"""SLO decomposition report over the serve ``/metrics`` exposition.
+
+The serve layer exports per-phase latency histograms — queue-wait,
+reduce, search, serialization — labelled by analysis method and net
+family.  This module turns that Prometheus 0.0.4 text back into numbers:
+a small exposition parser, cumulative-bucket quantile estimation (linear
+interpolation inside the containing bucket, the same estimate
+``histogram_quantile`` gives), and :func:`format_slo`, the renderer
+behind ``gpo slo``.
+
+The report answers the admission-control question from ROADMAP item 1
+directly: for each (family, method) pair, where does a request's wall
+time actually go — waiting in the tenant queue, in the structural
+reduce pre-pass, in the search itself, or serializing the answer?
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+__all__ = [
+    "HistogramSummary",
+    "format_slo",
+    "parse_histograms",
+    "parse_samples",
+]
+
+#: The serve phase histograms ``gpo slo`` reports on, in report order.
+_SLO_PHASES = (
+    ("serve_queue_wait_seconds", "queue"),
+    ("serve_reduce_seconds", "reduce"),
+    ("serve_search_seconds", "search"),
+    ("serve_serialize_seconds", "serialize"),
+)
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[A-Za-z_:][A-Za-z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+_LABEL_RE = re.compile(r'([A-Za-z_][A-Za-z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_samples(text: str) -> list[tuple[str, dict[str, str], float]]:
+    """Parse a Prometheus 0.0.4 exposition into (name, labels, value)."""
+    samples: list[tuple[str, dict[str, str], float]] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            continue
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            continue
+        labels: dict[str, str] = {}
+        raw = match.group("labels")
+        if raw:
+            for key, escaped in _LABEL_RE.findall(raw):
+                labels[key] = (
+                    escaped.replace("\\\\", "\\").replace('\\"', '"').replace("\\n", "\n")
+                )
+        samples.append((match.group("name"), labels, value))
+    return samples
+
+
+@dataclass
+class HistogramSummary:
+    """One histogram series reassembled from its exposition samples."""
+
+    name: str
+    labels: dict[str, str]
+    count: float = 0.0
+    total: float = 0.0
+    buckets: dict[float, float] = field(default_factory=dict)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q`` quantile from cumulative bucket counts."""
+        if not self.count or not self.buckets:
+            return 0.0
+        rank = q * self.count
+        bounds = sorted(self.buckets)
+        previous_bound = 0.0
+        previous_count = 0.0
+        for bound in bounds:
+            cumulative = self.buckets[bound]
+            if cumulative >= rank:
+                if math.isinf(bound):
+                    return previous_bound
+                span = cumulative - previous_count
+                if span <= 0:
+                    return bound
+                fraction = (rank - previous_count) / span
+                return previous_bound + (bound - previous_bound) * fraction
+            previous_bound = 0.0 if math.isinf(bound) else bound
+            previous_count = cumulative
+        return previous_bound
+
+
+def _series_key(labels: Mapping[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted(labels.items()))
+
+
+def parse_histograms(
+    text: str, names: Iterable[str] | None = None
+) -> dict[tuple[str, tuple[tuple[str, str], ...]], HistogramSummary]:
+    """Reassemble histogram series from an exposition text.
+
+    Keys are ``(metric_name, sorted_label_items)``; ``names`` filters to
+    the given base metric names when provided.
+    """
+    wanted = set(names) if names is not None else None
+    out: dict[tuple[str, tuple[tuple[str, str], ...]], HistogramSummary] = {}
+
+    def summary(base: str, labels: dict[str, str]) -> HistogramSummary:
+        key = (base, _series_key(labels))
+        if key not in out:
+            out[key] = HistogramSummary(name=base, labels=labels)
+        return out[key]
+
+    for name, labels, value in parse_samples(text):
+        if name.endswith("_bucket"):
+            base = name[: -len("_bucket")]
+            if wanted is not None and base not in wanted:
+                continue
+            le = labels.pop("le", None)
+            if le is None:
+                continue
+            bound = math.inf if le in ("+Inf", "inf") else float(le)
+            summary(base, labels).buckets[bound] = value
+        elif name.endswith("_sum"):
+            base = name[: -len("_sum")]
+            if wanted is not None and base not in wanted:
+                continue
+            summary(base, labels).total = value
+        elif name.endswith("_count"):
+            base = name[: -len("_count")]
+            if wanted is not None and base not in wanted:
+                continue
+            summary(base, labels).count = value
+    return out
+
+
+def _fmt_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:8.3f}s"
+    return f"{value * 1000.0:7.2f}ms"
+
+
+def format_slo(text: str) -> str:
+    """Render the ``gpo slo`` report from a ``/metrics`` exposition."""
+    phase_names = [name for name, _ in _SLO_PHASES]
+    histograms = parse_histograms(text, phase_names)
+    if not any(summary.count for summary in histograms.values()):
+        return "no serve SLO samples yet (serve some requests first)"
+
+    # Group phase series by the (family, method) pair they describe.
+    groups: dict[tuple[str, str], dict[str, HistogramSummary]] = {}
+    for (name, _), summary in histograms.items():
+        family = summary.labels.get("family", "-")
+        method = summary.labels.get("method", "-")
+        phase = dict(_SLO_PHASES)[name]
+        groups.setdefault((family, method), {})[phase] = summary
+
+    lines = ["SLO decomposition (per family x method, from /metrics)", ""]
+    header = f"{'family':<10} {'method':<10} {'phase':<10} {'count':>7} {'mean':>10} {'p50':>10} {'p99':>10}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for (family, method), phases in sorted(groups.items()):
+        for _, phase in _SLO_PHASES:
+            summary = phases.get(phase)
+            if summary is None or not summary.count:
+                continue
+            lines.append(
+                f"{family:<10} {method:<10} {phase:<10} {int(summary.count):>7} "
+                f"{_fmt_seconds(summary.mean):>10} {_fmt_seconds(summary.quantile(0.5)):>10} "
+                f"{_fmt_seconds(summary.quantile(0.99)):>10}"
+            )
+    return "\n".join(lines)

@@ -29,6 +29,8 @@ import time
 from contextlib import contextmanager
 from typing import Any, Iterator, Union
 
+from repro.obs.context import current_context
+from repro.obs.flight import FLIGHT
 from repro.obs.memory import peak_rss_kb, traced_memory_kb
 from repro.obs.metrics import MetricsRegistry, NullMetrics, NULL_METRICS
 
@@ -60,6 +62,7 @@ class Span:
         "name",
         "span_id",
         "parent_id",
+        "trace_id",
         "pid",
         "tid",
         "start_ns",
@@ -81,6 +84,16 @@ class Span:
         self.pid = os.getpid()
         self.tid = threading.get_ident()
         self.span_id = f"{self.pid:x}-{next(_id_counter):x}"
+        # Trace context is captured at *creation*: a span that outlives
+        # the request scope that opened it (the serve job span ends when
+        # the worker is reaped) keeps the id of the request it belongs
+        # to.  A span with no in-process parent attaches to the context's
+        # parent span — this is how a forked worker's root span joins the
+        # span the coordinator opened for it.
+        ctx = current_context()
+        self.trace_id = ctx.trace_id if ctx is not None else None
+        if parent_id is None and ctx is not None:
+            parent_id = ctx.parent_span_id
         self.parent_id = parent_id
         self.attrs = attrs
         self.end_ns: int | None = None
@@ -140,6 +153,8 @@ class Span:
         }
         if self.parent_id is not None:
             record["parent_id"] = self.parent_id
+        if self.trace_id is not None:
+            record["trace_id"] = self.trace_id
         if self.attrs:
             record["attrs"] = {
                 k: (v if isinstance(v, _PLAIN) else str(v))
@@ -269,6 +284,15 @@ class Tracer:
             if stack and stack[-1] is free_span:
                 stack.pop()
 
+    def current_span_id(self) -> str | None:
+        """Span id of the calling thread's innermost open span, if any.
+
+        This is the parent to stamp into a :class:`TraceContext` shipped
+        across an explicit process boundary (a shard-worker pipe).
+        """
+        stack = self._stack()
+        return stack[-1].span_id if stack else None
+
     def _pop(self, closing: Span) -> None:
         stack = self._stack()
         # Tolerate out-of-order exits (a generator finalized late): drop
@@ -288,11 +312,18 @@ class Tracer:
                 rss = peak_rss_kb()
                 if rss is not None:
                     finished.attrs.setdefault("rss_kb", rss)
+        record = finished.to_record()
+        # Feed process-local roots (no parent, or a parent from another
+        # process) to the always-on flight recorder: one append per
+        # analysis-grade span, never per state.
+        parent = finished.parent_id
+        if parent is None or not parent.startswith(f"{finished.pid:x}-"):
+            FLIGHT.record(record)
         with self._lock:
             if len(self._records) >= self.max_spans:
                 self.dropped += 1
                 return
-            self._records.append(finished.to_record())
+            self._records.append(record)
 
     # ------------------------------------------------------------------
     # Record access / cross-process merging
@@ -316,6 +347,22 @@ class Tracer:
                 self.dropped += len(records) - max(room, 0)
                 records = records[: max(room, 0)]
             self._records.extend(records)
+
+    def take(self, trace_id: str) -> list[dict[str, Any]]:
+        """Remove and return the finished records of one trace.
+
+        The serve daemon calls this when a request reaches a terminal
+        state, moving the request's records onto its job record (evicted
+        with normal store retention) so the long-lived daemon tracer
+        never accumulates unbounded history.
+        """
+        with self._lock:
+            taken = [r for r in self._records if r.get("trace_id") == trace_id]
+            if taken:
+                self._records = [
+                    r for r in self._records if r.get("trace_id") != trace_id
+                ]
+            return taken
 
     def child_reset(self) -> None:
         """Called in a forked worker: drop records inherited from the
@@ -360,6 +407,12 @@ class NullTracer:
 
     def adopt(self, records: list[dict[str, Any]]) -> None:
         pass
+
+    def current_span_id(self) -> str | None:
+        return None
+
+    def take(self, trace_id: str) -> list[dict[str, Any]]:
+        return []
 
     def child_reset(self) -> None:
         pass

@@ -55,6 +55,13 @@ from repro.net.exceptions import UnsafeNetError
 from repro.net.kernel import MarkingKernel
 from repro.net.petrinet import PetriNet
 from repro.obs import names
+from repro.obs.context import (
+    TraceContext,
+    current_context,
+    new_trace_context,
+    set_context,
+    use_context,
+)
 from repro.obs.record import record_result
 from repro.obs.tracer import current_tracer
 from repro.props.ast import Property, UnsupportedPropertyError
@@ -142,6 +149,7 @@ class _ShardCore:
         self.visited: set[int] = set()
         self.frontier: List[int] = []
         self.states = 0
+        self.levels = 0
 
     def run_level(
         self, incoming: Sequence[int]
@@ -152,31 +160,43 @@ class _ShardCore:
         outboxes, deduplicated within the level) and the level's counter
         deltas.  Raises :class:`UnsafeNetError` exactly where the scalar
         kernel would.
+
+        Each call is wrapped in one ``parallel/shard`` span — emitted by
+        the core itself, so the span-name counts of an inline run and a
+        forked run are identical by construction (the level count of the
+        BFS is deterministic).  In a forked worker the shard span has no
+        in-process parent and attaches to the coordinator's span via the
+        shipped trace context.
         """
-        stats = _LevelStats()
-        visited = self.visited
-        frontier = self.frontier
-        for bits in incoming:
-            if bits not in visited:
-                visited.add(bits)
-                frontier.append(bits)
-        stats.absorbed = len(frontier)
-        self.states = len(visited)
-        if not frontier:
-            stats.stalled = 1
-            return [[] for _ in range(self.shards)], stats
-        outboxes: List[List[int]] = [[] for _ in range(self.shards)]
-        outbox_seen: List[set[int]] = [set() for _ in range(self.shards)]
-        if self.batched is not None:
-            self._expand_batched(frontier, outboxes, outbox_seen, stats)
-        else:
-            self._expand_scalar(frontier, outboxes, outbox_seen, stats)
-        stats.expanded = len(frontier)
-        stats.exchanged = sum(
-            len(box) for d, box in enumerate(outboxes) if d != self.shard
-        )
-        self.frontier = []
-        return outboxes, stats
+        level = self.levels
+        self.levels += 1
+        with current_tracer().span(
+            names.SPAN_PARALLEL_SHARD, shard=self.shard, level=level
+        ):
+            stats = _LevelStats()
+            visited = self.visited
+            frontier = self.frontier
+            for bits in incoming:
+                if bits not in visited:
+                    visited.add(bits)
+                    frontier.append(bits)
+            stats.absorbed = len(frontier)
+            self.states = len(visited)
+            if not frontier:
+                stats.stalled = 1
+                return [[] for _ in range(self.shards)], stats
+            outboxes: List[List[int]] = [[] for _ in range(self.shards)]
+            outbox_seen: List[set[int]] = [set() for _ in range(self.shards)]
+            if self.batched is not None:
+                self._expand_batched(frontier, outboxes, outbox_seen, stats)
+            else:
+                self._expand_scalar(frontier, outboxes, outbox_seen, stats)
+            stats.expanded = len(frontier)
+            stats.exchanged = sum(
+                len(box) for d, box in enumerate(outboxes) if d != self.shard
+            )
+            self.frontier = []
+            return outboxes, stats
 
     def _expand_scalar(
         self,
@@ -442,8 +462,20 @@ def _shard_worker(
     inner: str,
     strategy: SeedStrategy,
     batch: bool,
+    trace_ctx: TraceContext | None = None,
 ) -> None:
-    """Forked worker loop: one shard core driven over a pipe."""
+    """Forked worker loop: one shard core driven over a pipe.
+
+    ``trace_ctx`` is the coordinator's context re-parented to its
+    current span: the worker installs it so its ``parallel/shard``
+    spans join the request's trace, and ships its drained records back
+    in the ``bye`` reply (span ids embed the pid, so the merge is
+    collision-free).
+    """
+    tracer = current_tracer()
+    tracer.child_reset()
+    if trace_ctx is not None:
+        set_context(trace_ctx)
     core = _ShardCore(
         net.kernel(), shard, shards, inner=inner, strategy=strategy,
         batch=batch,
@@ -459,7 +491,7 @@ def _shard_worker(
                     continue
                 conn.send(("out", outboxes, stats.as_tuple(), core.states))
             elif msg[0] == "stop":
-                conn.send(("bye", core.states))
+                conn.send(("bye", core.states, tracer.drain()))
                 return
     except (EOFError, KeyboardInterrupt):  # pragma: no cover
         return
@@ -481,11 +513,24 @@ class _ForkRunner:
         self.conns = []
         self.procs = []
         self._states = [0] * shards
+        # Ship the trace context across the fork, re-parented to the
+        # span currently open on this side (the analyze span), so every
+        # worker's shard spans attach to it in the merged trace.
+        tracer = current_tracer()
+        active = current_context()
+        trace_ctx: TraceContext | None = None
+        if tracer.enabled and active is not None:
+            trace_ctx = active.child(
+                tracer.current_span_id() or active.parent_span_id
+            )
         for shard in range(shards):
             parent, child = ctx.Pipe()
             proc = ctx.Process(
                 target=_shard_worker,
-                args=(child, net, shard, shards, inner, strategy, batch),
+                args=(
+                    child, net, shard, shards, inner, strategy, batch,
+                    trace_ctx,
+                ),
                 daemon=True,
             )
             proc.start()
@@ -522,12 +567,15 @@ class _ForkRunner:
         return list(self._states)
 
     def close(self) -> None:
+        tracer = current_tracer()
         for conn in self.conns:
             try:
                 conn.send(("stop",))
                 reply = conn.recv()
-                if reply[0] == "bye":
-                    pass
+                if reply[0] == "bye" and len(reply) > 2:
+                    # Merge the worker's drained shard spans into the
+                    # coordinator's trace.
+                    tracer.adopt(reply[2])
             except (BrokenPipeError, EOFError, OSError):
                 pass
             finally:
@@ -586,7 +634,13 @@ def analyze_parallel(
             or "the sharded explorer answers the deadlock question only",
         )
     tracer = current_tracer()
-    with tracer.span(
+    # One sharded analysis is one logical request: mint a trace context
+    # when the caller did not install one, so inline and forked shard
+    # spans share one trace_id.
+    ctx = current_context()
+    if ctx is None and tracer.enabled:
+        ctx = new_trace_context()
+    with use_context(ctx), tracer.span(
         names.SPAN_ANALYZE, analyzer="parallel", net=net.name
     ) as root:
         with tracer.span(names.SPAN_CERTIFICATE):

@@ -19,7 +19,11 @@ every concurrent HTTP client onto them:
   jobs are killed through :meth:`WorkerPool.cancel`;
 * ``GET /metrics`` exposes the live :mod:`repro.obs` metrics registry in
   Prometheus text exposition; ``GET /healthz`` reports build/schema
-  versions so clients can detect incompatible upgrades.
+  versions so clients can detect incompatible upgrades;
+* ``GET /v1/jobs/{id}/trace`` returns a terminal job's merged Chrome
+  trace (one trace_id from admission through forked workers to the
+  verdict); ``GET /v1/debug/flight`` returns the always-on flight
+  recorder ring (see :mod:`repro.obs.flight`).
 
 The dispatcher and all handlers run on one event loop; shared state is
 mutated only between awaits, so no locks are needed anywhere.
@@ -39,8 +43,12 @@ from repro import __version__
 from repro.engine.cache import ResultCache
 from repro.engine.events import EVENT_SCHEMA_VERSION, EventSink, JobEvent, JsonlEventSink
 from repro.engine.pool import WorkerPool
-from repro.obs.exporters import prometheus_text
+from repro.obs import names
+from repro.obs.context import TraceContext, new_trace_id, use_context
+from repro.obs.exporters import chrome_trace, prometheus_text
+from repro.obs.flight import FLIGHT
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer, TracerLike, set_tracer
 from repro.serve.config import ServeConfig
 from repro.serve.http import (
     HttpRequest,
@@ -61,6 +69,17 @@ __all__ = ["ServeApp"]
 _LATENCY_BUCKETS: tuple[float, ...] = (
     0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
 )
+
+
+def _family_of(net_name: str) -> str:
+    """Benchmark-family label of a net name (``NSDP-8`` → ``NSDP``).
+
+    The SLO histograms aggregate per family, not per instance, so the
+    label set stays bounded even under adversarial net names.
+    """
+    head = net_name.split("-")[0].split("_")[0].split(":")[0]
+    alpha = "".join(ch for ch in head if not ch.isdigit())
+    return (alpha or head or net_name)[:16] or "unknown"
 
 
 class _TeeSink(EventSink):
@@ -91,6 +110,15 @@ class ServeApp:
         )
         self.store = JobStore(self.config.max_finished_records)
         self.metrics = MetricsRegistry()
+        # Per-request span tracing: the daemon owns one long-lived tracer
+        # feeding the shared metrics registry; each request's spans are
+        # moved onto its JobRecord at terminal transition (Tracer.take),
+        # so the tracer itself never accumulates unbounded history.
+        self.tracer: TracerLike = (
+            Tracer(metrics=self.metrics) if self.config.trace else NULL_TRACER
+        )
+        self._previous_tracer: TracerLike | None = None
+        FLIGHT.configure(self.config.flight_capacity)
         self._global_sink: EventSink | None = (
             JsonlEventSink(events_path) if events_path else None
         )
@@ -105,6 +133,9 @@ class ServeApp:
     # ------------------------------------------------------------------
     async def start(self) -> None:
         """Bind the listening socket and start the dispatcher task."""
+        # Install the daemon tracer as the ambient one so engine forks
+        # (which read ``current_tracer()``) record into it.
+        self._previous_tracer = set_tracer(self.tracer)
         self._server = await asyncio.start_server(
             self._handle_client, self.config.host, self.config.port
         )
@@ -130,6 +161,9 @@ class ServeApp:
             await self._dispatcher
         if self._global_sink is not None:
             self._global_sink.close()
+        if self._previous_tracer is not None:
+            set_tracer(self._previous_tracer)
+            self._previous_tracer = None
 
     async def serve_forever(self) -> None:
         """Run until cancelled (the ``gpo serve`` foreground mode)."""
@@ -152,12 +186,63 @@ class ServeApp:
         return _TeeSink([record.sink, self._global_sink])
 
     def _finish_record(self, record: JobRecord) -> None:
-        """Metrics bookkeeping common to every terminal transition."""
+        """Terminal-transition choke point: every path that ends a job
+        runs through here — counters, the SLO decomposition histograms,
+        span closure, and moving the request's trace onto the record."""
         self.metrics.counter("serve_jobs_total", outcome=record.state).inc()
+        family = _family_of(record.job.net.name)
+        method = record.job.method
         if record.outcome is not None:
             self.metrics.histogram(
                 "serve_job_wall_seconds", buckets=_LATENCY_BUCKETS
             ).observe(record.outcome.wall_seconds)
+        wait = record.queue_wait_seconds
+        if wait is not None:
+            self.metrics.histogram(
+                names.SERVE_QUEUE_WAIT_SECONDS,
+                buckets=_LATENCY_BUCKETS,
+                method=method,
+                family=family,
+            ).observe(wait)
+        if record.outcome is not None and record.outcome.status != "error":
+            self.metrics.histogram(
+                names.SERVE_SEARCH_SECONDS,
+                buckets=_LATENCY_BUCKETS,
+                method=method,
+                family=family,
+            ).observe(record.outcome.result.time_seconds)
+        # Close the request's spans (idempotent: whichever terminal path
+        # got here first wins) and move its finished records off the
+        # daemon tracer onto the record, so trace retention follows job
+        # retention.
+        if record.queue_span is not None:
+            record.queue_span.end()
+        if record.request_span is not None:
+            record.request_span.end(state=record.state)
+        if record.trace_id is not None and record.trace_records is None:
+            record.trace_records = self.tracer.take(record.trace_id)
+            reduce_ns = sum(
+                int(r.get("dur_ns", 0))
+                for r in record.trace_records
+                if r.get("name") == names.SPAN_REDUCE
+            )
+            if reduce_ns:
+                self.metrics.histogram(
+                    names.SERVE_REDUCE_SECONDS,
+                    buckets=_LATENCY_BUCKETS,
+                    method=method,
+                    family=family,
+                ).observe(reduce_ns / 1e9)
+        # Serialization phase: the response body is built once per
+        # terminal transition; time it where it happens.
+        serialize_start = time.perf_counter()
+        json.dumps(record.describe())
+        self.metrics.histogram(
+            names.SERVE_SERIALIZE_SECONDS,
+            buckets=_LATENCY_BUCKETS,
+            method=method,
+            family=family,
+        ).observe(time.perf_counter() - serialize_start)
 
     def _start_ready(self) -> None:
         while len(self._running) < self.pool.max_workers:
@@ -169,35 +254,37 @@ class ServeApp:
                 continue
             sink = self._sink_for(record)
             if record.cancel_requested:
-                sink.record(
-                    "cancelled", record.job, detail="cancelled while queued"
-                )
+                with use_context(record.trace_context):
+                    sink.record(
+                        "cancelled", record.job, detail="cancelled while queued"
+                    )
                 record.mark_cancelled_queued()
                 self._finish_record(record)
                 continue
-            self.metrics.histogram(
-                "serve_queue_wait_seconds", buckets=_LATENCY_BUCKETS
-            ).observe(time.time() - record.submitted_at)
-            cached = self.pool.try_cache(record.job, events=sink)
-            if cached is not None:
-                self.metrics.counter("serve_cache_hits_total").inc()
-                record.finish(cached)
-                self._finish_record(record)
-                continue
-            handle = self.pool.submit(record.job, events=sink)
+            if record.queue_span is not None:
+                record.queue_span.end()
+            with use_context(record.trace_context):
+                cached = self.pool.try_cache(record.job, events=sink)
+                if cached is not None:
+                    self.metrics.counter("serve_cache_hits_total").inc()
+                    record.finish(cached)
+                    self._finish_record(record)
+                    continue
+                handle = self.pool.submit(record.job, events=sink)
             record.mark_running(handle)
             self._running[record.id] = record
 
     def _poll_running(self) -> None:
         for job_id, record in list(self._running.items()):
             sink = self._sink_for(record)
-            if record.cancel_requested:
-                outcome = self.pool.cancel(record.handle, events=sink)
-            else:
-                polled = record.handle.poll()
-                if polled is None:
-                    continue
-                outcome = self.pool.finalize(polled, events=sink)
+            with use_context(record.trace_context):
+                if record.cancel_requested:
+                    outcome = self.pool.cancel(record.handle, events=sink)
+                else:
+                    polled = record.handle.poll()
+                    if polled is None:
+                        continue
+                    outcome = self.pool.finalize(polled, events=sink)
             del self._running[job_id]
             record.finish(outcome)
             self._finish_record(record)
@@ -228,7 +315,10 @@ class ServeApp:
             # around immediately and start it.
         # Drain on shutdown: nothing may outlive the daemon.
         for job_id, record in list(self._running.items()):
-            outcome = self.pool.cancel(record.handle, events=self._sink_for(record))
+            with use_context(record.trace_context):
+                outcome = self.pool.cancel(
+                    record.handle, events=self._sink_for(record)
+                )
             record.finish(outcome)
             self._finish_record(record)
             del self._running[job_id]
@@ -298,6 +388,9 @@ class ServeApp:
         if path == "/v1/jobs" and method == "POST":
             await self._handle_submit(request, writer)
             return "/v1/jobs"
+        if path == "/v1/debug/flight" and method == "GET":
+            await self._handle_flight(writer)
+            return "/v1/debug/flight"
         parts = path.split("/")
         if len(parts) >= 4 and parts[1] == "v1" and parts[2] == "jobs":
             job_id = parts[3]
@@ -310,6 +403,9 @@ class ServeApp:
             if len(parts) == 5 and parts[4] == "events" and method == "GET":
                 await self._handle_events(job_id, writer)
                 return "/v1/jobs/{id}/events"
+            if len(parts) == 5 and parts[4] == "trace" and method == "GET":
+                await self._handle_trace(job_id, writer)
+                return "/v1/jobs/{id}/trace"
         raise ApiError(404, "not-found", f"{method} {request.path}")
 
     # ------------------------------------------------------------------
@@ -319,38 +415,71 @@ class ServeApp:
         submit = parse_submit(request.body, self.config)
         job = submit.to_job()
         job_id = uuid.uuid4().hex[:12]
+        # Every request gets a trace_id at admission — it is the
+        # correlation key of the response, the JSONL events and (when
+        # tracing is on) the span timeline, so it exists even with the
+        # null tracer.
+        trace_id = new_trace_id()
         record = JobRecord(
-            job_id, job, tenant=submit.tenant, priority=submit.priority
+            job_id,
+            job,
+            tenant=submit.tenant,
+            priority=submit.priority,
+            trace_id=trace_id,
+        )
+        with use_context(TraceContext(trace_id)):
+            record.request_span = self.tracer.start(
+                names.SPAN_SERVE_REQUEST,
+                job_id=job_id,
+                tenant=submit.tenant,
+                method=job.method,
+                net=job.net.name,
+            )
+        # The context every later phase (dispatch, poll, cancel) runs
+        # under: same trace, parented to the request span.
+        record.trace_context = TraceContext(
+            trace_id, getattr(record.request_span, "span_id", None)
         )
         sink = self._sink_for(record)
-        sink.record("queued", job, detail=f"tenant={submit.tenant}")
-        self.metrics.counter("serve_submitted_total").inc()
+        with use_context(record.trace_context):
+            sink.record("queued", job, detail=f"tenant={submit.tenant}")
+            self.metrics.counter("serve_submitted_total").inc()
 
-        # Cache fast path: identical (net, method, query, budget) answered
-        # synchronously, without consuming a queue slot or a worker.
-        cached = self.pool.try_cache(job, events=sink)
-        if cached is not None:
-            self.metrics.counter("serve_cache_hits_total").inc()
-            record.finish(cached)
-            self.store.add(record)
-            self._finish_record(record)
-            self._count_http("/v1/jobs", 200)
-            body = record.describe()
-            body["cached"] = True
-            await send_json(writer, 200, body)
-            return
+            # Cache fast path: identical (net, method, query, budget)
+            # answered synchronously, without consuming a queue slot or a
+            # worker.
+            cached = self.pool.try_cache(job, events=sink)
+            if cached is not None:
+                self.metrics.counter("serve_cache_hits_total").inc()
+                record.finish(cached)
+                self.store.add(record)
+                self._finish_record(record)
+                self._count_http("/v1/jobs", 200)
+                body = record.describe()
+                body["cached"] = True
+                await send_json(writer, 200, body)
+                return
 
-        # Backpressure: admission control happens before the record is
-        # visible, so a rejected submission leaves no state behind.
-        try:
-            self.queue.push(job_id, tenant=submit.tenant, priority=submit.priority)
-        except QueueFull as exc:
-            raise ApiError(
-                429,
-                f"{exc.scope}-full",
-                f"the {exc.scope} admission limit is reached",
-                retry_after=exc.retry_after,
-            ) from exc
+            # Backpressure: admission control happens before the record
+            # is visible, so a rejected submission leaves no state
+            # behind (the request span dies un-taken with the record).
+            try:
+                self.queue.push(
+                    job_id, tenant=submit.tenant, priority=submit.priority
+                )
+            except QueueFull as exc:
+                record.request_span.end(state="rejected")
+                if record.trace_id is not None:
+                    self.tracer.take(record.trace_id)
+                raise ApiError(
+                    429,
+                    f"{exc.scope}-full",
+                    f"the {exc.scope} admission limit is reached",
+                    retry_after=exc.retry_after,
+                ) from exc
+            record.queue_span = self.tracer.start(
+                names.SPAN_SERVE_QUEUE, tenant=submit.tenant
+            )
         self.store.add(record)
         self._wake.set()
         self._count_http("/v1/jobs", 202)
@@ -411,6 +540,44 @@ class ServeApp:
             await record.wait_change(version)
         await end_chunked(writer)
 
+    async def _handle_trace(
+        self, job_id: str, writer: asyncio.StreamWriter
+    ) -> None:
+        """``GET /v1/jobs/{id}/trace``: the request's merged Chrome trace.
+
+        One trace_id spanning admission → queue → reduce → search (and,
+        for sharded jobs, the forked shard workers) → verdict.  Only
+        meaningful once terminal — the spans are moved onto the record
+        at the terminal transition — so a live job answers 409.
+        """
+        record = self._record_or_404(job_id)
+        if not record.terminal:
+            raise ApiError(
+                409,
+                "job-not-terminal",
+                f"job {job_id} is {record.state}; its merged trace is "
+                "available once the job is terminal",
+            )
+        records = record.trace_records or []
+        body: dict[str, Any] = {
+            "trace_id": record.trace_id,
+            "spans": len(records),
+            "tracing_enabled": self.tracer.enabled,
+        }
+        body.update(chrome_trace(records))
+        self._count_http("/v1/jobs/{id}/trace", 200)
+        await send_json(writer, 200, body)
+
+    async def _handle_flight(self, writer: asyncio.StreamWriter) -> None:
+        """``GET /v1/debug/flight``: the always-on diagnostic ring."""
+        body: dict[str, Any] = {
+            "capacity": FLIGHT.capacity,
+            "recorded": FLIGHT.recorded,
+            "records": FLIGHT.snapshot(),
+        }
+        self._count_http("/v1/debug/flight", 200)
+        await send_json(writer, 200, body)
+
     async def _handle_metrics(self, writer: asyncio.StreamWriter) -> None:
         self._update_gauges()
         self._count_http("/metrics", 200)
@@ -426,6 +593,7 @@ class ServeApp:
             "python": platform.python_version(),
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "workers": self.pool.max_workers,
+            "trace": self.tracer.enabled,
             "queue": {
                 "depth": len(self.queue),
                 "capacity": self.config.queue_capacity,

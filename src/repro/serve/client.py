@@ -112,6 +112,26 @@ class ServeClient:
             writer.close()
             await writer.wait_closed()
 
+    async def trace(self, job_id: str) -> Any:
+        """Fetch a terminal job's merged Chrome trace (parsed JSON)."""
+        response = await self.request("GET", f"/v1/jobs/{job_id}/trace")
+        if response.status != 200:
+            raise ConnectionError(
+                f"trace fetch rejected: {response.status} "
+                f"{response.body[:200]!r}"
+            )
+        return response.json()
+
+    async def flight(self) -> Any:
+        """Fetch the daemon's flight-recorder ring (parsed JSON)."""
+        response = await self.request("GET", "/v1/debug/flight")
+        if response.status != 200:
+            raise ConnectionError(
+                f"flight fetch rejected: {response.status} "
+                f"{response.body[:200]!r}"
+            )
+        return response.json()
+
     async def stream_events(self, job_id: str) -> AsyncIterator[dict[str, Any]]:
         """Yield the job's lifecycle events as dicts while they stream."""
         reader, writer = await self._connect()

@@ -49,6 +49,12 @@ class ServeConfig:
     default_max_states: int = 200_000
     default_max_seconds: float = 30.0
 
+    #: Per-request span tracing (trace_id propagation is on regardless;
+    #: this gates recording spans and the /v1/jobs/{id}/trace payload).
+    trace: bool = True
+    #: Ring size of the always-on flight recorder (``/v1/debug/flight``).
+    flight_capacity: int = 256
+
     #: Dispatcher poll interval while workers are running (seconds).
     poll_interval: float = 0.02
     #: How long DELETE waits for a running job to die before returning.

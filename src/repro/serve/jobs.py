@@ -52,6 +52,7 @@ class JobRecord:
         *,
         tenant: str,
         priority: int,
+        trace_id: str | None = None,
     ) -> None:
         self.id = job_id
         self.job = job
@@ -60,11 +61,23 @@ class JobRecord:
         self.state = "queued"
         self.submitted_at = time.time()
         self.started_at: float | None = None
+        self.dispatched_at: float | None = None
         self.finished_at: float | None = None
         self.outcome: JobResult | None = None
         self.cancel_requested = False
         self.events: list[dict[str, Any]] = []
         self.sink = JobEventBuffer(self)
+        # Request correlation: the trace_id minted at admission, the
+        # TraceContext the dispatcher re-installs around engine calls,
+        # the request/queue spans (typed loosely — Span or the null
+        # span), and the request's finished span records, moved off the
+        # daemon tracer at terminal transition so they are retained (and
+        # evicted) with the record itself.
+        self.trace_id = trace_id
+        self.trace_context: Any = None
+        self.request_span: Any = None
+        self.queue_span: Any = None
+        self.trace_records: list[dict[str, Any]] | None = None
         # Running-state bookkeeping owned by the dispatcher: the live
         # WorkerHandle (typed loosely to keep this module engine-agnostic).
         self.handle: Any = None
@@ -111,9 +124,21 @@ class JobRecord:
         self.events.append(payload)
         self._touch()
 
+    @property
+    def queue_wait_seconds(self) -> float | None:
+        """Seconds from admission to dispatch (or to terminal, for jobs
+        that never ran: cache hits, queued cancellations)."""
+        reference = self.dispatched_at
+        if reference is None:
+            reference = self.finished_at
+        if reference is None:
+            return None
+        return max(0.0, reference - self.submitted_at)
+
     def mark_running(self, handle: Any) -> None:
         self.state = "running"
         self.started_at = time.time()
+        self.dispatched_at = self.started_at
         self.handle = handle
         self._touch()
 
@@ -147,7 +172,11 @@ class JobRecord:
             "finished_at": self.finished_at,
             "events": len(self.events),
             "cancel_requested": self.cancel_requested,
+            "trace_id": self.trace_id,
         }
+        wait = self.queue_wait_seconds
+        if wait is not None:
+            out["queue_wait_seconds"] = wait
         if self.outcome is not None:
             out["engine_status"] = self.outcome.status
             out["wall_seconds"] = self.outcome.wall_seconds

@@ -32,6 +32,7 @@ from repro.engine.jobs import Budget, VerificationJob, execute_job, is_conclusiv
 from repro.harness.table1 import PROBLEMS
 from repro.net.parser import to_text
 from repro.net.pnml import to_pnml
+from repro.obs.benchmeta import stamp_bench
 from repro.props.compat import filter_methods
 from repro.props.eval import as_property
 from repro.serve.client import ServeClient
@@ -400,9 +401,11 @@ def format_report(report: dict[str, Any]) -> str:
 
 
 def write_report(report: dict[str, Any], path: str) -> None:
-    """Write the JSON artifact (``BENCH_serve.json``)."""
+    """Write the JSON artifact (``BENCH_serve.json``), provenance-stamped
+    with the shared ``meta`` mapping every BENCH writer carries (see
+    :mod:`repro.obs.benchmeta`)."""
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
+        json.dump(stamp_bench(report), handle, indent=2, sort_keys=True)
         handle.write("\n")
 
 

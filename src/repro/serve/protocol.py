@@ -39,9 +39,16 @@ __all__ = [
 #: Wire-protocol version, surfaced in ``/healthz``.  Version 2 added the
 #: ``property`` submission field (the :mod:`repro.props` query language);
 #: version 3 added the ``reduce`` option (structural reduction pre-pass,
-#: ``"off"`` | ``"auto"`` | ``"aggressive"``).  Version-1/2 bodies remain
-#: valid — both new fields default off.
-API_VERSION = 3
+#: ``"off"`` | ``"auto"`` | ``"aggressive"``); version 4 added the
+#: ``shards`` option (sharded parallel exploration, ``method``
+#: ``"parallel"`` only), the ``trace_id`` echoed in job responses, and
+#: the ``/v1/jobs/{id}/trace`` + ``/v1/debug/flight`` endpoints.  Older
+#: bodies remain valid — every new field defaults off.
+API_VERSION = 4
+
+#: Ceiling on the client-requested shard count (``os.cpu_count`` scale;
+#: anything bigger is abuse, not parallelism).
+SHARDS_MAX = 64
 
 #: Client-visible priority range (clamped, not rejected).
 PRIORITY_MIN, PRIORITY_MAX = -100, 100
@@ -275,11 +282,36 @@ def parse_submit(raw_body: bytes, config: ServeConfig) -> SubmitRequest:
             f"{reduce!r}; expected 'off', 'auto' or 'aggressive'",
         )
 
+    # v4 ``shards``: rides the budget extras into the parallel analyzer
+    # (and into the cache key, so shard counts cache separately).
+    shards = body.get("shards")
+    budget_extra: dict[str, Any] = {}
+    if shards is not None:
+        if isinstance(shards, bool) or not isinstance(shards, int):
+            raise ApiError(400, "bad-request", "'shards' must be an integer")
+        if not 1 <= shards <= SHARDS_MAX:
+            raise ApiError(
+                400,
+                "bad-request",
+                f"'shards' must be in 1..{SHARDS_MAX}",
+            )
+        if method != "parallel":
+            raise ApiError(
+                400,
+                "bad-request",
+                "'shards' requires method 'parallel'",
+            )
+        budget_extra["shards"] = shards
+
     return SubmitRequest(
         net=net,
         method=str(method),
         query=str(query),
-        budget=Budget(max_states=max_states, max_seconds=max_seconds),
+        budget=Budget(
+            max_states=max_states,
+            max_seconds=max_seconds,
+            extra=budget_extra,
+        ),
         tenant=_tenant_of(body),
         priority=priority,
         reduce=str(reduce),

@@ -1,0 +1,148 @@
+"""bench-diff: row matching, thresholds, the noise floor, shape errors."""
+
+import json
+
+import pytest
+
+from repro.harness.benchdiff import (
+    BenchDiffError,
+    diff_bench,
+    diff_files,
+    format_diff,
+    load_bench,
+)
+
+
+def kernel_payload(rate: float, seconds: float = 1.0) -> dict:
+    return {
+        "benchmark": "marking-kernel",
+        "rows": [
+            {
+                "problem": "NSDP",
+                "size": 8,
+                "analyzer": "full",
+                "kernel_states_per_second": rate,
+                "kernel_seconds": seconds,
+            }
+        ],
+    }
+
+
+def serve_payload(rps: float, p99: float) -> dict:
+    return {
+        "benchmark": "serve-loadtest",
+        "phases": [
+            {
+                "phase": "cold",
+                "throughput_rps": rps,
+                "wall_seconds": 2.0,
+                "latency_seconds": {"p99": p99},
+            }
+        ],
+    }
+
+
+class TestKernelDiff:
+    def test_identical_is_clean(self):
+        diff = diff_bench(kernel_payload(1000.0), kernel_payload(1000.0))
+        assert diff.exit_code == 0
+        assert not diff.regressions
+        assert diff.rows[0].worse_pct == 0.0
+
+    def test_regression_beyond_threshold_fails(self):
+        diff = diff_bench(kernel_payload(1000.0), kernel_payload(700.0))
+        assert diff.rows[0].worse_pct == 30.0
+        assert diff.exit_code == 1
+
+    def test_improvement_never_fails(self):
+        diff = diff_bench(kernel_payload(1000.0), kernel_payload(2000.0))
+        assert diff.rows[0].worse_pct == -100.0
+        assert diff.exit_code == 0
+
+    def test_threshold_is_configurable(self):
+        old, new = kernel_payload(1000.0), kernel_payload(900.0)
+        assert diff_bench(old, new).exit_code == 0  # 10% < default 25%
+        strict = diff_bench(old, new, fail_threshold=5.0)
+        assert strict.exit_code == 1
+
+
+class TestNoiseFloor:
+    def test_fast_rows_are_shown_but_not_gated(self):
+        old = kernel_payload(1000.0, seconds=0.01)
+        new = kernel_payload(100.0, seconds=0.01)
+        diff = diff_bench(old, new)
+        assert diff.exit_code == 0
+        row = diff.rows[0]
+        assert not row.gated
+        assert row.skip_reason is not None
+        assert "noise floor" in row.skip_reason
+
+    def test_min_seconds_zero_restores_strict_mode(self):
+        old = kernel_payload(1000.0, seconds=0.01)
+        new = kernel_payload(100.0, seconds=0.01)
+        diff = diff_bench(old, new, min_seconds=0.0)
+        assert diff.exit_code == 1
+
+    def test_either_side_below_floor_skips(self):
+        old = kernel_payload(1000.0, seconds=5.0)
+        new = kernel_payload(100.0, seconds=0.01)
+        assert diff_bench(old, new).exit_code == 0
+
+
+class TestServeDiff:
+    def test_latency_direction_is_inverted(self):
+        # Higher p99 is worse even though higher throughput is better.
+        diff = diff_bench(serve_payload(100.0, 0.010),
+                          serve_payload(100.0, 0.020))
+        by_metric = {row.metric: row for row in diff.rows}
+        assert by_metric["latency_p99_seconds"].worse_pct == 100.0
+        assert by_metric["throughput_rps"].worse_pct == 0.0
+        assert diff.exit_code == 1
+
+    def test_throughput_drop_fails(self):
+        diff = diff_bench(serve_payload(100.0, 0.010),
+                          serve_payload(60.0, 0.010))
+        assert diff.exit_code == 1
+
+
+class TestShape:
+    def test_kind_mismatch_raises(self):
+        with pytest.raises(BenchDiffError, match="kinds differ"):
+            diff_bench(kernel_payload(1.0), serve_payload(1.0, 0.01))
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(BenchDiffError, match="unknown benchmark kind"):
+            diff_bench({"benchmark": "???"}, {"benchmark": "???"})
+
+    def test_unreadable_file_raises(self, tmp_path):
+        with pytest.raises(BenchDiffError, match="cannot read"):
+            load_bench(tmp_path / "missing.json")
+
+    def test_non_artifact_json_raises(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(BenchDiffError, match="no 'benchmark' kind"):
+            load_bench(path)
+
+    def test_disjoint_rows_is_loud_but_ok(self):
+        old = kernel_payload(1000.0)
+        new = kernel_payload(1000.0)
+        new["rows"][0]["size"] = 4  # quick sizes vs full sizes
+        diff = diff_bench(old, new)
+        assert diff.exit_code == 0
+        assert not diff.rows
+        assert diff.only_old and diff.only_new
+        assert "NO COMPARABLE ROWS" in format_diff(diff)
+
+
+class TestFiles:
+    def test_diff_files_roundtrip(self, tmp_path):
+        old, new = tmp_path / "old.json", tmp_path / "new.json"
+        old.write_text(json.dumps(kernel_payload(1000.0)))
+        new.write_text(json.dumps(kernel_payload(700.0)))
+        diff = diff_files(old, new)
+        assert diff.exit_code == 1
+        report = format_diff(diff, json.loads(old.read_text()),
+                             json.loads(new.read_text()))
+        assert "FAIL" in report
+        assert "unstamped" in report  # synthetic payloads have no meta

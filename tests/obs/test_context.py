@@ -1,0 +1,122 @@
+"""Trace-context propagation: ambient installation, span stamping, take."""
+
+from repro.obs.context import (
+    TraceContext,
+    current_context,
+    new_trace_context,
+    new_trace_id,
+    set_context,
+    use_context,
+)
+from repro.obs.tracer import Tracer, activate
+
+
+class TestContextPlumbing:
+    def test_ids_are_distinct_hex(self):
+        first, second = new_trace_id(), new_trace_id()
+        assert first != second
+        assert len(first) == 16
+        int(first, 16)  # raises if not hex
+
+    def test_child_keeps_trace_reparents(self):
+        ctx = TraceContext("abc123", parent_span_id=None)
+        child = ctx.child("7f-1")
+        assert child.trace_id == "abc123"
+        assert child.parent_span_id == "7f-1"
+        assert ctx.parent_span_id is None  # frozen original untouched
+
+    def test_use_context_scopes_and_restores(self):
+        assert current_context() is None
+        outer = new_trace_context()
+        with use_context(outer):
+            assert current_context() is outer
+            inner = new_trace_context()
+            with use_context(inner):
+                assert current_context() is inner
+            assert current_context() is outer
+        assert current_context() is None
+
+    def test_set_context_returns_previous(self):
+        ctx = new_trace_context()
+        previous = set_context(ctx)
+        try:
+            assert previous is None
+            assert current_context() is ctx
+        finally:
+            set_context(previous)
+
+
+class TestSpanStamping:
+    def test_spans_carry_the_ambient_trace_id(self):
+        tracer = Tracer()
+        ctx = new_trace_context()
+        with use_context(ctx):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    pass
+        records = tracer.records()
+        assert len(records) == 2
+        assert {r["trace_id"] for r in records} == {ctx.trace_id}
+
+    def test_no_context_means_no_trace_id(self):
+        tracer = Tracer()
+        with tracer.span("bare"):
+            pass
+        assert "trace_id" not in tracer.records()[0]
+
+    def test_root_span_parents_to_context_parent(self):
+        """A span with an empty stack adopts ``ctx.parent_span_id`` —
+        the cross-process attachment rule for forked workers."""
+        tracer = Tracer()
+        ctx = TraceContext("feed5eed00000000", parent_span_id="77-9")
+        with use_context(ctx):
+            with tracer.span("worker-root"):
+                with tracer.span("child") as child:
+                    pass
+        records = {r["name"]: r for r in tracer.records()}
+        assert records["worker-root"]["parent_id"] == "77-9"
+        # Nested spans parent normally, not to the remote span.
+        assert records["child"]["parent_id"] != "77-9"
+        assert child.span_id == records["child"]["span_id"]
+
+    def test_span_keeps_creation_time_trace(self):
+        """A span started inside the context but finished outside keeps
+        the trace id of the request that opened it."""
+        tracer = Tracer()
+        ctx = new_trace_context()
+        with use_context(ctx):
+            span = tracer.start("long-lived")
+        span.end()
+        assert tracer.records()[0]["trace_id"] == ctx.trace_id
+
+
+class TestTracerTake:
+    def test_take_partitions_by_trace(self):
+        tracer = Tracer()
+        first, second = new_trace_context(), new_trace_context()
+        with use_context(first), tracer.span("a"):
+            pass
+        with use_context(second), tracer.span("b"):
+            pass
+        taken = tracer.take(first.trace_id)
+        assert [r["name"] for r in taken] == ["a"]
+        remaining = tracer.records()
+        assert [r["name"] for r in remaining] == ["b"]
+
+    def test_take_unknown_trace_is_empty(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        assert tracer.take("0000000000000000") == []
+        assert len(tracer.records()) == 1
+
+    def test_current_span_id_tracks_stack(self):
+        tracer = Tracer()
+        with activate(tracer):
+            assert tracer.current_span_id() is None
+            with tracer.span("outer") as outer:
+                assert tracer.current_span_id() == outer.span_id
+                with tracer.span("inner") as inner:
+                    assert tracer.current_span_id() == inner.span_id
+                assert tracer.current_span_id() == outer.span_id
+        assert tracer.current_span_id() is None

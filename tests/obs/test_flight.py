@@ -1,0 +1,100 @@
+"""Flight recorder: bounded ring semantics and its unconditional feeds."""
+
+import os
+
+import pytest
+
+from repro.obs.context import new_trace_context, use_context
+from repro.obs.flight import FLIGHT, FlightRecorder
+from repro.obs.tracer import Tracer
+
+
+@pytest.fixture
+def clean_global_flight():
+    """Isolate tests that exercise the process-wide singleton."""
+    saved = FLIGHT.snapshot()
+    FLIGHT.clear()
+    try:
+        yield FLIGHT
+    finally:
+        FLIGHT.clear()
+        for record in saved:
+            FLIGHT.record(record)
+
+
+class TestRing:
+    def test_capacity_evicts_oldest(self):
+        ring = FlightRecorder(capacity=3)
+        for i in range(5):
+            ring.note("tick", i=i)
+        snapshot = ring.snapshot()
+        assert [r["i"] for r in snapshot] == [2, 3, 4]
+        assert ring.recorded == 5  # total seen, not retained
+        assert len(ring) == 3
+
+    def test_notes_are_stamped(self):
+        ring = FlightRecorder()
+        ring.note("boom", detail="x")
+        (record,) = ring.snapshot()
+        assert record["kind"] == "boom"
+        assert record["detail"] == "x"
+        assert record["pid"] == os.getpid()
+        assert record["ts"] > 0
+
+    def test_snapshot_limit_keeps_newest(self):
+        ring = FlightRecorder()
+        for i in range(10):
+            ring.note("tick", i=i)
+        assert [r["i"] for r in ring.snapshot(limit=2)] == [8, 9]
+
+    def test_snapshot_is_a_copy(self):
+        ring = FlightRecorder()
+        payload = {"kind": "mutable", "n": 1}
+        ring.record(payload)
+        payload["n"] = 2
+        snapshot = ring.snapshot()
+        snapshot[0]["n"] = 3
+        assert ring.snapshot()[0]["n"] == 1
+
+    def test_configure_resizes_keeping_newest(self):
+        ring = FlightRecorder(capacity=10)
+        for i in range(10):
+            ring.note("tick", i=i)
+        ring.configure(4)
+        assert ring.capacity == 4
+        assert [r["i"] for r in ring.snapshot()] == [6, 7, 8, 9]
+
+
+class TestFeeds:
+    def test_root_spans_feed_the_ring(self, clean_global_flight):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("leaf"):
+                pass
+        names = [r.get("name") for r in clean_global_flight.snapshot()]
+        assert "root" in names
+        assert "leaf" not in names  # only roots, never per-state noise
+
+    def test_cross_process_roots_feed_the_ring(self, clean_global_flight):
+        """A span parented to *another process's* span is still a local
+        root — the flight criterion is process-local parentage."""
+        ctx = new_trace_context().child("dead-beef")
+        tracer = Tracer()
+        with use_context(ctx), tracer.span("worker-root"):
+            pass
+        names = [r.get("name") for r in clean_global_flight.snapshot()]
+        assert "worker-root" in names
+
+    def test_engine_events_feed_the_ring(self, clean_global_flight):
+        from types import SimpleNamespace
+
+        from repro.engine.events import NullEventSink
+
+        job = SimpleNamespace(
+            label="j", method="gpo", net=SimpleNamespace(name="n")
+        )
+        # Even the *null* sink feeds the ring: crash dumps stay useful
+        # with event logging off.
+        NullEventSink().record("queued", job)
+        kinds = [r.get("kind") for r in clean_global_flight.snapshot()]
+        assert "queued" in kinds

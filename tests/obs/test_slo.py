@@ -1,0 +1,118 @@
+"""SLO report: exposition parsing, quantile estimation, rendering."""
+
+import math
+
+from repro.obs.exporters import prometheus_text
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    format_slo,
+    parse_histograms,
+    parse_samples,
+)
+
+EXPOSITION = """\
+# HELP serve_queue_wait_seconds Time queued before dispatch.
+# TYPE serve_queue_wait_seconds histogram
+serve_queue_wait_seconds_bucket{family="nsdp",method="gpo",le="0.01"} 2
+serve_queue_wait_seconds_bucket{family="nsdp",method="gpo",le="0.1"} 4
+serve_queue_wait_seconds_bucket{family="nsdp",method="gpo",le="+Inf"} 4
+serve_queue_wait_seconds_sum{family="nsdp",method="gpo"} 0.12
+serve_queue_wait_seconds_count{family="nsdp",method="gpo"} 4
+serve_search_seconds_bucket{family="nsdp",method="gpo",le="1.0"} 3
+serve_search_seconds_bucket{family="nsdp",method="gpo",le="+Inf"} 4
+serve_search_seconds_sum{family="nsdp",method="gpo"} 1.6
+serve_search_seconds_count{family="nsdp",method="gpo"} 4
+other_metric_total 17
+"""
+
+
+class TestParsing:
+    def test_samples_parse_names_labels_values(self):
+        samples = parse_samples(EXPOSITION)
+        names = {name for name, _, _ in samples}
+        assert "other_metric_total" in names
+        bucket = next(
+            s for s in samples if s[0] == "serve_queue_wait_seconds_bucket"
+        )
+        assert bucket[1] == {"family": "nsdp", "method": "gpo", "le": "0.01"}
+        assert bucket[2] == 2.0
+
+    def test_comments_and_blank_lines_skipped(self):
+        assert parse_samples("# HELP x y\n\n# TYPE x counter\n") == []
+
+    def test_histograms_reassemble_series(self):
+        histograms = parse_histograms(EXPOSITION)
+        key = (
+            "serve_queue_wait_seconds",
+            (("family", "nsdp"), ("method", "gpo")),
+        )
+        summary = histograms[key]
+        assert summary.count == 4
+        assert summary.total == 0.12
+        assert summary.buckets[0.01] == 2
+        assert summary.buckets[math.inf] == 4
+        assert "le" not in summary.labels
+
+    def test_names_filter(self):
+        histograms = parse_histograms(
+            EXPOSITION, names=["serve_search_seconds"]
+        )
+        assert {name for name, _ in histograms} == {"serve_search_seconds"}
+
+
+class TestQuantiles:
+    def test_median_interpolates_inside_bucket(self):
+        histograms = parse_histograms(EXPOSITION)
+        summary = histograms[
+            (
+                "serve_queue_wait_seconds",
+                (("family", "nsdp"), ("method", "gpo")),
+            )
+        ]
+        # rank 2 falls exactly on the 0.01 bucket boundary.
+        assert summary.quantile(0.5) == 0.01
+        # p75 (rank 3) is halfway through the (0.01, 0.1] bucket.
+        assert abs(summary.quantile(0.75) - 0.055) < 1e-9
+
+    def test_inf_bucket_returns_last_finite_bound(self):
+        histograms = parse_histograms(EXPOSITION)
+        summary = histograms[
+            ("serve_search_seconds", (("family", "nsdp"), ("method", "gpo")))
+        ]
+        assert summary.quantile(0.99) == 1.0
+
+    def test_empty_histogram_is_zero(self):
+        histograms = parse_histograms(
+            'x_bucket{le="+Inf"} 0\nx_sum 0\nx_count 0\n'
+        )
+        summary = next(iter(histograms.values()))
+        assert summary.quantile(0.5) == 0.0
+        assert summary.mean == 0.0
+
+
+class TestReport:
+    def test_report_groups_by_family_method(self):
+        report = format_slo(EXPOSITION)
+        assert "nsdp" in report
+        assert "queue" in report
+        assert "search" in report
+        # The non-SLO metric never leaks into the report.
+        assert "other_metric" not in report
+
+    def test_empty_exposition_says_so(self):
+        assert "no serve SLO samples" in format_slo("")
+
+    def test_roundtrip_through_real_registry(self):
+        """What the serve layer exports, the report can read back."""
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "serve_search_seconds",
+            buckets=(0.1, 1.0),
+            method="gpo",
+            family="rw",
+        )
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        report = format_slo(prometheus_text(registry))
+        assert "rw" in report
+        assert "search" in report

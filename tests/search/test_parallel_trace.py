@@ -1,0 +1,80 @@
+"""Cross-process trace merging through the sharded explorer (fork mode).
+
+The acceptance property of trace propagation: running the same analysis
+with inline shard stepping and with forked shard workers must produce
+the *same* single-trace span tree — one trace id on every span, no
+orphan parents, identical span-name counts — because the shard spans are
+emitted per ``run_level`` call on both sides of the fork boundary.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.models import nsdp
+from repro.obs import names
+from repro.obs.tracer import Tracer, activate
+from repro.search.parallel import analyze_parallel
+
+
+def traced_run(workers: str) -> list[dict]:
+    net = nsdp(4)
+    net.kernel()
+    net.static_analysis()
+    tracer = Tracer()
+    with activate(tracer):
+        result = analyze_parallel(net, shards=2, workers=workers)
+    assert result.deadlock is True
+    return tracer.records()
+
+
+def span_records(records: list[dict]) -> list[dict]:
+    return [r for r in records if "name" in r and "span_id" in r]
+
+
+@pytest.fixture(scope="module")
+def inline_records() -> list[dict]:
+    return traced_run("inline")
+
+
+@pytest.fixture(scope="module")
+def forked_records() -> list[dict]:
+    return traced_run("fork")
+
+
+class TestMergedTrace:
+    def test_single_trace_id_inline(self, inline_records):
+        ids = {r.get("trace_id") for r in span_records(inline_records)}
+        assert len(ids) == 1 and None not in ids
+
+    def test_single_trace_id_forked(self, forked_records):
+        ids = {r.get("trace_id") for r in span_records(forked_records)}
+        assert len(ids) == 1 and None not in ids
+
+    def test_no_orphan_spans_forked(self, forked_records):
+        """Every parent id in the merged trace resolves to a span in the
+        same trace — worker roots attach to the coordinator's span."""
+        spans = span_records(forked_records)
+        known = {r["span_id"] for r in spans}
+        parents = {r["parent_id"] for r in spans if "parent_id" in r}
+        assert parents <= known
+
+    def test_shard_spans_cross_the_fork(self, forked_records):
+        spans = span_records(forked_records)
+        by_pid = {}
+        for record in spans:
+            if record["name"] == names.SPAN_PARALLEL_SHARD:
+                by_pid.setdefault(record["pid"], 0)
+                by_pid[record["pid"]] += 1
+        # Two forked workers → shard spans from (at least) two pids,
+        # none from the coordinator's own run_level path.
+        assert len(by_pid) >= 2
+
+    def test_span_counts_match_inline_vs_fork(
+        self, inline_records, forked_records
+    ):
+        inline = Counter(r["name"] for r in span_records(inline_records))
+        forked = Counter(r["name"] for r in span_records(forked_records))
+        assert inline == forked
+        assert inline[names.SPAN_PARALLEL_SHARD] > 0
+        assert inline[names.SPAN_ANALYZE] == 1

@@ -17,6 +17,8 @@ from typing import Any, AsyncIterator
 
 import pytest
 
+from repro.engine.events import EVENT_SCHEMA_VERSION
+from repro.serve.protocol import API_VERSION
 from repro.engine.jobs import ANALYZERS
 from repro.models import nsdp
 from repro.net.parser import to_text
@@ -102,7 +104,7 @@ class TestLifecycle:
                 kinds = []
                 async for event in client.stream_events(body["id"]):
                     kinds.append(event["kind"])
-                    assert event["v"] == 1
+                    assert event["v"] == EVENT_SCHEMA_VERSION
                     assert event["job_id"] == body["id"]
                 assert kinds == ["queued", "started", "finished"]
 
@@ -129,7 +131,9 @@ class TestLifecycle:
                 replay = await client.request(
                     "GET", f"/v1/jobs/{job_id}/events"
                 )
-                assert replay.headers["x-event-schema-version"] == "1"
+                assert replay.headers["x-event-schema-version"] == str(
+                    EVENT_SCHEMA_VERSION
+                )
                 lines = [l for l in replay.body.split(b"\n") if l.strip()]
                 assert len(lines) == 3
 
@@ -331,7 +335,7 @@ class TestHttpSurface:
                 assert body["status"] == "ok"
                 assert body["service"] == "gpo-serve"
                 assert body["version"]
-                assert body["event_schema_version"] == 1
+                assert body["event_schema_version"] == EVENT_SCHEMA_VERSION
                 assert body["workers"] == 2
                 assert body["queue"]["capacity"] == 256
                 assert body["cache"]["enabled"] is True
@@ -429,7 +433,7 @@ class TestPropertySubmissions:
         async def main():
             async with serve_app(tmp_path) as (_, client):
                 response = await client.request("GET", "/healthz")
-                assert response.json()["protocol_version"] == 3
+                assert response.json()["protocol_version"] == API_VERSION
 
         run(main())
 

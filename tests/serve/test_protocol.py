@@ -192,7 +192,7 @@ class TestPropertyField:
     def test_api_version_exported(self):
         from repro.serve.protocol import API_VERSION
 
-        assert API_VERSION == 3
+        assert API_VERSION >= 4
 
     def test_reduce_defaults_off(self):
         submit = parse_submit(submit_body(), CONFIG)

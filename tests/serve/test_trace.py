@@ -1,0 +1,206 @@
+"""Serve-layer observability surface: traces, flight recorder, SLO.
+
+Same harness as ``test_app``: a real ServeApp on an ephemeral port per
+test, event-driven waits only.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import Any, AsyncIterator
+
+from repro.models import nsdp
+from repro.net.parser import to_text
+from repro.serve import ServeApp, ServeClient, ServeConfig
+
+TEST_TIMEOUT = 60.0
+
+
+def run(coro: Any) -> Any:
+    return asyncio.run(asyncio.wait_for(coro, TEST_TIMEOUT))
+
+
+@contextlib.asynccontextmanager
+async def serve_app(
+    tmp_path: Any, **overrides: Any
+) -> AsyncIterator[tuple[ServeApp, ServeClient]]:
+    settings: dict[str, Any] = dict(
+        host="127.0.0.1",
+        port=0,
+        workers=2,
+        cache_dir=str(tmp_path / "serve-cache"),
+        poll_interval=0.01,
+    )
+    settings.update(overrides)
+    app = ServeApp(ServeConfig(**settings))
+    await app.start()
+    try:
+        yield app, ServeClient("127.0.0.1", app.port)
+    finally:
+        await app.stop()
+
+
+def submit_body(**overrides: Any) -> dict[str, Any]:
+    body: dict[str, Any] = {
+        "net": to_text(nsdp(2)),
+        "method": "gpo",
+        "tenant": "tests",
+    }
+    body.update(overrides)
+    return body
+
+
+async def finish_job(client: ServeClient, job_id: str) -> None:
+    async for _ in client.stream_events(job_id):
+        pass
+
+
+class TestTraceEndpoint:
+    def test_submit_echoes_a_trace_id(self, tmp_path):
+        async def main():
+            async with serve_app(tmp_path) as (_, client):
+                response = await client.request(
+                    "POST", "/v1/jobs", submit_body()
+                )
+                body = response.json()
+                assert isinstance(body["trace_id"], str)
+                assert len(body["trace_id"]) == 16
+                await finish_job(client, body["id"])
+                final = await client.request("GET", f"/v1/jobs/{body['id']}")
+                assert final.json()["trace_id"] == body["trace_id"]
+
+        run(main())
+
+    def test_trace_of_queued_job_is_409(self, tmp_path):
+        async def main():
+            # Zero pool polling would race here; instead ask for the
+            # trace in the tiny window before the first dispatch tick by
+            # submitting and fetching in the same loop iteration.
+            async with serve_app(tmp_path, poll_interval=5.0) as (_, client):
+                submitted = await client.request(
+                    "POST", "/v1/jobs", submit_body()
+                )
+                job_id = submitted.json()["id"]
+                response = await client.request(
+                    "GET", f"/v1/jobs/{job_id}/trace"
+                )
+                if response.status == 409:
+                    assert (
+                        response.json()["error"]["reason"] == "job-not-terminal"
+                    )
+                else:
+                    # Lost the race: the job already finished — that
+                    # response must then be the merged trace.
+                    assert response.status == 200
+                await finish_job(client, job_id)
+
+        run(main())
+
+    def test_terminal_trace_is_one_merged_timeline(self, tmp_path):
+        async def main():
+            async with serve_app(tmp_path) as (_, client):
+                submitted = await client.request(
+                    "POST", "/v1/jobs", submit_body()
+                )
+                body = submitted.json()
+                await finish_job(client, body["id"])
+                trace = await client.trace(body["id"])
+                assert trace["trace_id"] == body["trace_id"]
+                assert trace["tracing_enabled"] is True
+                events = trace["traceEvents"]
+                spans = [e for e in events if e.get("ph") == "X"]
+                assert trace["spans"] == len(events)
+                names = {e["name"] for e in spans}
+                assert "serve/request" in names
+                assert "serve/queue" in names
+                trace_ids = {
+                    e["args"].get("trace_id")
+                    for e in spans
+                    if "args" in e
+                }
+                assert trace_ids == {body["trace_id"]}
+
+        run(main())
+
+    def test_trace_disabled_daemon_still_answers(self, tmp_path):
+        async def main():
+            async with serve_app(tmp_path, trace=False) as (_, client):
+                submitted = await client.request(
+                    "POST", "/v1/jobs", submit_body()
+                )
+                body = submitted.json()
+                assert body["trace_id"]  # correlation id even without spans
+                await finish_job(client, body["id"])
+                trace = await client.trace(body["id"])
+                assert trace["tracing_enabled"] is False
+                assert trace["traceEvents"] == []
+
+        run(main())
+
+
+class TestFlightEndpoint:
+    def test_flight_returns_the_ring(self, tmp_path):
+        async def main():
+            async with serve_app(tmp_path) as (_, client):
+                submitted = await client.request(
+                    "POST", "/v1/jobs", submit_body()
+                )
+                await finish_job(client, submitted.json()["id"])
+                flight = await client.flight()
+                assert flight["capacity"] > 0
+                assert flight["recorded"] >= len(flight["records"]) > 0
+                kinds = {
+                    r.get("kind") for r in flight["records"] if "kind" in r
+                }
+                assert "queued" in kinds  # lifecycle events feed the ring
+
+        run(main())
+
+    def test_flight_capacity_is_configurable(self, tmp_path):
+        async def main():
+            async with serve_app(tmp_path, flight_capacity=16) as (_, client):
+                flight = await client.flight()
+                assert flight["capacity"] == 16
+
+        run(main())
+
+
+class TestQueueWait:
+    def test_describe_reports_queue_wait(self, tmp_path):
+        async def main():
+            async with serve_app(tmp_path) as (_, client):
+                submitted = await client.request(
+                    "POST", "/v1/jobs", submit_body()
+                )
+                job_id = submitted.json()["id"]
+                await finish_job(client, job_id)
+                final = (
+                    await client.request("GET", f"/v1/jobs/{job_id}")
+                ).json()
+                assert final["queue_wait_seconds"] >= 0.0
+
+        run(main())
+
+    def test_slo_histograms_export(self, tmp_path):
+        async def main():
+            async with serve_app(tmp_path) as (_, client):
+                submitted = await client.request(
+                    "POST", "/v1/jobs", submit_body()
+                )
+                await finish_job(client, submitted.json()["id"])
+                metrics = await client.request("GET", "/metrics")
+                text = metrics.body.decode()
+                assert 'serve_queue_wait_seconds_bucket{family="nsdp"' in text
+                assert "serve_search_seconds_count" in text
+                assert "serve_serialize_seconds_count" in text
+
+        run(main())
+
+    def test_healthz_reports_tracing(self, tmp_path):
+        async def main():
+            async with serve_app(tmp_path, trace=False) as (_, client):
+                health = await client.request("GET", "/healthz")
+                assert health.json()["trace"] is False
+
+        run(main())
